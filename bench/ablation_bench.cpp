@@ -1,0 +1,277 @@
+// Ablation harness for the design choices DESIGN.md §6 calls out:
+//
+//   A. family metrics under each configuration (cone depth, simultaneous
+//      assignments, leaf tagging) — the aggregate view;
+//   B. cone-depth sensitivity on a bespoke circuit whose word bits diverge
+//      only at logic level 4 (the paper fixes depth 4; [6] reports 2-4):
+//      shallow cones match permissively, deep cones split the word until a
+//      control signal rescues it;
+//   C. simultaneous-assignment sensitivity on a pair-controlled word (the
+//      paper stops at two; more is its stated future work).
+#include <cstdio>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/reference.h"
+#include "itc/family.h"
+#include "itc/wordgen.h"
+#include "rtl/lower_ops.h"
+#include "rtl/scan.h"
+#include "wordrec/baseline.h"
+#include "wordrec/identify.h"
+
+using namespace netrev;
+
+namespace {
+
+struct Aggregate {
+  double full_pct = 0.0;
+  double nf_pct = 0.0;
+  double frag = 0.0;
+};
+
+Aggregate run_config(const wordrec::Options& options,
+                     const std::vector<itc::GeneratedBenchmark>& benches) {
+  Aggregate agg;
+  for (const auto& bench : benches) {
+    const auto reference = eval::extract_reference_words(bench.netlist);
+    const auto result = wordrec::identify_words(bench.netlist, options);
+    const auto summary = eval::evaluate_words(result.words, reference.words);
+    agg.full_pct += summary.full_fraction * 100.0;
+    agg.nf_pct += summary.not_found_fraction * 100.0;
+    agg.frag += summary.avg_fragmentation;
+  }
+  const double n = static_cast<double>(benches.size());
+  agg.full_pct /= n;
+  agg.nf_pct /= n;
+  agg.frag /= n;
+  return agg;
+}
+
+void print_row(const char* label, const Aggregate& agg) {
+  std::printf("%-44s full=%6.2f%%  not-found=%6.2f%%  frag=%.3f\n", label,
+              agg.full_pct, agg.nf_pct, agg.frag);
+}
+
+// --- Part B circuit ---------------------------------------------------------
+// A 4-bit word whose bits share levels 1-3 exactly and diverge at level 4:
+//   bit_i = NAND(shared_i, deep_i);  deep_i = NOT(NOT(g_i));
+//   g_i alternates AND / OR over primary inputs.
+struct DepthCircuit {
+  netlist::Netlist nl{"depth_abl"};
+  std::vector<netlist::NetId> bits;
+
+  DepthCircuit() {
+    rtl::NetNamer namer(nl, 100);
+    std::vector<netlist::NetId> pis;
+    for (int i = 0; i < 8; ++i) {
+      pis.push_back(nl.add_net("IN" + std::to_string(i)));
+      nl.mark_primary_input(pis.back());
+    }
+    std::vector<rtl::GateSpec> roots;
+    std::vector<netlist::NetId> shared(4), deep(4);
+    for (int i = 0; i < 4; ++i) {
+      const auto z1 = pis[static_cast<std::size_t>(i)];
+      const auto z2 = pis[static_cast<std::size_t>(i) + 4];
+      shared[static_cast<std::size_t>(i)] = rtl::make_nor(namer, z1, z2);
+      const netlist::NetId g = (i % 2 == 0) ? rtl::make_and(namer, z1, z2)
+                                            : rtl::make_or(namer, z1, z2);
+      deep[static_cast<std::size_t>(i)] =
+          rtl::make_not(namer, rtl::make_not(namer, g));
+    }
+    for (int i = 0; i < 4; ++i)
+      roots.push_back(rtl::GateSpec{
+          netlist::GateType::kNand,
+          {shared[static_cast<std::size_t>(i)], deep[static_cast<std::size_t>(i)]}});
+    for (const auto& root : roots) bits.push_back(rtl::emit(namer, root));
+    for (netlist::NetId bit : bits) nl.mark_primary_output(bit);
+  }
+
+  // True if one generated word covers all four bits.
+  bool covered(const wordrec::WordSet& words) const {
+    const auto index = words.index_of_net();
+    const auto first = index.at(bits[0]);
+    for (netlist::NetId bit : bits)
+      if (index.at(bit) != first) return false;
+    return true;
+  }
+};
+
+// --- Part C circuit: a pair-controlled word built by the word forge. ------
+struct PairCircuit {
+  netlist::Netlist nl{"pair_abl"};
+  std::vector<netlist::NetId> bits;
+
+  PairCircuit() {
+    rtl::NetNamer namer(nl, 100);
+    Rng rng(5);
+    std::vector<netlist::NetId> pis, flops;
+    for (int i = 0; i < 10; ++i) {
+      pis.push_back(nl.add_net("IN" + std::to_string(i)));
+      nl.mark_primary_input(pis.back());
+    }
+    for (int i = 0; i < 10; ++i) {
+      const auto q = nl.add_net("SRC_reg_" + std::to_string(i) + "_");
+      nl.add_gate(netlist::GateType::kDff, q,
+                  {pis[static_cast<std::size_t>(i)]});
+      flops.push_back(q);
+    }
+    itc::WordForge forge(namer, rng);
+    forge.set_pools(flops, pis);
+    itc::WordPlan plan;
+    plan.kind = itc::WordKind::kControlPair;
+    plan.name = "PAIR";
+    plan.width = 4;
+    bits = forge.emit_word(plan, 0).d_nets;
+    for (std::size_t n = 0; n < nl.net_count(); ++n) {
+      const auto id = nl.net_id_at(n);
+      if (nl.net(id).fanouts.empty()) nl.mark_primary_output(id);
+    }
+  }
+
+  bool covered(const wordrec::WordSet& words) const {
+    const auto index = words.index_of_net();
+    const auto first = index.at(bits[0]);
+    for (netlist::NetId bit : bits)
+      if (index.at(bit) != first) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::vector<itc::GeneratedBenchmark> benches;
+  for (const char* name :
+       {"b03s", "b04s", "b05s", "b07s", "b08s", "b11s", "b12s", "b13s"})
+    benches.push_back(itc::build_benchmark(name));
+
+  std::printf("=== A. Family metrics per configuration (avg b03s..b13s) ===\n\n");
+  wordrec::Options base;
+  print_row("default (depth=4, pairs, leaf kinds, bwd)",
+            run_config(base, benches));
+  for (std::size_t depth : {2u, 3u, 5u}) {
+    wordrec::Options o = base;
+    o.cone_depth = depth;
+    char label[64];
+    std::snprintf(label, sizeof label, "cone depth = %zu", depth);
+    print_row(label, run_config(o, benches));
+  }
+  for (std::size_t k : {1u, 3u}) {
+    wordrec::Options o = base;
+    o.max_simultaneous_assignments = k;
+    char label[64];
+    std::snprintf(label, sizeof label, "max simultaneous assignments = %zu", k);
+    print_row(label, run_config(o, benches));
+  }
+  {
+    wordrec::Options o = base;
+    o.distinguish_leaf_kinds = false;
+    print_row("gate-types-only hash keys (paper-strict)",
+              run_config(o, benches));
+  }
+
+  std::printf("\n=== B. Cone-depth sensitivity (bits diverge at level 4) ===\n\n");
+  DepthCircuit depth_circuit;
+  for (std::size_t depth : {2u, 3u, 4u, 5u}) {
+    wordrec::Options o;
+    o.cone_depth = depth;
+    const bool base_covers = depth_circuit.covered(
+        wordrec::identify_words_baseline(depth_circuit.nl, o));
+    const bool ours_covers = depth_circuit.covered(
+        wordrec::identify_words(depth_circuit.nl, o).words);
+    std::printf("depth %zu: Base groups the word: %-3s  Ours: %-3s\n", depth,
+                base_covers ? "yes" : "no", ours_covers ? "yes" : "no");
+  }
+  std::printf("(shallow cones cannot see the divergence; at depth >= 4 only\n"
+              " the control-signal reduction path can recover words whose\n"
+              " deep garnish shares a control signal — here it does not, so\n"
+              " the word stays split: the paper's motivation for depth 4.)\n");
+
+  std::printf("\n=== C. Simultaneous-assignment budget (pair-controlled word) ===\n\n");
+  PairCircuit pair_circuit;
+  for (std::size_t budget : {1u, 2u, 3u}) {
+    wordrec::Options o;
+    o.max_simultaneous_assignments = budget;
+    const auto result = wordrec::identify_words(pair_circuit.nl, o);
+    std::printf("max assignments %zu: word recovered: %-3s  (signals used: %zu, "
+                "trials: %zu)\n",
+                budget, pair_circuit.covered(result.words) ? "yes" : "no",
+                result.used_control_signals.size(),
+                result.stats.reduction_trials);
+  }
+  std::printf("(the paper's b18 observation: some words need two signals;\n"
+              " budgets beyond the needed arity only add trials.)\n");
+
+  std::printf("\n=== D. Cross-group checking (§2.2 future work) ===\n\n");
+  {
+    // A clean 4-bit word whose root run is split by one stray line.
+    netlist::Netlist nl("xgroup_abl");
+    rtl::NetNamer namer(nl, 100);
+    std::vector<netlist::NetId> pis;
+    for (int i = 0; i < 8; ++i) {
+      pis.push_back(nl.add_net("IN" + std::to_string(i)));
+      nl.mark_primary_input(pis.back());
+    }
+    std::vector<std::pair<netlist::NetId, netlist::NetId>> subtrees;
+    for (int i = 0; i < 4; ++i)
+      subtrees.emplace_back(
+          rtl::make_nand(namer, pis[static_cast<std::size_t>(i)],
+                         pis[static_cast<std::size_t>(i) + 4]),
+          rtl::make_nor(namer, pis[static_cast<std::size_t>(i)],
+                        pis[static_cast<std::size_t>((i + 2) % 8)]));
+    std::vector<netlist::NetId> bits;
+    for (int i = 0; i < 4; ++i) {
+      if (i == 2)  // the stray line splitting the run
+        nl.mark_primary_output(rtl::make_xor(namer, pis[0], pis[1]));
+      const auto& [s0, s1] = subtrees[static_cast<std::size_t>(i)];
+      bits.push_back(rtl::emit(namer, rtl::GateSpec{netlist::GateType::kNand,
+                                                    {s0, s1}}));
+    }
+    for (netlist::NetId bit : bits) nl.mark_primary_output(bit);
+
+    const auto covered = [&](const wordrec::WordSet& words) {
+      const auto index = words.index_of_net();
+      for (netlist::NetId bit : bits)
+        if (index.at(bit) != index.at(bits[0])) return false;
+      return true;
+    };
+    for (bool cross : {false, true}) {
+      wordrec::Options o;
+      o.cross_group_checking = cross;
+      std::printf("cross-group %-3s: split word recovered whole: %s\n",
+                  cross ? "on" : "off",
+                  covered(wordrec::identify_words(nl, o).words) ? "yes" : "no");
+    }
+  }
+
+  std::printf("\n=== E. DFT scan insertion (CAD-inserted control logic) ===\n\n");
+  {
+    const auto bench = itc::build_benchmark("b08s");
+    const auto scanned = rtl::insert_scan_chain(bench.netlist);
+    const auto reference = eval::extract_reference_words(bench.netlist);
+    const auto reference_scan =
+        eval::extract_reference_words(scanned.netlist);
+    for (const auto& [label, nl, ref] :
+         {std::tuple<const char*, const netlist::Netlist*,
+                     const eval::ReferenceExtraction*>{
+              "pre-scan ", &bench.netlist, &reference},
+          {"post-scan", &scanned.netlist, &reference_scan}}) {
+      const auto result = wordrec::identify_words(*nl);
+      const auto summary = eval::evaluate_words(result.words, ref->words);
+      std::printf("%s b08s: full=%5.1f%%  not-found=%5.1f%%  signals=%zu\n",
+                  label, summary.full_fraction * 100.0,
+                  summary.not_found_fraction * 100.0,
+                  result.used_control_signals.size());
+    }
+    std::printf("(scan muxes rewire every flop's D through a uniform test\n"
+                " wrapper: the reference bits move to the mux outputs and the\n"
+                " functional cones sink two levels deeper, past the depth-4\n"
+                " horizon — identification quality drops sharply.  This is\n"
+                " the realistic hard case behind the paper's premise about\n"
+                " CAD-inserted control signals; the original functional words\n"
+                " are still recovered one mux-level down, which is exactly\n"
+                " what word propagation exploits.)\n");
+  }
+  return 0;
+}

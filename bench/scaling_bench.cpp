@@ -1,0 +1,108 @@
+// Runtime-scaling microbenchmarks backing the §2.6 complexity discussion:
+//   * potential-bit grouping is linear in the netlist (one pass);
+//   * signature (hash key) generation is linear with a per-cone constant;
+//   * the sorted-merge bit comparison visits each key once, O(k_i + k_j);
+//   * full Base and Ours runs on family benchmarks of growing size (the
+//     paper's "a few minutes for >100K gates" claim, Table 1 Time column).
+#include <benchmark/benchmark.h>
+
+#include "eval/runner.h"
+#include "itc/family.h"
+#include "wordrec/baseline.h"
+#include "wordrec/grouping.h"
+#include "wordrec/hash_key.h"
+#include "wordrec/identify.h"
+#include "wordrec/matching.h"
+
+namespace {
+
+using namespace netrev;
+
+// Benchmarks index the family by size: b03s (~150 cells) .. b18s (~115K).
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> names = {"b03s", "b08s", "b13s",
+                                                 "b07s", "b04s", "b11s",
+                                                 "b05s", "b12s", "b15s",
+                                                 "b14s", "b17s"};
+  return names;
+}
+
+const itc::GeneratedBenchmark& benchmark_at(std::size_t index) {
+  static std::vector<itc::GeneratedBenchmark> cache = [] {
+    std::vector<itc::GeneratedBenchmark> all;
+    for (const std::string& name : family_names())
+      all.push_back(itc::build_benchmark(name));
+    return all;
+  }();
+  return cache[index % cache.size()];
+}
+
+void BM_Grouping(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto groups = wordrec::potential_bit_groups(bench.netlist);
+    benchmark::DoNotOptimize(groups);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_Grouping)->DenseRange(0, 10, 2);
+
+void BM_Signatures(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  const wordrec::Options options;
+  const wordrec::ConeHasher hasher(bench.netlist, options);
+  for (auto _ : state) {
+    std::size_t total_subtrees = 0;
+    for (std::size_t i = 0; i < bench.netlist.gate_count(); ++i) {
+      const auto sig = hasher.signature(
+          bench.netlist.gate(bench.netlist.gate_id_at(i)).output);
+      total_subtrees += sig.subtrees.size();
+    }
+    benchmark::DoNotOptimize(total_subtrees);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_Signatures)->DenseRange(0, 10, 2);
+
+void BM_CompareBits(benchmark::State& state) {
+  // The sorted-merge comparison on two wide-signature bits.
+  const auto& bench = benchmark_at(9);  // b14s: 30-bit words
+  const wordrec::Options options;
+  const wordrec::ConeHasher hasher(bench.netlist, options);
+  const auto& bits = bench.word_bits.begin()->second;
+  const auto sig_a = hasher.signature(bits[0]);
+  const auto sig_b = hasher.signature(bits[1]);
+  for (auto _ : state) {
+    auto match = wordrec::compare_bits(sig_a, sig_b);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_CompareBits);
+
+void BM_Baseline(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto words = wordrec::identify_words_baseline(bench.netlist);
+    benchmark::DoNotOptimize(words);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_Baseline)->DenseRange(0, 10, 5)->Unit(benchmark::kMillisecond);
+
+void BM_Ours(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = wordrec::identify_words(bench.netlist);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_Ours)->DenseRange(0, 10, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

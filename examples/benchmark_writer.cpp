@@ -1,0 +1,42 @@
+// Emits the synthetic ITC99-style family to disk as structural Verilog and
+// .bench files, so the netlists can be inspected or fed to other tools.
+//
+//   ./benchmark_writer [output_dir] [benchmark ...]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "itc/family.h"
+#include "netlist/stats.h"
+#include "parser/bench_parser.h"
+#include "parser/verilog_writer.h"
+
+using namespace netrev;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "itc99s";
+  std::vector<std::string> names;
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) names.emplace_back(argv[i]);
+  } else {
+    // Everything except the two largest (which are slow to write and large
+    // on disk) by default.
+    for (const auto& profile : itc::itc99s_profiles())
+      if (profile.name != "b17s" && profile.name != "b18s")
+        names.push_back(profile.name);
+  }
+
+  std::filesystem::create_directories(out_dir);
+  for (const std::string& name : names) {
+    const itc::GeneratedBenchmark bench = itc::build_benchmark(name);
+    const std::string v_path = out_dir + "/" + name + ".v";
+    const std::string b_path = out_dir + "/" + name + ".bench";
+    parser::write_verilog_file(bench.netlist, v_path);
+    parser::write_bench_file(bench.netlist, b_path);
+    const auto stats = netlist::compute_stats(bench.netlist);
+    std::printf("%s: %s\n  -> %s, %s\n", name.c_str(),
+                stats.to_string().c_str(), v_path.c_str(), b_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+// The `netrev` command-line tool; see src/cli/cli.h for the subcommands.
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return netrev::cli::run_cli(argc, argv, std::cout, std::cerr);
+}

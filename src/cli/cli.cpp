@@ -1,0 +1,432 @@
+#include "cli/cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "eval/diagnose.h"
+#include "eval/metrics.h"
+#include "eval/reference.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "itc/family.h"
+#include "netlist/dot.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "parser/bench_parser.h"
+#include "parser/verilog_parser.h"
+#include "parser/verilog_writer.h"
+#include "rtl/scan.h"
+#include "wordrec/baseline.h"
+#include "wordrec/funcheck.h"
+#include "wordrec/identify.h"
+#include "wordrec/propagation.h"
+#include "wordrec/reduce.h"
+#include "wordrec/trace.h"
+
+namespace netrev::cli {
+
+namespace {
+
+using netlist::Netlist;
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_family_name(const std::string& name) {
+  try {
+    itc::profile_by_name(name);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+// Loads a design: family benchmark name, .bench file, or Verilog file.
+Netlist load_design(const std::string& spec) {
+  if (is_family_name(spec)) return itc::build_benchmark(spec).netlist;
+  if (ends_with(spec, ".bench")) return parser::parse_bench_file(spec);
+  return parser::parse_verilog_file(spec);
+}
+
+struct ParsedFlags {
+  std::vector<std::string> positional;
+  bool base = false;
+  bool json = false;
+  bool cross_group = false;
+  bool trace = false;
+  std::optional<std::size_t> depth;
+  std::optional<std::size_t> max_assign;
+  std::optional<std::string> output;
+  std::vector<std::pair<std::string, bool>> assignments;
+};
+
+ParsedFlags parse_flags(const std::vector<std::string>& args,
+                        std::size_t start) {
+  ParsedFlags flags;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next_value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(std::string(flag) + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--base") {
+      flags.base = true;
+    } else if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--cross-group") {
+      flags.cross_group = true;
+    } else if (arg == "--trace") {
+      flags.trace = true;
+    } else if (arg == "--depth") {
+      flags.depth = std::stoul(next_value("--depth"));
+    } else if (arg == "--max-assign") {
+      flags.max_assign = std::stoul(next_value("--max-assign"));
+    } else if (arg == "-o" || arg == "--output") {
+      flags.output = next_value("-o");
+    } else if (arg == "--assign") {
+      const std::string& spec = next_value("--assign");
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq + 2 != spec.size() ||
+          (spec[eq + 1] != '0' && spec[eq + 1] != '1'))
+        throw std::invalid_argument("--assign expects NET=0 or NET=1, got '" +
+                                    spec + "'");
+      flags.assignments.emplace_back(spec.substr(0, eq), spec[eq + 1] == '1');
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown flag: " + arg);
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+wordrec::Options options_from(const ParsedFlags& flags) {
+  wordrec::Options options;
+  if (flags.depth) options.cone_depth = *flags.depth;
+  if (flags.max_assign) options.max_simultaneous_assignments = *flags.max_assign;
+  options.cross_group_checking = flags.cross_group;
+  return options;
+}
+
+void print_words(std::ostream& out, const Netlist& nl,
+                 const wordrec::WordSet& words) {
+  for (const wordrec::Word& word : words.words) {
+    if (word.width() < 2) continue;
+    out << "  [" << word.width() << " bits]";
+    for (netlist::NetId bit : word.bits) out << ' ' << nl.net(bit).name;
+    out << '\n';
+  }
+}
+
+// --- subcommands -----------------------------------------------------------
+
+int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("stats: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  out << nl.name() << ": " << netlist::compute_stats(nl).to_string() << '\n';
+  const auto profile = netlist::compute_fanin_profile(nl);
+  out << "max fanin " << profile.max_fanin << ", avg fanin "
+      << profile.average_fanin << ", comb depth "
+      << netlist::combinational_depth(nl) << '\n';
+  const auto report = netlist::validate(nl);
+  out << "validation: " << report.error_count() << " error(s), "
+      << report.warning_count() << " warning(s)\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("reference: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  const auto extraction = eval::extract_reference_words(nl);
+  out << extraction.words.size() << " reference word(s), "
+      << extraction.indexed_flops << "/" << extraction.flop_count
+      << " flops indexed, avg size " << extraction.average_word_size() << '\n';
+  for (const auto& word : extraction.words) {
+    out << "  " << word.register_name << " [" << word.width() << " bits]";
+    for (netlist::NetId bit : word.bits) out << ' ' << nl.net(bit).name;
+    out << '\n';
+  }
+  return 0;
+}
+
+int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("identify: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  const wordrec::Options options = options_from(flags);
+
+  if (flags.base) {
+    const wordrec::WordSet words =
+        wordrec::identify_words_baseline(nl, options);
+    if (flags.json) {
+      out << eval::words_to_json(nl, words) << '\n';
+    } else {
+      out << "shape hashing found " << words.count_multibit()
+          << " multi-bit word(s):\n";
+      print_words(out, nl, words);
+    }
+    return 0;
+  }
+
+  wordrec::IdentifyTrace trace;
+  wordrec::Options traced_options = options;
+  if (flags.trace) traced_options.trace = &trace;
+  const wordrec::IdentifyResult result =
+      wordrec::identify_words(nl, traced_options);
+  if (flags.json) {
+    out << eval::identify_result_to_json(nl, result) << '\n';
+    return 0;
+  }
+  if (flags.trace) out << wordrec::render_trace(nl, trace);
+  out << "found " << result.words.count_multibit() << " multi-bit word(s), "
+      << result.used_control_signals.size() << " control signal(s), "
+      << result.stats.reduction_trials << " reduction trial(s):\n";
+  print_words(out, nl, result.words);
+  for (const auto& unified : result.unified) {
+    out << "  unified via";
+    for (const auto& [net, value] : unified.assignment)
+      out << ' ' << nl.net(net).name << '=' << (value ? 1 : 0);
+    out << ':';
+    for (netlist::NetId bit : unified.bits) out << ' ' << nl.net(bit).name;
+    out << '\n';
+  }
+  return 0;
+}
+
+int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("reduce: expected one design");
+  if (flags.assignments.empty())
+    throw std::invalid_argument("reduce: needs at least one --assign NET=V");
+  const Netlist nl = load_design(flags.positional[0]);
+
+  std::vector<std::pair<netlist::NetId, bool>> seeds;
+  for (const auto& [name, value] : flags.assignments) {
+    const auto net = nl.find_net(name);
+    if (!net) throw std::invalid_argument("no such net: " + name);
+    seeds.emplace_back(*net, value);
+  }
+  const auto propagated = wordrec::propagate(nl, seeds);
+  if (!propagated.feasible) {
+    out << "assignment is infeasible (conflicting implications)\n";
+    return 1;
+  }
+  const Netlist reduced =
+      wordrec::materialize_reduction(nl, propagated.map, options_from(flags));
+  out << "assigned " << propagated.map.size() << " net(s); " << nl.gate_count()
+      << " -> " << reduced.gate_count() << " gates\n";
+  if (flags.output) {
+    parser::write_verilog_file(reduced, *flags.output);
+    out << "wrote " << *flags.output << '\n';
+  }
+  return 0;
+}
+
+int cmd_propagate(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("propagate: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  const wordrec::Options options = options_from(flags);
+  const wordrec::IdentifyResult result = wordrec::identify_words(nl, options);
+  const auto propagated =
+      wordrec::propagate_words_to_fixpoint(nl, result.words, options);
+  out << "seeded with " << result.words.count_multibit()
+      << " identified word(s); propagation derived "
+      << propagated.candidates.size() << " candidate word(s) ("
+      << propagated.ambiguous_positions << " ambiguous position(s) skipped)\n";
+  for (const auto& candidate : propagated.candidates) {
+    out << "  ["
+        << (candidate.source == wordrec::PropagatedWord::Source::kSubtreeRoots
+                ? "roots"
+                : "leaves")
+        << "]";
+    for (netlist::NetId bit : candidate.word.bits)
+      out << ' ' << nl.net(bit).name;
+    out << '\n';
+  }
+  return 0;
+}
+
+int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("evaluate: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  const auto reference = eval::extract_reference_words(nl);
+  if (reference.words.empty())
+    throw std::invalid_argument(
+        "evaluate: no reference words (flop output names carry no indices)");
+  const wordrec::Options options = options_from(flags);
+  const wordrec::WordSet words =
+      flags.base ? wordrec::identify_words_baseline(nl, options)
+                 : wordrec::identify_words(nl, options).words;
+  const eval::Diagnosis diagnosis = eval::diagnose(nl, words, reference);
+  if (flags.json) {
+    out << eval::evaluation_to_json(diagnosis.summary, reference.words) << '\n';
+    return 0;
+  }
+  out << render_diagnosis(diagnosis);
+
+  // Functional screening of the generated words (the paper's "functional
+  // techniques may be applied after" note).
+  const auto flagged = wordrec::suspicious_words(nl, words);
+  if (!flagged.empty()) {
+    out << "functionally suspicious generated words: " << flagged.size()
+        << " (stuck/duplicate/complementary bits)\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("generate: expected one family name");
+  const auto bench = itc::build_benchmark(flags.positional[0]);
+  const std::string dir = flags.output.value_or(".");
+  std::filesystem::create_directories(dir);
+  const std::string v_path = dir + "/" + bench.profile.name + ".v";
+  const std::string b_path = dir + "/" + bench.profile.name + ".bench";
+  parser::write_verilog_file(bench.netlist, v_path);
+  parser::write_bench_file(bench.netlist, b_path);
+  out << "wrote " << v_path << " and " << b_path << '\n';
+  return 0;
+}
+
+int cmd_scan(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("scan: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+  const auto scanned = rtl::insert_scan_chain(nl);
+  out << "inserted " << scanned.muxes_inserted
+      << " scan mux(es); control signal "
+      << scanned.netlist.net(scanned.scan_enable).name << '\n';
+  if (flags.output) {
+    parser::write_verilog_file(scanned.netlist, *flags.output);
+    out << "wrote " << *flags.output << '\n';
+  }
+  return 0;
+}
+
+int cmd_dot(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("dot: expected one design");
+  const Netlist nl = load_design(flags.positional[0]);
+
+  netlist::DotOptions dot_options;
+  // --depth here bounds the DRAWN cones (0 = whole design); identification
+  // itself runs with default options.
+  dot_options.cone_depth = flags.depth.value_or(0);
+  const wordrec::IdentifyResult result = wordrec::identify_words(nl);
+  std::size_t label = 0;
+  for (const wordrec::Word& word : result.words.words) {
+    if (word.width() < 2) continue;
+    netlist::DotOptions::Highlight highlight;
+    highlight.label = "word " + std::to_string(label++) + " (" +
+                      std::to_string(word.width()) + " bits)";
+    highlight.nets = word.bits;
+    dot_options.highlights.push_back(std::move(highlight));
+  }
+  const std::string dot = to_dot(nl, dot_options);
+  if (flags.output) {
+    std::ofstream file(*flags.output);
+    if (!file)
+      throw std::runtime_error("cannot open for writing: " + *flags.output);
+    file << dot;
+    out << "wrote " << *flags.output << " (" << dot_options.highlights.size()
+        << " words highlighted)\n";
+  } else {
+    out << dot;
+  }
+  return 0;
+}
+
+int cmd_table(const ParsedFlags& flags, std::ostream& out) {
+  std::vector<std::string> names = flags.positional;
+  if (names.empty())
+    for (const auto& profile : itc::itc99s_profiles())
+      names.push_back(profile.name);
+
+  std::vector<eval::Table1Row> rows;
+  for (const std::string& name : names) {
+    const auto bench = itc::build_benchmark(name);
+    const auto reference = eval::extract_reference_words(bench.netlist);
+    const auto base = eval::run_baseline(bench.netlist, options_from(flags));
+    const auto ours = eval::run_ours(bench.netlist, options_from(flags));
+    rows.push_back(make_row(name, bench.netlist, reference, base, ours));
+  }
+  if (flags.json) {
+    out << "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out << ",";
+      out << eval::table_row_to_json(rows[i]);
+    }
+    out << "]\n";
+  } else {
+    out << eval::render_table1(rows);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: netrev <command> [args]\n"
+         "  stats <design>                          design statistics\n"
+         "  reference <design>                      golden reference words\n"
+         "  identify <design> [--base] [--json] [--trace] [--depth N]\n"
+         "           [--max-assign N] [--cross-group]\n"
+         "  reduce <design> --assign NET=0|1 ... [-o out.v]\n"
+         "  evaluate <design> [--base] [--json]     compare vs reference\n"
+         "  propagate <design>                      word propagation\n"
+         "  generate <bXXs> [-o dir]                emit family benchmark\n"
+         "  scan <design> [-o out.v]                insert scan chain\n"
+         "  dot <design> [--depth N] [-o out.dot]   GraphViz with words\n"
+         "  table [bXXs ...] [--json]               Table 1 rows\n"
+         "(<design> = family name, .bench file, or Verilog file)\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  try {
+    const std::string& command = args[0];
+    const ParsedFlags flags = parse_flags(args, 1);
+    if (command == "stats") return cmd_stats(flags, out);
+    if (command == "reference") return cmd_reference(flags, out);
+    if (command == "identify") return cmd_identify(flags, out);
+    if (command == "reduce") return cmd_reduce(flags, out);
+    if (command == "evaluate") return cmd_evaluate(flags, out);
+    if (command == "propagate") return cmd_propagate(flags, out);
+    if (command == "generate") return cmd_generate(flags, out);
+    if (command == "scan") return cmd_scan(flags, out);
+    if (command == "dot") return cmd_dot(flags, out);
+    if (command == "table") return cmd_table(flags, out);
+    if (command == "help" || command == "--help") {
+      out << usage();
+      return 0;
+    }
+    err << "unknown command: " << command << "\n" << usage();
+    return 2;
+  } catch (const std::exception& error) {
+    err << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_cli(args, out, err);
+}
+
+}  // namespace netrev::cli

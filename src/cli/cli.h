@@ -1,0 +1,39 @@
+// Command-line driver for the library (the `netrev` tool).
+//
+// Subcommands:
+//   stats <netlist.v|bench>                      size/type/depth statistics
+//   reference <netlist>                          golden reference words
+//   identify <netlist> [--base] [--json]
+//            [--depth N] [--max-assign N] [--cross-group]
+//   reduce <netlist> --assign NET=0|1 ... [-o out.v]
+//   propagate <netlist> [--json]                 word propagation from Ours
+//   generate <bXXs> [-o dir]                     emit a family benchmark
+//   scan <netlist> [-o out.v]                    insert a scan chain
+//   table [bXXs ...] [--json]                    Table 1 rows
+//
+// Netlist files ending in ".bench" are read as ISCAS bench format, anything
+// else as structural Verilog.  A name matching a family benchmark (b03s..)
+// is generated on the fly.
+//
+// run_cli is exposed (instead of only a main()) so the test suite drives the
+// tool in-process.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netrev::cli {
+
+// Returns the process exit code.  All output goes to `out`, diagnostics to
+// `err`; never throws (errors become messages + nonzero exit).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+// Convenience for main().
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+std::string usage();
+
+}  // namespace netrev::cli

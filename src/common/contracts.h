@@ -1,0 +1,45 @@
+// Contract-checking macros used across the library.
+//
+// Following CppCoreGuidelines I.5/I.7/P.7, preconditions and invariants are
+// checked eagerly and loudly.  Violations indicate programmer error (not bad
+// input), so they throw netrev::ContractViolation which carries the failing
+// expression and source location; callers that feed untrusted input (parsers,
+// CLI tools) validate separately and throw domain errors instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netrev {
+
+// Thrown when an internal invariant or precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace netrev
+
+#define NETREV_REQUIRE(expr)                                            \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::netrev::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define NETREV_ENSURE(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::netrev::contract_fail("postcondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define NETREV_ASSERT(expr)                                           \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::netrev::contract_fail("invariant", #expr, __FILE__, __LINE__); \
+  } while (false)

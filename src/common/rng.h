@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (benchmark generation, random
+// test vectors) takes an explicit seed and uses this engine, so any two runs
+// with the same seed are byte-identical (see DESIGN.md §6, "Determinism
+// everywhere").  We implement SplitMix64 (for seeding) and xoshiro256**
+// rather than relying on std::mt19937 so the stream is stable across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace netrev {
+
+// SplitMix64: used to expand one 64-bit seed into engine state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna: fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    NETREV_REQUIRE(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) draw = next_u64();
+    return draw % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    NETREV_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+  // True with probability numerator/denominator.
+  bool chance(std::uint64_t numerator, std::uint64_t denominator) {
+    NETREV_REQUIRE(denominator > 0);
+    return next_below(denominator) < numerator;
+  }
+
+  // Fisher-Yates shuffle, stable across platforms.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace netrev

@@ -1,0 +1,44 @@
+// Strongly-typed integer identifiers (CppCoreGuidelines I.4: make interfaces
+// precisely and strongly typed).  NetId and GateId must not be mixable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace netrev {
+
+// A type-safe wrapper around a 32-bit index.  Tag is a phantom type used only
+// to distinguish id families at compile time.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  // The reserved "no object" value.
+  static constexpr StrongId invalid() {
+    return StrongId(std::numeric_limits<underlying_type>::max());
+  }
+
+  constexpr bool is_valid() const { return value_ != invalid().value_; }
+  constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+}  // namespace netrev
+
+// Hash support so strong ids can key unordered containers.
+template <typename Tag>
+struct std::hash<netrev::StrongId<Tag>> {
+  std::size_t operator()(netrev::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

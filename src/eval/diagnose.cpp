@@ -1,0 +1,71 @@
+#include "eval/diagnose.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/text.h"
+
+namespace netrev::eval {
+
+Diagnosis diagnose(const netlist::Netlist& nl,
+                   const wordrec::WordSet& generated,
+                   const ReferenceExtraction& reference) {
+  (void)nl;
+  Diagnosis diagnosis;
+  diagnosis.summary = evaluate_words(generated, reference.words);
+
+  const auto index = generated.index_of_net();
+  for (std::size_t w = 0; w < reference.words.size(); ++w) {
+    const ReferenceWord& ref = reference.words[w];
+    WordDiagnosis word;
+    word.register_name = ref.register_name;
+    word.width = ref.width();
+    word.outcome = diagnosis.summary.per_word[w].outcome;
+    word.pieces = diagnosis.summary.per_word[w].pieces;
+
+    // Count this word's bits per generated fragment.
+    std::map<std::size_t, std::size_t> per_fragment;
+    std::size_t uncovered = 0;
+    for (netlist::NetId bit : ref.bits) {
+      const auto it = index.find(bit);
+      if (it == index.end())
+        ++uncovered;
+      else
+        ++per_fragment[it->second];
+    }
+    for (const auto& [fragment, count] : per_fragment)
+      word.fragment_sizes.push_back(count);
+    for (std::size_t k = 0; k < uncovered; ++k) word.fragment_sizes.push_back(1);
+    std::sort(word.fragment_sizes.rbegin(), word.fragment_sizes.rend());
+    diagnosis.words.push_back(std::move(word));
+  }
+  return diagnosis;
+}
+
+std::string render_diagnosis(const Diagnosis& diagnosis) {
+  std::string out;
+  out += "reference words: " + std::to_string(diagnosis.summary.reference_words);
+  out += "  full: " + std::to_string(diagnosis.summary.fully_found);
+  out += "  partial: " + std::to_string(diagnosis.summary.partially_found);
+  out += "  not-found: " + std::to_string(diagnosis.summary.not_found);
+  out += "  (full " + format_pct(diagnosis.summary.full_fraction);
+  out += "%, frag " + format_fixed(diagnosis.summary.avg_fragmentation, 2);
+  out += ")\n";
+
+  for (const WordDiagnosis& word : diagnosis.words) {
+    const char* tag = word.outcome == WordOutcome::kFullyFound ? "FULL   "
+                      : word.outcome == WordOutcome::kNotFound ? "MISSING"
+                                                               : "PARTIAL";
+    out += "  " + std::string(tag) + "  " + pad_right(word.register_name, 24) +
+           " width " + pad_left(std::to_string(word.width), 3);
+    if (word.outcome != WordOutcome::kFullyFound) {
+      out += "  fragments:";
+      for (std::size_t size : word.fragment_sizes)
+        out += ' ' + std::to_string(size);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netrev::eval

@@ -1,0 +1,36 @@
+// Per-reference-word diagnosis: which words a technique found, how the
+// missed ones fragmented, and which generated words look functionally
+// suspicious.  Rendered as text for the CLI `evaluate` command and consumed
+// by tests.
+#pragma once
+
+#include <string>
+
+#include "eval/metrics.h"
+#include "eval/reference.h"
+#include "wordrec/word.h"
+
+namespace netrev::eval {
+
+struct WordDiagnosis {
+  std::string register_name;
+  std::size_t width = 0;
+  WordOutcome outcome = WordOutcome::kNotFound;
+  std::size_t pieces = 0;
+  // For partial/not-found: the sizes of the generated fragments holding the
+  // word's bits (descending).
+  std::vector<std::size_t> fragment_sizes;
+};
+
+struct Diagnosis {
+  EvaluationSummary summary;
+  std::vector<WordDiagnosis> words;
+};
+
+Diagnosis diagnose(const netlist::Netlist& nl, const wordrec::WordSet& generated,
+                   const ReferenceExtraction& reference);
+
+// Multi-line human-readable rendering.
+std::string render_diagnosis(const Diagnosis& diagnosis);
+
+}  // namespace netrev::eval

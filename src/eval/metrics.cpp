@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/contracts.h"
+
+namespace netrev::eval {
+
+EvaluationSummary evaluate_words(const wordrec::WordSet& generated,
+                                 std::span<const ReferenceWord> reference) {
+  EvaluationSummary summary;
+  summary.reference_words = reference.size();
+  const auto word_of_net = generated.index_of_net();
+
+  double fragmentation_total = 0.0;
+  std::size_t uncovered_counter = 0;
+
+  for (const ReferenceWord& ref : reference) {
+    NETREV_REQUIRE(!ref.bits.empty());
+    std::unordered_set<std::size_t> pieces;
+    for (netlist::NetId bit : ref.bits) {
+      const auto it = word_of_net.find(bit);
+      if (it != word_of_net.end()) {
+        pieces.insert(it->second);
+      } else {
+        // Bit absent from the partition: unique pseudo-word.
+        pieces.insert(std::numeric_limits<std::size_t>::max() -
+                      uncovered_counter++);
+      }
+    }
+
+    WordEvaluation eval;
+    eval.pieces = pieces.size();
+    if (eval.pieces == 1) {
+      eval.outcome = WordOutcome::kFullyFound;
+      ++summary.fully_found;
+    } else if (eval.pieces == ref.bits.size()) {
+      eval.outcome = WordOutcome::kNotFound;
+      ++summary.not_found;
+    } else {
+      eval.outcome = WordOutcome::kPartiallyFound;
+      eval.fragmentation = static_cast<double>(eval.pieces) /
+                           static_cast<double>(ref.bits.size());
+      fragmentation_total += eval.fragmentation;
+      ++summary.partially_found;
+    }
+    summary.per_word.push_back(eval);
+  }
+
+  if (summary.reference_words > 0) {
+    summary.full_fraction = static_cast<double>(summary.fully_found) /
+                            static_cast<double>(summary.reference_words);
+    summary.not_found_fraction = static_cast<double>(summary.not_found) /
+                                 static_cast<double>(summary.reference_words);
+  }
+  if (summary.partially_found > 0)
+    summary.avg_fragmentation =
+        fragmentation_total / static_cast<double>(summary.partially_found);
+  return summary;
+}
+
+}  // namespace netrev::eval

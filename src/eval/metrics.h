@@ -1,0 +1,46 @@
+// The three evaluation metrics of §3: fully found, not found, and the
+// normalized fragmentation rate of partially-found reference words.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eval/reference.h"
+#include "wordrec/word.h"
+
+namespace netrev::eval {
+
+enum class WordOutcome {
+  kFullyFound,      // one generated word includes all bits of the reference
+  kPartiallyFound,  // some but not all bits grouped together
+  kNotFound,        // every bit lies in a different generated word
+};
+
+struct WordEvaluation {
+  WordOutcome outcome = WordOutcome::kNotFound;
+  std::size_t pieces = 0;        // generated words the bits are spread across
+  double fragmentation = 0.0;    // pieces / width (only meaningful if partial)
+};
+
+struct EvaluationSummary {
+  std::size_t reference_words = 0;
+  std::size_t fully_found = 0;
+  std::size_t partially_found = 0;
+  std::size_t not_found = 0;
+  // Percent metrics as fractions in [0,1]; Table 1 prints them * 100.
+  double full_fraction = 0.0;
+  double not_found_fraction = 0.0;
+  // Average normalized fragmentation over partially-found words; 0 when no
+  // word is partially found (as in the paper's b04/Ours cell).
+  double avg_fragmentation = 0.0;
+
+  std::vector<WordEvaluation> per_word;  // parallel to the reference list
+};
+
+// Classifies every reference word against the generated word partition.
+// Reference bits not covered by any generated word each count as their own
+// singleton piece.
+EvaluationSummary evaluate_words(const wordrec::WordSet& generated,
+                                 std::span<const ReferenceWord> reference);
+
+}  // namespace netrev::eval

@@ -1,0 +1,89 @@
+#include "eval/reference.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace netrev::eval {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+bool all_digits(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace
+
+std::optional<RegisterBitName> parse_register_bit_name(std::string_view name) {
+  // COUNT_REG[5]
+  if (!name.empty() && name.back() == ']') {
+    const std::size_t open = name.rfind('[');
+    if (open != std::string_view::npos) {
+      const std::string_view digits = name.substr(open + 1, name.size() - open - 2);
+      if (all_digits(digits) && open > 0)
+        return RegisterBitName{std::string(name.substr(0, open)),
+                               static_cast<std::size_t>(std::stoul(std::string(digits)))};
+    }
+    return std::nullopt;
+  }
+  // COUNT_REG_5_
+  if (!name.empty() && name.back() == '_') {
+    const std::string_view body = name.substr(0, name.size() - 1);
+    const std::size_t underscore = body.rfind('_');
+    if (underscore != std::string_view::npos) {
+      const std::string_view digits = body.substr(underscore + 1);
+      if (all_digits(digits) && underscore > 0)
+        return RegisterBitName{std::string(body.substr(0, underscore)),
+                               static_cast<std::size_t>(std::stoul(std::string(digits)))};
+    }
+    return std::nullopt;
+  }
+  // COUNT_REG_5
+  const std::size_t underscore = name.rfind('_');
+  if (underscore != std::string_view::npos && underscore > 0) {
+    const std::string_view digits = name.substr(underscore + 1);
+    if (all_digits(digits))
+      return RegisterBitName{std::string(name.substr(0, underscore)),
+                             static_cast<std::size_t>(std::stoul(std::string(digits)))};
+  }
+  return std::nullopt;
+}
+
+ReferenceExtraction extract_reference_words(const Netlist& nl,
+                                            std::size_t min_width) {
+  ReferenceExtraction extraction;
+
+  // register base name -> (bit index -> D net), ordered for determinism.
+  std::map<std::string, std::map<std::size_t, NetId>> registers;
+
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const GateId g = nl.gate_id_at(i);
+    const netlist::Gate& gate = nl.gate(g);
+    if (gate.type != GateType::kDff) continue;
+    ++extraction.flop_count;
+    const auto parsed = parse_register_bit_name(nl.net(gate.output).name);
+    if (!parsed) continue;
+    ++extraction.indexed_flops;
+    registers[parsed->base][parsed->index] = gate.inputs[0];
+  }
+
+  for (const auto& [base, bits] : registers) {
+    if (bits.size() < min_width) continue;
+    ReferenceWord word;
+    word.register_name = base;
+    word.bits.reserve(bits.size());
+    for (const auto& [index, d_net] : bits) word.bits.push_back(d_net);
+    extraction.words.push_back(std::move(word));
+  }
+  return extraction;
+}
+
+}  // namespace netrev::eval

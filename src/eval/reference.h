@@ -1,0 +1,59 @@
+// Golden-reference word extraction (§3).
+//
+// The paper exploits the fact that synthesis preserves register names on
+// flip-flop output nets ("the output net of each flip-flop is named using
+// the register name and bit position it corresponds to").  Flops whose
+// output names share a register base name form a reference word; the word's
+// bits are the flops' *D-input* nets, "since we are matching structure based
+// on fanin-cones".
+//
+// Recognised name shapes (all produced by common netlist writers):
+//   COUNT_REG_5_   (Synopsys flattened bus bit)
+//   COUNT_REG[5]   (bracketed bus bit)
+//   COUNT_REG_5    (plain trailing index)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::eval {
+
+struct RegisterBitName {
+  std::string base;   // register name without the index
+  std::size_t index;  // bit position
+};
+
+// Parses one flop-output net name; nullopt when no index pattern matches
+// (e.g. a scalar register like "stato_reg").
+std::optional<RegisterBitName> parse_register_bit_name(std::string_view name);
+
+struct ReferenceWord {
+  std::string register_name;
+  std::vector<netlist::NetId> bits;  // D-input nets, ordered by bit index
+
+  std::size_t width() const { return bits.size(); }
+};
+
+struct ReferenceExtraction {
+  std::vector<ReferenceWord> words;   // width >= min_width, name order
+  std::size_t flop_count = 0;         // all flops in the design
+  std::size_t indexed_flops = 0;      // flops with a parsable indexed name
+
+  double average_word_size() const {
+    if (words.empty()) return 0.0;
+    std::size_t bits = 0;
+    for (const auto& word : words) bits += word.width();
+    return static_cast<double>(bits) / static_cast<double>(words.size());
+  }
+};
+
+// Groups indexed flops by register base name.  Words narrower than
+// `min_width` are dropped (a single wire is not a word).
+ReferenceExtraction extract_reference_words(const netlist::Netlist& nl,
+                                            std::size_t min_width = 2);
+
+}  // namespace netrev::eval

@@ -1,0 +1,175 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "common/text.h"
+
+namespace netrev::eval {
+
+namespace {
+
+std::string json_number(double value) {
+  // Stable fixed formatting; metrics are percentages/fractions.
+  return format_fixed(value, 4);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string bits_array(const netlist::Netlist& nl,
+                       const std::vector<netlist::NetId>& bits) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"' + json_escape(nl.net(bits[i]).name) + '"';
+  }
+  out += "]";
+  return out;
+}
+
+std::string words_array(const netlist::Netlist& nl,
+                        const wordrec::WordSet& words,
+                        bool include_singletons) {
+  std::string out = "[";
+  bool first = true;
+  for (const wordrec::Word& word : words.words) {
+    if (!include_singletons && word.width() < 2) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"width\":" + std::to_string(word.width()) +
+           ",\"bits\":" + bits_array(nl, word.bits) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string words_to_json(const netlist::Netlist& nl,
+                          const wordrec::WordSet& words,
+                          bool include_singletons) {
+  return "{\"words\":" + words_array(nl, words, include_singletons) + "}";
+}
+
+std::string identify_result_to_json(const netlist::Netlist& nl,
+                                    const wordrec::IdentifyResult& result) {
+  std::string out = "{";
+  out += "\"multibit_words\":" +
+         std::to_string(result.words.count_multibit()) + ",";
+
+  out += "\"control_signals\":[";
+  for (std::size_t i = 0; i < result.used_control_signals.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"' + json_escape(nl.net(result.used_control_signals[i]).name) + '"';
+  }
+  out += "],";
+
+  out += "\"unified\":[";
+  for (std::size_t i = 0; i < result.unified.size(); ++i) {
+    if (i > 0) out += ",";
+    const wordrec::UnifiedWord& word = result.unified[i];
+    out += "{\"bits\":" + bits_array(nl, word.bits) + ",\"assignment\":{";
+    for (std::size_t k = 0; k < word.assignment.size(); ++k) {
+      if (k > 0) out += ",";
+      out += '"' + json_escape(nl.net(word.assignment[k].first).name) +
+             "\":" + (word.assignment[k].second ? "1" : "0");
+    }
+    out += "}}";
+  }
+  out += "],";
+
+  const wordrec::IdentifyStats& stats = result.stats;
+  out += "\"stats\":{";
+  out += "\"groups\":" + std::to_string(stats.groups) + ",";
+  out += "\"subgroups\":" + std::to_string(stats.subgroups) + ",";
+  out += "\"partial_subgroups\":" + std::to_string(stats.partial_subgroups) + ",";
+  out += "\"control_signal_candidates\":" +
+         std::to_string(stats.control_signal_candidates) + ",";
+  out += "\"reduction_trials\":" + std::to_string(stats.reduction_trials) + ",";
+  out += "\"unified_subgroups\":" + std::to_string(stats.unified_subgroups);
+  out += "},";
+
+  out += "\"words\":" + words_array(nl, result.words, false);
+  out += "}";
+  return out;
+}
+
+std::string evaluation_to_json(const EvaluationSummary& summary,
+                               std::span<const ReferenceWord> reference) {
+  std::string out = "{";
+  out += "\"reference_words\":" + std::to_string(summary.reference_words) + ",";
+  out += "\"fully_found\":" + std::to_string(summary.fully_found) + ",";
+  out += "\"partially_found\":" + std::to_string(summary.partially_found) + ",";
+  out += "\"not_found\":" + std::to_string(summary.not_found) + ",";
+  out += "\"full_pct\":" + json_number(summary.full_fraction * 100.0) + ",";
+  out += "\"not_found_pct\":" +
+         json_number(summary.not_found_fraction * 100.0) + ",";
+  out += "\"avg_fragmentation\":" + json_number(summary.avg_fragmentation) + ",";
+  out += "\"per_word\":[";
+  for (std::size_t i = 0; i < summary.per_word.size(); ++i) {
+    if (i > 0) out += ",";
+    const WordEvaluation& eval = summary.per_word[i];
+    const char* outcome = eval.outcome == WordOutcome::kFullyFound
+                              ? "full"
+                              : eval.outcome == WordOutcome::kNotFound
+                                    ? "not_found"
+                                    : "partial";
+    out += "{\"register\":\"" +
+           json_escape(i < reference.size() ? reference[i].register_name
+                                            : std::string()) +
+           "\",\"outcome\":\"" + outcome +
+           "\",\"pieces\":" + std::to_string(eval.pieces) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string table_row_to_json(const Table1Row& row) {
+  const auto cells = [](const TechniqueCells& c) {
+    std::string out = "{";
+    out += "\"full_pct\":" + json_number(c.full_pct) + ",";
+    out += "\"fragmentation\":" + json_number(c.fragmentation) + ",";
+    out += "\"not_found_pct\":" + json_number(c.not_found_pct) + ",";
+    out += "\"seconds\":" + json_number(c.seconds) + ",";
+    out += "\"control_signals\":" + std::to_string(c.control_signals);
+    out += "}";
+    return out;
+  };
+  std::string out = "{";
+  out += "\"benchmark\":\"" + json_escape(row.benchmark) + "\",";
+  out += "\"gates\":" + std::to_string(row.gates) + ",";
+  out += "\"nets\":" + std::to_string(row.nets) + ",";
+  out += "\"flops\":" + std::to_string(row.flops) + ",";
+  out += "\"reference_words\":" + std::to_string(row.reference_words) + ",";
+  out += "\"avg_word_size\":" + json_number(row.avg_word_size) + ",";
+  out += "\"base\":" + cells(row.base) + ",";
+  out += "\"ours\":" + cells(row.ours);
+  out += "}";
+  return out;
+}
+
+}  // namespace netrev::eval

@@ -1,0 +1,38 @@
+// Machine-readable (JSON) reports for downstream tooling: identified words,
+// pipeline stats, evaluation summaries, and Table 1 rows.  The emitter is
+// self-contained (no external JSON dependency) and escapes net names
+// correctly (escaped Verilog identifiers can carry arbitrary characters).
+#pragma once
+
+#include <string>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "netlist/netlist.h"
+#include "wordrec/identify.h"
+#include "wordrec/word.h"
+
+namespace netrev::eval {
+
+// Low-level helpers (exposed for tests).
+std::string json_escape(const std::string& text);
+
+// Words as {"words": [{"width": N, "bits": ["net", ...]}, ...]} — only
+// multi-bit words unless `include_singletons`.
+std::string words_to_json(const netlist::Netlist& nl,
+                          const wordrec::WordSet& words,
+                          bool include_singletons = false);
+
+// Full identification result: words, control signals, unified words with
+// their assignments, pipeline stats.
+std::string identify_result_to_json(const netlist::Netlist& nl,
+                                    const wordrec::IdentifyResult& result);
+
+// Per-reference-word outcomes plus the aggregate metrics.
+std::string evaluation_to_json(const EvaluationSummary& summary,
+                               std::span<const ReferenceWord> reference);
+
+// One Table 1 row.
+std::string table_row_to_json(const Table1Row& row);
+
+}  // namespace netrev::eval

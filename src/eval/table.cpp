@@ -1,0 +1,120 @@
+#include "eval/table.h"
+
+#include "common/text.h"
+#include "netlist/stats.h"
+
+namespace netrev::eval {
+
+TechniqueCells make_cells(const EvaluationSummary& summary,
+                          const TechniqueRun& run) {
+  TechniqueCells cells;
+  cells.full_pct = summary.full_fraction * 100.0;
+  cells.fragmentation = summary.avg_fragmentation;
+  cells.not_found_pct = summary.not_found_fraction * 100.0;
+  cells.seconds = run.seconds;
+  cells.control_signals = run.control_signals;
+  return cells;
+}
+
+Table1Row make_row(const std::string& benchmark, const netlist::Netlist& nl,
+                   const ReferenceExtraction& reference,
+                   const TechniqueRun& base_run, const TechniqueRun& ours_run) {
+  Table1Row row;
+  row.benchmark = benchmark;
+  const netlist::NetlistStats stats = netlist::compute_stats(nl);
+  row.gates = stats.gates;
+  row.nets = stats.nets;
+  row.flops = stats.flops;
+  row.reference_words = reference.words.size();
+  row.avg_word_size = reference.average_word_size();
+  row.base = make_cells(
+      evaluate_words(base_run.words, reference.words), base_run);
+  row.ours = make_cells(
+      evaluate_words(ours_run.words, reference.words), ours_run);
+  return row;
+}
+
+Table1Row average_row(std::span<const Table1Row> rows) {
+  Table1Row avg;
+  avg.benchmark = "Average";
+  if (rows.empty()) return avg;
+  const auto accumulate = [&rows](auto member) {
+    double base = 0.0, ours = 0.0;
+    for (const Table1Row& row : rows) {
+      base += row.base.*member;
+      ours += row.ours.*member;
+    }
+    const double n = static_cast<double>(rows.size());
+    return std::pair<double, double>{base / n, ours / n};
+  };
+  std::tie(avg.base.full_pct, avg.ours.full_pct) =
+      accumulate(&TechniqueCells::full_pct);
+  std::tie(avg.base.fragmentation, avg.ours.fragmentation) =
+      accumulate(&TechniqueCells::fragmentation);
+  std::tie(avg.base.not_found_pct, avg.ours.not_found_pct) =
+      accumulate(&TechniqueCells::not_found_pct);
+  std::tie(avg.base.seconds, avg.ours.seconds) =
+      accumulate(&TechniqueCells::seconds);
+  return avg;
+}
+
+std::string render_table1(std::span<const Table1Row> rows,
+                          bool include_average) {
+  const std::vector<std::string> header = {
+      "Benchmark", "#gates",      "#nets",       "#FF",
+      "#Words",    "AvgWordSize", "Technique",   "Full Found (%Word)",
+      "Partial (Word Frag. Rate)", "Not Found (%Words)", "Time(s)",
+      "#Control Signals"};
+
+  std::vector<std::vector<std::string>> body;
+  const auto emit = [&body](const Table1Row& row) {
+    // Two sub-rows per benchmark: "Base" carries the size columns, "Ours"
+    // leaves them blank for readability (the paper's layout).
+    const auto technique_row = [&](const char* label,
+                                   const TechniqueCells& cells,
+                                   bool with_sizes) {
+      std::vector<std::string> cols;
+      cols.push_back(with_sizes ? row.benchmark : std::string());
+      if (with_sizes) {
+        cols.push_back(std::to_string(row.gates));
+        cols.push_back(std::to_string(row.nets));
+        cols.push_back(std::to_string(row.flops));
+        cols.push_back(std::to_string(row.reference_words));
+        cols.push_back(format_fixed(row.avg_word_size, 2));
+      } else {
+        cols.insert(cols.end(), 5, std::string());
+      }
+      cols.emplace_back(label);
+      cols.push_back(format_fixed(cells.full_pct, 1));
+      cols.push_back(format_fixed(cells.fragmentation, 2));
+      cols.push_back(format_fixed(cells.not_found_pct, 1));
+      cols.push_back(format_fixed(cells.seconds, 2));
+      cols.push_back(std::to_string(cells.control_signals));
+      return cols;
+    };
+    body.push_back(technique_row("Base", row.base, /*with_sizes=*/true));
+    body.push_back(technique_row("Ours", row.ours, /*with_sizes=*/false));
+  };
+
+  for (const Table1Row& row : rows) emit(row);
+  if (include_average && !rows.empty()) {
+    Table1Row avg = average_row(rows);
+    std::vector<std::string> base_cols = {
+        "Average", "", "", "", "", "", "Base",
+        format_fixed(avg.base.full_pct, 2),
+        format_fixed(avg.base.fragmentation, 3),
+        format_fixed(avg.base.not_found_pct, 2),
+        format_fixed(avg.base.seconds, 3), ""};
+    std::vector<std::string> ours_cols = {
+        "", "", "", "", "", "", "Ours",
+        format_fixed(avg.ours.full_pct, 2),
+        format_fixed(avg.ours.fragmentation, 3),
+        format_fixed(avg.ours.not_found_pct, 2),
+        format_fixed(avg.ours.seconds, 3), ""};
+    body.push_back(std::move(base_cols));
+    body.push_back(std::move(ours_cols));
+  }
+  return render_table(header, body);
+}
+
+}  // namespace netrev::eval

@@ -1,0 +1,31 @@
+// Assembly of one synthetic ITC99-style benchmark from its profile:
+// primary inputs, pre-created flop-output nets (register names preserved),
+// word blocks separated by glue logic and scalar registers, decoy control
+// structures, size top-up filler, output reduction trees, and the flops.
+#pragma once
+
+#include <unordered_map>
+
+#include "itc/profile.h"
+#include "itc/wordgen.h"
+#include "netlist/netlist.h"
+
+namespace netrev::itc {
+
+struct GeneratedBenchmark {
+  netlist::Netlist netlist;
+  BenchmarkProfile profile;
+  // Ground truth for tests: D-input nets of each planned word, by name.
+  // The identification algorithms never see this — they work from the
+  // netlist alone.
+  std::unordered_map<std::string, std::vector<netlist::NetId>> word_bits;
+  // Control signals embedded in word structures (for tests/examples).
+  std::vector<netlist::NetId> embedded_controls;
+};
+
+// Deterministic: equal profiles (including seed) give identical netlists.
+// Throws std::invalid_argument on invalid profiles; the produced netlist is
+// guaranteed to pass netlist::validate().
+GeneratedBenchmark generate_benchmark(const BenchmarkProfile& profile);
+
+}  // namespace netrev::itc

@@ -1,0 +1,26 @@
+// The synthetic ITC99-style benchmark family b03s..b18s.
+//
+// Each profile is calibrated to its Table 1 row (see DESIGN.md §3): size
+// targets, number of reference words, word widths, and — through the word
+// kinds — the Base/Ours outcome mix the paper reports for that benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "itc/benchgen.h"
+#include "itc/profile.h"
+
+namespace netrev::itc {
+
+// All twelve profiles in the paper's row order.
+std::vector<BenchmarkProfile> itc99s_profiles();
+
+// Profile by name ("b03s".."b18s"); throws std::invalid_argument on unknown
+// names.
+BenchmarkProfile profile_by_name(const std::string& name);
+
+// Convenience: generate one benchmark by name.
+GeneratedBenchmark build_benchmark(const std::string& name);
+
+}  // namespace netrev::itc

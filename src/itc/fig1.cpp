@@ -1,0 +1,118 @@
+#include "itc/fig1.h"
+
+#include "common/contracts.h"
+#include "netlist/validate.h"
+
+namespace netrev::itc {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+Fig1Circuit build_fig1_circuit() {
+  Fig1Circuit fig;
+  Netlist& nl = fig.netlist;
+  nl.set_name("b03_fig1");
+
+  const auto pi = [&](const std::string& name) {
+    const NetId net = nl.add_net(name);
+    nl.mark_primary_input(net);
+    return net;
+  };
+  const auto wire = [&](const std::string& name) { return nl.add_net(name); };
+  const auto gate = [&](GateType type, NetId out,
+                        std::initializer_list<NetId> ins) {
+    nl.add_gate(type, out, ins);
+    return out;
+  };
+
+  // Primary inputs feeding the shared control cone and the selects.
+  const NetId in1 = pi("IN1"), in2 = pi("IN2"), in3 = pi("IN3");
+  const NetId in4 = pi("IN4"), in5 = pi("IN5"), in6 = pi("IN6");
+
+  // Source registers visible in the figure: CODA0/CODA1 (selected by the
+  // similar subtrees) and RU2/RU3 (selected by the dissimilar ones).  Their
+  // own next-state logic is simple XOR roots so they group separately.
+  struct SourceReg {
+    std::string name;
+    NetId q[3];
+    NetId d[3];
+  };
+  SourceReg sources[4] = {{"CODA0", {}, {}}, {"CODA1", {}, {}},
+                          {"RU2", {}, {}},   {"RU3", {}, {}}};
+  for (auto& src : sources)
+    for (int i = 0; i < 3; ++i)
+      src.q[i] = wire(src.name + "_reg_" + std::to_string(i) + "_");
+
+  // The red-circled common fanin cone: U223 feeds both control signals, so
+  // §2.4 must drop it as dominated.  Both drivers are NORs so that assigning
+  // either signal to 0 implies nothing about the other (backward propagation
+  // of a 0 through a NOR forces no single input).
+  fig.u223 = gate(GateType::kNand, wire("U223"), {in1, in2});
+  fig.u201 = gate(GateType::kNor, wire("U201"), {fig.u223, in3});
+  fig.u221 = gate(GateType::kNor, wire("U221"), {fig.u223, in4});
+
+  // Selects of the similar (blue-circled) subtrees.
+  fig.u202 = gate(GateType::kNot, wire("U202"), {in5});
+  fig.u255 = gate(GateType::kNot, wire("U255"), {fig.u202});
+
+  // Similar subtrees per bit: NAND(CODA0_i, U202) and NAND(CODA1_i, U255).
+  NetId sim0[3], sim1[3];
+  for (int i = 0; i < 3; ++i) {
+    sim0[i] = gate(GateType::kNand, wire("U23" + std::to_string(i)),
+                   {sources[0].q[i], fig.u202});
+    sim1[i] = gate(GateType::kNand, wire("U24" + std::to_string(i)),
+                   {sources[1].q[i], fig.u255});
+  }
+
+  // Dissimilar subtrees: U201/U221 combined differently per bit.
+  //   bit 0: NAND(U201, U221, RU2_0)            -- dies if U201=0 or U221=0
+  //   bit 1: NAND(U201, U221, RU3_1, IN6)       -- dies if U201=0 or U221=0
+  //   bit 2: NAND(U201, OR(U221, RU3_2))        -- dies only if U201=0
+  NetId dis[3];
+  dis[0] = gate(GateType::kNand, wire("U250"),
+                {fig.u201, fig.u221, sources[2].q[0]});
+  dis[1] = gate(GateType::kNand, wire("U251"),
+                {fig.u201, fig.u221, sources[3].q[1], in6});
+  const NetId or2 =
+      gate(GateType::kOr, wire("U252"), {fig.u221, sources[3].q[2]});
+  dis[2] = gate(GateType::kNand, wire("U253"), {fig.u201, or2});
+
+  // The three word bits: 3-input NAND roots on consecutive lines.
+  for (int i = 0; i < 3; ++i) {
+    const NetId bit = gate(GateType::kNand,
+                           wire("U21" + std::to_string(5 + i)),
+                           {sim0[i], sim1[i], dis[i]});
+    fig.word_bits.push_back(bit);
+  }
+
+  // Two stray nets on the adjacent lines (U218, U219 in §2.2's narrative):
+  // same root gate type, alien structure.
+  const NetId stray_a = gate(GateType::kNand, wire("U218"), {in1, in5});
+  const NetId stray_b =
+      gate(GateType::kNand, wire("U219"), {in2, in4, in5});
+  nl.mark_primary_output(stray_a);
+  nl.mark_primary_output(stray_b);
+
+  // Next-state logic for the source registers (XOR roots, separate groups).
+  for (auto& src : sources)
+    for (int i = 0; i < 3; ++i)
+      src.d[i] = gate(GateType::kXor,
+                      wire(src.name + "_D" + std::to_string(i)),
+                      {src.q[i], in3});
+
+  // Flops: the identified word CODA_OUT plus the four source registers.
+  for (int i = 0; i < 3; ++i) {
+    const NetId q = wire("CODA_OUT_reg_" + std::to_string(i) + "_");
+    nl.add_gate(GateType::kDff, q, {fig.word_bits[static_cast<std::size_t>(i)]});
+    nl.mark_primary_output(q);
+  }
+  for (auto& src : sources)
+    for (int i = 0; i < 3; ++i)
+      nl.add_gate(GateType::kDff, src.q[i], {src.d[i]});
+
+  NETREV_ENSURE(netlist::validate(nl).ok());
+  return fig;
+}
+
+}  // namespace netrev::itc

@@ -1,0 +1,60 @@
+#include "itc/profile.h"
+
+#include <stdexcept>
+
+namespace netrev::itc {
+
+std::size_t BenchmarkProfile::expected_control_signals() const {
+  std::size_t signals = decoy_control_words;  // one each
+  for (const WordPlan& plan : words) {
+    switch (plan.kind) {
+      case WordKind::kControlFromPartial:
+      case WordKind::kControlFromNotFound:
+      case WordKind::kPartialImproved:
+      case WordKind::kRescuedToPartial:
+        signals += 1;
+        break;
+      case WordKind::kControlPair:
+      case WordKind::kControlPairFromPartial:
+        signals += 2;
+        break;
+      default:
+        break;
+    }
+  }
+  return signals;
+}
+
+void validate_profile(const BenchmarkProfile& profile) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("profile " + profile.name + ": " + what);
+  };
+  if (profile.name.empty()) fail("empty name");
+
+  std::size_t flops = profile.scalar_registers;
+  for (const WordPlan& plan : profile.words) {
+    if (plan.name.empty()) fail("unnamed word");
+    if (plan.width < 2) fail("word " + plan.name + " narrower than 2 bits");
+    flops += plan.width;
+    switch (plan.kind) {
+      case WordKind::kControlFromPartial:
+      case WordKind::kControlPairFromPartial:
+      case WordKind::kPartialImproved:
+      case WordKind::kRescuedToPartial:
+        if (plan.plain_bits < 1 || plan.plain_bits >= plan.width)
+          fail("word " + plan.name + " needs 1 <= plain_bits < width");
+        break;
+      case WordKind::kPartialBoth:
+        if (plan.pieces < 2 || plan.pieces > plan.width)
+          fail("word " + plan.name + " needs 2 <= pieces <= width");
+        break;
+      default:
+        break;
+    }
+  }
+  if (profile.target_flops != 0 && flops > profile.target_flops)
+    fail("flop budget exceeded: plan needs " + std::to_string(flops) +
+         ", target is " + std::to_string(profile.target_flops));
+}
+
+}  // namespace netrev::itc

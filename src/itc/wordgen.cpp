@@ -1,0 +1,306 @@
+#include "itc/wordgen.h"
+
+#include "common/contracts.h"
+
+namespace netrev::itc {
+
+using netlist::GateType;
+using netlist::NetId;
+using rtl::GateSpec;
+using rtl::make_and;
+using rtl::make_nand;
+using rtl::make_nor;
+using rtl::make_not;
+using rtl::make_or;
+using rtl::make_xnor;
+using rtl::make_xor;
+
+// Per-cluster shape state: the shared select cone and a stable window into
+// the source pools.
+struct WordForge::ClusterContext {
+  std::size_t shape = 0;
+  NetId sel = NetId::invalid();
+  NetId not_sel = NetId::invalid();
+  std::size_t src_off = 0;
+};
+
+void WordForge::set_pools(std::vector<NetId> flop_pool,
+                          std::vector<NetId> pi_pool) {
+  NETREV_REQUIRE(flop_pool.size() >= 8);
+  NETREV_REQUIRE(pi_pool.size() >= 8);
+  flop_pool_ = std::move(flop_pool);
+  pi_pool_ = std::move(pi_pool);
+}
+
+namespace {
+
+NetId pick(const std::vector<NetId>& pool, std::size_t k) {
+  NETREV_REQUIRE(!pool.empty());
+  return pool[k % pool.size()];
+}
+
+}  // namespace
+
+NetId WordForge::make_control_signal() {
+  const NetId p1 = pick(pi_pool_, pi_offset_++);
+  const NetId p2 = pick(pi_pool_, pi_offset_++);
+  const NetId p3 = pick(pi_pool_, pi_offset_++);
+  const NetId t = make_nand(*namer_, p1, p2);
+  return make_nor(*namer_, t, p3);
+}
+
+namespace {
+
+// The six mutually-alien plain cone shapes (see wordgen.h).  Each returns
+// the two second-level subtree roots for one bit.
+struct PlainShapeInputs {
+  NetId x, y, x2, y2;   // flop-pool sources, bit-indexed
+  NetId sel, not_sel;   // shared across the cluster
+};
+
+std::pair<NetId, NetId> emit_plain_shape(rtl::NetNamer& namer,
+                                         std::size_t shape,
+                                         const PlainShapeInputs& in) {
+  switch (shape % WordForge::kPlainShapeCount) {
+    case 0:  // mux-nand (Figure 1's similar subtrees)
+      return {make_nand(namer, in.x, in.not_sel), make_nand(namer, in.y, in.sel)};
+    case 1:  // nor-mux
+      return {make_nor(namer, in.x, in.sel), make_nor(namer, in.y, in.not_sel)};
+    case 2:  // and/or blend
+      return {make_and(namer, in.x, in.y), make_or(namer, in.x2, in.y2)};
+    case 3:  // xor + masked nand
+      return {make_xor(namer, in.x, in.y),
+              make_nand(namer, in.x2, make_not(namer, in.y2))};
+    case 4:  // masked and + nor
+      return {make_and(namer, in.x, make_not(namer, in.y)),
+              make_nor(namer, in.x2, in.y2)};
+    default:  // xnor + masked or
+      return {make_xnor(namer, in.x, in.y),
+              make_or(namer, in.x2, make_not(namer, in.y2))};
+  }
+}
+
+}  // namespace
+
+namespace {
+constexpr std::size_t kGarnishVariants = 6;
+}
+
+EmittedWord WordForge::emit_word(const WordPlan& plan, std::size_t word_index) {
+  EmittedWord out;
+  std::vector<GateSpec> roots(plan.width);
+
+  const auto make_cluster = [&](std::size_t shape) {
+    ClusterContext cx;
+    cx.shape = shape % kPlainShapeCount;
+    cx.sel = pick(pi_pool_, pi_offset_++);
+    cx.not_sel = make_not(*namer_, cx.sel);
+    cx.src_off = source_offset_;
+    source_offset_ += plan.width + 3;
+    return cx;
+  };
+
+  const auto plain_pair = [&](const ClusterContext& cx, std::size_t bit) {
+    PlainShapeInputs in;
+    in.x = pick(flop_pool_, cx.src_off + bit);
+    in.y = pick(flop_pool_, cx.src_off + bit + 7);
+    in.x2 = pick(flop_pool_, cx.src_off + bit + 13);
+    in.y2 = pick(flop_pool_, cx.src_off + bit + 19);
+    in.sel = cx.sel;
+    in.not_sel = cx.not_sel;
+    return emit_plain_shape(*namer_, cx.shape, in);
+  };
+
+  // Per-bit garnish g over PI sources; the variant rotates so adjacent bits
+  // never share a dissimilar-subtree shape.
+  const auto garnish_term = [&](std::size_t variant) {
+    const NetId z1 = pick(pi_pool_, pi_offset_++);
+    const NetId z2 = pick(pi_pool_, pi_offset_++);
+    switch (variant % kGarnishVariants) {
+      case 0: return z1;
+      case 1: return make_not(*namer_, z1);
+      case 2: return make_and(*namer_, z1, z2);
+      case 3: return make_or(*namer_, z1, z2);
+      case 4: return make_xor(*namer_, z1, z2);
+      default: return make_nor(*namer_, z1, z2);
+    }
+  };
+
+  // Dissimilar subtree killed by ctrl = 0 (its NAND goes to constant 1,
+  // which the root NAND then drops).
+  const auto single_garnish = [&](NetId ctrl, std::size_t variant) {
+    return make_nand(*namer_, ctrl, garnish_term(variant));
+  };
+
+  // Dissimilar subtree killed only by ctrl_a = 0 AND ctrl_b = 0.
+  const auto pair_garnish = [&](NetId ctrl_a, NetId ctrl_b,
+                                std::size_t variant) {
+    const NetId ea = make_nand(*namer_, ctrl_a, garnish_term(variant));
+    const NetId eb = make_nand(*namer_, ctrl_b, garnish_term(variant + 2));
+    return make_and(*namer_, ea, eb);
+  };
+
+  // Heterogeneous one-off cone; returns the pending root NAND(u, v).
+  const auto hetero_root = [&](std::size_t bit) {
+    NETREV_REQUIRE(bit < 24 && "hetero shape family supports 24 distinct bits");
+    NetId u = pick(pi_pool_, pi_offset_++);
+    for (std::size_t d = 0; d <= bit % 3; ++d) u = make_not(*namer_, u);
+    const NetId a = pick(pi_pool_, pi_offset_++);
+    const NetId b = pick(pi_pool_, pi_offset_++);
+    NetId v;
+    switch (bit % 4) {
+      case 0: v = make_and(*namer_, a, b); break;
+      case 1: v = make_or(*namer_, a, b); break;
+      case 2: v = make_xor(*namer_, a, b); break;
+      default: v = make_nor(*namer_, a, b); break;
+    }
+    if (bit >= 12) v = make_not(*namer_, v);
+    return GateSpec{GateType::kNand, {u, v}};
+  };
+
+  const auto plain_root = [](std::pair<NetId, NetId> subtrees) {
+    return GateSpec{GateType::kNand, {subtrees.first, subtrees.second}};
+  };
+  const auto garnished_root = [](std::pair<NetId, NetId> subtrees, NetId e) {
+    return GateSpec{GateType::kNand, {subtrees.first, subtrees.second, e}};
+  };
+
+  switch (plan.kind) {
+    case WordKind::kClean: {
+      const ClusterContext cx = make_cluster(word_index);
+      for (std::size_t i = 0; i < plan.width; ++i)
+        roots[i] = plain_root(plain_pair(cx, i));
+      break;
+    }
+
+    case WordKind::kControlFromPartial:
+    case WordKind::kControlFromNotFound: {
+      const std::size_t plain_bits =
+          plan.kind == WordKind::kControlFromPartial ? plan.plain_bits : 0;
+      const NetId ctrl = make_control_signal();
+      out.controls_used.push_back(ctrl);
+      const ClusterContext cx = make_cluster(word_index);
+      for (std::size_t i = 0; i < plan.width; ++i) {
+        auto subtrees = plain_pair(cx, i);
+        if (i < plain_bits)
+          roots[i] = plain_root(subtrees);
+        else
+          roots[i] = garnished_root(subtrees, single_garnish(ctrl, i));
+      }
+      break;
+    }
+
+    case WordKind::kControlPair:
+    case WordKind::kControlPairFromPartial: {
+      const std::size_t plain_bits =
+          plan.kind == WordKind::kControlPairFromPartial ? plan.plain_bits : 0;
+      const NetId ctrl_a = make_control_signal();
+      const NetId ctrl_b = make_control_signal();
+      out.controls_used.push_back(ctrl_a);
+      out.controls_used.push_back(ctrl_b);
+      const ClusterContext cx = make_cluster(word_index);
+      for (std::size_t i = 0; i < plan.width; ++i) {
+        auto subtrees = plain_pair(cx, i);
+        if (i < plain_bits)
+          roots[i] = plain_root(subtrees);
+        else
+          roots[i] = garnished_root(subtrees, pair_garnish(ctrl_a, ctrl_b, i));
+      }
+      break;
+    }
+
+    case WordKind::kPartialBoth: {
+      // `pieces` clusters of near-equal size with pairwise-alien shapes.
+      std::size_t bit = 0;
+      for (std::size_t c = 0; c < plan.pieces; ++c) {
+        const std::size_t remaining_pieces = plan.pieces - c;
+        const std::size_t size =
+            (plan.width - bit + remaining_pieces - 1) / remaining_pieces;
+        const ClusterContext cx = make_cluster(word_index + c);
+        for (std::size_t j = 0; j < size; ++j, ++bit)
+          roots[bit] = plain_root(plain_pair(cx, bit));
+      }
+      break;
+    }
+
+    case WordKind::kPartialImproved: {
+      const ClusterContext cx1 = make_cluster(word_index);
+      for (std::size_t i = 0; i < plan.plain_bits; ++i)
+        roots[i] = plain_root(plain_pair(cx1, i));
+      const NetId ctrl = make_control_signal();
+      out.controls_used.push_back(ctrl);
+      const ClusterContext cx2 = make_cluster(word_index + 1);
+      for (std::size_t i = plan.plain_bits; i < plan.width; ++i)
+        roots[i] =
+            garnished_root(plain_pair(cx2, i), single_garnish(ctrl, i));
+      break;
+    }
+
+    case WordKind::kRescuedToPartial: {
+      const NetId ctrl = make_control_signal();
+      out.controls_used.push_back(ctrl);
+      const ClusterContext cx = make_cluster(word_index);
+      for (std::size_t i = 0; i < plan.plain_bits; ++i)
+        roots[i] = garnished_root(plain_pair(cx, i), single_garnish(ctrl, i));
+      for (std::size_t i = plan.plain_bits; i < plan.width; ++i)
+        roots[i] = hetero_root(i - plan.plain_bits);
+      break;
+    }
+
+    case WordKind::kNotFoundBoth: {
+      for (std::size_t i = 0; i < plan.width; ++i) roots[i] = hetero_root(i);
+      break;
+    }
+  }
+
+  // Root gates on consecutive lines — the netlist layout §2.2 keys on.
+  out.d_nets.reserve(plan.width);
+  for (const GateSpec& root : roots)
+    out.d_nets.push_back(rtl::emit(*namer_, root));
+  return out;
+}
+
+EmittedWord WordForge::emit_decoy_control_word(std::size_t width,
+                                               std::size_t word_index) {
+  WordPlan plan;
+  plan.kind = WordKind::kControlFromNotFound;
+  plan.name = "decoy";
+  plan.width = width;
+  return emit_word(plan, word_index);
+}
+
+void WordForge::emit_filler(std::size_t count) {
+  if (count == 0) return;
+  // Glue logic: a meandering chain over PIs and recent filler nets.  Types
+  // exclude NAND so filler lines never extend a word-root group run.
+  static constexpr GateType kFillerTypes[] = {
+      GateType::kAnd, GateType::kOr,  GateType::kXor,
+      GateType::kNor, GateType::kXnor};
+  std::vector<NetId> recent;
+  NetId last = pick(pi_pool_, pi_offset_++);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GateType type =
+        kFillerTypes[rng_->next_below(std::size(kFillerTypes))];
+    const NetId other =
+        (recent.size() > 4 && rng_->chance(1, 2))
+            ? recent[rng_->next_below(recent.size())]
+            : pick(pi_pool_, pi_offset_ + rng_->next_below(pi_pool_.size()));
+    if (other == last) {
+      const NetId inv = make_not(*namer_, last);
+      last = inv;
+      continue;
+    }
+    const NetId ins[] = {last, other};
+    last = rtl::make_gate(*namer_, type, ins);
+    recent.push_back(last);
+    if (recent.size() > 12) recent.erase(recent.begin());
+  }
+  loose_nets_.push_back(last);
+}
+
+netlist::NetId WordForge::emit_scalar_next(NetId q_net) {
+  // A toggle-style separator line: D = NOT(Q).
+  return make_not(*namer_, q_net);
+}
+
+}  // namespace netrev::itc

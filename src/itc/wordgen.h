@@ -1,0 +1,78 @@
+// Gate-level word-structure forge.
+//
+// Emits the fanin-cone structures behind each WordPlan kind (see profile.h)
+// directly at gate level, the way they appear in synthesized-and-optimized
+// netlists:
+//   * a library of mutually-alien "plain" cone shapes (mux-, nor-, and/or-,
+//     xor-flavoured) for clean words and fragment clusters;
+//   * Figure-1-style dissimilar subtrees NAND-fed by shared internal control
+//     signals (single or pair), with per-bit variant combinational garnish so
+//     adjacent bits never fully match;
+//   * heterogeneous one-off cones for state/control registers.
+// Every word's per-bit root gates are emitted on consecutive netlist lines
+// (operand logic first), matching the adjacency the §2.2 grouping expects.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "itc/profile.h"
+#include "rtl/lower_ops.h"
+#include "rtl/netnamer.h"
+
+namespace netrev::itc {
+
+struct EmittedWord {
+  std::vector<netlist::NetId> d_nets;          // per-bit roots, LSB first
+  std::vector<netlist::NetId> controls_used;   // embedded control signals
+};
+
+class WordForge {
+ public:
+  WordForge(rtl::NetNamer& namer, Rng& rng) : namer_(&namer), rng_(&rng) {}
+
+  // Source pools.  `flop_pool` feeds the plain shapes (flop-output leaves);
+  // `pi_pool` feeds control cones and garnish (primary-input leaves).  Both
+  // must hold at least 8 nets.
+  void set_pools(std::vector<netlist::NetId> flop_pool,
+                 std::vector<netlist::NetId> pi_pool);
+
+  // A fresh internal control signal: NOR(NAND(p1, p2), p3) over pool PIs —
+  // a small cone so the §2.4 dominance filter has something to prune.
+  netlist::NetId make_control_signal();
+
+  // Emits the bit cones + consecutive root gates for one word plan.
+  // `word_index` seeds shape rotation so neighbouring words differ.
+  EmittedWord emit_word(const WordPlan& plan, std::size_t word_index);
+
+  // A control-word structure not tied to flops; returns its root nets (the
+  // caller gives them a sink).  Consumes one fresh control signal.
+  EmittedWord emit_decoy_control_word(std::size_t width,
+                                      std::size_t word_index);
+
+  // `count` gates of miscellaneous glue logic (never NAND, so filler does
+  // not extend word-root line runs).  The block's sink net is appended to
+  // loose_nets().
+  void emit_filler(std::size_t count);
+
+  // Scalar-register next-state logic (a separator line); returns the D net.
+  netlist::NetId emit_scalar_next(netlist::NetId q_net);
+
+  const std::vector<netlist::NetId>& loose_nets() const { return loose_nets_; }
+
+  static constexpr std::size_t kPlainShapeCount = 6;
+
+ private:
+  struct ClusterContext;  // see wordgen.cpp
+
+  rtl::NetNamer* namer_;
+  Rng* rng_;
+  std::vector<netlist::NetId> flop_pool_;
+  std::vector<netlist::NetId> pi_pool_;
+  std::vector<netlist::NetId> loose_nets_;
+  std::size_t source_offset_ = 0;
+  std::size_t pi_offset_ = 0;
+  std::size_t recent_window_start_ = 0;
+};
+
+}  // namespace netrev::itc

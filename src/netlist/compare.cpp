@@ -1,0 +1,42 @@
+#include "netlist/compare.h"
+
+namespace netrev::netlist {
+
+std::optional<std::string> structural_difference(const Netlist& a,
+                                                 const Netlist& b) {
+  if (a.net_count() != b.net_count())
+    return "net counts differ: " + std::to_string(a.net_count()) + " vs " +
+           std::to_string(b.net_count());
+  if (a.gate_count() != b.gate_count())
+    return "gate counts differ: " + std::to_string(a.gate_count()) + " vs " +
+           std::to_string(b.gate_count());
+
+  for (std::size_t i = 0; i < a.net_count(); ++i) {
+    const Net& net = a.net(a.net_id_at(i));
+    const auto other = b.find_net(net.name);
+    if (!other) return "net missing in second design: " + net.name;
+    if (net.is_primary_input != b.net(*other).is_primary_input)
+      return "primary-input flag differs for net: " + net.name;
+    if (net.is_primary_output != b.net(*other).is_primary_output)
+      return "primary-output flag differs for net: " + net.name;
+  }
+
+  const auto order_a = a.gates_in_file_order();
+  const auto order_b = b.gates_in_file_order();
+  for (std::size_t i = 0; i < order_a.size(); ++i) {
+    const Gate& ga = a.gate(order_a[i]);
+    const Gate& gb = b.gate(order_b[i]);
+    const std::string where = "gate " + std::to_string(i) + " (driving '" +
+                              a.net(ga.output).name + "')";
+    if (ga.type != gb.type) return where + ": type differs";
+    if (a.net(ga.output).name != b.net(gb.output).name)
+      return where + ": output differs";
+    if (ga.inputs.size() != gb.inputs.size()) return where + ": arity differs";
+    for (std::size_t k = 0; k < ga.inputs.size(); ++k)
+      if (a.net(ga.inputs[k]).name != b.net(gb.inputs[k]).name)
+        return where + ": input " + std::to_string(k) + " differs";
+  }
+  return std::nullopt;
+}
+
+}  // namespace netrev::netlist

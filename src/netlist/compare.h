@@ -1,0 +1,23 @@
+// Name-based structural comparison of two netlists: same nets with the same
+// port directions, same gates in the same file order with the same typed
+// connectivity.  Used by round-trip tests and by tools that verify an
+// emitted file re-reads to the identical design.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+// Returns nullopt when equal; otherwise a human-readable description of the
+// first difference found.
+std::optional<std::string> structural_difference(const Netlist& a,
+                                                 const Netlist& b);
+
+inline bool structurally_equal(const Netlist& a, const Netlist& b) {
+  return !structural_difference(a, b).has_value();
+}
+
+}  // namespace netrev::netlist

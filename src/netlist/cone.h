@@ -1,0 +1,38 @@
+// Fanin-cone traversals.
+//
+// The paper's structural matching operates on bounded-depth fanin cones
+// ("fanin-cone down to four levels of logic gates", §2.1) that stop at
+// sequential boundaries, and its control-signal dominance test (§2.4) needs
+// unbounded backward reachability ("we remove the ones which are in the
+// fanin-cones of the other nets in the set").
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+// Nets visited walking backward from `root` through at most `max_depth`
+// levels of combinational gates.  `root` itself is included (depth 0).  The
+// walk does not go through flip-flops: a flop-driven net is a cone leaf.
+// Result is in deterministic BFS order, deduplicated.
+std::vector<NetId> fanin_cone_nets(const Netlist& nl, NetId root,
+                                   std::size_t max_depth);
+
+// Unbounded combinational fanin cone of `root`, excluding `root` itself.
+// Stops at flop outputs and primary inputs (which are included as leaves).
+std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root);
+
+// True if `candidate` lies in the (unbounded, combinational) fanin cone of
+// `root`, excluding root itself.
+bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate);
+
+// The nets at the boundary of a bounded cone: flop outputs, primary inputs,
+// and nets whose depth equals max_depth (i.e. left unexpanded).
+std::vector<NetId> cone_leaves(const Netlist& nl, NetId root,
+                               std::size_t max_depth);
+
+}  // namespace netrev::netlist

@@ -1,0 +1,88 @@
+#include "netlist/dot.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/cone.h"
+
+namespace netrev::netlist {
+
+namespace {
+
+// DOT identifiers for nets; names may contain arbitrary characters, so use
+// stable ids and put names in labels.
+std::string node_id(NetId net) { return "n" + std::to_string(net.value()); }
+
+std::string escape_label(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Netlist& nl, const DotOptions& options) {
+  // Which nets to draw.
+  std::unordered_set<NetId> visible;
+  if (options.cone_depth == 0 || options.highlights.empty()) {
+    for (std::size_t i = 0; i < nl.net_count(); ++i)
+      visible.insert(nl.net_id_at(i));
+  } else {
+    for (const auto& highlight : options.highlights)
+      for (NetId root : highlight.nets)
+        for (NetId net : fanin_cone_nets(nl, root, options.cone_depth))
+          visible.insert(net);
+  }
+
+  std::unordered_map<NetId, std::size_t> highlight_of;
+  for (std::size_t h = 0; h < options.highlights.size(); ++h)
+    for (NetId net : options.highlights[h].nets) highlight_of.emplace(net, h);
+
+  static constexpr const char* kPalette[] = {
+      "lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightcyan"};
+
+  std::string out = "digraph netlist {\n  rankdir=LR;\n  node [shape=box];\n";
+  // Nodes: one per visible net, labelled "TYPE\nname" (driver type).
+  for (NetId net : visible) {
+    std::string label;
+    const auto driver = nl.driver_of(net);
+    label = driver ? std::string(gate_type_name(nl.gate(*driver).type))
+                   : std::string("INPUT");
+    if (options.show_net_names) label += "\\n" + escape_label(nl.net(net).name);
+
+    std::string attrs = "label=\"" + label + "\"";
+    const auto h = highlight_of.find(net);
+    if (h != highlight_of.end()) {
+      attrs += ", style=filled, fillcolor=";
+      attrs += kPalette[h->second % std::size(kPalette)];
+    } else if (!driver) {
+      attrs += ", shape=ellipse";
+    }
+    out += "  " + node_id(net) + " [" + attrs + "];\n";
+  }
+  // Edges: gate input -> gate output, where both ends are visible.
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(nl.gate_id_at(g));
+    if (!visible.contains(gate.output)) continue;
+    for (NetId in : gate.inputs) {
+      if (!visible.contains(in)) continue;
+      out += "  " + node_id(in) + " -> " + node_id(gate.output);
+      if (gate.type == GateType::kDff) out += " [style=dashed]";
+      out += ";\n";
+    }
+  }
+  // Legend for highlights.
+  for (std::size_t h = 0; h < options.highlights.size(); ++h) {
+    out += "  legend" + std::to_string(h) + " [label=\"" +
+           escape_label(options.highlights[h].label) +
+           "\", style=filled, fillcolor=" +
+           kPalette[h % std::size(kPalette)] + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace netrev::netlist

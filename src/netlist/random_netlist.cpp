@@ -1,0 +1,91 @@
+#include "netlist/random_netlist.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace netrev::netlist {
+
+Netlist random_netlist(const RandomNetlistSpec& spec) {
+  NETREV_REQUIRE(spec.primary_inputs >= 1);
+  NETREV_REQUIRE(spec.max_fanin >= 2);
+  Rng rng(spec.seed);
+
+  Netlist nl("random_" + std::to_string(spec.seed));
+
+  std::vector<NetId> sources;  // anything a gate may read
+  for (std::size_t i = 0; i < spec.primary_inputs; ++i) {
+    const NetId pi = nl.add_net("pi" + std::to_string(i));
+    nl.mark_primary_input(pi);
+    sources.push_back(pi);
+  }
+  std::vector<NetId> q_nets;
+  for (std::size_t i = 0; i < spec.flops; ++i) {
+    const NetId q = nl.add_net("q_reg_" + std::to_string(i) + "_");
+    q_nets.push_back(q);
+    sources.push_back(q);
+  }
+  if (spec.include_constants) {
+    const NetId zero = nl.add_net("const0");
+    nl.add_gate(GateType::kConst0, zero, {});
+    const NetId one = nl.add_net("const1");
+    nl.add_gate(GateType::kConst1, one, {});
+    sources.push_back(zero);
+    sources.push_back(one);
+  }
+
+  static constexpr GateType kCombTypes[] = {
+      GateType::kBuf, GateType::kNot, GateType::kAnd, GateType::kNand,
+      GateType::kOr,  GateType::kNor, GateType::kXor, GateType::kXnor};
+
+  std::vector<NetId> comb_outputs;
+  for (std::size_t g = 0; g < spec.combinational_gates; ++g) {
+    const GateType type =
+        kCombTypes[rng.next_below(std::size(kCombTypes))];
+    const std::size_t arity =
+        max_arity(type) == 1
+            ? 1
+            : 2 + rng.next_below(spec.max_fanin - 1);
+    std::vector<NetId> inputs;
+    while (inputs.size() < arity) {
+      const NetId pick = sources[rng.next_below(sources.size())];
+      // Avoid duplicate fanins (validation warning; also keeps XORs honest).
+      if (std::find(inputs.begin(), inputs.end(), pick) == inputs.end())
+        inputs.push_back(pick);
+      else if (sources.size() <= arity)
+        break;  // tiny pools: accept fewer inputs
+    }
+    if (static_cast<int>(inputs.size()) < min_arity(type)) {
+      // Degenerate tiny pool; fall back to a NOT of any source.
+      inputs.assign(1, sources[rng.next_below(sources.size())]);
+      const NetId out = nl.add_net("n" + std::to_string(g));
+      nl.add_gate(GateType::kNot, out, inputs);
+      sources.push_back(out);
+      comb_outputs.push_back(out);
+      continue;
+    }
+    const NetId out = nl.add_net("n" + std::to_string(g));
+    nl.add_gate(type, out, inputs);
+    sources.push_back(out);
+    comb_outputs.push_back(out);
+  }
+
+  // Flop D inputs: random combinational outputs (or PIs if none).
+  for (std::size_t i = 0; i < spec.flops; ++i) {
+    const NetId d = comb_outputs.empty()
+                        ? sources[rng.next_below(spec.primary_inputs)]
+                        : comb_outputs[rng.next_below(comb_outputs.size())];
+    nl.add_gate(GateType::kDff, q_nets[i], {d});
+  }
+
+  // Everything without fanout becomes a primary output.
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const NetId id = nl.net_id_at(i);
+    if (nl.net(id).fanouts.empty() && !nl.net(id).is_primary_output)
+      nl.mark_primary_output(id);
+  }
+  return nl;
+}
+
+}  // namespace netrev::netlist

@@ -1,0 +1,30 @@
+// Random valid netlist generation for fuzz-style property tests.
+//
+// Produces arbitrary (but always well-formed and acyclic) sequential
+// circuits: random gate types and fanins over primary inputs, flop outputs,
+// and earlier gates.  Used to exercise parsers, the simulator, constant
+// propagation, reduction, and identification far away from the benchmark
+// family's structured shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+struct RandomNetlistSpec {
+  std::size_t primary_inputs = 8;
+  std::size_t combinational_gates = 100;
+  std::size_t flops = 8;
+  std::size_t max_fanin = 4;   // >= 2
+  bool include_constants = false;
+  std::uint64_t seed = 1;
+};
+
+// Deterministic per spec (including seed).  The result always passes
+// validate(): every net driven or a PI, no combinational cycles, every
+// fanout-free net marked as a primary output.
+Netlist random_netlist(const RandomNetlistSpec& spec);
+
+}  // namespace netrev::netlist

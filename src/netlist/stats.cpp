@@ -1,0 +1,103 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+
+#include "common/text.h"
+
+namespace netrev::netlist {
+
+std::string NetlistStats::to_string() const {
+  std::string out;
+  out += "gates=" + std::to_string(gates);
+  out += " nets=" + std::to_string(nets);
+  out += " flops=" + std::to_string(flops);
+  out += " PIs=" + std::to_string(primary_inputs);
+  out += " POs=" + std::to_string(primary_outputs);
+  for (int i = 0; i < kGateTypeCount; ++i) {
+    if (by_type[static_cast<std::size_t>(i)] == 0) continue;
+    out += ' ';
+    out += gate_type_name(static_cast<GateType>(i));
+    out += '=';
+    out += std::to_string(by_type[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats stats;
+  stats.gates = nl.gate_count();
+  stats.nets = nl.net_count();
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const Gate& g = nl.gate(nl.gate_id_at(i));
+    ++stats.by_type[static_cast<std::size_t>(g.type)];
+    if (g.type == GateType::kDff) ++stats.flops;
+  }
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const Net& n = nl.net(nl.net_id_at(i));
+    if (n.is_primary_input) ++stats.primary_inputs;
+    if (n.is_primary_output) ++stats.primary_outputs;
+  }
+  return stats;
+}
+
+FaninProfile compute_fanin_profile(const Netlist& nl) {
+  FaninProfile profile;
+  std::size_t total = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const Gate& g = nl.gate(nl.gate_id_at(i));
+    if (g.type == GateType::kDff) continue;
+    profile.max_fanin = std::max(profile.max_fanin, g.inputs.size());
+    total += g.inputs.size();
+    ++count;
+  }
+  if (count > 0) profile.average_fanin = static_cast<double>(total) / static_cast<double>(count);
+  return profile;
+}
+
+std::size_t combinational_depth(const Netlist& nl) {
+  // Longest path via memoized DFS over the combinational DAG.
+  std::vector<int> depth(nl.gate_count(), -1);
+  std::size_t best = 0;
+
+  // Iterative post-order evaluation.
+  for (std::size_t start = 0; start < nl.gate_count(); ++start) {
+    if (depth[start] >= 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    while (!stack.empty()) {
+      auto& [g, pos] = stack.back();
+      const Gate& gate = nl.gate(nl.gate_id_at(g));
+      if (gate.type == GateType::kDff) {
+        depth[g] = 0;
+        stack.pop_back();
+        continue;
+      }
+      bool descended = false;
+      while (pos < gate.inputs.size()) {
+        const auto drv = nl.driver_of(gate.inputs[pos]);
+        ++pos;
+        if (!drv) continue;
+        const std::size_t d = drv->value();
+        if (nl.gate(*drv).type == GateType::kDff) continue;
+        if (depth[d] < 0) {
+          stack.emplace_back(d, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      int self = 1;
+      for (NetId in : gate.inputs) {
+        const auto drv = nl.driver_of(in);
+        if (!drv || nl.gate(*drv).type == GateType::kDff) continue;
+        self = std::max(self, depth[drv->value()] + 1);
+      }
+      depth[g] = self;
+      best = std::max(best, static_cast<std::size_t>(self));
+      stack.pop_back();
+    }
+  }
+  return best;
+}
+
+}  // namespace netrev::netlist

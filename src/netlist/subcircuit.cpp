@@ -1,0 +1,75 @@
+#include "netlist/subcircuit.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/cone.h"
+
+namespace netrev::netlist {
+
+Netlist extract_cones(const Netlist& source, std::span<const NetId> roots,
+                      std::size_t max_depth) {
+  // Gather the union of cone nets and classify each as internal (driver kept)
+  // or boundary (becomes a primary input).
+  std::unordered_set<NetId> cone_nets;
+  std::unordered_set<NetId> boundary;
+  for (NetId root : roots) {
+    for (NetId net : fanin_cone_nets(source, root, max_depth))
+      cone_nets.insert(net);
+    for (NetId leaf : cone_leaves(source, root, max_depth))
+      boundary.insert(leaf);
+  }
+  // A net that some cone expands but another cone cuts is internal: keep its
+  // driver if every input of that driver is also inside the union.
+  std::unordered_set<GateId> kept_gates;
+  for (NetId net : cone_nets) {
+    if (boundary.contains(net)) continue;
+    const auto drv = source.driver_of(net);
+    if (!drv) continue;
+    const Gate& gate = source.gate(*drv);
+    const bool all_inside = std::all_of(
+        gate.inputs.begin(), gate.inputs.end(),
+        [&](NetId in) { return cone_nets.contains(in); });
+    if (all_inside) kept_gates.insert(*drv);
+  }
+
+  Netlist extract(source.name() + "_extract");
+  std::unordered_map<NetId, NetId> remap;
+  const auto map_net = [&](NetId id) {
+    const auto it = remap.find(id);
+    if (it != remap.end()) return it->second;
+    const NetId fresh = extract.add_net(source.net(id).name);
+    remap.emplace(id, fresh);
+    return fresh;
+  };
+
+  // Emit gates in source file order so §2.2-style grouping on the extract
+  // behaves like it would on the full netlist.
+  for (GateId g : source.gates_in_file_order()) {
+    if (!kept_gates.contains(g)) continue;
+    const Gate& gate = source.gate(g);
+    const NetId out = map_net(gate.output);
+    std::vector<NetId> ins;
+    ins.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) ins.push_back(map_net(in));
+    extract.add_gate(gate.type, out, ins);
+  }
+
+  // Boundary nets and any cone net that ended up driverless become PIs.
+  for (NetId net : cone_nets) {
+    const NetId mapped = map_net(net);
+    if (!extract.net(mapped).driver.is_valid() &&
+        !extract.net(mapped).is_primary_input)
+      extract.mark_primary_input(mapped);
+  }
+  for (NetId root : roots) extract.mark_primary_output(map_net(root));
+  return extract;
+}
+
+Netlist extract_cone(const Netlist& source, NetId root, std::size_t max_depth) {
+  const NetId roots[] = {root};
+  return extract_cones(source, roots, max_depth);
+}
+
+}  // namespace netrev::netlist

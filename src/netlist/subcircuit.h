@@ -1,0 +1,24 @@
+// Extraction of standalone sub-netlists from fanin cones.
+//
+// Used by the examples ("show me the circuitry behind this word") and by the
+// integration layer that hands reduced circuits to downstream reverse-
+// engineering tools (§2.1: "the simplified circuit can also be fed as input
+// to existing structural or functional word-identification techniques").
+#pragma once
+
+#include <span>
+
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+// Builds a self-contained netlist containing the union of the bounded fanin
+// cones of `roots`.  Cone leaves become primary inputs of the extract; roots
+// become primary outputs.  Net names are preserved.  Gates are emitted in
+// the same relative file order as the source netlist.
+Netlist extract_cones(const Netlist& source, std::span<const NetId> roots,
+                      std::size_t max_depth);
+
+Netlist extract_cone(const Netlist& source, NetId root, std::size_t max_depth);
+
+}  // namespace netrev::netlist

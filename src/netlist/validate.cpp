@@ -1,0 +1,110 @@
+#include "netlist/validate.h"
+
+#include <unordered_set>
+
+namespace netrev::netlist {
+
+std::size_t ValidationReport::error_count() const {
+  std::size_t n = 0;
+  for (const auto& issue : issues)
+    if (issue.severity == ValidationIssue::Severity::kError) ++n;
+  return n;
+}
+
+std::size_t ValidationReport::warning_count() const {
+  return issues.size() - error_count();
+}
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const auto& issue : issues) {
+    out += issue.severity == ValidationIssue::Severity::kError ? "error: "
+                                                               : "warning: ";
+    out += issue.message;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Iterative three-color DFS over combinational gates to detect cycles.
+// DFF gates break the traversal (their input belongs to the previous cycle).
+bool has_combinational_cycle(const Netlist& nl) {
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(nl.gate_count(), Color::kWhite);
+
+  for (std::size_t start = 0; start < nl.gate_count(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    if (nl.gate(nl.gate_id_at(start)).type == GateType::kDff) {
+      color[start] = Color::kBlack;
+      continue;
+    }
+    // Explicit stack of (gate index, next input position).
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(start, 0);
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [g, pos] = stack.back();
+      const Gate& gate = nl.gate(nl.gate_id_at(g));
+      if (pos >= gate.inputs.size()) {
+        color[g] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const NetId in = gate.inputs[pos++];
+      const auto drv = nl.driver_of(in);
+      if (!drv) continue;
+      const std::size_t d = drv->value();
+      if (nl.gate(*drv).type == GateType::kDff) continue;
+      if (color[d] == Color::kGray) return true;
+      if (color[d] == Color::kWhite) {
+        color[d] = Color::kGray;
+        stack.emplace_back(d, 0);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ValidationReport validate(const Netlist& nl) {
+  ValidationReport report;
+  const auto error = [&](std::string msg) {
+    report.issues.push_back({ValidationIssue::Severity::kError, std::move(msg)});
+  };
+  const auto warning = [&](std::string msg) {
+    report.issues.push_back({ValidationIssue::Severity::kWarning, std::move(msg)});
+  };
+
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const NetId id = nl.net_id_at(i);
+    const Net& net = nl.net(id);
+    if (!net.driver.is_valid() && !net.is_primary_input)
+      error("net '" + net.name + "' has no driver and is not a primary input");
+    if (net.driver.is_valid() && net.is_primary_input)
+      error("net '" + net.name + "' is a driven primary input");
+    if (net.fanouts.empty() && !net.is_primary_output)
+      warning("net '" + net.name + "' has no fanout and is not a primary output");
+  }
+
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const Gate& gate = nl.gate(nl.gate_id_at(i));
+    const int arity = static_cast<int>(gate.inputs.size());
+    if (arity < min_arity(gate.type) || arity > max_arity(gate.type))
+      error(std::string("gate of type ") +
+            std::string(gate_type_name(gate.type)) + " driving '" +
+            nl.net(gate.output).name + "' has arity " + std::to_string(arity));
+    std::unordered_set<std::uint32_t> seen;
+    for (NetId in : gate.inputs)
+      if (!seen.insert(in.value()).second)
+        warning("gate driving '" + nl.net(gate.output).name +
+                "' reads net '" + nl.net(in).name + "' more than once");
+  }
+
+  if (has_combinational_cycle(nl)) error("combinational cycle detected");
+  return report;
+}
+
+}  // namespace netrev::netlist

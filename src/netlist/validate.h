@@ -1,0 +1,42 @@
+// Structural well-formedness checks for netlists.
+//
+// Parsers and generators call this after construction; tests use it to gate
+// every synthetic benchmark.  Checks are diagnostic (they collect all issues)
+// rather than fail-fast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+struct ValidationIssue {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const {
+    for (const auto& issue : issues)
+      if (issue.severity == ValidationIssue::Severity::kError) return false;
+    return true;
+  }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::string to_string() const;
+};
+
+// Checks:
+//  * every non-primary-input net has a driver (error; dangling inputs)
+//  * no combinational cycles (error)
+//  * gate arities within bounds (error; normally unconstructible)
+//  * nets with no fanout that are not primary outputs (warning)
+//  * duplicate inputs on a gate (warning)
+ValidationReport validate(const Netlist& nl);
+
+}  // namespace netrev::netlist

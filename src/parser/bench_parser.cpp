@@ -1,0 +1,136 @@
+#include "parser/bench_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/text.h"
+#include "parser/lexer.h"
+
+namespace netrev::parser {
+
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+struct BenchLine {
+  std::string output;
+  std::string function;
+  std::vector<std::string> args;
+  std::size_t line_number = 0;
+};
+
+// Parses "NAME = FUNC(arg, arg, ...)" into a BenchLine.
+BenchLine parse_gate_line(std::string_view line, std::size_t line_number) {
+  BenchLine parsed;
+  parsed.line_number = line_number;
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos)
+    throw ParseError("expected '='", line_number, 1);
+  parsed.output = std::string(trim(line.substr(0, eq)));
+  std::string_view rhs = trim(line.substr(eq + 1));
+  const std::size_t open = rhs.find('(');
+  const std::size_t close = rhs.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open)
+    throw ParseError("expected FUNC(args)", line_number, 1);
+  parsed.function = std::string(trim(rhs.substr(0, open)));
+  const std::string_view args = rhs.substr(open + 1, close - open - 1);
+  if (!trim(args).empty()) {
+    for (const auto& field : split(args, ',')) {
+      const auto arg = trim(field);
+      if (arg.empty()) throw ParseError("empty argument", line_number, 1);
+      parsed.args.emplace_back(arg);
+    }
+  }
+  if (parsed.output.empty())
+    throw ParseError("empty output name", line_number, 1);
+  return parsed;
+}
+
+GateType function_to_type(const std::string& function, std::size_t line) {
+  if (auto type = netlist::gate_type_from_name(function)) return *type;
+  if (function == "VDD") return GateType::kConst1;
+  if (function == "GND") return GateType::kConst0;
+  throw ParseError("unknown function '" + function + "'", line, 1);
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view source) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<BenchLine> gates;
+
+  std::size_t line_number = 0;
+  for (const auto& raw : split(source, '\n')) {
+    ++line_number;
+    std::string_view line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (starts_with(line, "INPUT(") && line.back() == ')') {
+      inputs.emplace_back(trim(line.substr(6, line.size() - 7)));
+    } else if (starts_with(line, "OUTPUT(") && line.back() == ')') {
+      outputs.emplace_back(trim(line.substr(7, line.size() - 8)));
+    } else {
+      gates.push_back(parse_gate_line(line, line_number));
+    }
+  }
+
+  Netlist nl("bench");
+  for (const auto& name : inputs) nl.mark_primary_input(nl.find_or_add_net(name));
+  for (const auto& name : outputs) nl.mark_primary_output(nl.find_or_add_net(name));
+  for (const auto& gate : gates) {
+    const GateType type = function_to_type(gate.function, gate.line_number);
+    const auto out = nl.find_or_add_net(gate.output);
+    std::vector<netlist::NetId> ins;
+    ins.reserve(gate.args.size());
+    for (const auto& arg : gate.args) ins.push_back(nl.find_or_add_net(arg));
+    try {
+      nl.add_gate(type, out, ins);
+    } catch (const std::invalid_argument& err) {
+      throw ParseError(err.what(), gate.line_number, 1);
+    }
+  }
+  return nl;
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_bench(buffer.str());
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::string out = "# " + nl.name() + "\n";
+  for (netlist::NetId id : nl.primary_inputs())
+    out += "INPUT(" + nl.net(id).name + ")\n";
+  for (netlist::NetId id : nl.primary_outputs())
+    out += "OUTPUT(" + nl.net(id).name + ")\n";
+  for (netlist::GateId g : nl.gates_in_file_order()) {
+    const netlist::Gate& gate = nl.gate(g);
+    out += nl.net(gate.output).name + " = ";
+    out += gate_type_name(gate.type);
+    out += '(';
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += nl.net(gate.inputs[i]).name;
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << write_bench(nl);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace netrev::parser

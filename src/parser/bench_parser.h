@@ -1,0 +1,26 @@
+// Reader/writer for the ISCAS/ITC ".bench" netlist format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G11 = DFF(G10)
+//   G12 = NOT(G11)
+//
+// Like the Verilog reader, line order is preserved as gate order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace netrev::parser {
+
+netlist::Netlist parse_bench(std::string_view source);
+netlist::Netlist parse_bench_file(const std::string& path);
+
+std::string write_bench(const netlist::Netlist& nl);
+void write_bench_file(const netlist::Netlist& nl, const std::string& path);
+
+}  // namespace netrev::parser

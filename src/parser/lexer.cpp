@@ -1,0 +1,175 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace netrev::parser {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kBitLiteral: return "bit literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::size_t start_line = line, start_col = column;
+      advance(2);
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/'))
+        advance(1);
+      if (i + 1 >= n)
+        throw ParseError("unterminated block comment", start_line, start_col);
+      advance(2);
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    const auto single = [&](TokenKind kind) {
+      token.kind = kind;
+      token.text = c;
+      advance(1);
+      tokens.push_back(std::move(token));
+    };
+
+    switch (c) {
+      case '(': single(TokenKind::kLParen); continue;
+      case ')': single(TokenKind::kRParen); continue;
+      case '[': single(TokenKind::kLBracket); continue;
+      case ']': single(TokenKind::kRBracket); continue;
+      case ',': single(TokenKind::kComma); continue;
+      case ';': single(TokenKind::kSemicolon); continue;
+      case '=': single(TokenKind::kEquals); continue;
+      case '.': single(TokenKind::kDot); continue;
+      case ':': single(TokenKind::kColon); continue;
+      default: break;
+    }
+
+    if (c == '\\') {
+      // Escaped identifier: everything up to the next whitespace.
+      advance(1);
+      std::string name;
+      while (i < n && !std::isspace(static_cast<unsigned char>(source[i]))) {
+        name += source[i];
+        advance(1);
+      }
+      if (name.empty())
+        throw ParseError("empty escaped identifier", token.line, token.column);
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(name);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::string name;
+      while (i < n && is_ident_char(source[i])) {
+        name += source[i];
+        advance(1);
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(name);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        digits += source[i];
+        advance(1);
+      }
+      // Bit literal: <width>'b<value>
+      if (i < n && source[i] == '\'') {
+        advance(1);
+        if (i >= n || (source[i] != 'b' && source[i] != 'B'))
+          throw ParseError("only binary bit literals are supported",
+                           token.line, token.column);
+        advance(1);
+        std::string bits;
+        while (i < n && (source[i] == '0' || source[i] == '1')) {
+          bits += source[i];
+          advance(1);
+        }
+        if (bits.empty())
+          throw ParseError("empty bit literal", token.line, token.column);
+        token.kind = TokenKind::kBitLiteral;
+        token.text = std::move(bits);
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::move(digits);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    throw ParseError(std::string("unexpected character '") + c + "'", line,
+                     column);
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace netrev::parser

@@ -1,0 +1,61 @@
+// Tokenizer for the structural-Verilog subset used by gate-level netlists.
+//
+// Handles identifiers (including escaped \names and bus-bit suffixes like
+// reg[3]), integer literals, Verilog bit literals (1'b0), punctuation, and
+// both comment styles.  Token positions are tracked for error messages.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netrev::parser {
+
+// Raised on any lexical or syntactic error; carries line/column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line, std::size_t column)
+      : std::runtime_error(message + " at line " + std::to_string(line) +
+                           ", column " + std::to_string(column)),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,      // plain integer
+  kBitLiteral,  // 1'b0 / 1'b1, value in text
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kEquals,
+  kDot,
+  kColon,
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+// Tokenizes the whole input eagerly.  Throws ParseError on bad characters.
+std::vector<Token> tokenize(std::string_view source);
+
+std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace netrev::parser

@@ -1,0 +1,316 @@
+#include "parser/verilog_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "parser/lexer.h"
+
+namespace netrev::parser {
+
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+// Pin names conventionally used for cell outputs.
+bool is_output_pin(std::string_view pin) {
+  return pin == "Y" || pin == "Q" || pin == "Z" || pin == "O" || pin == "OUT";
+}
+
+// Pin names for clock/reset-style connections we deliberately ignore: the
+// netlist model treats clocking as implicit (DESIGN.md §6).
+bool is_ignored_pin(std::string_view pin) {
+  return pin == "CK" || pin == "CLK" || pin == "CLOCK" || pin == "RST" ||
+         pin == "RESET" || pin == "SET" || pin == "EN";
+}
+
+// Maps a cell identifier like "NAND3_X2", "nand", "INV" to a gate type.
+std::optional<GateType> cell_to_gate_type(std::string_view cell) {
+  std::string upper(cell);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // Strip a drive-strength suffix (_X1, X2, ...).
+  const auto strip_suffix = [&](std::string& s) {
+    const std::size_t x = s.rfind('X');
+    if (x != std::string::npos && x + 1 < s.size() &&
+        std::all_of(s.begin() + static_cast<std::ptrdiff_t>(x) + 1, s.end(),
+                    [](unsigned char c) { return std::isdigit(c); })) {
+      s.erase(x);
+      if (!s.empty() && s.back() == '_') s.pop_back();
+    }
+  };
+  strip_suffix(upper);
+  // Strip a trailing arity count (NAND3 -> NAND).
+  while (!upper.empty() && std::isdigit(static_cast<unsigned char>(upper.back())))
+    upper.pop_back();
+  if (upper == "FD" || upper == "DFF" || upper == "SDFF" || upper == "FLOP")
+    return GateType::kDff;
+  return netlist::gate_type_from_name(upper);
+}
+
+struct PendingGate {
+  GateType type = GateType::kBuf;
+  std::string output;
+  std::vector<std::string> inputs;
+  std::size_t line = 0;
+};
+
+class VerilogParser {
+ public:
+  explicit VerilogParser(std::string_view source)
+      : tokens_(tokenize(source)) {}
+
+  Netlist parse() {
+    expect_keyword("module");
+    const std::string module_name = expect_identifier();
+    parse_port_header();
+    expect(TokenKind::kSemicolon);
+
+    while (!at_keyword("endmodule")) {
+      const Token& tok = peek();
+      if (tok.kind == TokenKind::kEndOfFile)
+        throw ParseError("missing 'endmodule'", tok.line, tok.column);
+      if (at_keyword("input")) {
+        parse_declaration(inputs_);
+      } else if (at_keyword("output")) {
+        parse_declaration(outputs_);
+      } else if (at_keyword("wire")) {
+        parse_declaration(wires_);
+      } else if (at_keyword("assign")) {
+        parse_assign();
+      } else if (tok.kind == TokenKind::kIdentifier) {
+        parse_instance();
+      } else {
+        throw ParseError("expected statement, got " +
+                             std::string(token_kind_name(tok.kind)),
+                         tok.line, tok.column);
+      }
+    }
+    expect_keyword("endmodule");
+
+    return build(module_name);
+  }
+
+ private:
+  // --- token stream helpers -----------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+
+  Token take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  void expect(TokenKind kind) {
+    const Token tok = take();
+    if (tok.kind != kind)
+      throw ParseError("expected " + std::string(token_kind_name(kind)) +
+                           ", got " + std::string(token_kind_name(tok.kind)),
+                       tok.line, tok.column);
+  }
+
+  bool at_keyword(std::string_view keyword) const {
+    const Token& tok = peek();
+    return tok.kind == TokenKind::kIdentifier && tok.text == keyword;
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    const Token tok = take();
+    if (tok.kind != TokenKind::kIdentifier || tok.text != keyword)
+      throw ParseError("expected '" + std::string(keyword) + "'", tok.line,
+                       tok.column);
+  }
+
+  std::string expect_identifier() {
+    const Token tok = take();
+    if (tok.kind != TokenKind::kIdentifier)
+      throw ParseError("expected identifier, got " +
+                           std::string(token_kind_name(tok.kind)),
+                       tok.line, tok.column);
+    return tok.text;
+  }
+
+  // Identifier with optional [index] suffix, normalized to "name[index]".
+  std::string expect_net_name() {
+    std::string name = expect_identifier();
+    if (peek().kind == TokenKind::kLBracket) {
+      take();
+      const Token index = take();
+      if (index.kind != TokenKind::kNumber)
+        throw ParseError("expected bit index", index.line, index.column);
+      expect(TokenKind::kRBracket);
+      name += '[' + index.text + ']';
+    }
+    return name;
+  }
+
+  // --- grammar ---------------------------------------------------------
+
+  void parse_port_header() {
+    expect(TokenKind::kLParen);
+    if (peek().kind != TokenKind::kRParen) {
+      while (true) {
+        expect_net_name();  // header order is not semantically relevant
+        if (peek().kind != TokenKind::kComma) break;
+        take();
+      }
+    }
+    expect(TokenKind::kRParen);
+  }
+
+  void parse_declaration(std::vector<std::string>& into) {
+    take();  // keyword
+    while (true) {
+      into.push_back(expect_net_name());
+      if (peek().kind != TokenKind::kComma) break;
+      take();
+    }
+    expect(TokenKind::kSemicolon);
+  }
+
+  void parse_assign() {
+    const Token keyword = peek();
+    take();  // 'assign'
+    PendingGate gate;
+    gate.line = keyword.line;
+    gate.output = expect_net_name();
+    expect(TokenKind::kEquals);
+    const Token rhs = peek();
+    if (rhs.kind == TokenKind::kBitLiteral) {
+      take();
+      if (rhs.text.size() != 1 || (rhs.text[0] != '0' && rhs.text[0] != '1'))
+        throw ParseError("only single-bit constants supported", rhs.line,
+                         rhs.column);
+      gate.type = rhs.text[0] == '0' ? GateType::kConst0 : GateType::kConst1;
+    } else {
+      gate.type = GateType::kBuf;
+      gate.inputs.push_back(expect_net_name());
+    }
+    expect(TokenKind::kSemicolon);
+    gates_.push_back(std::move(gate));
+  }
+
+  void parse_instance() {
+    const Token cell_tok = take();
+    const auto type = cell_to_gate_type(cell_tok.text);
+    if (!type)
+      throw ParseError("unknown cell type '" + cell_tok.text + "'",
+                       cell_tok.line, cell_tok.column);
+
+    // Optional instance name (primitives may omit it).
+    if (peek().kind == TokenKind::kIdentifier) take();
+
+    PendingGate gate;
+    gate.type = *type;
+    gate.line = cell_tok.line;
+
+    expect(TokenKind::kLParen);
+    if (peek().kind == TokenKind::kDot) {
+      parse_named_connections(gate);
+    } else {
+      parse_positional_connections(gate);
+    }
+    expect(TokenKind::kRParen);
+    expect(TokenKind::kSemicolon);
+
+    if (gate.output.empty())
+      throw ParseError("instance has no output connection", cell_tok.line,
+                       cell_tok.column);
+    gates_.push_back(std::move(gate));
+  }
+
+  void parse_positional_connections(PendingGate& gate) {
+    // Verilog primitive convention: output first, then inputs.
+    gate.output = expect_net_name();
+    while (peek().kind == TokenKind::kComma) {
+      take();
+      gate.inputs.push_back(expect_net_name());
+    }
+  }
+
+  void parse_named_connections(PendingGate& gate) {
+    // Collect (pin, net); sort input pins by name so A,B,C order is stable
+    // regardless of the order connections appear in the file.
+    std::vector<std::pair<std::string, std::string>> input_pins;
+    while (true) {
+      expect(TokenKind::kDot);
+      const std::string pin = expect_identifier();
+      expect(TokenKind::kLParen);
+      const std::string net = expect_net_name();
+      expect(TokenKind::kRParen);
+      if (is_output_pin(pin)) {
+        gate.output = net;
+      } else if (!is_ignored_pin(pin)) {
+        input_pins.emplace_back(pin, net);
+      }
+      if (peek().kind != TokenKind::kComma) break;
+      take();
+    }
+    std::sort(input_pins.begin(), input_pins.end());
+    for (auto& [pin, net] : input_pins) gate.inputs.push_back(std::move(net));
+  }
+
+  // --- netlist construction ----------------------------------------------
+
+  Netlist build(const std::string& module_name) {
+    Netlist nl(module_name);
+    const auto ensure = [&](const std::string& name) {
+      return nl.find_or_add_net(name);
+    };
+
+    std::unordered_set<std::string> declared_inputs(inputs_.begin(),
+                                                    inputs_.end());
+    // Declare in a deterministic order: inputs, outputs, wires, then
+    // implicitly-declared nets as they appear in gates.
+    for (const auto& name : inputs_) {
+      const auto id = ensure(name);
+      nl.mark_primary_input(id);
+    }
+    for (const auto& name : outputs_) nl.mark_primary_output(ensure(name));
+    for (const auto& name : wires_) ensure(name);
+
+    for (const auto& gate : gates_) {
+      if (declared_inputs.contains(gate.output))
+        throw ParseError("gate drives primary input '" + gate.output + "'",
+                         gate.line, 1);
+      const auto out = ensure(gate.output);
+      std::vector<netlist::NetId> ins;
+      ins.reserve(gate.inputs.size());
+      for (const auto& in : gate.inputs) ins.push_back(ensure(in));
+      try {
+        nl.add_gate(gate.type, out, ins);
+      } catch (const std::invalid_argument& err) {
+        throw ParseError(err.what(), gate.line, 1);
+      }
+    }
+    return nl;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<std::string> wires_;
+  std::vector<PendingGate> gates_;
+};
+
+}  // namespace
+
+netlist::Netlist parse_verilog(std::string_view source) {
+  return VerilogParser(source).parse();
+}
+
+netlist::Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_verilog(buffer.str());
+}
+
+}  // namespace netrev::parser

@@ -1,0 +1,31 @@
+// Reader for the flattened structural-Verilog subset that synthesized
+// ITC99-style netlists use: one module, scalar ports, wire declarations, and
+// a flat sea of library-cell / primitive instantiations.
+//
+// Supported statement forms:
+//   module NAME (a, b, c);  input a; output z;  wire w1, w2;
+//   nand U1 (out, in1, in2);          // primitive, positional, output first
+//   NAND2_X1 U2 (out, in1, in2);      // library cell, positional
+//   NAND2_X1 U3 (.Y(out), .A(x), .B(y));  // library cell, named ports
+//   DFF_X1 r0 (.Q(q), .D(d), .CK(clock)); // flop; clock pin ignored
+//   assign a = b;       // buffer
+//   assign a = 1'b0;    // constant
+//   endmodule
+//
+// Gate order in the returned netlist equals statement order in the file,
+// which is what the §2.2 grouping pass keys on.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace netrev::parser {
+
+// Parses `source`; throws ParseError on malformed input.
+netlist::Netlist parse_verilog(std::string_view source);
+
+// Reads and parses a file; throws std::runtime_error if unreadable.
+netlist::Netlist parse_verilog_file(const std::string& path);
+
+}  // namespace netrev::parser

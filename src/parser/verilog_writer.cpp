@@ -1,0 +1,95 @@
+#include "parser/verilog_writer.h"
+
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/contracts.h"
+
+namespace netrev::parser {
+
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+// Escape names that are not simple Verilog identifiers.
+std::string emit_name(const std::string& name) {
+  NETREV_REQUIRE(!name.empty());
+  bool simple = std::isalpha(static_cast<unsigned char>(name[0])) != 0 ||
+                name[0] == '_';
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$'))
+      simple = false;
+  }
+  if (simple) return name;
+  return "\\" + name + " ";
+}
+
+std::string cell_name(GateType type, std::size_t arity) {
+  switch (type) {
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kDff: return "DFF";
+    default:
+      return std::string(gate_type_name(type)) + std::to_string(arity);
+  }
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& nl) {
+  std::string out;
+  out += "module " + (nl.name().empty() ? std::string("top") : nl.name()) +
+         " (";
+  bool first = true;
+  const auto emit_port = [&](netlist::NetId id) {
+    if (!first) out += ", ";
+    out += emit_name(nl.net(id).name);
+    first = false;
+  };
+  for (netlist::NetId id : nl.primary_inputs()) emit_port(id);
+  for (netlist::NetId id : nl.primary_outputs()) emit_port(id);
+  out += ");\n";
+
+  for (netlist::NetId id : nl.primary_inputs())
+    out += "  input " + emit_name(nl.net(id).name) + ";\n";
+  for (netlist::NetId id : nl.primary_outputs())
+    out += "  output " + emit_name(nl.net(id).name) + ";\n";
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const netlist::Net& net = nl.net(nl.net_id_at(i));
+    if (net.is_primary_input || net.is_primary_output) continue;
+    out += "  wire " + emit_name(net.name) + ";\n";
+  }
+  out += "\n";
+
+  std::size_t instance = 0;
+  for (netlist::GateId g : nl.gates_in_file_order()) {
+    const netlist::Gate& gate = nl.gate(g);
+    const std::string output = emit_name(nl.net(gate.output).name);
+    if (gate.type == GateType::kConst0) {
+      out += "  assign " + output + " = 1'b0;\n";
+      continue;
+    }
+    if (gate.type == GateType::kConst1) {
+      out += "  assign " + output + " = 1'b1;\n";
+      continue;
+    }
+    out += "  " + cell_name(gate.type, gate.inputs.size()) + " g" +
+           std::to_string(instance++) + " (" + output;
+    for (netlist::NetId in : gate.inputs)
+      out += ", " + emit_name(nl.net(in).name);
+    out += ");\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+void write_verilog_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << write_verilog(nl);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace netrev::parser

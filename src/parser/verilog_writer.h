@@ -1,0 +1,16 @@
+// Writer emitting the same structural-Verilog subset parse_verilog() reads.
+// write/parse round-trips preserve gate order, gate types, connectivity, net
+// names, and port directions (property-tested in tests/parser/).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace netrev::parser {
+
+std::string write_verilog(const netlist::Netlist& nl);
+
+void write_verilog_file(const netlist::Netlist& nl, const std::string& path);
+
+}  // namespace netrev::parser

@@ -1,0 +1,180 @@
+#include "rtl/expr.h"
+
+#include <stdexcept>
+
+#include "common/contracts.h"
+
+namespace netrev::rtl {
+
+namespace {
+
+void require_width(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("rtl: ") + what);
+}
+
+std::uint64_t mask(std::size_t width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+}  // namespace
+
+ExprPtr constant(std::uint64_t value, std::size_t width) {
+  require_width(width >= 1 && width <= 64, "constant width must be 1..64");
+  return std::make_shared<Expr>(ExprKind::kConst, width,
+                                std::vector<ExprPtr>{}, value & mask(width));
+}
+
+ExprPtr input(std::string name, std::size_t width) {
+  require_width(width >= 1 && width <= 64, "input width must be 1..64");
+  require_width(!name.empty(), "input name must not be empty");
+  return std::make_shared<Expr>(ExprKind::kInput, width,
+                                std::vector<ExprPtr>{}, 0, std::move(name));
+}
+
+ExprPtr reg_ref(std::string name, std::size_t width) {
+  require_width(width >= 1 && width <= 64, "register width must be 1..64");
+  require_width(!name.empty(), "register name must not be empty");
+  return std::make_shared<Expr>(ExprKind::kRegRef, width,
+                                std::vector<ExprPtr>{}, 0, std::move(name));
+}
+
+ExprPtr bit_not(ExprPtr a) {
+  require_width(a != nullptr, "null operand");
+  const std::size_t width = a->width();
+  return std::make_shared<Expr>(ExprKind::kNot, width,
+                                std::vector<ExprPtr>{std::move(a)});
+}
+
+namespace {
+ExprPtr binary(ExprKind kind, ExprPtr a, ExprPtr b, std::size_t width) {
+  require_width(a != nullptr && b != nullptr, "null operand");
+  require_width(a->width() == b->width(), "operand widths differ");
+  return std::make_shared<Expr>(kind, width,
+                                std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+}  // namespace
+
+ExprPtr bit_and(ExprPtr a, ExprPtr b) {
+  const std::size_t w = a ? a->width() : 0;
+  return binary(ExprKind::kAnd, std::move(a), std::move(b), w);
+}
+ExprPtr bit_or(ExprPtr a, ExprPtr b) {
+  const std::size_t w = a ? a->width() : 0;
+  return binary(ExprKind::kOr, std::move(a), std::move(b), w);
+}
+ExprPtr bit_xor(ExprPtr a, ExprPtr b) {
+  const std::size_t w = a ? a->width() : 0;
+  return binary(ExprKind::kXor, std::move(a), std::move(b), w);
+}
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  const std::size_t w = a ? a->width() : 0;
+  return binary(ExprKind::kAdd, std::move(a), std::move(b), w);
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  const std::size_t w = a ? a->width() : 0;
+  return binary(ExprKind::kSub, std::move(a), std::move(b), w);
+}
+ExprPtr eq(ExprPtr a, ExprPtr b) {
+  return binary(ExprKind::kEq, std::move(a), std::move(b), 1);
+}
+ExprPtr lt(ExprPtr a, ExprPtr b) {
+  return binary(ExprKind::kLt, std::move(a), std::move(b), 1);
+}
+
+ExprPtr mux(ExprPtr sel, ExprPtr when0, ExprPtr when1) {
+  require_width(sel != nullptr && when0 != nullptr && when1 != nullptr,
+                "null operand");
+  require_width(sel->width() == 1, "mux select must be 1 bit");
+  require_width(when0->width() == when1->width(), "mux arm widths differ");
+  const std::size_t width = when0->width();
+  return std::make_shared<Expr>(
+      ExprKind::kMux, width,
+      std::vector<ExprPtr>{std::move(sel), std::move(when0), std::move(when1)});
+}
+
+ExprPtr slice(ExprPtr value, std::size_t lo, std::size_t width) {
+  require_width(value != nullptr, "null operand");
+  require_width(width >= 1 && lo + width <= value->width(),
+                "slice out of range");
+  return std::make_shared<Expr>(ExprKind::kSlice, width,
+                                std::vector<ExprPtr>{std::move(value)}, 0,
+                                std::string{}, lo);
+}
+
+ExprPtr concat(ExprPtr low, ExprPtr high) {
+  require_width(low != nullptr && high != nullptr, "null operand");
+  const std::size_t width = low->width() + high->width();
+  require_width(width <= 64, "concat result too wide");
+  return std::make_shared<Expr>(
+      ExprKind::kConcat, width,
+      std::vector<ExprPtr>{std::move(low), std::move(high)});
+}
+
+namespace {
+ExprPtr shift(ExprKind kind, ExprPtr value, std::size_t amount) {
+  require_width(value != nullptr, "null operand");
+  require_width(amount < value->width(), "shift amount exceeds width");
+  const std::size_t width = value->width();
+  return std::make_shared<Expr>(kind, width,
+                                std::vector<ExprPtr>{std::move(value)}, 0,
+                                std::string{}, amount);
+}
+}  // namespace
+
+ExprPtr shl(ExprPtr value, std::size_t amount) {
+  return shift(ExprKind::kShl, std::move(value), amount);
+}
+ExprPtr shr(ExprPtr value, std::size_t amount) {
+  return shift(ExprKind::kShr, std::move(value), amount);
+}
+
+std::uint64_t evaluate(const Expr& expr, const EvalEnv& env) {
+  const auto value_of = [&](const ExprPtr& e) { return evaluate(*e, env); };
+  const std::uint64_t m = mask(expr.width());
+  switch (expr.kind()) {
+    case ExprKind::kConst: return expr.const_value() & m;
+    case ExprKind::kInput:
+      NETREV_REQUIRE(env.lookup_input != nullptr);
+      return env.lookup_input(expr.name(), env.context) & m;
+    case ExprKind::kRegRef:
+      NETREV_REQUIRE(env.lookup_reg != nullptr);
+      return env.lookup_reg(expr.name(), env.context) & m;
+    case ExprKind::kNot: return ~value_of(expr.operands()[0]) & m;
+    case ExprKind::kAnd:
+      return (value_of(expr.operands()[0]) & value_of(expr.operands()[1])) & m;
+    case ExprKind::kOr:
+      return (value_of(expr.operands()[0]) | value_of(expr.operands()[1])) & m;
+    case ExprKind::kXor:
+      return (value_of(expr.operands()[0]) ^ value_of(expr.operands()[1])) & m;
+    case ExprKind::kAdd:
+      return (value_of(expr.operands()[0]) + value_of(expr.operands()[1])) & m;
+    case ExprKind::kSub:
+      return (value_of(expr.operands()[0]) - value_of(expr.operands()[1])) & m;
+    case ExprKind::kEq:
+      return value_of(expr.operands()[0]) == value_of(expr.operands()[1]) ? 1
+                                                                          : 0;
+    case ExprKind::kLt:
+      return value_of(expr.operands()[0]) < value_of(expr.operands()[1]) ? 1
+                                                                         : 0;
+    case ExprKind::kMux:
+      return (value_of(expr.operands()[0]) != 0
+                  ? value_of(expr.operands()[2])
+                  : value_of(expr.operands()[1])) &
+             m;
+    case ExprKind::kSlice:
+      return (value_of(expr.operands()[0]) >> expr.slice_lo()) & m;
+    case ExprKind::kConcat: {
+      const std::uint64_t low = value_of(expr.operands()[0]);
+      const std::uint64_t high = value_of(expr.operands()[1]);
+      return (low | (high << expr.operands()[0]->width())) & m;
+    }
+    case ExprKind::kShl:
+      return (value_of(expr.operands()[0]) << expr.slice_lo()) & m;
+    case ExprKind::kShr:
+      return (value_of(expr.operands()[0]) >> expr.slice_lo()) & m;
+  }
+  NETREV_ASSERT(false && "unreachable expr kind");
+  return 0;
+}
+
+}  // namespace netrev::rtl

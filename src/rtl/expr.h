@@ -1,0 +1,94 @@
+// Word-level RTL expression IR.
+//
+// A small immutable expression DAG over multi-bit values: enough vocabulary
+// (registers, inputs, constants, bitwise logic, add/sub, compare, mux) to
+// describe ITC99-style control/datapath circuits, which the synthesizer in
+// synth.h lowers to a flattened gate-level netlist.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace netrev::rtl {
+
+enum class ExprKind {
+  kConst,   // literal value, `width` bits
+  kInput,   // module input, by name
+  kRegRef,  // current value of a register, by name
+  kNot,     // bitwise
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,     // modulo 2^width
+  kSub,
+  kEq,      // 1-bit result
+  kLt,      // unsigned less-than, 1-bit result
+  kMux,     // operands: sel (1 bit), a (sel=0), b (sel=1)
+  kSlice,   // operands: value; [lo, lo+width)
+  kConcat,  // low-order operand first
+  kShl,     // shift left by a constant (slice_lo), zero fill
+  kShr,     // logical shift right by a constant (slice_lo), zero fill
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  Expr(ExprKind kind, std::size_t width, std::vector<ExprPtr> operands,
+       std::uint64_t const_value = 0, std::string name = {},
+       std::size_t slice_lo = 0)
+      : kind_(kind),
+        width_(width),
+        operands_(std::move(operands)),
+        const_value_(const_value),
+        name_(std::move(name)),
+        slice_lo_(slice_lo) {}
+
+  ExprKind kind() const { return kind_; }
+  std::size_t width() const { return width_; }
+  const std::vector<ExprPtr>& operands() const { return operands_; }
+  std::uint64_t const_value() const { return const_value_; }
+  const std::string& name() const { return name_; }
+  std::size_t slice_lo() const { return slice_lo_; }
+
+ private:
+  ExprKind kind_;
+  std::size_t width_;
+  std::vector<ExprPtr> operands_;
+  std::uint64_t const_value_;  // kConst
+  std::string name_;           // kInput / kRegRef
+  std::size_t slice_lo_;       // kSlice
+};
+
+// Factories.  All validate widths (throwing std::invalid_argument) so that
+// malformed RTL is rejected at construction time.
+ExprPtr constant(std::uint64_t value, std::size_t width);
+ExprPtr input(std::string name, std::size_t width);
+ExprPtr reg_ref(std::string name, std::size_t width);
+ExprPtr bit_not(ExprPtr a);
+ExprPtr bit_and(ExprPtr a, ExprPtr b);
+ExprPtr bit_or(ExprPtr a, ExprPtr b);
+ExprPtr bit_xor(ExprPtr a, ExprPtr b);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);  // unsigned
+ExprPtr mux(ExprPtr sel, ExprPtr when0, ExprPtr when1);
+ExprPtr slice(ExprPtr value, std::size_t lo, std::size_t width);
+ExprPtr concat(ExprPtr low, ExprPtr high);
+ExprPtr shl(ExprPtr value, std::size_t amount);  // zero fill, same width
+ExprPtr shr(ExprPtr value, std::size_t amount);  // logical, same width
+
+// Reference interpreter used by tests: evaluates an expression given maps
+// from input/register names to values (values are truncated to width).
+struct EvalEnv {
+  std::uint64_t (*lookup_input)(const std::string&, void*) = nullptr;
+  std::uint64_t (*lookup_reg)(const std::string&, void*) = nullptr;
+  void* context = nullptr;
+};
+std::uint64_t evaluate(const Expr& expr, const EvalEnv& env);
+
+}  // namespace netrev::rtl

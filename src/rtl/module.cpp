@@ -1,0 +1,84 @@
+#include "rtl/module.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netrev::rtl {
+
+ExprPtr Module::add_input(std::string name, std::size_t width) {
+  for (const Port& port : inputs_)
+    if (port.name == name)
+      throw std::invalid_argument("duplicate input: " + name);
+  inputs_.push_back(Port{name, width});
+  return input(std::move(name), width);
+}
+
+ExprPtr Module::add_register(std::string name, std::size_t width) {
+  for (const Register& reg : registers_)
+    if (reg.name == name)
+      throw std::invalid_argument("duplicate register: " + name);
+  registers_.push_back(Register{name, width, nullptr});
+  return reg_ref(std::move(name), width);
+}
+
+void Module::set_next(const std::string& register_name, ExprPtr next) {
+  for (Register& reg : registers_) {
+    if (reg.name != register_name) continue;
+    if (next == nullptr || next->width() != reg.width)
+      throw std::invalid_argument("next-state width mismatch for register " +
+                                  register_name);
+    reg.next = std::move(next);
+    return;
+  }
+  throw std::invalid_argument("unknown register: " + register_name);
+}
+
+void Module::add_output(std::string name, ExprPtr value) {
+  if (value == nullptr) throw std::invalid_argument("null output value");
+  outputs_.push_back(Output{std::move(name), std::move(value)});
+}
+
+const Register* Module::find_register(const std::string& name) const {
+  for (const Register& reg : registers_)
+    if (reg.name == name) return &reg;
+  return nullptr;
+}
+
+namespace {
+
+void collect_references(const Expr& expr,
+                        std::unordered_set<std::string>& input_refs,
+                        std::unordered_set<std::string>& reg_refs) {
+  if (expr.kind() == ExprKind::kInput) input_refs.insert(expr.name());
+  if (expr.kind() == ExprKind::kRegRef) reg_refs.insert(expr.name());
+  for (const ExprPtr& op : expr.operands())
+    collect_references(*op, input_refs, reg_refs);
+}
+
+}  // namespace
+
+void Module::check_complete() const {
+  std::unordered_set<std::string> input_refs;
+  std::unordered_set<std::string> reg_refs;
+  for (const Register& reg : registers_) {
+    if (reg.next == nullptr)
+      throw std::invalid_argument("register without next-state: " + reg.name);
+    collect_references(*reg.next, input_refs, reg_refs);
+  }
+  for (const Output& out : outputs_)
+    collect_references(*out.value, input_refs, reg_refs);
+
+  std::unordered_set<std::string> declared_inputs;
+  for (const Port& port : inputs_) declared_inputs.insert(port.name);
+  std::unordered_set<std::string> declared_regs;
+  for (const Register& reg : registers_) declared_regs.insert(reg.name);
+
+  for (const auto& name : input_refs)
+    if (!declared_inputs.contains(name))
+      throw std::invalid_argument("undeclared input referenced: " + name);
+  for (const auto& name : reg_refs)
+    if (!declared_regs.contains(name))
+      throw std::invalid_argument("undeclared register referenced: " + name);
+}
+
+}  // namespace netrev::rtl

@@ -1,0 +1,62 @@
+// RTL module: named inputs, registers with next-state expressions, outputs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/expr.h"
+
+namespace netrev::rtl {
+
+struct Port {
+  std::string name;
+  std::size_t width = 1;
+};
+
+struct Register {
+  std::string name;
+  std::size_t width = 1;
+  ExprPtr next;  // must be set before synthesis
+};
+
+struct Output {
+  std::string name;
+  ExprPtr value;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Declares an input and returns an expression reading it.
+  ExprPtr add_input(std::string name, std::size_t width);
+
+  // Declares a register and returns an expression reading its current value.
+  ExprPtr add_register(std::string name, std::size_t width);
+
+  // Sets a register's next-state expression (width must match).
+  void set_next(const std::string& register_name, ExprPtr next);
+
+  void add_output(std::string name, ExprPtr value);
+
+  const std::vector<Port>& inputs() const { return inputs_; }
+  const std::vector<Register>& registers() const { return registers_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+
+  const Register* find_register(const std::string& name) const;
+
+  // Throws std::invalid_argument when some register lacks a next-state
+  // expression or references are unresolved.
+  void check_complete() const;
+
+ private:
+  std::string name_;
+  std::vector<Port> inputs_;
+  std::vector<Register> registers_;
+  std::vector<Output> outputs_;
+};
+
+}  // namespace netrev::rtl

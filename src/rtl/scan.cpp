@@ -1,0 +1,87 @@
+#include "rtl/scan.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/contracts.h"
+#include "rtl/lower_ops.h"
+#include "rtl/netnamer.h"
+
+namespace netrev::rtl {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+ScanInsertionResult insert_scan_chain(const Netlist& source) {
+  if (source.flop_count() == 0)
+    throw std::invalid_argument("insert_scan_chain: design has no flops");
+  for (const char* reserved : {"SCAN_EN", "SCAN_IN", "SCAN_OUT"})
+    if (source.find_net(reserved))
+      throw std::invalid_argument(std::string("insert_scan_chain: net '") +
+                                  reserved + "' already exists");
+
+  ScanInsertionResult result;
+  Netlist& nl = result.netlist;
+  nl.set_name(source.name() + "_scan");
+
+  // Copy every net, preserving names and port directions.
+  std::vector<NetId> remap(source.net_count());
+  for (std::size_t i = 0; i < source.net_count(); ++i) {
+    const netlist::Net& net = source.net(source.net_id_at(i));
+    remap[i] = nl.add_net(net.name);
+    if (net.is_primary_input) nl.mark_primary_input(remap[i]);
+    if (net.is_primary_output) nl.mark_primary_output(remap[i]);
+  }
+  result.scan_enable = nl.add_net("SCAN_EN");
+  result.scan_in = nl.add_net("SCAN_IN");
+  nl.mark_primary_input(result.scan_enable);
+  nl.mark_primary_input(result.scan_in);
+
+  // Combinational gates copy unchanged, in file order.
+  std::vector<GateId> flops;
+  for (GateId g : source.gates_in_file_order()) {
+    const netlist::Gate& gate = source.gate(g);
+    if (gate.type == GateType::kDff) {
+      flops.push_back(g);
+      continue;
+    }
+    std::vector<NetId> inputs;
+    inputs.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) inputs.push_back(remap[in.value()]);
+    nl.add_gate(gate.type, remap[gate.output.value()], inputs);
+  }
+
+  // Scan muxes, then the flops (DFT tools append the test logic in a
+  // batch): inner mux gates first, then every mux root on consecutive
+  // lines — the new D nets form one root run exactly like a word's.
+  NetNamer namer(nl, 800000);
+  const NetId not_se = make_not(namer, result.scan_enable);
+  NetId chain = result.scan_in;
+  std::vector<GateSpec> roots(flops.size());
+  for (std::size_t k = 0; k < flops.size(); ++k) {
+    const netlist::Gate& flop = source.gate(flops[k]);
+    const NetId functional_d = remap[flop.inputs[0].value()];
+    roots[k] =
+        mux2_spec(namer, result.scan_enable, functional_d, chain, not_se);
+    chain = remap[flop.output.value()];
+    ++result.muxes_inserted;
+  }
+  std::vector<NetId> new_d(flops.size());
+  for (std::size_t k = 0; k < flops.size(); ++k)
+    new_d[k] = emit(namer, roots[k]);
+  for (std::size_t k = 0; k < flops.size(); ++k) {
+    const netlist::Gate& flop = source.gate(flops[k]);
+    nl.add_gate(GateType::kDff, remap[flop.output.value()], {new_d[k]});
+  }
+
+  result.scan_out = nl.add_net("SCAN_OUT");
+  nl.add_gate(GateType::kBuf, result.scan_out, {chain});
+  nl.mark_primary_output(result.scan_out);
+
+  NETREV_ENSURE(nl.flop_count() == source.flop_count());
+  return result;
+}
+
+}  // namespace netrev::rtl

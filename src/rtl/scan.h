@@ -1,0 +1,32 @@
+// Scan-chain insertion.
+//
+// Models the paper's premise that "modern designs contain numerous control
+// signals which are automatically inserted by CAD tools ... for example
+// signals inserted to select scan mode".  Every flip-flop's D input is
+// rewired through a NAND-based 2:1 mux selecting between the functional
+// next-state (SCAN_EN = 0) and the previous flop's output (SCAN_EN = 1);
+// the chain head reads a new SCAN_IN input and the tail drives SCAN_OUT.
+//
+// Used by tests and the ablation harness to study how DFT logic shifts the
+// depth-4 matching horizon.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace netrev::rtl {
+
+struct ScanInsertionResult {
+  netlist::Netlist netlist;
+  netlist::NetId scan_enable = netlist::NetId::invalid();
+  netlist::NetId scan_in = netlist::NetId::invalid();
+  netlist::NetId scan_out = netlist::NetId::invalid();
+  std::size_t muxes_inserted = 0;
+};
+
+// Rebuilds `source` with a scan chain threaded through its flops in file
+// order.  Net names are preserved; the scan mux cells get fresh U names.
+// Throws std::invalid_argument if `source` has no flops or already declares
+// SCAN_EN / SCAN_IN / SCAN_OUT nets.
+ScanInsertionResult insert_scan_chain(const netlist::Netlist& source);
+
+}  // namespace netrev::rtl

@@ -1,0 +1,354 @@
+#include "rtl/synth.h"
+
+#include <stdexcept>
+
+#include "common/contracts.h"
+#include "rtl/lower_ops.h"
+
+namespace netrev::rtl {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(NetNamer& namer) : namer_(&namer) {}
+
+  void declare_input(const Port& port) {
+    std::vector<NetId> bits;
+    for (std::size_t i = 0; i < port.width; ++i) {
+      const NetId net = namer_->named(bit_name(port.name, i, port.width));
+      namer_->netlist().mark_primary_input(net);
+      bits.push_back(net);
+    }
+    inputs_.emplace(port.name, std::move(bits));
+  }
+
+  void declare_register(const Register& reg) {
+    std::vector<NetId> bits;
+    for (std::size_t i = 0; i < reg.width; ++i)
+      bits.push_back(namer_->named(flop_output_name(reg.name, i, reg.width)));
+    registers_.emplace(reg.name, std::move(bits));
+  }
+
+  const std::vector<NetId>& register_q_nets(const std::string& name) const {
+    return registers_.at(name);
+  }
+
+  // Full lowering: emits everything, returns per-bit nets (LSB first).
+  // Pass-through kinds return their source nets directly (no buffer copies).
+  std::vector<NetId> lower(const ExprPtr& expr) {
+    NETREV_REQUIRE(expr != nullptr);
+    const auto cached = cache_.find(expr.get());
+    if (cached != cache_.end()) return cached->second;
+
+    std::vector<NetId> bits;
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        for (std::size_t i = 0; i < expr->width(); ++i)
+          bits.push_back(const_net((expr->const_value() >> i) & 1));
+        break;
+      case ExprKind::kInput:
+        bits = inputs_.at(expr->name());
+        break;
+      case ExprKind::kRegRef:
+        bits = registers_.at(expr->name());
+        break;
+      case ExprKind::kSlice: {
+        const auto value = lower(expr->operands()[0]);
+        bits.assign(value.begin() + static_cast<std::ptrdiff_t>(expr->slice_lo()),
+                    value.begin() + static_cast<std::ptrdiff_t>(expr->slice_lo() +
+                                                                expr->width()));
+        break;
+      }
+      case ExprKind::kConcat: {
+        bits = lower(expr->operands()[0]);
+        const auto high = lower(expr->operands()[1]);
+        bits.insert(bits.end(), high.begin(), high.end());
+        break;
+      }
+      case ExprKind::kShl:
+      case ExprKind::kShr:
+        bits = shifted_bits(expr);
+        break;
+      default:
+        for (GateSpec& spec : lower_top(expr)) bits.push_back(materialize(spec));
+        break;
+    }
+    cache_.emplace(expr.get(), bits);
+    return bits;
+  }
+
+  // Lowers all operand logic but returns the per-bit root gates unemitted,
+  // so the caller can place them on consecutive lines.  Results of this
+  // entry point are NOT cached (the caller owns the roots).
+  std::vector<GateSpec> lower_top(const ExprPtr& expr) {
+    NETREV_REQUIRE(expr != nullptr);
+    switch (expr->kind()) {
+      case ExprKind::kConst: {
+        std::vector<GateSpec> specs;
+        for (std::size_t i = 0; i < expr->width(); ++i)
+          specs.push_back(buf_spec(const_net((expr->const_value() >> i) & 1)));
+        return specs;
+      }
+      case ExprKind::kInput: {
+        const auto it = inputs_.find(expr->name());
+        if (it == inputs_.end())
+          throw std::invalid_argument("undeclared input: " + expr->name());
+        return buf_specs(it->second, expr->width());
+      }
+      case ExprKind::kRegRef: {
+        const auto it = registers_.find(expr->name());
+        if (it == registers_.end())
+          throw std::invalid_argument("undeclared register: " + expr->name());
+        return buf_specs(it->second, expr->width());
+      }
+      case ExprKind::kNot: {
+        const auto a = lower(expr->operands()[0]);
+        std::vector<GateSpec> specs;
+        for (NetId net : a)
+          specs.push_back(GateSpec{GateType::kNot, {net}});
+        return specs;
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kXor: {
+        const GateType type = expr->kind() == ExprKind::kAnd ? GateType::kAnd
+                              : expr->kind() == ExprKind::kOr ? GateType::kOr
+                                                              : GateType::kXor;
+        const auto a = lower(expr->operands()[0]);
+        const auto b = lower(expr->operands()[1]);
+        std::vector<GateSpec> specs;
+        for (std::size_t i = 0; i < expr->width(); ++i)
+          specs.push_back(GateSpec{type, {a[i], b[i]}});
+        return specs;
+      }
+      case ExprKind::kAdd: return lower_add(expr);
+      case ExprKind::kSub: return lower_sub(expr);
+      case ExprKind::kEq: return lower_eq(expr);
+      case ExprKind::kLt: return lower_lt(expr);
+      case ExprKind::kMux: return lower_mux(expr);
+      case ExprKind::kSlice: {
+        const auto value = lower(expr->operands()[0]);
+        std::vector<NetId> bits(value.begin() + static_cast<std::ptrdiff_t>(expr->slice_lo()),
+                                value.begin() + static_cast<std::ptrdiff_t>(expr->slice_lo() + expr->width()));
+        return buf_specs(bits, expr->width());
+      }
+      case ExprKind::kConcat: {
+        auto low = lower(expr->operands()[0]);
+        const auto high = lower(expr->operands()[1]);
+        low.insert(low.end(), high.begin(), high.end());
+        return buf_specs(low, expr->width());
+      }
+      case ExprKind::kShl:
+      case ExprKind::kShr:
+        return buf_specs(shifted_bits(expr), expr->width());
+    }
+    NETREV_ASSERT(false && "unreachable expr kind");
+    return {};
+  }
+
+  NetId materialize(const GateSpec& spec) { return emit(*namer_, spec); }
+
+ private:
+  GateSpec buf_spec(NetId net) { return GateSpec{GateType::kBuf, {net}}; }
+
+  std::vector<GateSpec> buf_specs(const std::vector<NetId>& bits,
+                                  std::size_t width) {
+    NETREV_REQUIRE(bits.size() == width);
+    std::vector<GateSpec> specs;
+    specs.reserve(width);
+    for (NetId net : bits) specs.push_back(buf_spec(net));
+    return specs;
+  }
+
+  NetId const_net(bool value) {
+    NetId& slot = value ? const1_ : const0_;
+    if (!slot.is_valid()) {
+      slot = namer_->fresh();
+      namer_->netlist().add_gate(
+          value ? GateType::kConst1 : GateType::kConst0, slot, {});
+    }
+    return slot;
+  }
+
+  std::vector<GateSpec> lower_add(const ExprPtr& expr) {
+    const auto a = lower(expr->operands()[0]);
+    const auto b = lower(expr->operands()[1]);
+    const std::size_t w = expr->width();
+    // Ripple-carry: p_i = a^b, g_i = a&b, c_{i+1} = g_i | (p_i & c_i).
+    std::vector<NetId> p(w), c(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      // p[0] is not needed (sum_0 gets its own root XOR; the first carry is
+      // just g_0), but every later bit uses p both in its sum root and in
+      // the carry chain.
+      if (i >= 1) p[i] = make_xor(*namer_, a[i], b[i]);
+      if (i == 0) continue;
+      const NetId g_prev = make_and(*namer_, a[i - 1], b[i - 1]);
+      if (i == 1) {
+        c[1] = g_prev;
+      } else {
+        const NetId t = make_and(*namer_, p[i - 1], c[i - 1]);
+        c[i] = make_or(*namer_, g_prev, t);
+      }
+    }
+    std::vector<GateSpec> specs;
+    specs.reserve(w);
+    specs.push_back(GateSpec{GateType::kXor, {a[0], b[0]}});
+    for (std::size_t i = 1; i < w; ++i)
+      specs.push_back(GateSpec{GateType::kXor, {p[i], c[i]}});
+    return specs;
+  }
+
+  std::vector<GateSpec> lower_sub(const ExprPtr& expr) {
+    // a - b = a + ~b + 1 (carry-in fixed at 1, folded into the chain).
+    const auto a = lower(expr->operands()[0]);
+    const auto b = lower(expr->operands()[1]);
+    const std::size_t w = expr->width();
+    std::vector<NetId> nb(w), p(w), c(w);
+    for (std::size_t i = 0; i < w; ++i) nb[i] = make_not(*namer_, b[i]);
+    // p[0] feeds the first carry (carry-in is 1); later p's feed both the
+    // carry chain and the sum roots.  A 1-bit subtract needs no p at all.
+    for (std::size_t i = 0; w > 1 && i < w; ++i)
+      p[i] = make_xor(*namer_, a[i], nb[i]);
+    for (std::size_t i = 1; i < w; ++i) {
+      const NetId g_prev = make_and(*namer_, a[i - 1], nb[i - 1]);
+      if (i == 1) {
+        // c_1 = g_0 | (p_0 & 1) = g_0 | p_0.
+        c[1] = make_or(*namer_, g_prev, p[0]);
+      } else {
+        const NetId t = make_and(*namer_, p[i - 1], c[i - 1]);
+        c[i] = make_or(*namer_, g_prev, t);
+      }
+    }
+    std::vector<GateSpec> specs;
+    specs.reserve(w);
+    // sum_0 = a_0 ^ ~b_0 ^ 1 = XNOR(a_0, ~b_0).
+    specs.push_back(GateSpec{GateType::kXnor, {a[0], nb[0]}});
+    for (std::size_t i = 1; i < w; ++i)
+      specs.push_back(GateSpec{GateType::kXor, {p[i], c[i]}});
+    return specs;
+  }
+
+  // Constant shifts are pure wiring plus zero fill.
+  std::vector<NetId> shifted_bits(const ExprPtr& expr) {
+    const auto value = lower(expr->operands()[0]);
+    const std::size_t w = expr->width();
+    const std::size_t amount = expr->slice_lo();
+    std::vector<NetId> bits(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (expr->kind() == ExprKind::kShl)
+        bits[i] = i < amount ? const_net(false) : value[i - amount];
+      else
+        bits[i] = i + amount < w ? value[i + amount] : const_net(false);
+    }
+    return bits;
+  }
+
+  std::vector<GateSpec> lower_lt(const ExprPtr& expr) {
+    // Unsigned borrow chain: borrow_{i+1} = (~a_i & b_i) |
+    // ((~a_i | b_i) & borrow_i); lt = borrow_w.
+    const auto a = lower(expr->operands()[0]);
+    const auto b = lower(expr->operands()[1]);
+    const std::size_t w = a.size();
+    NetId borrow = NetId::invalid();
+    GateSpec root;
+    for (std::size_t i = 0; i < w; ++i) {
+      const NetId na = make_not(*namer_, a[i]);
+      const NetId t1 = make_and(*namer_, na, b[i]);
+      if (!borrow.is_valid()) {
+        // borrow_1 = ~a_0 & b_0.
+        if (w == 1) return {GateSpec{GateType::kAnd, {na, b[0]}}};
+        borrow = t1;
+        continue;
+      }
+      const NetId t2 = make_or(*namer_, na, b[i]);
+      const NetId t3 = make_and(*namer_, t2, borrow);
+      if (i + 1 == w) {
+        root = GateSpec{GateType::kOr, {t1, t3}};
+      } else {
+        borrow = make_or(*namer_, t1, t3);
+      }
+    }
+    return {root};
+  }
+
+  std::vector<GateSpec> lower_eq(const ExprPtr& expr) {
+    const auto a = lower(expr->operands()[0]);
+    const auto b = lower(expr->operands()[1]);
+    std::vector<NetId> eq_bits;
+    eq_bits.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      eq_bits.push_back(make_xnor(*namer_, a[i], b[i]));
+    return {and_tree_spec(*namer_, eq_bits)};
+  }
+
+  std::vector<GateSpec> lower_mux(const ExprPtr& expr) {
+    const auto sel = lower(expr->operands()[0]);
+    const auto a = lower(expr->operands()[1]);
+    const auto b = lower(expr->operands()[2]);
+    const NetId not_sel = make_not(*namer_, sel[0]);
+    std::vector<GateSpec> specs;
+    specs.reserve(expr->width());
+    for (std::size_t i = 0; i < expr->width(); ++i)
+      specs.push_back(mux2_spec(*namer_, sel[0], a[i], b[i], not_sel));
+    return specs;
+  }
+
+  NetNamer* namer_;
+  std::unordered_map<const Expr*, std::vector<NetId>> cache_;
+  std::unordered_map<std::string, std::vector<NetId>> inputs_;
+  std::unordered_map<std::string, std::vector<NetId>> registers_;
+  NetId const0_ = NetId::invalid();
+  NetId const1_ = NetId::invalid();
+};
+
+}  // namespace
+
+SynthesisResult synthesize(const Module& module) {
+  module.check_complete();
+
+  SynthesisResult result;
+  result.netlist.set_name(module.name());
+  NetNamer namer(result.netlist, 100);
+  Lowerer lowerer(namer);
+
+  for (const Port& port : module.inputs()) lowerer.declare_input(port);
+  for (const Register& reg : module.registers()) lowerer.declare_register(reg);
+
+  // Next-state logic: operand cones first, then each word's root gates on
+  // consecutive lines.
+  for (const Register& reg : module.registers()) {
+    std::vector<GateSpec> roots = lowerer.lower_top(reg.next);
+    std::vector<NetId> d_nets;
+    d_nets.reserve(roots.size());
+    for (const GateSpec& root : roots) d_nets.push_back(lowerer.materialize(root));
+    result.register_d_nets.emplace(reg.name, std::move(d_nets));
+  }
+
+  // Outputs: named nets buffered from their logic.
+  for (const Output& out : module.outputs()) {
+    const std::vector<NetId> bits = lowerer.lower(out.value);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      const NetId net =
+          result.netlist.add_net(bit_name(out.name, i, bits.size()));
+      result.netlist.add_gate(GateType::kBuf, net, {bits[i]});
+      result.netlist.mark_primary_output(net);
+    }
+  }
+
+  // Flops last (tools cluster them); Q nets carry the register names.
+  for (const Register& reg : module.registers()) {
+    const auto& q_nets = lowerer.register_q_nets(reg.name);
+    const auto& d_nets = result.register_d_nets.at(reg.name);
+    for (std::size_t i = 0; i < q_nets.size(); ++i)
+      result.netlist.add_gate(GateType::kDff, q_nets[i], {d_nets[i]});
+  }
+
+  return result;
+}
+
+}  // namespace netrev::rtl

@@ -1,0 +1,33 @@
+// RTL-to-gate synthesis.
+//
+// Lowers a word-level Module into a flattened gate-level Netlist the way a
+// synthesis flow would leave it for the reverse engineer:
+//   * buses are bit-blasted; internal nets get anonymous U<n> names;
+//   * register names survive only on flip-flop output nets
+//     ("<reg>_reg_<i>_"), the property the paper's golden reference relies on;
+//   * shared subexpressions are emitted once (gate sharing);
+//   * the per-bit root gates of each register's next-state logic land on
+//     consecutive netlist lines (deeper logic is emitted first), matching the
+//     adjacency assumption of the §2.2 grouping pass.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "rtl/module.h"
+
+namespace netrev::rtl {
+
+struct SynthesisResult {
+  netlist::Netlist netlist;
+  // D-input nets of each register, by register name (LSB first) — handy for
+  // tests that want ground truth without re-parsing names.
+  std::unordered_map<std::string, std::vector<netlist::NetId>> register_d_nets;
+};
+
+// Throws std::invalid_argument on incomplete or inconsistent modules.
+SynthesisResult synthesize(const Module& module);
+
+}  // namespace netrev::rtl

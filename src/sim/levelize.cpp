@@ -1,0 +1,48 @@
+#include "sim/levelize.h"
+
+#include <stdexcept>
+
+namespace netrev::sim {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+std::vector<GateId> levelize(const Netlist& nl) {
+  // Kahn's algorithm over combinational dependencies.  A gate depends on the
+  // drivers of its inputs unless that driver is a flop (state from the
+  // previous cycle) — flops themselves depend on their D logic.
+  const std::size_t n = nl.gate_count();
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+
+  for (std::size_t g = 0; g < n; ++g) {
+    const netlist::Gate& gate = nl.gate(nl.gate_id_at(g));
+    for (netlist::NetId in : gate.inputs) {
+      const auto drv = nl.driver_of(in);
+      if (!drv) continue;
+      if (nl.gate(*drv).type == GateType::kDff) continue;
+      ++pending[g];
+      dependents[drv->value()].push_back(g);
+    }
+  }
+
+  std::vector<std::size_t> ready;
+  for (std::size_t g = 0; g < n; ++g)
+    if (pending[g] == 0) ready.push_back(g);
+
+  std::vector<GateId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t g = ready.back();
+    ready.pop_back();
+    order.push_back(nl.gate_id_at(g));
+    for (std::size_t dep : dependents[g])
+      if (--pending[dep] == 0) ready.push_back(dep);
+  }
+  if (order.size() != n)
+    throw std::runtime_error("levelize: combinational cycle detected");
+  return order;
+}
+
+}  // namespace netrev::sim

@@ -1,0 +1,17 @@
+// Topological ordering of the combinational portion of a netlist.
+// Flip-flop outputs and primary inputs are treated as sources; the order
+// contains every gate (flops included, placed after their D-input logic so a
+// single pass can sample next-state values).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::sim {
+
+// Returns all gates in a valid evaluation order.  Throws std::runtime_error
+// if the combinational logic is cyclic.
+std::vector<netlist::GateId> levelize(const netlist::Netlist& nl);
+
+}  // namespace netrev::sim

@@ -1,0 +1,216 @@
+#include "wordrec/assignment.h"
+
+#include <deque>
+
+#include "common/contracts.h"
+
+namespace netrev::wordrec {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+// Worklist-driven implication engine.
+class Propagator {
+ public:
+  Propagator(const Netlist& nl, bool backward) : nl_(&nl), backward_(backward) {}
+
+  PropagationResult run(std::span<const std::pair<NetId, bool>> seeds) {
+    for (const auto& [net, value] : seeds) {
+      if (!enqueue(net, value)) return fail();
+    }
+    while (!queue_.empty()) {
+      const NetId net = queue_.front();
+      queue_.pop_front();
+      if (!process(net)) return fail();
+    }
+    PropagationResult result;
+    result.map = std::move(map_);
+    result.feasible = true;
+    return result;
+  }
+
+ private:
+  PropagationResult fail() {
+    PropagationResult result;
+    result.map = std::move(map_);
+    result.feasible = false;
+    return result;
+  }
+
+  // Record value; push to worklist when new.  False on conflict.
+  bool enqueue(NetId net, bool value) {
+    const auto existing = map_.value(net);
+    if (existing.has_value()) return *existing == value;
+    map_.assign(net, value);
+    queue_.push_back(net);
+    return true;
+  }
+
+  bool process(NetId net) {
+    // Forward: the net is an input of its fanout gates.  A newly-known input
+    // can also complete a backward "sole unknown input" implication on a
+    // gate whose output was already assigned.
+    for (GateId g : nl_->net(net).fanouts) {
+      if (!imply_forward(g)) return false;
+      if (backward_ && !imply_backward(g)) return false;
+    }
+    // The net's own driver may now be further constrained (backward), and a
+    // newly assigned output may determine remaining inputs.
+    if (backward_) {
+      if (const auto drv = nl_->driver_of(net))
+        if (!imply_backward(*drv)) return false;
+    }
+    // Forward again on the driver: output assignments can conflict with an
+    // already fully-determined gate.
+    if (const auto drv = nl_->driver_of(net))
+      if (!imply_forward(*drv)) return false;
+    return true;
+  }
+
+  // Derive the gate's output from its inputs where possible, and check
+  // consistency with an already-assigned output.
+  bool imply_forward(GateId g) {
+    const Gate& gate = nl_->gate(g);
+    if (gate.type == GateType::kDff) return true;  // sequential boundary
+
+    std::optional<bool> derived;
+    switch (gate.type) {
+      case GateType::kConst0: derived = false; break;
+      case GateType::kConst1: derived = true; break;
+      case GateType::kBuf:
+      case GateType::kNot: {
+        const auto in = map_.value(gate.inputs[0]);
+        if (in) derived = (gate.type == GateType::kBuf) ? *in : !*in;
+        break;
+      }
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool cv = *controlling_value(gate.type);
+        bool all_known = true;
+        bool saw_controlling = false;
+        for (NetId in : gate.inputs) {
+          const auto v = map_.value(in);
+          if (!v) {
+            all_known = false;
+          } else if (*v == cv) {
+            saw_controlling = true;
+          }
+        }
+        if (saw_controlling)
+          derived = controlled_output(gate.type);
+        else if (all_known)
+          derived = !controlled_output(gate.type);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool parity = gate.type == GateType::kXnor;  // XNOR inverts
+        bool all_known = true;
+        for (NetId in : gate.inputs) {
+          const auto v = map_.value(in);
+          if (!v) {
+            all_known = false;
+            break;
+          }
+          parity = parity != *v;
+        }
+        if (all_known) derived = parity;
+        break;
+      }
+      case GateType::kDff: break;
+    }
+    if (derived) return enqueue(gate.output, *derived);
+    return true;
+  }
+
+  // Derive input values forced by the gate's assigned output.
+  bool imply_backward(GateId g) {
+    const Gate& gate = nl_->gate(g);
+    if (gate.type == GateType::kDff) return true;
+    const auto out = map_.value(gate.output);
+    if (!out) return true;
+
+    switch (gate.type) {
+      case GateType::kConst0: return *out == false;
+      case GateType::kConst1: return *out == true;
+      case GateType::kBuf: return enqueue(gate.inputs[0], *out);
+      case GateType::kNot: return enqueue(gate.inputs[0], !*out);
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool cv = *controlling_value(gate.type);
+        const bool cout = controlled_output(gate.type);
+        if (*out == !cout) {
+          // Output is the non-controlled value: every input must be
+          // non-controlling.
+          for (NetId in : gate.inputs)
+            if (!enqueue(in, !cv)) return false;
+          return true;
+        }
+        // Output is the controlled value: at least one controlling input; if
+        // exactly one input is unknown and the rest are non-controlling, it
+        // must carry the controlling value.
+        std::optional<NetId> sole_unknown;
+        std::size_t unknown_count = 0;
+        bool saw_controlling = false;
+        for (NetId in : gate.inputs) {
+          const auto v = map_.value(in);
+          if (!v) {
+            ++unknown_count;
+            sole_unknown = in;
+          } else if (*v == cv) {
+            saw_controlling = true;
+          }
+        }
+        if (saw_controlling) return true;
+        if (unknown_count == 0) return false;  // conflict
+        if (unknown_count == 1) return enqueue(*sole_unknown, cv);
+        return true;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        std::optional<NetId> sole_unknown;
+        std::size_t unknown_count = 0;
+        bool parity = gate.type == GateType::kXnor;
+        for (NetId in : gate.inputs) {
+          const auto v = map_.value(in);
+          if (!v) {
+            ++unknown_count;
+            sole_unknown = in;
+          } else {
+            parity = parity != *v;
+          }
+        }
+        if (unknown_count == 1)
+          return enqueue(*sole_unknown, parity != *out);
+        if (unknown_count == 0) return parity == *out;
+        return true;
+      }
+      case GateType::kDff: return true;
+    }
+    return true;
+  }
+
+  const Netlist* nl_;
+  bool backward_;
+  AssignmentMap map_;
+  std::deque<NetId> queue_;
+};
+
+}  // namespace
+
+PropagationResult propagate(const Netlist& nl,
+                            std::span<const std::pair<NetId, bool>> seeds,
+                            bool backward) {
+  return Propagator(nl, backward).run(seeds);
+}
+
+}  // namespace netrev::wordrec

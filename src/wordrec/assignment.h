@@ -1,0 +1,68 @@
+// Constant assignment and its propagation closure (§2.5).
+//
+// Given seed assignments to control signals, values are propagated "forward
+// and backwards throughout the netlist": forward when a controlling input or
+// a fully-assigned input set determines a gate output; backward when an
+// assigned output forces its inputs (e.g. NAND output 0 forces all inputs
+// to 1).  Propagation never crosses flip-flops: an assignment models a
+// single-cycle combinational condition.
+//
+// The resulting AssignmentMap is closed under forward propagation — a
+// property the virtual-reduction hashing in hash_key.cpp and the netlist
+// materializer in reduce.cpp both rely on: if any input of a gate holds its
+// controlling value, the gate's output is in the map too.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::wordrec {
+
+class AssignmentMap {
+ public:
+  AssignmentMap() = default;
+
+  // Returns false if the net already holds the opposite value (conflict).
+  bool assign(netlist::NetId net, bool value) {
+    const auto [it, inserted] = values_.try_emplace(net, value);
+    return inserted ? true : it->second == value;
+  }
+
+  std::optional<bool> value(netlist::NetId net) const {
+    const auto it = values_.find(net);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(netlist::NetId net) const { return values_.contains(net); }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::unordered_map<netlist::NetId, bool>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::unordered_map<netlist::NetId, bool> values_;
+};
+
+struct PropagationResult {
+  AssignmentMap map;
+  // False when the seeds are contradictory (an infeasible assignment, which
+  // §2.5 rules out: only "suitable and feasible" values are kept).
+  bool feasible = true;
+};
+
+// Computes the propagation closure of `seeds`.  `backward` enables the
+// backward (output-forces-inputs) direction.
+PropagationResult propagate(
+    const netlist::Netlist& nl,
+    std::span<const std::pair<netlist::NetId, bool>> seeds,
+    bool backward = true);
+
+}  // namespace netrev::wordrec

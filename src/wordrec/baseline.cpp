@@ -1,0 +1,30 @@
+#include "wordrec/baseline.h"
+
+#include "wordrec/grouping.h"
+#include "wordrec/matching.h"
+
+namespace netrev::wordrec {
+
+WordSet identify_words_baseline(const netlist::Netlist& nl,
+                                const Options& options) {
+  const ConeHasher hasher(nl, options);
+  WordSet result;
+  std::vector<PotentialBitGroup> groups = potential_bit_groups(nl);
+  if (options.cross_group_checking)
+    groups = merge_groups_across_gaps(nl, std::move(groups),
+                                      options.cross_group_max_gap);
+  for (const PotentialBitGroup& group : groups) {
+    std::vector<BitSignature> signatures;
+    signatures.reserve(group.size());
+    for (netlist::NetId bit : group) signatures.push_back(hasher.signature(bit));
+    for (Subgroup& sg : form_subgroups(group, signatures,
+                                       /*require_full_match=*/true)) {
+      Word word;
+      word.bits = std::move(sg.bits);
+      result.words.push_back(std::move(word));
+    }
+  }
+  return result;
+}
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,54 @@
+// Shared gate-collapse rules used by both the virtual-reduction hashing
+// (hash_key.cpp) and the netlist materializer (reduce.cpp), so the two views
+// of a reduced circuit cannot drift apart.
+//
+// When constant inputs are removed from a gate (§2.5), the survivor keeps its
+// type while two or more inputs remain (XOR/XNOR additionally absorb the
+// parity of dropped constants), and collapses to a buffer or inverter when
+// exactly one input remains.
+#pragma once
+
+#include "common/contracts.h"
+#include "netlist/gate_type.h"
+
+namespace netrev::wordrec {
+
+// Effective type of a gate of type `original` after dropping constant inputs,
+// leaving `live_count` live inputs.  `dropped_parity` is the XOR of the
+// dropped constants (only meaningful for XOR/XNOR; pass false otherwise).
+// For AND/NAND/OR/NOR the dropped constants must have been non-controlling,
+// otherwise the output itself would be constant and the gate removed.
+inline netlist::GateType collapsed_type(netlist::GateType original,
+                                        std::size_t live_count,
+                                        bool dropped_parity) {
+  using netlist::GateType;
+  NETREV_REQUIRE(live_count >= 1);
+
+  const bool xor_family =
+      original == GateType::kXor || original == GateType::kXnor;
+
+  if (live_count >= 2) {
+    if (!xor_family) return original;
+    if (!dropped_parity) return original;
+    return original == GateType::kXor ? GateType::kXnor : GateType::kXor;
+  }
+
+  // live_count == 1: collapse to buffer or inverter.
+  switch (original) {
+    case GateType::kBuf:
+    case GateType::kAnd:
+    case GateType::kOr: return GateType::kBuf;
+    case GateType::kNot:
+    case GateType::kNand:
+    case GateType::kNor: return GateType::kNot;
+    case GateType::kXor:
+      return dropped_parity ? GateType::kNot : GateType::kBuf;
+    case GateType::kXnor:
+      return dropped_parity ? GateType::kBuf : GateType::kNot;
+    default:
+      NETREV_REQUIRE(false && "gate type cannot collapse");
+      return GateType::kBuf;
+  }
+}
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,81 @@
+#include "wordrec/control.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/cone.h"
+
+namespace netrev::wordrec {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::vector<NetId> find_relevant_control_signals(
+    const Netlist& nl, std::span<const NetId> dissimilar_roots,
+    const Options& options) {
+  std::vector<NetId> signals;
+  if (dissimilar_roots.empty()) return signals;
+
+  // Subtrees span cone levels 2..cone_depth, i.e. depth cone_depth - 1 from
+  // their roots.
+  const std::size_t subtree_depth =
+      options.cone_depth > 0 ? options.cone_depth - 1 : 0;
+
+  // Count, for every net, how many dissimilar subtrees contain it.  A net
+  // can appear at most once per subtree (fanin_cone_nets deduplicates).
+  std::unordered_map<NetId, std::size_t> containment;
+  for (NetId root : dissimilar_roots)
+    for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth))
+      ++containment[net];
+
+  std::vector<NetId> common;
+  for (const auto& [net, count] : containment) {
+    if (count != dissimilar_roots.size()) continue;
+    // The subtree roots themselves are excluded: assigning a root its
+    // controlling value constants the bit's root gate away instead of
+    // removing the dissimilar subtree.  (With several dissimilar subtrees
+    // the roots are per-bit nets and never common anyway; this matters for
+    // the degenerate single-subtree case.)
+    if (std::find(dissimilar_roots.begin(), dissimilar_roots.end(), net) !=
+        dissimilar_roots.end())
+      continue;
+    // A constant is never a useful control signal.
+    const auto driver = nl.driver_of(net);
+    if (driver) {
+      const GateType type = nl.gate(*driver).type;
+      if (type == GateType::kConst0 || type == GateType::kConst1) continue;
+    }
+    common.push_back(net);
+  }
+  std::sort(common.begin(), common.end());
+
+  // Dominance filter: drop any common net lying in the fanin cone of another
+  // common net (unbounded combinational reachability).
+  for (std::size_t i = 0; i < common.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < common.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (netlist::in_fanin_cone(nl, common[j], common[i])) dominated = true;
+    }
+    if (!dominated) signals.push_back(common[i]);
+  }
+
+  if (signals.size() > options.max_control_signals_per_subgroup)
+    signals.resize(options.max_control_signals_per_subgroup);
+  return signals;
+}
+
+std::vector<NetId> find_relevant_control_signals(const Netlist& nl,
+                                                 const Subgroup& subgroup,
+                                                 const Options& options) {
+  std::vector<NetId> roots;
+  for (const auto& per_bit : subgroup.dissimilar)
+    for (NetId root : per_bit)
+      if (std::find(roots.begin(), roots.end(), root) == roots.end())
+        roots.push_back(root);
+  return find_relevant_control_signals(nl, roots, options);
+}
+
+}  // namespace netrev::wordrec

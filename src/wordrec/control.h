@@ -1,0 +1,33 @@
+// Relevant control-signal identification (§2.4).
+//
+// For a subgroup with partially-matching bits, the candidate control signals
+// are the nets common to *all* recorded dissimilar subtrees, minus any net
+// lying in the fanin cone of another net of that common set (its effect on
+// reduction is already captured by the dominating net — the paper's U223 vs
+// U201 example).  Signals appearing only in matching subtrees are never
+// candidates: removing them cannot create new structural similarity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "wordrec/matching.h"
+#include "wordrec/options.h"
+
+namespace netrev::wordrec {
+
+// Returns the relevant control signals for the dissimilar subtrees rooted at
+// `dissimilar_roots` (depth-limited to the subtree depth implied by
+// options.cone_depth).  Deterministic order (ascending net id).  Empty when
+// fewer than one dissimilar subtree exists or nothing is common.
+std::vector<netlist::NetId> find_relevant_control_signals(
+    const netlist::Netlist& nl, std::span<const netlist::NetId> dissimilar_roots,
+    const Options& options);
+
+// Convenience overload operating on a subgroup.
+std::vector<netlist::NetId> find_relevant_control_signals(
+    const netlist::Netlist& nl, const Subgroup& subgroup,
+    const Options& options);
+
+}  // namespace netrev::wordrec

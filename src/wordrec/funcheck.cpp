@@ -1,0 +1,75 @@
+#include "wordrec/funcheck.h"
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace netrev::wordrec {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+FunctionalReport functional_sanity(const Netlist& nl, const Word& word,
+                                   std::size_t vector_count,
+                                   std::uint64_t seed) {
+  FunctionalReport report;
+  report.vectors = vector_count;
+  if (word.bits.empty() || vector_count == 0) return report;
+
+  sim::Simulator simulator(nl);
+  Rng rng(seed);
+
+  const std::size_t w = word.width();
+  // Per-bit sampled value streams, packed as counts of agreements.
+  std::vector<std::uint8_t> first_value(w, 0);
+  std::vector<bool> ever_changed(w, false);
+  // Pairwise agreement counts.
+  std::vector<std::size_t> equal_count(w * w, 0);
+
+  for (std::size_t v = 0; v < vector_count; ++v) {
+    simulator.randomize_inputs(rng);
+    simulator.randomize_state(rng);
+    simulator.eval();
+    std::vector<bool> sample(w);
+    for (std::size_t i = 0; i < w; ++i) sample[i] = simulator.value(word.bits[i]);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (v == 0)
+        first_value[i] = sample[i] ? 1 : 0;
+      else if (sample[i] != (first_value[i] != 0))
+        ever_changed[i] = true;
+      for (std::size_t j = i + 1; j < w; ++j)
+        if (sample[i] == sample[j]) ++equal_count[i * w + j];
+    }
+  }
+
+  for (std::size_t i = 0; i < w; ++i)
+    if (!ever_changed[i]) report.stuck_bits.push_back(i);
+
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = i + 1; j < w; ++j) {
+      // Stuck bits trivially duplicate each other; report them only once
+      // (as stuck), not as pairs.
+      if (!ever_changed[i] || !ever_changed[j]) continue;
+      const std::size_t equal = equal_count[i * w + j];
+      if (equal == vector_count)
+        report.duplicate_pairs.emplace_back(i, j);
+      else if (equal == 0)
+        report.complementary_pairs.emplace_back(i, j);
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> suspicious_words(const Netlist& nl,
+                                          const WordSet& words,
+                                          std::size_t vector_count,
+                                          std::uint64_t seed) {
+  std::vector<std::size_t> flagged;
+  for (std::size_t w = 0; w < words.words.size(); ++w) {
+    if (words.words[w].width() < 2) continue;
+    if (!functional_sanity(nl, words.words[w], vector_count, seed).clean())
+      flagged.push_back(w);
+  }
+  return flagged;
+}
+
+}  // namespace netrev::wordrec

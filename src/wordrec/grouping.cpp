@@ -1,0 +1,59 @@
+#include "wordrec/grouping.h"
+
+namespace netrev::wordrec {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+namespace {
+
+// Root gate type shared by a group (groups are formed per type).
+GateType group_type(const Netlist& nl, const PotentialBitGroup& group) {
+  const auto driver = nl.driver_of(group.front());
+  return nl.gate(*driver).type;
+}
+
+}  // namespace
+
+std::vector<PotentialBitGroup> merge_groups_across_gaps(
+    const Netlist& nl, std::vector<PotentialBitGroup> groups,
+    std::size_t max_gap_lines) {
+  std::vector<PotentialBitGroup> merged;
+  std::vector<bool> consumed(groups.size(), false);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (consumed[i]) continue;
+    PotentialBitGroup current = std::move(groups[i]);
+    const GateType type = group_type(nl, current);
+    // Scan forward across small gaps of other-type lines.
+    std::size_t gap = 0;
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      if (consumed[j]) break;
+      if (group_type(nl, groups[j]) == type) {
+        current.insert(current.end(), groups[j].begin(), groups[j].end());
+        consumed[j] = true;
+        gap = 0;
+        continue;
+      }
+      gap += groups[j].size();
+      if (gap > max_gap_lines) break;
+    }
+    merged.push_back(std::move(current));
+  }
+  return merged;
+}
+
+std::vector<PotentialBitGroup> potential_bit_groups(const Netlist& nl) {
+  std::vector<PotentialBitGroup> groups;
+  std::optional<GateType> previous_type;
+  for (GateId g : nl.gates_in_file_order()) {
+    const netlist::Gate& gate = nl.gate(g);
+    if (!previous_type.has_value() || *previous_type != gate.type)
+      groups.emplace_back();
+    groups.back().push_back(gate.output);
+    previous_type = gate.type;
+  }
+  return groups;
+}
+
+}  // namespace netrev::wordrec

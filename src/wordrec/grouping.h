@@ -1,0 +1,31 @@
+// First-level grouping of potential word bits (§2.2).
+//
+// One linear scan over the netlist file: each gate line defines a net (the
+// gate's output); nets on consecutive lines whose fanin-cone roots (their
+// driving gates) share a gate type are grouped as potential bits of a word.
+// The paper stresses this stage is only a rough, extremely fast grouping —
+// groups may span several words or mix in stray bits; later stages refine it.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::wordrec {
+
+// A group of potential bits: nets of consecutive file lines with equal root
+// gate type, in file order.
+using PotentialBitGroup = std::vector<netlist::NetId>;
+
+std::vector<PotentialBitGroup> potential_bit_groups(const netlist::Netlist& nl);
+
+// Cross-group checking (§2.2's stated future improvement): rejoins groups of
+// equal root gate type that are separated by at most `max_gap_lines` netlist
+// lines of other types (a stray line splitting a word's root run).  The
+// intervening nets keep their own groups.  Order within and across groups is
+// preserved.
+std::vector<PotentialBitGroup> merge_groups_across_gaps(
+    const netlist::Netlist& nl, std::vector<PotentialBitGroup> groups,
+    std::size_t max_gap_lines);
+
+}  // namespace netrev::wordrec

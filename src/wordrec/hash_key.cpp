@@ -1,0 +1,150 @@
+#include "wordrec/hash_key.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "wordrec/collapse.h"
+
+namespace netrev::wordrec {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+// Leaf tokens.  With distinguish_leaf_kinds off, boundary leaves all share a
+// token (closer to the paper's gate-types-only keys); constant leaves stay
+// distinct because a constant is a genuine structural difference.
+char leaf_primary_input(const Options& o) { return o.distinguish_leaf_kinds ? 'p' : '*'; }
+char leaf_flop_output(const Options& o) { return o.distinguish_leaf_kinds ? 'f' : '*'; }
+char leaf_depth_cut(const Options& o) { return o.distinguish_leaf_kinds ? '_' : '*'; }
+
+}  // namespace
+
+bool BitSignature::structurally_equal(const BitSignature& other) const {
+  if (!root_type.has_value() || !other.root_type.has_value()) return false;
+  if (*root_type != *other.root_type) return false;
+  if (subtrees.size() != other.subtrees.size()) return false;
+  for (std::size_t i = 0; i < subtrees.size(); ++i)
+    if (subtrees[i].key != other.subtrees[i].key) return false;
+  return true;
+}
+
+ConeHasher::ConeHasher(const Netlist& nl, const Options& options)
+    : nl_(&nl), options_(options) {}
+
+HashKey ConeHasher::subtree_key(NetId net, std::size_t depth,
+                                const AssignmentMap* assignment) const {
+  // A net assigned by the reduction is a constant leaf.  (Callers normally
+  // drop assigned children before recursing; this branch covers direct
+  // queries on assigned nets.)
+  if (assignment != nullptr) {
+    if (const auto v = assignment->value(net)) return std::string(1, *v ? '1' : '0');
+  }
+
+  const auto driver = nl_->driver_of(net);
+  if (!driver) return std::string(1, leaf_primary_input(options_));
+
+  const netlist::Gate& gate = nl_->gate(*driver);
+  if (gate.type == GateType::kDff)
+    return std::string(1, leaf_flop_output(options_));
+  if (gate.type == GateType::kConst0) return "0";
+  if (gate.type == GateType::kConst1) return "1";
+  if (depth == 0) return std::string(1, leaf_depth_cut(options_));
+
+  // Partition inputs into live and dropped-constant under the assignment.
+  std::vector<NetId> live;
+  live.reserve(gate.inputs.size());
+  bool dropped_parity = false;
+  if (assignment == nullptr) {
+    live = gate.inputs;
+  } else {
+    for (NetId in : gate.inputs) {
+      const auto v = assignment->value(in);
+      if (!v) {
+        live.push_back(in);
+        continue;
+      }
+      // Closure property of propagate(): a controlling input would have
+      // assigned this gate's output, and the output is unassigned here.
+      if (const auto cv = controlling_value(gate.type))
+        NETREV_ASSERT(*v != *cv);
+      dropped_parity = dropped_parity != *v;
+    }
+  }
+  NETREV_ASSERT(!live.empty() &&
+                "all-constant gate must have an assigned output");
+
+  const GateType effective =
+      (live.size() == gate.inputs.size())
+          ? gate.type
+          : collapsed_type(gate.type, live.size(), dropped_parity);
+
+  std::vector<HashKey> child_keys;
+  child_keys.reserve(live.size());
+  for (NetId in : live)
+    child_keys.push_back(subtree_key(in, depth - 1, assignment));
+  std::sort(child_keys.begin(), child_keys.end());
+
+  HashKey key;
+  key.reserve(2 + child_keys.size() * 4);
+  key += '(';
+  for (const HashKey& child : child_keys) key += child;
+  key += ')';
+  key += gate_type_code(effective);
+  return key;
+}
+
+BitSignature ConeHasher::signature(NetId bit,
+                                   const AssignmentMap* assignment) const {
+  BitSignature sig;
+  if (assignment != nullptr && assignment->contains(bit)) return sig;
+
+  const auto driver = nl_->driver_of(bit);
+  if (!driver) return sig;
+  const netlist::Gate& gate = nl_->gate(*driver);
+  if (gate.type == GateType::kDff) {
+    sig.root_type = GateType::kDff;
+    return sig;
+  }
+  if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1)
+    return sig;
+
+  // Live second-level subtree roots under the assignment.
+  std::vector<NetId> live;
+  bool dropped_parity = false;
+  if (assignment == nullptr) {
+    live = gate.inputs;
+  } else {
+    for (NetId in : gate.inputs) {
+      const auto v = assignment->value(in);
+      if (!v) {
+        live.push_back(in);
+        continue;
+      }
+      if (const auto cv = controlling_value(gate.type))
+        NETREV_ASSERT(*v != *cv);
+      dropped_parity = dropped_parity != *v;
+    }
+  }
+  if (live.empty()) return sig;  // would be constant; not a word bit
+
+  sig.root_type = (live.size() == gate.inputs.size())
+                      ? gate.type
+                      : collapsed_type(gate.type, live.size(), dropped_parity);
+
+  NETREV_REQUIRE(options_.cone_depth >= 1);
+  sig.subtrees.reserve(live.size());
+  for (NetId in : live)
+    sig.subtrees.push_back(
+        SubtreeKey{subtree_key(in, options_.cone_depth - 1, assignment), in});
+  std::sort(sig.subtrees.begin(), sig.subtrees.end(),
+            [](const SubtreeKey& a, const SubtreeKey& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.root < b.root;
+            });
+  return sig;
+}
+
+}  // namespace netrev::wordrec

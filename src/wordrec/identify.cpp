@@ -1,0 +1,259 @@
+#include "wordrec/identify.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "netlist/cone.h"
+#include "wordrec/assignment.h"
+#include "wordrec/control.h"
+#include "wordrec/grouping.h"
+#include "wordrec/hash_key.h"
+#include "wordrec/matching.h"
+#include "wordrec/trace.h"
+
+namespace netrev::wordrec {
+
+using netlist::GateId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+using Seed = std::pair<NetId, bool>;
+
+// Candidate constant values for one control signal: the controlling values
+// of the gates it feeds inside the dissimilar region (§2.5: "the assigned
+// value to a control signal will be the controlling value to one of the
+// logic gates that the control signal is feeding into").
+std::vector<bool> candidate_values(const Netlist& nl, NetId signal,
+                                   const std::unordered_set<NetId>& region,
+                                   const Options& options) {
+  bool has_zero = false, has_one = false;
+  for (GateId g : nl.net(signal).fanouts) {
+    const netlist::Gate& gate = nl.gate(g);
+    if (!region.contains(gate.output)) continue;
+    const auto cv = controlling_value(gate.type);
+    if (!cv) continue;
+    (*cv ? has_one : has_zero) = true;
+  }
+  std::vector<bool> values;
+  if (has_zero) values.push_back(false);
+  if (has_one) values.push_back(true);
+  if (values.empty() && options.try_both_values_without_controlling_sink) {
+    values.push_back(false);
+    values.push_back(true);
+  }
+  return values;
+}
+
+// All assignment trials of exactly `k` distinct signals, in deterministic
+// order, appended to `trials`.
+void enumerate_trials(const std::vector<NetId>& signals,
+                      const std::vector<std::vector<bool>>& values_per_signal,
+                      std::size_t k, std::size_t max_trials,
+                      std::vector<std::vector<Seed>>& trials) {
+  std::vector<std::size_t> combo(k);
+  std::vector<Seed> current(k);
+
+  // Iterate over k-combinations of signal indices.
+  const std::size_t n = signals.size();
+  if (k == 0 || k > n) return;
+  for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+  while (true) {
+    // Cartesian product over the chosen signals' candidate values.
+    std::vector<std::size_t> value_index(k, 0);
+    bool values_exhausted = false;
+    // Skip combos where some signal has no candidate values.
+    bool viable = true;
+    for (std::size_t i = 0; i < k; ++i)
+      if (values_per_signal[combo[i]].empty()) viable = false;
+    while (viable && !values_exhausted) {
+      for (std::size_t i = 0; i < k; ++i)
+        current[i] = {signals[combo[i]],
+                      values_per_signal[combo[i]][value_index[i]]};
+      trials.push_back(current);
+      if (trials.size() >= max_trials) return;
+      // Increment the mixed-radix value counter.
+      std::size_t pos = 0;
+      while (pos < k) {
+        if (++value_index[pos] < values_per_signal[combo[pos]].size()) break;
+        value_index[pos] = 0;
+        ++pos;
+      }
+      values_exhausted = pos == k;
+    }
+    // Next combination (lexicographic).
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - k) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+// Emit base-style words for a subgroup that could not be unified: re-segment
+// its bits by full-match adjacency so the result is never worse than the
+// baseline on this span.
+void emit_fallback_words(const Subgroup& subgroup,
+                         const std::vector<BitSignature>& signatures,
+                         WordSet& out) {
+  std::vector<Subgroup> segments = form_subgroups(
+      subgroup.bits, signatures, /*require_full_match=*/true);
+  for (Subgroup& segment : segments) {
+    Word word;
+    word.bits = std::move(segment.bits);
+    out.words.push_back(std::move(word));
+  }
+}
+
+}  // namespace
+
+IdentifyResult identify_words(const Netlist& nl, const Options& options) {
+  const ConeHasher hasher(nl, options);
+  IdentifyResult result;
+  std::unordered_set<NetId> used_signals;
+
+  const std::size_t subtree_depth =
+      options.cone_depth > 0 ? options.cone_depth - 1 : 0;
+
+  std::vector<PotentialBitGroup> groups = potential_bit_groups(nl);
+  if (options.cross_group_checking)
+    groups = merge_groups_across_gaps(nl, std::move(groups),
+                                      options.cross_group_max_gap);
+  for (const PotentialBitGroup& group : groups) {
+    ++result.stats.groups;
+    std::vector<BitSignature> signatures;
+    signatures.reserve(group.size());
+    for (NetId bit : group) signatures.push_back(hasher.signature(bit));
+
+    std::vector<Subgroup> subgroups =
+        form_subgroups(group, signatures, /*require_full_match=*/false);
+    result.stats.subgroups += subgroups.size();
+
+    for (Subgroup& subgroup : subgroups) {
+      if (subgroup.fully_similar) {
+        Word word;
+        word.bits = std::move(subgroup.bits);
+        result.words.words.push_back(std::move(word));
+        continue;
+      }
+      ++result.stats.partial_subgroups;
+      if (options.trace != nullptr) {
+        TraceRecord record;
+        record.kind = TraceRecord::Kind::kPartialSubgroup;
+        record.nets = subgroup.bits;
+        options.trace->records.push_back(std::move(record));
+      }
+
+      // Signatures of this subgroup's bits (for the fallback path).
+      std::vector<BitSignature> sub_signatures;
+      sub_signatures.reserve(subgroup.bits.size());
+      for (NetId bit : subgroup.bits)
+        sub_signatures.push_back(hasher.signature(bit));
+
+      const std::vector<NetId> signals =
+          find_relevant_control_signals(nl, subgroup, options);
+      result.stats.control_signal_candidates += signals.size();
+      if (options.trace != nullptr) {
+        TraceRecord record;
+        record.kind = TraceRecord::Kind::kControlSignals;
+        record.nets = signals;
+        options.trace->records.push_back(std::move(record));
+      }
+      if (signals.empty()) {
+        if (options.trace != nullptr)
+          options.trace->records.push_back(
+              TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
+        emit_fallback_words(subgroup, sub_signatures, result.words);
+        continue;
+      }
+
+      // The dissimilar region: nets of all recorded dissimilar subtrees.
+      std::unordered_set<NetId> region;
+      for (const auto& per_bit : subgroup.dissimilar)
+        for (NetId root : per_bit)
+          for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth))
+            region.insert(net);
+
+      std::vector<std::vector<bool>> values_per_signal;
+      values_per_signal.reserve(signals.size());
+      for (NetId signal : signals)
+        values_per_signal.push_back(
+            candidate_values(nl, signal, region, options));
+
+      std::vector<std::vector<Seed>> trials;
+      for (std::size_t k = 1;
+           k <= options.max_simultaneous_assignments && k <= signals.size();
+           ++k) {
+        enumerate_trials(signals, values_per_signal, k,
+                         options.max_assignment_trials_per_subgroup, trials);
+        if (trials.size() >= options.max_assignment_trials_per_subgroup) break;
+      }
+
+      std::optional<std::vector<Seed>> winning;
+      for (const auto& trial : trials) {
+        ++result.stats.reduction_trials;
+        const PropagationResult propagated = propagate(nl, trial);
+        if (options.trace != nullptr)
+          options.trace->records.push_back(TraceRecord{
+              TraceRecord::Kind::kTrial, {}, trial, propagated.feasible});
+        if (!propagated.feasible) continue;
+
+        bool all_equal = true;
+        std::optional<BitSignature> first;
+        for (NetId bit : subgroup.bits) {
+          BitSignature sig = hasher.signature(bit, &propagated.map);
+          if (!sig.root_type.has_value()) {
+            all_equal = false;  // a bit became constant
+            break;
+          }
+          if (!first) {
+            first = std::move(sig);
+          } else if (!first->structurally_equal(sig)) {
+            all_equal = false;
+            break;
+          }
+        }
+        // A word needs at least one similar subtree left after reduction.
+        if (all_equal && first && !first->subtrees.empty()) {
+          winning = trial;
+          break;
+        }
+      }
+
+      if (winning) {
+        ++result.stats.unified_subgroups;
+        if (options.trace != nullptr)
+          options.trace->records.push_back(TraceRecord{
+              TraceRecord::Kind::kUnified, subgroup.bits, *winning, true});
+        UnifiedWord unified;
+        unified.bits = subgroup.bits;
+        unified.assignment = *winning;
+        for (const Seed& seed : *winning) used_signals.insert(seed.first);
+        result.unified.push_back(std::move(unified));
+
+        Word word;
+        word.bits = std::move(subgroup.bits);
+        result.words.words.push_back(std::move(word));
+      } else {
+        if (options.trace != nullptr)
+          options.trace->records.push_back(
+              TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
+        emit_fallback_words(subgroup, sub_signatures, result.words);
+      }
+    }
+  }
+
+  result.used_control_signals.assign(used_signals.begin(), used_signals.end());
+  std::sort(result.used_control_signals.begin(),
+            result.used_control_signals.end());
+  return result;
+}
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,45 @@
+// The paper's word-identification procedure ("Ours" in Table 1): Figure 2's
+// pipeline — potential bits (§2.2), partial matching into subgroups (§2.3),
+// relevant control signals (§2.4), then iterative value assignment + virtual
+// circuit reduction until the subgroup's bits become fully similar (§2.5).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "wordrec/options.h"
+#include "wordrec/word.h"
+
+namespace netrev::wordrec {
+
+struct IdentifyStats {
+  std::size_t groups = 0;
+  std::size_t subgroups = 0;
+  std::size_t partial_subgroups = 0;       // needed reduction attempts
+  std::size_t control_signal_candidates = 0;
+  std::size_t reduction_trials = 0;        // propagate+rehash attempts
+  std::size_t unified_subgroups = 0;       // words recovered via reduction
+};
+
+// A word recovered through control-signal reduction, with the assignment
+// that unified it (for reporting and for handing the reduced circuit to
+// downstream tools).
+struct UnifiedWord {
+  std::vector<netlist::NetId> bits;
+  std::vector<std::pair<netlist::NetId, bool>> assignment;
+};
+
+struct IdentifyResult {
+  WordSet words;
+  // Distinct control signals participating in successful unifications —
+  // Table 1's "#Control Signals" column.
+  std::vector<netlist::NetId> used_control_signals;
+  std::vector<UnifiedWord> unified;
+  IdentifyStats stats;
+};
+
+IdentifyResult identify_words(const netlist::Netlist& nl,
+                              const Options& options = {});
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,57 @@
+// Partial structural matching and subgroup formation (§2.3).
+//
+// Within a potential-bit group, bits are visited sequentially and each is
+// compared against its predecessor via a sorted merge over their subtree
+// hash-key lists (each key visited once, O(k_i + k_j)).  Fully or partially
+// matching neighbours chain into the same subgroup; the dissimilar subtrees
+// discovered along the way are remembered per bit by their root nets — the
+// input to control-signal discovery (§2.4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wordrec/hash_key.h"
+
+namespace netrev::wordrec {
+
+// Outcome of comparing two bit signatures.
+struct BitMatch {
+  bool comparable = false;  // both bits have a combinational root
+  bool full = false;        // every subtree matched on both sides
+  bool partial = false;     // at least one subtree matched
+  std::vector<netlist::NetId> dissimilar_a;  // unmatched subtree roots in a
+  std::vector<netlist::NetId> dissimilar_b;  // unmatched subtree roots in b
+};
+
+// Sorted-merge comparison of two signatures.  Roots must agree for any
+// match; unmatched subtrees are reported even when the comparison fails.
+BitMatch compare_bits(const BitSignature& a, const BitSignature& b);
+
+// A refined subgroup: bits that chained together by full/partial matches.
+struct Subgroup {
+  std::vector<netlist::NetId> bits;  // file order
+  // Dissimilar subtree roots recorded per bit (parallel to `bits`); a bit
+  // adjacent to two neighbours accumulates the union of both comparisons.
+  std::vector<std::vector<netlist::NetId>> dissimilar;
+  // True when every chained comparison was a full match (all signatures
+  // equal — equality is transitive over the chain).
+  bool fully_similar = true;
+
+  bool has_dissimilar() const {
+    for (const auto& roots : dissimilar)
+      if (!roots.empty()) return true;
+    return false;
+  }
+};
+
+// Splits a group of potential bits into subgroups.  `signatures` must be
+// parallel to `group` (signature of each bit).  When `require_full_match` is
+// set, only full matches chain — this is exactly the shape-hashing baseline's
+// grouping rule [6].
+std::vector<Subgroup> form_subgroups(
+    std::span<const netlist::NetId> group,
+    std::span<const BitSignature> signatures,
+    bool require_full_match = false);
+
+}  // namespace netrev::wordrec

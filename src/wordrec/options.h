@@ -1,0 +1,54 @@
+// Tunables of the word-identification procedure.  Defaults follow the paper.
+#pragma once
+
+#include <cstddef>
+
+namespace netrev::wordrec {
+
+struct IdentifyTrace;
+
+struct Options {
+  // Optional, non-owning: when set, identify_words() records its decisions
+  // (subgroups, control signals, trials, outcomes) into this trace.  See
+  // wordrec/trace.h.
+  IdentifyTrace* trace = nullptr;
+
+  // Levels of logic gates explored in a bit's fanin cone (§2.1: "fanin-cone
+  // down to four levels of logic gates"; [6] uses 2 to 4).
+  std::size_t cone_depth = 4;
+
+  // Maximum number of control signals assigned simultaneously (§2.5: single
+  // signals first, then "feasible assignments to any two identified control
+  // signals").  The paper stops at 2 and names >2 as future work; raising
+  // this implements that extension.
+  std::size_t max_simultaneous_assignments = 2;
+
+  // Distinguish leaf kinds in hash keys (primary input vs flop output vs
+  // depth cut vs constant).  The paper's keys record gate types only; leaf
+  // tagging is a refinement that avoids false merges across different
+  // sequential boundaries.  Benchmarked as an ablation (bench/ablation).
+  bool distinguish_leaf_kinds = true;
+
+  // Remove logic left floating by the reduction (the paper's Figure 1 shows
+  // the shared control cone disappearing entirely).
+  bool sweep_dead_logic = true;
+
+  // When a control signal feeds only gates without a controlling value
+  // (XOR/NOT), optionally try both constants instead of skipping it.  Off by
+  // default: the paper assigns controlling values only.
+  bool try_both_values_without_controlling_sink = false;
+
+  // Cross-checking among adjacent groups (§2.2 names this as the paper's
+  // future improvement): when a stray netlist line splits a run of
+  // same-root-type lines, the two runs are rejoined into one potential-bit
+  // group if at most `cross_group_max_gap` lines intervene.  Off by default
+  // (the paper's evaluated configuration).
+  bool cross_group_checking = false;
+  std::size_t cross_group_max_gap = 2;
+
+  // Safety valves so adversarial netlists cannot blow up the search.
+  std::size_t max_control_signals_per_subgroup = 8;
+  std::size_t max_assignment_trials_per_subgroup = 128;
+};
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,59 @@
+// Word propagation: deriving new candidate words from identified ones.
+//
+// The paper positions its output as the seed for "subsequent stages of
+// reverse engineering techniques such as word propagation in [6] which
+// require an initial set of full words to operate on."  This module
+// implements that stage structurally: for an identified word whose bits have
+// fully matching cones, the aligned positions *inside* those cones are also
+// words —
+//   * the roots of each aligned second-level subtree (one net per bit), and
+//   * each aligned cone leaf (flop outputs / primary inputs feeding bit i at
+//     the same structural position).
+// Ambiguous positions (a gate with two structurally identical fanins, where
+// cross-bit alignment cannot be established from structure alone) are
+// skipped rather than guessed.
+//
+// Propagation can be iterated: fresh candidates whose bits are themselves
+// gate outputs can be fed back in.
+#pragma once
+
+#include <vector>
+
+#include "wordrec/hash_key.h"
+#include "wordrec/options.h"
+#include "wordrec/word.h"
+
+namespace netrev::wordrec {
+
+struct PropagatedWord {
+  Word word;
+  // Where the candidate came from (diagnostics / ranking).
+  enum class Source { kSubtreeRoots, kAlignedLeaves } source =
+      Source::kSubtreeRoots;
+  // Structural position inside the parent word's cones.
+  std::size_t position = 0;
+};
+
+struct WordPropagationResult {
+  std::vector<PropagatedWord> candidates;
+  std::size_t parents_used = 0;       // multi-bit words that contributed
+  std::size_t ambiguous_positions = 0;  // skipped for unalignable structure
+};
+
+// Derives candidates from every multi-bit word in `words` whose bits carry
+// equal signatures (identified words always do; foreign word sets are
+// re-checked).  Candidates are deduplicated, contain at least `min_width`
+// distinct nets, and never duplicate an input word.
+WordPropagationResult propagate_words(const netlist::Netlist& nl,
+                                      const WordSet& words,
+                                      const Options& options = {},
+                                      std::size_t min_width = 2);
+
+// Convenience: iterate propagation to a fixed point (or `max_rounds`),
+// feeding candidates back in.  Returns all distinct candidates found.
+WordPropagationResult propagate_words_to_fixpoint(const netlist::Netlist& nl,
+                                                  const WordSet& words,
+                                                  const Options& options = {},
+                                                  std::size_t max_rounds = 4);
+
+}  // namespace netrev::wordrec

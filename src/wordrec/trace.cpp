@@ -1,0 +1,47 @@
+#include "wordrec/trace.h"
+
+namespace netrev::wordrec {
+
+std::string render_trace(const netlist::Netlist& nl,
+                         const IdentifyTrace& trace) {
+  std::string out;
+  const auto names = [&](const std::vector<netlist::NetId>& nets) {
+    std::string text;
+    for (netlist::NetId net : nets) text += ' ' + nl.net(net).name;
+    return text;
+  };
+  const auto assignment_text =
+      [&](const std::vector<std::pair<netlist::NetId, bool>>& assignment) {
+        std::string text;
+        for (const auto& [net, value] : assignment)
+          text += ' ' + nl.net(net).name + '=' + (value ? '1' : '0');
+        return text;
+      };
+
+  for (const TraceRecord& record : trace.records) {
+    switch (record.kind) {
+      case TraceRecord::Kind::kPartialSubgroup:
+        out += "subgroup (partial match):" + names(record.nets) + '\n';
+        break;
+      case TraceRecord::Kind::kControlSignals:
+        out += record.nets.empty()
+                   ? std::string("  no relevant control signals\n")
+                   : "  control signals:" + names(record.nets) + '\n';
+        break;
+      case TraceRecord::Kind::kTrial:
+        out += "  try" + assignment_text(record.assignment) +
+               (record.flag ? "" : "  (infeasible)") + '\n';
+        break;
+      case TraceRecord::Kind::kUnified:
+        out += "  UNIFIED via" + assignment_text(record.assignment) + ':' +
+               names(record.nets) + '\n';
+        break;
+      case TraceRecord::Kind::kFallback:
+        out += "  fallback to full-match segmentation\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,48 @@
+// Execution tracing for the identification pipeline.
+//
+// Reverse-engineering results need to be auditable: for every subgroup the
+// identifier touches, the trace records the partial-match evidence, the
+// relevant control signals §2.4 produced, each §2.5 assignment trial with
+// its outcome, and whether the subgroup unified or fell back to base-style
+// segmentation.  Attach an IdentifyTrace to Options::trace to collect it;
+// render_trace() turns it into the narrative the CLI's --trace flag prints.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::wordrec {
+
+struct TraceRecord {
+  enum class Kind {
+    kPartialSubgroup,   // nets = subgroup bits
+    kControlSignals,    // nets = relevant control signals
+    kTrial,             // assignment = tried values; flag = feasible
+    kUnified,           // nets = bits; assignment = winning values
+    kFallback,          // nets = subgroup bits (re-segmented base-style)
+  };
+  Kind kind = Kind::kPartialSubgroup;
+  std::vector<netlist::NetId> nets;
+  std::vector<std::pair<netlist::NetId, bool>> assignment;
+  bool flag = false;
+};
+
+struct IdentifyTrace {
+  std::vector<TraceRecord> records;
+
+  std::size_t count(TraceRecord::Kind kind) const {
+    std::size_t n = 0;
+    for (const TraceRecord& record : records)
+      if (record.kind == kind) ++n;
+    return n;
+  }
+};
+
+// Multi-line human-readable rendering (net ids resolved to names).
+std::string render_trace(const netlist::Netlist& nl,
+                         const IdentifyTrace& trace);
+
+}  // namespace netrev::wordrec

@@ -1,0 +1,42 @@
+// Word types shared by the baseline and the proposed identifier.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::wordrec {
+
+// A generated word: an ordered group of nets believed to carry the bits of
+// one word.  Order follows netlist file order (bit adjacency).
+struct Word {
+  std::vector<netlist::NetId> bits;
+
+  std::size_t width() const { return bits.size(); }
+};
+
+// The output of an identification technique: a partition of all candidate
+// nets into words (singletons included, so every candidate net is covered —
+// the metrics in §3 rely on this).
+struct WordSet {
+  std::vector<Word> words;
+
+  // Index of the word containing each net; nets outside any word are absent.
+  std::unordered_map<netlist::NetId, std::size_t> index_of_net() const {
+    std::unordered_map<netlist::NetId, std::size_t> index;
+    for (std::size_t w = 0; w < words.size(); ++w)
+      for (netlist::NetId bit : words[w].bits) index.emplace(bit, w);
+    return index;
+  }
+
+  // Number of words of width >= min_width.
+  std::size_t count_multibit(std::size_t min_width = 2) const {
+    std::size_t n = 0;
+    for (const Word& word : words)
+      if (word.width() >= min_width) ++n;
+    return n;
+  }
+};
+
+}  // namespace netrev::wordrec

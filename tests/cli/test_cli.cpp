@@ -1,0 +1,233 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace netrev::cli {
+namespace {
+
+struct CliRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun result;
+  result.exit_code = run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+// A temp directory per test binary run.
+std::string temp_dir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "netrev_cli_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliRun r = run({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("identify"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, StatsOnFamilyBenchmark) {
+  const CliRun r = run({"stats", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("gates=169"), std::string::npos);
+  EXPECT_NE(r.out.find("0 error(s)"), std::string::npos);
+}
+
+TEST(Cli, StatsOnMissingFileFails) {
+  const CliRun r = run({"stats", "/nonexistent.v"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, ReferenceListsWords) {
+  const CliRun r = run({"reference", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("7 reference word(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("CODA0_reg"), std::string::npos);
+}
+
+TEST(Cli, IdentifyTextOutput) {
+  const CliRun r = run({"identify", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("1 control signal(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("unified via"), std::string::npos);
+}
+
+TEST(Cli, IdentifyJsonOutput) {
+  const CliRun r = run({"identify", "b03s", "--json"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out.find("found"), std::string::npos);  // no prose
+  EXPECT_NE(r.out.find("\"control_signals\""), std::string::npos);
+}
+
+TEST(Cli, IdentifyBaseMode) {
+  const CliRun r = run({"identify", "b03s", "--base"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("shape hashing"), std::string::npos);
+}
+
+TEST(Cli, IdentifyWithOptions) {
+  const CliRun r =
+      run({"identify", "b03s", "--depth", "3", "--max-assign", "1",
+           "--cross-group"});
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(Cli, IdentifyRejectsBadFlag) {
+  const CliRun r = run({"identify", "b03s", "--bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, GenerateWritesFiles) {
+  const std::string dir = temp_dir();
+  const CliRun r = run({"generate", "b03s", "-o", dir});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/b03s.v"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/b03s.bench"));
+}
+
+TEST(Cli, IdentifyParsesGeneratedVerilogFile) {
+  const std::string dir = temp_dir();
+  run({"generate", "b08s", "-o", dir});
+  const CliRun r = run({"identify", dir + "/b08s.v"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("3 control signal(s)"), std::string::npos);
+}
+
+TEST(Cli, IdentifyParsesGeneratedBenchFile) {
+  const std::string dir = temp_dir();
+  run({"generate", "b08s", "-o", dir});
+  const CliRun r = run({"identify", dir + "/b08s.bench", "--base"});
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(Cli, ReduceWithAssignment) {
+  const CliRun r = run({"reduce", "b03s", "--assign", "U201=0"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("-> "), std::string::npos);
+}
+
+TEST(Cli, ReduceWritesVerilog) {
+  const std::string path = temp_dir() + "/reduced.v";
+  const CliRun r = run({"reduce", "b03s", "--assign", "U201=0", "-o", path});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const CliRun stats = run({"stats", path});
+  EXPECT_EQ(stats.exit_code, 0);
+}
+
+TEST(Cli, ReduceRejectsMalformedAssign) {
+  EXPECT_EQ(run({"reduce", "b03s", "--assign", "U201"}).exit_code, 1);
+  EXPECT_EQ(run({"reduce", "b03s", "--assign", "U201=2"}).exit_code, 1);
+  EXPECT_EQ(run({"reduce", "b03s", "--assign", "NOPE=0"}).exit_code, 1);
+  EXPECT_EQ(run({"reduce", "b03s"}).exit_code, 1);
+}
+
+TEST(Cli, EvaluateShowsPerWordOutcomes) {
+  const CliRun r = run({"evaluate", "b08s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("full: 4"), std::string::npos);
+  EXPECT_NE(r.out.find("MISSING  STATO_reg"), std::string::npos);
+}
+
+TEST(Cli, EvaluateBaseModeFindsFewer) {
+  const CliRun ours = run({"evaluate", "b08s"});
+  const CliRun base = run({"evaluate", "b08s", "--base"});
+  EXPECT_EQ(base.exit_code, 0);
+  EXPECT_NE(base.out.find("full: 2"), std::string::npos);
+  EXPECT_NE(ours.out.find("full: 4"), std::string::npos);
+}
+
+TEST(Cli, EvaluateJson) {
+  const CliRun r = run({"evaluate", "b08s", "--json"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"fully_found\":4"), std::string::npos);
+}
+
+TEST(Cli, EvaluateFailsWithoutReferenceNames) {
+  // A design whose flops have no indexed names.
+  const std::string path = temp_dir() + "/noref.v";
+  std::ofstream(path) << "module noref (d, q);\n input d;\n output q;\n"
+                         " DFF r0 (q, d);\nendmodule\n";
+  const CliRun r = run({"evaluate", path});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("no reference words"), std::string::npos);
+}
+
+TEST(Cli, PropagateDerivesCandidates) {
+  const CliRun r = run({"propagate", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("candidate word(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("[leaves]"), std::string::npos);
+}
+
+TEST(Cli, ScanInsertsChain) {
+  const std::string path = temp_dir() + "/scanned.v";
+  const CliRun r = run({"scan", "b03s", "-o", path});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("30 scan mux(es)"), std::string::npos);
+  const CliRun stats = run({"stats", path});
+  EXPECT_EQ(stats.exit_code, 0);
+}
+
+TEST(Cli, IdentifyTraceNarratesDecisions) {
+  const CliRun r = run({"identify", "b03s", "--trace"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("control signals:"), std::string::npos);
+  EXPECT_NE(r.out.find("UNIFIED via"), std::string::npos);
+}
+
+TEST(Cli, DotEmitsGraph) {
+  const CliRun r = run({"dot", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("digraph netlist"), std::string::npos);
+  EXPECT_NE(r.out.find("fillcolor="), std::string::npos);
+}
+
+TEST(Cli, DotWritesFile) {
+  const std::string path = temp_dir() + "/g.dot";
+  const CliRun r = run({"dot", "b03s", "--depth", "4", "-o", path});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(Cli, TableSingleBenchmark) {
+  const CliRun r = run({"table", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("b03s"), std::string::npos);
+  EXPECT_NE(r.out.find("85.7"), std::string::npos);
+}
+
+TEST(Cli, TableJson) {
+  const CliRun r = run({"table", "b03s", "--json"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"benchmark\":\"b03s\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev::cli

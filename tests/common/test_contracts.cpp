@@ -1,0 +1,41 @@
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(NETREV_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Contracts, RequireThrowsOnFalse) {
+  EXPECT_THROW(NETREV_REQUIRE(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, EnsureThrowsOnFalse) {
+  EXPECT_THROW(NETREV_ENSURE(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+  EXPECT_THROW(NETREV_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+  try {
+    NETREV_REQUIRE(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  EXPECT_THROW(NETREV_ASSERT(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace netrev

@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace netrev {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, NextInRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_in(3, 2), ContractViolation);
+}
+
+TEST(Rng, ChanceZeroNeverFires) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.chance(0, 10));
+}
+
+TEST(Rng, ChanceFullAlwaysFires) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rng.chance(10, 10));
+}
+
+TEST(Rng, ChanceHalfIsRoughlyBalanced) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(1, 2)) ++hits;
+  EXPECT_GT(hits, 4500);
+  EXPECT_LT(hits, 5500);
+}
+
+TEST(Rng, BoolIsRoughlyBalanced) {
+  Rng rng(17);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bool()) ++ones;
+  EXPECT_GT(ones, 4500);
+  EXPECT_LT(ones, 5500);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleIsDeterministic) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng ra(31), rb(31);
+  ra.shuffle(a);
+  rb.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitMixExpandsDistinctSeeds) {
+  std::uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+// Property: over a modest sample, each residue class of next_below(n) is
+// populated (no systematic bias hole).
+class RngSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSweep, AllResiduesPopulated) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(101 + bound);
+  std::vector<int> hits(bound, 0);
+  for (std::uint64_t i = 0; i < bound * 200; ++i)
+    ++hits[rng.next_below(bound)];
+  for (std::uint64_t r = 0; r < bound; ++r)
+    EXPECT_GT(hits[r], 0) << "residue " << r << " never drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngSweep,
+                         ::testing::Values(2, 3, 5, 7, 16, 33));
+
+}  // namespace
+}  // namespace netrev

@@ -1,0 +1,56 @@
+#include "common/strong_id.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+#include <unordered_set>
+
+namespace netrev {
+namespace {
+
+struct TagA {};
+struct TagB {};
+using IdA = StrongId<TagA>;
+using IdB = StrongId<TagB>;
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  IdA id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, IdA::invalid());
+}
+
+TEST(StrongId, ConstructedValueRoundTrips) {
+  IdA id(7);
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_LT(IdA(1), IdA(2));
+  EXPECT_EQ(IdA(3), IdA(3));
+  EXPECT_NE(IdA(3), IdA(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<IdA, IdB>);
+  static_assert(!std::is_convertible_v<IdA, IdB>);
+  SUCCEED();
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<IdA> set;
+  set.insert(IdA(1));
+  set.insert(IdA(2));
+  set.insert(IdA(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IdA(2)));
+}
+
+TEST(StrongId, InvalidIsMaxValue) {
+  EXPECT_EQ(IdA::invalid().value(),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+}  // namespace
+}  // namespace netrev

@@ -1,0 +1,141 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::eval {
+namespace {
+
+using netlist::NetId;
+using wordrec::Word;
+using wordrec::WordSet;
+
+NetId net(int i) { return NetId(static_cast<std::uint32_t>(i)); }
+
+WordSet words(std::vector<std::vector<int>> groups) {
+  WordSet set;
+  for (const auto& group : groups) {
+    Word word;
+    for (int i : group) word.bits.push_back(net(i));
+    set.words.push_back(std::move(word));
+  }
+  return set;
+}
+
+ReferenceWord ref(std::string name, std::vector<int> bits) {
+  ReferenceWord word;
+  word.register_name = std::move(name);
+  for (int i : bits) word.bits.push_back(net(i));
+  return word;
+}
+
+TEST(Metrics, FullyFoundWhenOneWordCoversAll) {
+  const WordSet generated = words({{1, 2, 3, 4}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_EQ(summary.fully_found, 1u);
+  EXPECT_EQ(summary.per_word[0].outcome, WordOutcome::kFullyFound);
+  EXPECT_DOUBLE_EQ(summary.full_fraction, 1.0);
+}
+
+TEST(Metrics, SupersetWordStillCountsAsFull) {
+  // Paper: "a word found using our technique includes all bits" — extra
+  // bits in the generated word do not disqualify it.
+  const WordSet generated = words({{9, 1, 2, 3, 7}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3})};
+  EXPECT_EQ(evaluate_words(generated, reference).fully_found, 1u);
+}
+
+TEST(Metrics, NotFoundWhenAllBitsSeparate) {
+  const WordSet generated = words({{1}, {2}, {3}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_EQ(summary.not_found, 1u);
+  EXPECT_DOUBLE_EQ(summary.not_found_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(summary.avg_fragmentation, 0.0);
+}
+
+TEST(Metrics, PartialWithFragmentation) {
+  // 8-bit word split into two 4-bit generated words: fragmentation 2/8.
+  const WordSet generated = words({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3, 4, 5, 6, 7, 8})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_EQ(summary.partially_found, 1u);
+  EXPECT_DOUBLE_EQ(summary.per_word[0].fragmentation, 0.25);
+  EXPECT_DOUBLE_EQ(summary.avg_fragmentation, 0.25);
+}
+
+TEST(Metrics, TwoBitWordIsNeverPartial) {
+  // With 2 bits: together -> full; apart -> not found.
+  const WordSet apart = words({{1, 9}, {2, 8}});
+  const ReferenceWord reference[] = {ref("R", {1, 2})};
+  const auto summary = evaluate_words(apart, reference);
+  EXPECT_EQ(summary.not_found, 1u);
+  EXPECT_EQ(summary.partially_found, 0u);
+}
+
+TEST(Metrics, MixedOutcomesAverageCorrectly) {
+  const WordSet generated = words({
+      {1, 2, 3},     // R1 fully found
+      {4, 5},        // R2 partial piece 1
+      {6},           // R2 partial piece 2 (singleton)
+      {7}, {8}, {9}  // R3 all separate
+  });
+  const ReferenceWord reference[] = {ref("R1", {1, 2, 3}),
+                                     ref("R2", {4, 5, 6}),
+                                     ref("R3", {7, 8, 9})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_EQ(summary.fully_found, 1u);
+  EXPECT_EQ(summary.partially_found, 1u);
+  EXPECT_EQ(summary.not_found, 1u);
+  EXPECT_NEAR(summary.full_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(summary.not_found_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(summary.avg_fragmentation, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, UncoveredBitsActAsSingletons) {
+  // Bit 3 is absent from the generated partition entirely.
+  const WordSet generated = words({{1, 2}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_EQ(summary.partially_found, 1u);
+  EXPECT_DOUBLE_EQ(summary.per_word[0].fragmentation, 2.0 / 3.0);
+}
+
+TEST(Metrics, TwoUncoveredBitsGetDistinctPseudoWords) {
+  const WordSet generated = words({{1}});
+  const ReferenceWord reference[] = {ref("R", {1, 2, 3})};
+  const auto summary = evaluate_words(generated, reference);
+  // bits 2 and 3 uncovered -> 3 distinct pieces -> not found.
+  EXPECT_EQ(summary.not_found, 1u);
+}
+
+TEST(Metrics, EmptyReferenceGivesZeroes) {
+  const WordSet generated = words({{1, 2}});
+  const auto summary = evaluate_words(generated, {});
+  EXPECT_EQ(summary.reference_words, 0u);
+  EXPECT_DOUBLE_EQ(summary.full_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(summary.avg_fragmentation, 0.0);
+}
+
+TEST(Metrics, FragmentationAveragesOnlyOverPartials) {
+  const WordSet generated = words({
+      {1, 2, 3, 4, 5, 6}, // R1 full
+      {10, 11}, {12, 13}  // R2 split in two (4 bits)
+  });
+  const ReferenceWord reference[] = {ref("R1", {1, 2, 3, 4, 5, 6}),
+                                     ref("R2", {10, 11, 12, 13})};
+  const auto summary = evaluate_words(generated, reference);
+  EXPECT_DOUBLE_EQ(summary.avg_fragmentation, 0.5);  // only R2 counts
+}
+
+TEST(Metrics, PerWordParallelToReference) {
+  const WordSet generated = words({{1, 2}, {3}, {4}});
+  const ReferenceWord reference[] = {ref("A", {1, 2}), ref("B", {3, 4})};
+  const auto summary = evaluate_words(generated, reference);
+  ASSERT_EQ(summary.per_word.size(), 2u);
+  EXPECT_EQ(summary.per_word[0].outcome, WordOutcome::kFullyFound);
+  EXPECT_EQ(summary.per_word[1].outcome, WordOutcome::kNotFound);
+}
+
+}  // namespace
+}  // namespace netrev::eval

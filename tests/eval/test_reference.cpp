@@ -1,0 +1,150 @@
+#include "eval/reference.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::eval {
+namespace {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+TEST(RegisterBitName, SynopsysFlattenedStyle) {
+  const auto parsed = parse_register_bit_name("COUNT_REG_5_");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base, "COUNT_REG");
+  EXPECT_EQ(parsed->index, 5u);
+}
+
+TEST(RegisterBitName, BracketStyle) {
+  const auto parsed = parse_register_bit_name("COUNT_REG[12]");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base, "COUNT_REG");
+  EXPECT_EQ(parsed->index, 12u);
+}
+
+TEST(RegisterBitName, PlainTrailingIndex) {
+  const auto parsed = parse_register_bit_name("COUNT_REG_7");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base, "COUNT_REG");
+  EXPECT_EQ(parsed->index, 7u);
+}
+
+TEST(RegisterBitName, RejectsScalarsAndMalformed) {
+  EXPECT_FALSE(parse_register_bit_name("stato_reg").has_value());
+  EXPECT_FALSE(parse_register_bit_name("REG[a]").has_value());
+  EXPECT_FALSE(parse_register_bit_name("REG[]").has_value());
+  EXPECT_FALSE(parse_register_bit_name("_5_").has_value());
+  EXPECT_FALSE(parse_register_bit_name("[5]").has_value());
+  EXPECT_FALSE(parse_register_bit_name("plainname").has_value());
+  EXPECT_FALSE(parse_register_bit_name("").has_value());
+}
+
+// Builds flops named <reg>_REG_<i>_ whose D inputs are fresh PI-driven nets.
+struct Builder {
+  Netlist nl;
+  int counter = 0;
+
+  NetId add_flop(const std::string& q_name) {
+    const NetId d = nl.add_net("d" + std::to_string(counter++));
+    nl.mark_primary_input(d);
+    const NetId q = nl.add_net(q_name);
+    nl.add_gate(GateType::kDff, q, {d});
+    nl.mark_primary_output(q);
+    return d;
+  }
+};
+
+TEST(ReferenceExtraction, GroupsBitsByBaseName) {
+  Builder b;
+  const NetId d0 = b.add_flop("A_REG_0_");
+  const NetId d1 = b.add_flop("A_REG_1_");
+  const NetId d2 = b.add_flop("A_REG_2_");
+  b.add_flop("B_REG_0_");
+  b.add_flop("B_REG_1_");
+
+  const auto extraction = extract_reference_words(b.nl);
+  ASSERT_EQ(extraction.words.size(), 2u);
+  EXPECT_EQ(extraction.words[0].register_name, "A_REG");
+  EXPECT_EQ(extraction.words[0].bits, (std::vector<NetId>{d0, d1, d2}));
+  EXPECT_EQ(extraction.words[1].register_name, "B_REG");
+  EXPECT_EQ(extraction.flop_count, 5u);
+  EXPECT_EQ(extraction.indexed_flops, 5u);
+}
+
+TEST(ReferenceExtraction, WordBitsAreDInputsNotQOutputs) {
+  Builder b;
+  const NetId d0 = b.add_flop("A_REG_0_");
+  b.add_flop("A_REG_1_");
+  const auto extraction = extract_reference_words(b.nl);
+  ASSERT_EQ(extraction.words.size(), 1u);
+  EXPECT_EQ(extraction.words[0].bits[0], d0);
+  EXPECT_FALSE(b.nl.is_flop_output(extraction.words[0].bits[0]));
+}
+
+TEST(ReferenceExtraction, BitsOrderedByIndexNotByFileOrder) {
+  Builder b;
+  const NetId d2 = b.add_flop("A_REG_2_");
+  const NetId d0 = b.add_flop("A_REG_0_");
+  const NetId d1 = b.add_flop("A_REG_1_");
+  const auto extraction = extract_reference_words(b.nl);
+  ASSERT_EQ(extraction.words.size(), 1u);
+  EXPECT_EQ(extraction.words[0].bits, (std::vector<NetId>{d0, d1, d2}));
+}
+
+TEST(ReferenceExtraction, MinWidthFiltersNarrowRegisters) {
+  Builder b;
+  b.add_flop("A_REG_0_");
+  b.add_flop("A_REG_1_");
+  b.add_flop("LONE_REG_0_");
+  const auto extraction = extract_reference_words(b.nl, 2);
+  ASSERT_EQ(extraction.words.size(), 1u);
+  EXPECT_EQ(extraction.words[0].register_name, "A_REG");
+  const auto loose = extract_reference_words(b.nl, 1);
+  EXPECT_EQ(loose.words.size(), 2u);
+}
+
+TEST(ReferenceExtraction, ScalarsCountedButNotWorded) {
+  Builder b;
+  b.add_flop("A_REG_0_");
+  b.add_flop("A_REG_1_");
+  b.add_flop("stato_reg");
+  const auto extraction = extract_reference_words(b.nl);
+  EXPECT_EQ(extraction.flop_count, 3u);
+  EXPECT_EQ(extraction.indexed_flops, 2u);
+  EXPECT_EQ(extraction.words.size(), 1u);
+}
+
+TEST(ReferenceExtraction, AverageWordSize) {
+  Builder b;
+  b.add_flop("A_REG_0_");
+  b.add_flop("A_REG_1_");
+  b.add_flop("B_REG_0_");
+  b.add_flop("B_REG_1_");
+  b.add_flop("B_REG_2_");
+  b.add_flop("B_REG_3_");
+  const auto extraction = extract_reference_words(b.nl);
+  EXPECT_DOUBLE_EQ(extraction.average_word_size(), 3.0);
+}
+
+TEST(ReferenceExtraction, EmptyDesign) {
+  const auto extraction = extract_reference_words(Netlist{});
+  EXPECT_TRUE(extraction.words.empty());
+  EXPECT_EQ(extraction.flop_count, 0u);
+  EXPECT_DOUBLE_EQ(extraction.average_word_size(), 0.0);
+}
+
+TEST(ReferenceExtraction, DeterministicNameOrder) {
+  Builder b;
+  b.add_flop("ZULU_REG_0_");
+  b.add_flop("ZULU_REG_1_");
+  b.add_flop("ALFA_REG_0_");
+  b.add_flop("ALFA_REG_1_");
+  const auto extraction = extract_reference_words(b.nl);
+  ASSERT_EQ(extraction.words.size(), 2u);
+  EXPECT_EQ(extraction.words[0].register_name, "ALFA_REG");
+  EXPECT_EQ(extraction.words[1].register_name, "ZULU_REG");
+}
+
+}  // namespace
+}  // namespace netrev::eval

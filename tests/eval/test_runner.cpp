@@ -1,0 +1,39 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "itc/family.h"
+
+namespace netrev::eval {
+namespace {
+
+TEST(Runner, BaselineRunsAndTimes) {
+  const auto bench = itc::build_benchmark("b03s");
+  const TechniqueRun run = run_baseline(bench.netlist);
+  EXPECT_FALSE(run.words.words.empty());
+  EXPECT_GE(run.seconds, 0.0);
+  EXPECT_EQ(run.control_signals, 0u);
+}
+
+TEST(Runner, OursRunsAndReportsControls) {
+  const auto bench = itc::build_benchmark("b08s");
+  const TechniqueRun run = run_ours(bench.netlist);
+  EXPECT_FALSE(run.words.words.empty());
+  EXPECT_GE(run.seconds, 0.0);
+  EXPECT_GT(run.control_signals, 0u);
+  EXPECT_GT(run.stats.groups, 0u);
+  EXPECT_GT(run.stats.reduction_trials, 0u);
+}
+
+TEST(Runner, OursNeverFindsFewerMultibitWordsThanBaseline) {
+  for (const char* name : {"b03s", "b05s", "b08s"}) {
+    const auto bench = itc::build_benchmark(name);
+    const TechniqueRun base = run_baseline(bench.netlist);
+    const TechniqueRun ours = run_ours(bench.netlist);
+    EXPECT_GE(ours.words.count_multibit(), base.words.count_multibit())
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace netrev::eval

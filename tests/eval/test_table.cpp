@@ -1,0 +1,92 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::eval {
+namespace {
+
+Table1Row sample_row(const std::string& name, double base_full,
+                     double ours_full) {
+  Table1Row row;
+  row.benchmark = name;
+  row.gates = 100;
+  row.nets = 120;
+  row.flops = 30;
+  row.reference_words = 7;
+  row.avg_word_size = 3.14;
+  row.base.full_pct = base_full;
+  row.base.fragmentation = 0.5;
+  row.base.not_found_pct = 14.3;
+  row.base.seconds = 0.01;
+  row.ours.full_pct = ours_full;
+  row.ours.fragmentation = 0.2;
+  row.ours.not_found_pct = 14.3;
+  row.ours.seconds = 0.05;
+  row.ours.control_signals = 2;
+  return row;
+}
+
+TEST(Table, MakeCellsConvertsFractions) {
+  EvaluationSummary summary;
+  summary.reference_words = 4;
+  summary.fully_found = 3;
+  summary.not_found = 1;
+  summary.full_fraction = 0.75;
+  summary.not_found_fraction = 0.25;
+  summary.avg_fragmentation = 0.4;
+  TechniqueRun run;
+  run.seconds = 1.5;
+  run.control_signals = 3;
+  const TechniqueCells cells = make_cells(summary, run);
+  EXPECT_DOUBLE_EQ(cells.full_pct, 75.0);
+  EXPECT_DOUBLE_EQ(cells.not_found_pct, 25.0);
+  EXPECT_DOUBLE_EQ(cells.fragmentation, 0.4);
+  EXPECT_DOUBLE_EQ(cells.seconds, 1.5);
+  EXPECT_EQ(cells.control_signals, 3u);
+}
+
+TEST(Table, AverageRowIsArithmeticMean) {
+  const std::vector<Table1Row> rows = {sample_row("a", 40.0, 60.0),
+                                       sample_row("b", 60.0, 80.0)};
+  const Table1Row avg = average_row(rows);
+  EXPECT_DOUBLE_EQ(avg.base.full_pct, 50.0);
+  EXPECT_DOUBLE_EQ(avg.ours.full_pct, 70.0);
+  EXPECT_DOUBLE_EQ(avg.base.fragmentation, 0.5);
+  EXPECT_EQ(avg.benchmark, "Average");
+}
+
+TEST(Table, AverageOfEmptyIsZeroes) {
+  const Table1Row avg = average_row({});
+  EXPECT_DOUBLE_EQ(avg.base.full_pct, 0.0);
+}
+
+TEST(Table, RenderContainsBenchmarksAndTechniques) {
+  const std::vector<Table1Row> rows = {sample_row("b03s", 71.4, 85.7)};
+  const std::string table = render_table1(rows);
+  EXPECT_NE(table.find("b03s"), std::string::npos);
+  EXPECT_NE(table.find("Base"), std::string::npos);
+  EXPECT_NE(table.find("Ours"), std::string::npos);
+  EXPECT_NE(table.find("71.4"), std::string::npos);
+  EXPECT_NE(table.find("85.7"), std::string::npos);
+  EXPECT_NE(table.find("3.14"), std::string::npos);
+}
+
+TEST(Table, RenderIncludesAverageByDefault) {
+  const std::vector<Table1Row> rows = {sample_row("x", 50, 60),
+                                       sample_row("y", 70, 80)};
+  EXPECT_NE(render_table1(rows).find("Average"), std::string::npos);
+  EXPECT_EQ(render_table1(rows, false).find("Average"), std::string::npos);
+}
+
+TEST(Table, TwoSubRowsPerBenchmark) {
+  const std::vector<Table1Row> rows = {sample_row("x", 50, 60)};
+  const std::string table = render_table1(rows, false);
+  std::size_t lines = 0;
+  for (char c : table)
+    if (c == '\n') ++lines;
+  // header + separator + 2 technique rows
+  EXPECT_EQ(lines, 4u);
+}
+
+}  // namespace
+}  // namespace netrev::eval

@@ -1,0 +1,122 @@
+#include "itc/benchgen.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/reference.h"
+#include "itc/family.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "parser/verilog_writer.h"
+
+namespace netrev::itc {
+namespace {
+
+using netlist::NetId;
+
+BenchmarkProfile tiny_profile() {
+  BenchmarkProfile p;
+  p.name = "tiny";
+  p.seed = 99;
+  p.target_gates = 200;
+  p.target_flops = 14;
+  p.scalar_registers = 2;
+  p.decoy_control_words = 1;
+  WordPlan clean;
+  clean.kind = WordKind::kClean;
+  clean.name = "ALPHA";
+  clean.width = 4;
+  WordPlan ctrl;
+  ctrl.kind = WordKind::kControlFromNotFound;
+  ctrl.name = "BETA";
+  ctrl.width = 4;
+  WordPlan hetero;
+  hetero.kind = WordKind::kNotFoundBoth;
+  hetero.name = "GAMMA";
+  hetero.width = 4;
+  p.words = {clean, ctrl, hetero};
+  return p;
+}
+
+TEST(Benchgen, GeneratedNetlistValidates) {
+  const auto bench = generate_benchmark(tiny_profile());
+  const auto report = netlist::validate(bench.netlist);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Benchgen, FlopCountMatchesPlan) {
+  const auto bench = generate_benchmark(tiny_profile());
+  EXPECT_EQ(bench.netlist.flop_count(), 14u);
+}
+
+TEST(Benchgen, GateTargetReached) {
+  const auto bench = generate_benchmark(tiny_profile());
+  EXPECT_GE(bench.netlist.gate_count(), 200u);
+  // ... but not overshot by much (filler stops at the target).
+  EXPECT_LE(bench.netlist.gate_count(), 260u);
+}
+
+TEST(Benchgen, WordBitsAreFlopDInputs) {
+  const auto bench = generate_benchmark(tiny_profile());
+  for (const auto& [name, bits] : bench.word_bits) {
+    EXPECT_EQ(bits.size(), 4u) << name;
+    for (NetId bit : bits) EXPECT_TRUE(bench.netlist.feeds_flop(bit)) << name;
+  }
+}
+
+TEST(Benchgen, RegisterNamesSurviveForReferenceExtraction) {
+  const auto bench = generate_benchmark(tiny_profile());
+  const auto reference = eval::extract_reference_words(bench.netlist);
+  ASSERT_EQ(reference.words.size(), 3u);
+  // Reference extraction must agree with the generator's ground truth.
+  for (const auto& word : reference.words) {
+    std::string plan_name = word.register_name;
+    // register base name is "<PLAN>_reg".
+    const auto pos = plan_name.rfind("_reg");
+    ASSERT_NE(pos, std::string::npos);
+    plan_name.resize(pos);
+    ASSERT_TRUE(bench.word_bits.contains(plan_name)) << plan_name;
+    EXPECT_EQ(word.bits, bench.word_bits.at(plan_name));
+  }
+}
+
+TEST(Benchgen, ScalarRegistersAreExcludedFromReference) {
+  const auto bench = generate_benchmark(tiny_profile());
+  const auto reference = eval::extract_reference_words(bench.netlist);
+  EXPECT_EQ(reference.flop_count, 14u);
+  EXPECT_EQ(reference.indexed_flops, 12u);  // 3 words x 4 bits
+}
+
+TEST(Benchgen, DeterministicForEqualSeeds) {
+  const auto a = generate_benchmark(tiny_profile());
+  const auto b = generate_benchmark(tiny_profile());
+  EXPECT_EQ(parser::write_verilog(a.netlist), parser::write_verilog(b.netlist));
+}
+
+TEST(Benchgen, DifferentSeedsDifferentFiller) {
+  auto profile = tiny_profile();
+  const auto a = generate_benchmark(profile);
+  profile.seed = 1234;
+  const auto b = generate_benchmark(profile);
+  EXPECT_NE(parser::write_verilog(a.netlist), parser::write_verilog(b.netlist));
+}
+
+TEST(Benchgen, EmbeddedControlsAreRecorded) {
+  const auto bench = generate_benchmark(tiny_profile());
+  // One from the control word, one from the decoy.
+  EXPECT_EQ(bench.embedded_controls.size(), 2u);
+}
+
+TEST(Benchgen, RejectsInvalidProfile) {
+  auto profile = tiny_profile();
+  profile.words[0].width = 1;
+  EXPECT_THROW(generate_benchmark(profile), std::invalid_argument);
+}
+
+TEST(Benchgen, PrimaryInputsPresent) {
+  const auto bench = generate_benchmark(tiny_profile());
+  EXPECT_GE(bench.netlist.primary_inputs().size(), 16u);
+  EXPECT_FALSE(bench.netlist.primary_outputs().empty());
+}
+
+}  // namespace
+}  // namespace netrev::itc

@@ -1,0 +1,128 @@
+#include "itc/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "itc/family.h"
+
+namespace netrev::itc {
+namespace {
+
+WordPlan plan(WordKind kind, std::size_t width, std::size_t plain = 0,
+              std::size_t pieces = 2) {
+  WordPlan p;
+  p.kind = kind;
+  p.name = "W";
+  p.width = width;
+  p.plain_bits = plain;
+  p.pieces = pieces;
+  return p;
+}
+
+BenchmarkProfile base_profile() {
+  BenchmarkProfile p;
+  p.name = "t";
+  p.seed = 1;
+  return p;
+}
+
+TEST(Profile, ExpectedControlSignalsByKind) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kClean, 4),
+             plan(WordKind::kControlFromPartial, 4, 2),
+             plan(WordKind::kControlFromNotFound, 4),
+             plan(WordKind::kControlPair, 4),
+             plan(WordKind::kPartialImproved, 4, 2),
+             plan(WordKind::kRescuedToPartial, 4, 2),
+             plan(WordKind::kPartialBoth, 4),
+             plan(WordKind::kNotFoundBoth, 4)};
+  p.decoy_control_words = 2;
+  // 1 + 1 + 2 + 1 + 1 + 0 + 0 + 2 decoys = 8
+  EXPECT_EQ(p.expected_control_signals(), 8u);
+}
+
+TEST(Profile, ReferenceBitCount) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kClean, 4), plan(WordKind::kClean, 7)};
+  EXPECT_EQ(p.reference_bit_count(), 11u);
+}
+
+TEST(ProfileValidation, AcceptsWellFormed) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kClean, 4)};
+  EXPECT_NO_THROW(validate_profile(p));
+}
+
+TEST(ProfileValidation, RejectsEmptyName) {
+  BenchmarkProfile p = base_profile();
+  p.name = "";
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsNarrowWords) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kClean, 1)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsBadPlainBits) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kControlFromPartial, 4, 0)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+  p.words = {plan(WordKind::kControlFromPartial, 4, 4)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsBadPieces) {
+  BenchmarkProfile p = base_profile();
+  p.words = {plan(WordKind::kPartialBoth, 4, 0, 1)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+  p.words = {plan(WordKind::kPartialBoth, 4, 0, 5)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+}
+
+TEST(ProfileValidation, RejectsFlopBudgetOverrun) {
+  BenchmarkProfile p = base_profile();
+  p.target_flops = 3;
+  p.words = {plan(WordKind::kClean, 4)};
+  EXPECT_THROW(validate_profile(p), std::invalid_argument);
+}
+
+TEST(FamilyProfiles, AllTwelvePresent) {
+  const auto profiles = itc99s_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  EXPECT_EQ(profiles.front().name, "b03s");
+  EXPECT_EQ(profiles.back().name, "b18s");
+}
+
+TEST(FamilyProfiles, AllValidate) {
+  for (const auto& profile : itc99s_profiles())
+    EXPECT_NO_THROW(validate_profile(profile)) << profile.name;
+}
+
+TEST(FamilyProfiles, FlopBudgetsExactlyMatchTable1) {
+  for (const auto& profile : itc99s_profiles()) {
+    EXPECT_EQ(profile.reference_bit_count() + profile.scalar_registers,
+              profile.target_flops)
+        << profile.name;
+  }
+}
+
+TEST(FamilyProfiles, ControlSignalTargetsMatchTable1) {
+  const std::map<std::string, std::size_t> expected = {
+      {"b03s", 1}, {"b04s", 1}, {"b05s", 0}, {"b07s", 1},
+      {"b08s", 3}, {"b11s", 0}, {"b12s", 7}, {"b13s", 2},
+      {"b14s", 4}, {"b15s", 4}, {"b17s", 18}, {"b18s", 36}};
+  for (const auto& profile : itc99s_profiles())
+    EXPECT_EQ(profile.expected_control_signals(), expected.at(profile.name))
+        << profile.name;
+}
+
+TEST(FamilyProfiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("b14s").name, "b14s");
+  EXPECT_THROW(profile_by_name("b99s"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netrev::itc

@@ -1,0 +1,89 @@
+#include "netlist/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::netlist {
+namespace {
+
+Netlist sample() {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::kNand, y, {a, b});
+  nl.mark_primary_output(y);
+  return nl;
+}
+
+TEST(Compare, EqualDesigns) {
+  EXPECT_TRUE(structurally_equal(sample(), sample()));
+  EXPECT_EQ(structural_difference(sample(), sample()), std::nullopt);
+}
+
+TEST(Compare, DetectsMissingNet) {
+  Netlist a = sample();
+  Netlist b = sample();
+  b.add_net("extra");
+  const auto diff = structural_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("net counts"), std::string::npos);
+}
+
+TEST(Compare, DetectsRenamedNet) {
+  Netlist a = sample();
+  Netlist b;
+  const NetId x = b.add_net("a");
+  const NetId w = b.add_net("RENAMED");
+  const NetId y = b.add_net("y");
+  b.mark_primary_input(x);
+  b.mark_primary_input(w);
+  b.add_gate(GateType::kNand, y, {x, w});
+  b.mark_primary_output(y);
+  const auto diff = structural_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("missing"), std::string::npos);
+}
+
+TEST(Compare, DetectsPortDirectionChange) {
+  Netlist a = sample();
+  Netlist b = sample();
+  b.mark_primary_output(*b.find_net("a"));
+  const auto diff = structural_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("primary-output"), std::string::npos);
+}
+
+TEST(Compare, DetectsGateTypeChange) {
+  Netlist a = sample();
+  Netlist b;
+  const NetId x = b.add_net("a");
+  const NetId w = b.add_net("b");
+  const NetId y = b.add_net("y");
+  b.mark_primary_input(x);
+  b.mark_primary_input(w);
+  b.add_gate(GateType::kNor, y, {x, w});
+  b.mark_primary_output(y);
+  const auto diff = structural_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("type differs"), std::string::npos);
+}
+
+TEST(Compare, DetectsInputOrderChange) {
+  Netlist a = sample();
+  Netlist b;
+  const NetId x = b.add_net("a");
+  const NetId w = b.add_net("b");
+  const NetId y = b.add_net("y");
+  b.mark_primary_input(x);
+  b.mark_primary_input(w);
+  b.add_gate(GateType::kNand, y, {w, x});  // swapped
+  b.mark_primary_output(y);
+  const auto diff = structural_difference(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("input 0 differs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev::netlist

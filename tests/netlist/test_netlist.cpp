@@ -1,0 +1,156 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netrev::netlist {
+namespace {
+
+TEST(Netlist, AddNetAssignsSequentialIds) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(nl.net_count(), 2u);
+  EXPECT_EQ(nl.net(a).name, "a");
+}
+
+TEST(Netlist, RejectsEmptyAndDuplicateNames) {
+  Netlist nl;
+  nl.add_net("a");
+  EXPECT_THROW(nl.add_net("a"), std::invalid_argument);
+  EXPECT_THROW(nl.add_net(""), std::invalid_argument);
+}
+
+TEST(Netlist, FindOrAddReusesExisting) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  EXPECT_EQ(nl.find_or_add_net("a"), a);
+  EXPECT_EQ(nl.net_count(), 1u);
+  const NetId b = nl.find_or_add_net("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(nl.net_count(), 2u);
+}
+
+TEST(Netlist, FindNetReturnsNulloptForUnknown) {
+  Netlist nl;
+  EXPECT_EQ(nl.find_net("nope"), std::nullopt);
+}
+
+TEST(Netlist, AddGateWiresDriverAndFanout) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  const GateId g = nl.add_gate(GateType::kAnd, y, {a, b});
+
+  EXPECT_EQ(nl.driver_of(y), g);
+  EXPECT_EQ(nl.driver_of(a), std::nullopt);
+  ASSERT_EQ(nl.net(a).fanouts.size(), 1u);
+  EXPECT_EQ(nl.net(a).fanouts[0], g);
+  EXPECT_EQ(nl.gate(g).type, GateType::kAnd);
+  ASSERT_EQ(nl.gate(g).inputs.size(), 2u);
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kBuf, y, {a});
+  EXPECT_THROW(nl.add_gate(GateType::kNot, y, {a}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDrivingPrimaryInput) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  EXPECT_THROW(nl.add_gate(GateType::kBuf, a, {b}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsMarkingDrivenNetAsInput) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kBuf, y, {a});
+  EXPECT_THROW(nl.mark_primary_input(y), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsArityViolations) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, y, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kNot, y, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kConst0, y, {a}), std::invalid_argument);
+}
+
+TEST(Netlist, GatesInFileOrderFollowsCreation) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId y1 = nl.add_net("y1");
+  const NetId y2 = nl.add_net("y2");
+  const GateId g1 = nl.add_gate(GateType::kBuf, y1, {a});
+  const GateId g2 = nl.add_gate(GateType::kNot, y2, {y1});
+  const auto order = nl.gates_in_file_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], g1);
+  EXPECT_EQ(order[1], g2);
+}
+
+TEST(Netlist, FlopQueries) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_net("q");
+  nl.mark_primary_input(d);
+  nl.add_gate(GateType::kDff, q, {d});
+  EXPECT_TRUE(nl.is_flop_output(q));
+  EXPECT_FALSE(nl.is_flop_output(d));
+  EXPECT_TRUE(nl.feeds_flop(d));
+  EXPECT_FALSE(nl.feeds_flop(q));
+  EXPECT_EQ(nl.flop_count(), 1u);
+  EXPECT_EQ(nl.combinational_gate_count(), 0u);
+}
+
+TEST(Netlist, PrimaryPortLists) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::kOr, y, {a, b});
+  nl.mark_primary_output(y);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  ASSERT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.primary_outputs()[0], y);
+}
+
+TEST(Netlist, CopyIsIndependent) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  Netlist copy = nl;
+  copy.add_net("b");
+  EXPECT_EQ(nl.net_count(), 1u);
+  EXPECT_EQ(copy.net_count(), 2u);
+}
+
+TEST(Netlist, NameRoundTrip) {
+  Netlist nl("design");
+  EXPECT_EQ(nl.name(), "design");
+  nl.set_name("other");
+  EXPECT_EQ(nl.name(), "other");
+}
+
+}  // namespace
+}  // namespace netrev::netlist

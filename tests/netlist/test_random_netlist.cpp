@@ -1,0 +1,78 @@
+#include "netlist/random_netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "netlist/compare.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace netrev::netlist {
+namespace {
+
+TEST(RandomNetlist, MatchesRequestedSizes) {
+  RandomNetlistSpec spec;
+  spec.primary_inputs = 5;
+  spec.combinational_gates = 40;
+  spec.flops = 6;
+  spec.seed = 3;
+  const Netlist nl = random_netlist(spec);
+  const NetlistStats stats = compute_stats(nl);
+  EXPECT_EQ(stats.primary_inputs, 5u);
+  EXPECT_EQ(stats.flops, 6u);
+  EXPECT_EQ(stats.gates, 46u);  // comb + flops
+}
+
+TEST(RandomNetlist, DeterministicPerSeed) {
+  RandomNetlistSpec spec;
+  spec.seed = 17;
+  const Netlist a = random_netlist(spec);
+  const Netlist b = random_netlist(spec);
+  EXPECT_TRUE(structurally_equal(a, b));
+}
+
+TEST(RandomNetlist, DifferentSeedsDiffer) {
+  RandomNetlistSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  EXPECT_FALSE(
+      structurally_equal(random_netlist(a_spec), random_netlist(b_spec)));
+}
+
+TEST(RandomNetlist, AlwaysValid) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    RandomNetlistSpec spec;
+    spec.seed = seed;
+    spec.include_constants = seed % 2 == 0;
+    const auto report = validate(random_netlist(spec));
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.to_string();
+  }
+}
+
+TEST(RandomNetlist, RespectsMaxFanin) {
+  RandomNetlistSpec spec;
+  spec.max_fanin = 3;
+  spec.seed = 9;
+  const Netlist nl = random_netlist(spec);
+  EXPECT_LE(compute_fanin_profile(nl).max_fanin, 3u);
+}
+
+TEST(RandomNetlist, FlopNamesCarryIndices) {
+  RandomNetlistSpec spec;
+  spec.flops = 3;
+  const Netlist nl = random_netlist(spec);
+  EXPECT_TRUE(nl.find_net("q_reg_0_").has_value());
+  EXPECT_TRUE(nl.is_flop_output(*nl.find_net("q_reg_2_")));
+}
+
+TEST(RandomNetlist, RejectsDegenerateSpecs) {
+  RandomNetlistSpec spec;
+  spec.primary_inputs = 0;
+  EXPECT_THROW(random_netlist(spec), ContractViolation);
+  spec.primary_inputs = 4;
+  spec.max_fanin = 1;
+  EXPECT_THROW(random_netlist(spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netrev::netlist

@@ -1,0 +1,111 @@
+#include "netlist/subcircuit.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+
+namespace netrev::netlist {
+namespace {
+
+struct Fixture {
+  Netlist nl;
+  NetId a, b, c, n1, n2, y, z;
+
+  Fixture() {
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    c = nl.add_net("c");
+    n1 = nl.add_net("n1");
+    n2 = nl.add_net("n2");
+    y = nl.add_net("y");
+    z = nl.add_net("z");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    nl.mark_primary_input(c);
+    nl.add_gate(GateType::kAnd, n1, {a, b});
+    nl.add_gate(GateType::kOr, n2, {n1, c});
+    nl.add_gate(GateType::kNand, y, {n1, n2});
+    nl.add_gate(GateType::kNot, z, {c});
+    nl.mark_primary_output(y);
+    nl.mark_primary_output(z);
+  }
+};
+
+TEST(Subcircuit, ExtractsFullConeAsValidNetlist) {
+  Fixture f;
+  const Netlist extract = extract_cone(f.nl, f.y, 4);
+  EXPECT_TRUE(validate(extract).ok());
+  EXPECT_TRUE(extract.find_net("y").has_value());
+  EXPECT_TRUE(extract.find_net("n1").has_value());
+  EXPECT_TRUE(extract.find_net("a").has_value());
+  // z's cone is unrelated and must not leak in.
+  EXPECT_FALSE(extract.find_net("z").has_value());
+}
+
+TEST(Subcircuit, RootBecomesPrimaryOutput) {
+  Fixture f;
+  const Netlist extract = extract_cone(f.nl, f.y, 4);
+  const auto y = extract.find_net("y");
+  ASSERT_TRUE(y.has_value());
+  EXPECT_TRUE(extract.net(*y).is_primary_output);
+}
+
+TEST(Subcircuit, CutNetsBecomePrimaryInputs) {
+  Fixture f;
+  const Netlist extract = extract_cone(f.nl, f.y, 1);
+  // Depth 1: only the NAND is kept; n1 and n2 are cut -> primary inputs.
+  EXPECT_EQ(extract.gate_count(), 1u);
+  const auto n1 = extract.find_net("n1");
+  ASSERT_TRUE(n1.has_value());
+  EXPECT_TRUE(extract.net(*n1).is_primary_input);
+}
+
+TEST(Subcircuit, PreservesGateTypesAndConnectivity) {
+  Fixture f;
+  const Netlist extract = extract_cone(f.nl, f.y, 4);
+  const auto y = extract.find_net("y");
+  const auto driver = extract.driver_of(*y);
+  ASSERT_TRUE(driver.has_value());
+  EXPECT_EQ(extract.gate(*driver).type, GateType::kNand);
+  EXPECT_EQ(extract.gate(*driver).inputs.size(), 2u);
+}
+
+TEST(Subcircuit, MultipleRootsShareLogic) {
+  Fixture f;
+  const NetId roots[] = {f.y, f.n2};
+  const Netlist extract = extract_cones(f.nl, roots, 4);
+  EXPECT_TRUE(validate(extract).ok());
+  // Shared n1 logic appears once.
+  EXPECT_EQ(extract.gate_count(), 3u);  // AND, OR, NAND
+  EXPECT_EQ(extract.primary_outputs().size(), 2u);
+}
+
+TEST(Subcircuit, PreservesRelativeFileOrder) {
+  Fixture f;
+  const Netlist extract = extract_cone(f.nl, f.y, 4);
+  const auto order = extract.gates_in_file_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(extract.gate(order[0]).type, GateType::kAnd);
+  EXPECT_EQ(extract.gate(order[1]).type, GateType::kOr);
+  EXPECT_EQ(extract.gate(order[2]).type, GateType::kNand);
+}
+
+TEST(Subcircuit, FlopBoundedExtraction) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_net("q");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(d);
+  nl.add_gate(GateType::kDff, q, {d});
+  nl.add_gate(GateType::kNot, y, {q});
+  nl.mark_primary_output(y);
+  const Netlist extract = extract_cone(nl, y, 4);
+  // The flop output becomes an input of the extract (cone stops there).
+  const auto q_net = extract.find_net("q");
+  ASSERT_TRUE(q_net.has_value());
+  EXPECT_TRUE(extract.net(*q_net).is_primary_input);
+  EXPECT_EQ(extract.gate_count(), 1u);
+}
+
+}  // namespace
+}  // namespace netrev::netlist

@@ -1,0 +1,109 @@
+#include "netlist/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::netlist {
+namespace {
+
+// a fully-wired AND of two inputs feeding an output.
+Netlist well_formed() {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::kAnd, y, {a, b});
+  nl.mark_primary_output(y);
+  return nl;
+}
+
+TEST(Validate, CleanNetlistPasses) {
+  const auto report = validate(well_formed());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 0u);
+}
+
+TEST(Validate, DanglingNetIsError) {
+  Netlist nl = well_formed();
+  nl.add_net("floating_source");
+  const NetId z = nl.add_net("z");
+  nl.add_gate(GateType::kBuf, z, {*nl.find_net("floating_source")});
+  nl.mark_primary_output(z);
+  const auto report = validate(nl);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("floating_source"), std::string::npos);
+}
+
+TEST(Validate, FanoutFreeInternalNetIsWarning) {
+  Netlist nl = well_formed();
+  const NetId z = nl.add_net("unused");
+  nl.add_gate(GateType::kNot, z, {*nl.find_net("a")});
+  const auto report = validate(nl);
+  EXPECT_TRUE(report.ok());  // warning only
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(Validate, DuplicateGateInputIsWarning) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, y, {a, a});
+  nl.mark_primary_output(y);
+  const auto report = validate(nl);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(Validate, CombinationalCycleIsError) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kOr, y, {a, x});
+  nl.mark_primary_output(y);
+  const auto report = validate(nl);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("cycle"), std::string::npos);
+}
+
+TEST(Validate, FlopBreaksCycle) {
+  // x = AND(a, q); q = DFF(x): sequential loop, combinationally acyclic.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId q = nl.add_net("q");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, x, {a, q});
+  nl.add_gate(GateType::kDff, q, {x});
+  nl.mark_primary_output(q);
+  EXPECT_TRUE(validate(nl).ok());
+}
+
+TEST(Validate, SelfLoopIsError) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, x, {a, x});
+  nl.mark_primary_output(x);
+  EXPECT_FALSE(validate(nl).ok());
+}
+
+TEST(Validate, ReportRendersSeverities) {
+  Netlist nl = well_formed();
+  nl.add_net("dangling");
+  const NetId z = nl.add_net("z");
+  nl.add_gate(GateType::kBuf, z, {*nl.find_net("dangling")});
+  const auto report = validate(nl);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("error:"), std::string::npos);
+  EXPECT_NE(text.find("warning:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev::netlist

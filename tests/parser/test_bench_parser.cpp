@@ -1,0 +1,88 @@
+#include "parser/bench_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+#include "parser/lexer.h"
+
+namespace netrev::parser {
+namespace {
+
+using netlist::GateType;
+
+constexpr const char* kSample = R"(# tiny
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+n1 = NAND(a, b)
+n2 = NOT(n1)
+q = DFF(n2)
+)";
+
+TEST(BenchParser, ParsesPortsAndGates) {
+  const auto nl = parse_bench(kSample);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  ASSERT_EQ(nl.gate_count(), 3u);
+  const auto order = nl.gates_in_file_order();
+  EXPECT_EQ(nl.gate(order[0]).type, GateType::kNand);
+  EXPECT_EQ(nl.gate(order[1]).type, GateType::kNot);
+  EXPECT_EQ(nl.gate(order[2]).type, GateType::kDff);
+  EXPECT_TRUE(netlist::validate(nl).ok());
+}
+
+TEST(BenchParser, IgnoresCommentsAndBlanks) {
+  const auto nl = parse_bench("# c\n\nINPUT(a)\n  # mid\nOUTPUT(y)\ny = NOT(a)  # trail\n");
+  EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+TEST(BenchParser, VddGndAliases) {
+  const auto nl = parse_bench("OUTPUT(y)\none = VDD()\nzero = GND()\ny = AND(one, zero)\n");
+  const auto order = nl.gates_in_file_order();
+  EXPECT_EQ(nl.gate(order[0]).type, GateType::kConst1);
+  EXPECT_EQ(nl.gate(order[1]).type, GateType::kConst0);
+}
+
+TEST(BenchParser, RejectsUnknownFunction) {
+  EXPECT_THROW(parse_bench("y = MAJ(a, b, c)\n"), ParseError);
+}
+
+TEST(BenchParser, RejectsMalformedLine) {
+  EXPECT_THROW(parse_bench("this is not a gate\n"), ParseError);
+  EXPECT_THROW(parse_bench("y = NOT a\n"), ParseError);
+  EXPECT_THROW(parse_bench(" = NOT(a)\n"), ParseError);
+}
+
+TEST(BenchParser, RejectsEmptyArgument) {
+  EXPECT_THROW(parse_bench("y = AND(a, )\n"), ParseError);
+}
+
+TEST(BenchParser, ErrorCarriesLineNumber) {
+  try {
+    parse_bench("INPUT(a)\ny = BOGUS(a)\n");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+  }
+}
+
+TEST(BenchWriter, RoundTripsSample) {
+  const auto nl = parse_bench(kSample);
+  const auto again = parse_bench(write_bench(nl));
+  EXPECT_EQ(again.gate_count(), nl.gate_count());
+  EXPECT_EQ(again.net_count(), nl.net_count());
+  const auto order_a = nl.gates_in_file_order();
+  const auto order_b = again.gates_in_file_order();
+  for (std::size_t i = 0; i < order_a.size(); ++i) {
+    EXPECT_EQ(nl.gate(order_a[i]).type, again.gate(order_b[i]).type);
+    EXPECT_EQ(nl.net(nl.gate(order_a[i]).output).name,
+              again.net(again.gate(order_b[i]).output).name);
+  }
+}
+
+TEST(BenchParser, MissingFileThrows) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/x.bench"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netrev::parser

@@ -1,0 +1,117 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::parser {
+namespace {
+
+std::vector<TokenKind> kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, TokenizesInstanceLine) {
+  const auto tokens = tokenize("NAND2_X1 U1 (y, a, b);");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kIdentifier, TokenKind::kIdentifier, TokenKind::kLParen,
+      TokenKind::kIdentifier, TokenKind::kComma,      TokenKind::kIdentifier,
+      TokenKind::kComma,      TokenKind::kIdentifier, TokenKind::kRParen,
+      TokenKind::kSemicolon,  TokenKind::kEndOfFile};
+  EXPECT_EQ(kinds(tokens), expected);
+  EXPECT_EQ(tokens[0].text, "NAND2_X1");
+  EXPECT_EQ(tokens[3].text, "y");
+}
+
+TEST(Lexer, SkipsLineComments) {
+  const auto tokens = tokenize("a // comment to end\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, SkipsBlockComments) {
+  const auto tokens = tokenize("a /* multi\nline */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_THROW(tokenize("a /* never ends"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(Lexer, EscapedIdentifiers) {
+  const auto tokens = tokenize("\\weird[0].name rest");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird[0].name");
+  EXPECT_EQ(tokens[1].text, "rest");
+}
+
+TEST(Lexer, RejectsEmptyEscapedIdentifier) {
+  EXPECT_THROW(tokenize("\\ x"), ParseError);
+}
+
+TEST(Lexer, Numbers) {
+  const auto tokens = tokenize("123");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].text, "123");
+}
+
+TEST(Lexer, BitLiterals) {
+  const auto tokens = tokenize("1'b0 1'b1");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBitLiteral);
+  EXPECT_EQ(tokens[0].text, "0");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kBitLiteral);
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(Lexer, RejectsNonBinaryLiteralBase) {
+  EXPECT_THROW(tokenize("8'hFF"), ParseError);
+}
+
+TEST(Lexer, BracketsAndDots) {
+  const auto tokens = tokenize(".A(bus[3])");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kDot,      TokenKind::kIdentifier, TokenKind::kLParen,
+      TokenKind::kIdentifier, TokenKind::kLBracket, TokenKind::kNumber,
+      TokenKind::kRBracket, TokenKind::kRParen,     TokenKind::kEndOfFile};
+  EXPECT_EQ(kinds(tokens), expected);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(tokenize("a @ b"), ParseError);
+}
+
+TEST(Lexer, ParseErrorCarriesLocation) {
+  try {
+    tokenize("ab\ncd @");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_EQ(err.column(), 4u);
+  }
+}
+
+TEST(Lexer, KindNamesAreHuman) {
+  EXPECT_EQ(token_kind_name(TokenKind::kIdentifier), "identifier");
+  EXPECT_EQ(token_kind_name(TokenKind::kSemicolon), "';'");
+}
+
+}  // namespace
+}  // namespace netrev::parser

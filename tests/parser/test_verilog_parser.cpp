@@ -1,0 +1,205 @@
+#include "parser/verilog_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+#include "parser/lexer.h"
+
+namespace netrev::parser {
+namespace {
+
+using netlist::GateType;
+
+constexpr const char* kSmall = R"(
+// a small flattened design
+module tiny (a, b, q);
+  input a;
+  input b;
+  output q;
+  wire n1, n2;
+  nand U1 (n1, a, b);
+  NOT U2 (n2, n1);
+  DFF r0 (q, n2);
+endmodule
+)";
+
+TEST(VerilogParser, ParsesModuleName) {
+  const auto nl = parse_verilog(kSmall);
+  EXPECT_EQ(nl.name(), "tiny");
+}
+
+TEST(VerilogParser, ParsesPortsAndWires) {
+  const auto nl = parse_verilog(kSmall);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_TRUE(nl.find_net("n1").has_value());
+  EXPECT_TRUE(nl.find_net("n2").has_value());
+}
+
+TEST(VerilogParser, ParsesGatesInFileOrder) {
+  const auto nl = parse_verilog(kSmall);
+  const auto order = nl.gates_in_file_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(nl.gate(order[0]).type, GateType::kNand);
+  EXPECT_EQ(nl.gate(order[1]).type, GateType::kNot);
+  EXPECT_EQ(nl.gate(order[2]).type, GateType::kDff);
+}
+
+TEST(VerilogParser, PositionalOutputIsFirst) {
+  const auto nl = parse_verilog(kSmall);
+  const auto n1 = nl.find_net("n1");
+  ASSERT_TRUE(n1.has_value());
+  const auto drv = nl.driver_of(*n1);
+  ASSERT_TRUE(drv.has_value());
+  EXPECT_EQ(nl.gate(*drv).type, GateType::kNand);
+}
+
+TEST(VerilogParser, ResultValidates) {
+  EXPECT_TRUE(netlist::validate(parse_verilog(kSmall)).ok());
+}
+
+TEST(VerilogParser, NamedConnectionsAnyOrder) {
+  const auto nl = parse_verilog(R"(
+module named (a, b, y);
+  input a, b;
+  output y;
+  NAND2_X1 U1 (.B(b), .Y(y), .A(a));
+endmodule
+)");
+  const auto y = nl.find_net("y");
+  const auto drv = nl.driver_of(*y);
+  ASSERT_TRUE(drv.has_value());
+  const auto& gate = nl.gate(*drv);
+  EXPECT_EQ(gate.type, GateType::kNand);
+  // Input pins sorted by name: A then B.
+  EXPECT_EQ(nl.net(gate.inputs[0]).name, "a");
+  EXPECT_EQ(nl.net(gate.inputs[1]).name, "b");
+}
+
+TEST(VerilogParser, IgnoresClockPins) {
+  const auto nl = parse_verilog(R"(
+module flopped (clock, d, q);
+  input clock, d;
+  output q;
+  DFF_X1 r0 (.Q(q), .D(d), .CK(clock));
+endmodule
+)");
+  const auto q = nl.find_net("q");
+  const auto drv = nl.driver_of(*q);
+  ASSERT_TRUE(drv.has_value());
+  EXPECT_EQ(nl.gate(*drv).type, GateType::kDff);
+  EXPECT_EQ(nl.gate(*drv).inputs.size(), 1u);
+}
+
+TEST(VerilogParser, DriveStrengthSuffixesStripped) {
+  const auto nl = parse_verilog(R"(
+module cells (a, b, y1, y2, y3);
+  input a, b;
+  output y1, y2, y3;
+  NOR3_X4 U1 (y1, a, b, a);
+  INV_X2 U2 (y2, a);
+  XNOR2X1 U3 (y3, a, b);
+endmodule
+)");
+  EXPECT_EQ(nl.gate(nl.gates_in_file_order()[0]).type, GateType::kNor);
+  EXPECT_EQ(nl.gate(nl.gates_in_file_order()[1]).type, GateType::kNot);
+  EXPECT_EQ(nl.gate(nl.gates_in_file_order()[2]).type, GateType::kXnor);
+}
+
+TEST(VerilogParser, AssignBufferAndConstants) {
+  const auto nl = parse_verilog(R"(
+module assigns (a, y);
+  input a;
+  output y;
+  wire zero, one;
+  assign y = a;
+  assign zero = 1'b0;
+  assign one = 1'b1;
+endmodule
+)");
+  const auto order = nl.gates_in_file_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(nl.gate(order[0]).type, GateType::kBuf);
+  EXPECT_EQ(nl.gate(order[1]).type, GateType::kConst0);
+  EXPECT_EQ(nl.gate(order[2]).type, GateType::kConst1);
+}
+
+TEST(VerilogParser, BusBitsNormalized) {
+  const auto nl = parse_verilog(R"(
+module bus (a, y);
+  input a;
+  output y;
+  wire d[3];
+  BUF U1 (d[3], a);
+  BUF U2 (y, d[3]);
+endmodule
+)");
+  EXPECT_TRUE(nl.find_net("d[3]").has_value());
+}
+
+TEST(VerilogParser, ImplicitNetsAreDeclared) {
+  const auto nl = parse_verilog(R"(
+module implicit (a, y);
+  input a;
+  output y;
+  NOT U1 (t, a);
+  NOT U2 (y, t);
+endmodule
+)");
+  EXPECT_TRUE(nl.find_net("t").has_value());
+  EXPECT_TRUE(netlist::validate(nl).ok());
+}
+
+TEST(VerilogParser, ErrorsCarryLocation) {
+  try {
+    parse_verilog("module m (a);\n input a;\n BOGUS_CELL U1 (a, a);\nendmodule");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 3u);
+    EXPECT_NE(std::string(err.what()).find("BOGUS_CELL"), std::string::npos);
+  }
+}
+
+TEST(VerilogParser, RejectsMissingEndmodule) {
+  EXPECT_THROW(parse_verilog("module m (a); input a;"), ParseError);
+}
+
+TEST(VerilogParser, RejectsDrivingAnInput) {
+  EXPECT_THROW(parse_verilog(R"(
+module bad (a, b);
+  input a, b;
+  NOT U1 (a, b);
+endmodule
+)"),
+               ParseError);
+}
+
+TEST(VerilogParser, RejectsDoubleDriver) {
+  EXPECT_THROW(parse_verilog(R"(
+module bad (a, y);
+  input a;
+  output y;
+  NOT U1 (y, a);
+  BUF U2 (y, a);
+endmodule
+)"),
+               ParseError);
+}
+
+TEST(VerilogParser, RejectsArityViolation) {
+  EXPECT_THROW(parse_verilog(R"(
+module bad (a, y);
+  input a;
+  output y;
+  NAND2 U1 (y, a);
+endmodule
+)"),
+               ParseError);
+}
+
+TEST(VerilogParser, MissingFileThrows) {
+  EXPECT_THROW(parse_verilog_file("/nonexistent/path.v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netrev::parser

@@ -1,0 +1,145 @@
+#include "rtl/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace netrev::rtl {
+namespace {
+
+// Evaluation harness backed by name->value maps.
+struct Env {
+  std::map<std::string, std::uint64_t> inputs;
+  std::map<std::string, std::uint64_t> regs;
+
+  EvalEnv make() {
+    EvalEnv env;
+    env.context = this;
+    env.lookup_input = [](const std::string& name, void* ctx) {
+      return static_cast<Env*>(ctx)->inputs.at(name);
+    };
+    env.lookup_reg = [](const std::string& name, void* ctx) {
+      return static_cast<Env*>(ctx)->regs.at(name);
+    };
+    return env;
+  }
+};
+
+TEST(Expr, ConstantTruncatesToWidth) {
+  const auto c = constant(0x1FF, 8);
+  Env env;
+  EXPECT_EQ(evaluate(*c, env.make()), 0xFFu);
+}
+
+TEST(Expr, InputAndRegLookups) {
+  Env env;
+  env.inputs["a"] = 5;
+  env.regs["r"] = 9;
+  EXPECT_EQ(evaluate(*input("a", 4), env.make()), 5u);
+  EXPECT_EQ(evaluate(*reg_ref("r", 4), env.make()), 9u);
+}
+
+TEST(Expr, BitwiseOps) {
+  Env env;
+  env.inputs["a"] = 0b1100;
+  env.inputs["b"] = 0b1010;
+  const auto a = input("a", 4), b = input("b", 4);
+  EXPECT_EQ(evaluate(*bit_and(a, b), env.make()), 0b1000u);
+  EXPECT_EQ(evaluate(*bit_or(a, b), env.make()), 0b1110u);
+  EXPECT_EQ(evaluate(*bit_xor(a, b), env.make()), 0b0110u);
+  EXPECT_EQ(evaluate(*bit_not(a), env.make()), 0b0011u);
+}
+
+TEST(Expr, AddSubWrapAtWidth) {
+  Env env;
+  env.inputs["a"] = 0xF0;
+  env.inputs["b"] = 0x20;
+  const auto a = input("a", 8), b = input("b", 8);
+  EXPECT_EQ(evaluate(*add(a, b), env.make()), 0x10u);
+  EXPECT_EQ(evaluate(*sub(b, a), env.make()), 0x30u);
+}
+
+TEST(Expr, EqIsOneBit) {
+  Env env;
+  env.inputs["a"] = 7;
+  env.inputs["b"] = 7;
+  const auto e = eq(input("a", 4), input("b", 4));
+  EXPECT_EQ(e->width(), 1u);
+  EXPECT_EQ(evaluate(*e, env.make()), 1u);
+  env.inputs["b"] = 6;
+  EXPECT_EQ(evaluate(*e, env.make()), 0u);
+}
+
+TEST(Expr, MuxSelectsArm) {
+  Env env;
+  env.inputs["s"] = 0;
+  env.inputs["a"] = 3;
+  env.inputs["b"] = 12;
+  const auto m = mux(input("s", 1), input("a", 4), input("b", 4));
+  EXPECT_EQ(evaluate(*m, env.make()), 3u);
+  env.inputs["s"] = 1;
+  EXPECT_EQ(evaluate(*m, env.make()), 12u);
+}
+
+TEST(Expr, SliceAndConcat) {
+  Env env;
+  env.inputs["a"] = 0b110100;
+  const auto a = input("a", 6);
+  EXPECT_EQ(evaluate(*slice(a, 2, 3), env.make()), 0b101u);
+  const auto cat = concat(slice(a, 0, 2), slice(a, 4, 2));
+  EXPECT_EQ(cat->width(), 4u);
+  EXPECT_EQ(evaluate(*cat, env.make()), 0b1100u);  // high<<2 | low
+}
+
+TEST(Expr, FactoryValidation) {
+  EXPECT_THROW(constant(0, 0), std::invalid_argument);
+  EXPECT_THROW(constant(0, 65), std::invalid_argument);
+  EXPECT_THROW(input("", 4), std::invalid_argument);
+  EXPECT_THROW(bit_and(input("a", 4), input("b", 5)), std::invalid_argument);
+  EXPECT_THROW(mux(input("s", 2), input("a", 4), input("b", 4)),
+               std::invalid_argument);
+  EXPECT_THROW(mux(input("s", 1), input("a", 4), input("b", 5)),
+               std::invalid_argument);
+  EXPECT_THROW(slice(input("a", 4), 2, 3), std::invalid_argument);
+  EXPECT_THROW(slice(input("a", 4), 0, 0), std::invalid_argument);
+}
+
+TEST(Expr, LessThanIsUnsigned) {
+  Env env;
+  env.inputs["a"] = 3;
+  env.inputs["b"] = 12;
+  const auto cmp = lt(input("a", 4), input("b", 4));
+  EXPECT_EQ(cmp->width(), 1u);
+  EXPECT_EQ(evaluate(*cmp, env.make()), 1u);
+  env.inputs["a"] = 12;
+  env.inputs["b"] = 12;
+  EXPECT_EQ(evaluate(*cmp, env.make()), 0u);
+  env.inputs["b"] = 11;
+  EXPECT_EQ(evaluate(*cmp, env.make()), 0u);
+}
+
+TEST(Expr, ShiftsByConstant) {
+  Env env;
+  env.inputs["a"] = 0b1011;
+  const auto a = input("a", 4);
+  EXPECT_EQ(evaluate(*shl(a, 1), env.make()), 0b0110u);
+  EXPECT_EQ(evaluate(*shr(a, 2), env.make()), 0b0010u);
+  EXPECT_EQ(evaluate(*shl(a, 0), env.make()), 0b1011u);
+}
+
+TEST(Expr, ShiftValidation) {
+  EXPECT_THROW(shl(input("a", 4), 4), std::invalid_argument);
+  EXPECT_THROW(shr(input("a", 4), 7), std::invalid_argument);
+}
+
+TEST(Expr, WidthsPropagate) {
+  const auto a = input("a", 8);
+  EXPECT_EQ(bit_not(a)->width(), 8u);
+  EXPECT_EQ(add(a, constant(1, 8))->width(), 8u);
+  EXPECT_EQ(concat(a, a)->width(), 16u);
+}
+
+}  // namespace
+}  // namespace netrev::rtl

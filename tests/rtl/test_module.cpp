@@ -1,0 +1,70 @@
+#include "rtl/module.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace netrev::rtl {
+namespace {
+
+TEST(Module, DeclaresInputsAndRegisters) {
+  Module m("m");
+  const auto a = m.add_input("a", 8);
+  const auto r = m.add_register("r", 8);
+  EXPECT_EQ(a->kind(), ExprKind::kInput);
+  EXPECT_EQ(r->kind(), ExprKind::kRegRef);
+  EXPECT_EQ(m.inputs().size(), 1u);
+  EXPECT_EQ(m.registers().size(), 1u);
+}
+
+TEST(Module, RejectsDuplicates) {
+  Module m("m");
+  m.add_input("a", 8);
+  EXPECT_THROW(m.add_input("a", 4), std::invalid_argument);
+  m.add_register("r", 8);
+  EXPECT_THROW(m.add_register("r", 8), std::invalid_argument);
+}
+
+TEST(Module, SetNextChecksWidthAndName) {
+  Module m("m");
+  const auto a = m.add_input("a", 8);
+  m.add_register("r", 8);
+  EXPECT_THROW(m.set_next("nope", a), std::invalid_argument);
+  EXPECT_THROW(m.set_next("r", input("x", 4)), std::invalid_argument);
+  EXPECT_NO_THROW(m.set_next("r", a));
+}
+
+TEST(Module, FindRegister) {
+  Module m("m");
+  m.add_register("r", 8);
+  EXPECT_NE(m.find_register("r"), nullptr);
+  EXPECT_EQ(m.find_register("s"), nullptr);
+}
+
+TEST(Module, CheckCompleteRequiresNextState) {
+  Module m("m");
+  m.add_register("r", 8);
+  EXPECT_THROW(m.check_complete(), std::invalid_argument);
+  m.set_next("r", constant(0, 8));
+  EXPECT_NO_THROW(m.check_complete());
+}
+
+TEST(Module, CheckCompleteCatchesUndeclaredReferences) {
+  Module m("m");
+  m.add_register("r", 8);
+  m.set_next("r", input("ghost", 8));  // never declared on the module
+  EXPECT_THROW(m.check_complete(), std::invalid_argument);
+
+  Module m2("m2");
+  m2.add_register("r", 8);
+  m2.set_next("r", reg_ref("phantom", 8));
+  EXPECT_THROW(m2.check_complete(), std::invalid_argument);
+}
+
+TEST(Module, OutputsRejectNull) {
+  Module m("m");
+  EXPECT_THROW(m.add_output("y", nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netrev::rtl

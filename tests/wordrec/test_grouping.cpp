@@ -1,0 +1,171 @@
+#include "wordrec/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::wordrec {
+namespace {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+struct Builder {
+  Netlist nl;
+  NetId a, b;
+
+  Builder() {
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+  }
+
+  NetId emit(GateType type) {
+    static int counter = 0;
+    const NetId out = nl.add_net("n" + std::to_string(counter++));
+    if (type == GateType::kNot || type == GateType::kBuf)
+      nl.add_gate(type, out, {a});
+    else
+      nl.add_gate(type, out, {a, b});
+    return out;
+  }
+};
+
+TEST(Grouping, EmptyNetlistHasNoGroups) {
+  Netlist nl;
+  EXPECT_TRUE(potential_bit_groups(nl).empty());
+}
+
+TEST(Grouping, SingleRunOfEqualTypes) {
+  Builder b;
+  const NetId n1 = b.emit(GateType::kNand);
+  const NetId n2 = b.emit(GateType::kNand);
+  const NetId n3 = b.emit(GateType::kNand);
+  const auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (PotentialBitGroup{n1, n2, n3}));
+}
+
+TEST(Grouping, TypeChangeStartsNewGroup) {
+  Builder b;
+  b.emit(GateType::kNand);
+  b.emit(GateType::kNand);
+  b.emit(GateType::kXor);
+  b.emit(GateType::kNand);
+  const auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[2].size(), 1u);
+}
+
+TEST(Grouping, ArityDoesNotSplitGroups) {
+  // Paper groups by root gate TYPE; a 2-input and a 3-input NAND share one.
+  Builder b;
+  const NetId c = b.nl.add_net("c");
+  b.nl.mark_primary_input(c);
+  const NetId n1 = b.nl.add_net("w1");
+  b.nl.add_gate(GateType::kNand, n1, {b.a, b.b});
+  const NetId n2 = b.nl.add_net("w2");
+  b.nl.add_gate(GateType::kNand, n2, {b.a, b.b, c});
+  const auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(Grouping, CoversEveryGateExactlyOnce) {
+  Builder b;
+  for (int i = 0; i < 7; ++i)
+    b.emit(i % 2 ? GateType::kAnd : GateType::kOr);
+  const auto groups = potential_bit_groups(b.nl);
+  std::size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  EXPECT_EQ(total, b.nl.gate_count());
+}
+
+TEST(Grouping, FlopsGroupTogether) {
+  Builder b;
+  const NetId d = b.emit(GateType::kNot);
+  const NetId q1 = b.nl.add_net("q1");
+  const NetId q2 = b.nl.add_net("q2");
+  b.nl.add_gate(GateType::kDff, q1, {d});
+  b.nl.add_gate(GateType::kDff, q2, {d});
+  const auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1], (PotentialBitGroup{q1, q2}));
+}
+
+TEST(Grouping, GroupsListOutputNetsInFileOrder) {
+  Builder b;
+  std::vector<NetId> emitted;
+  for (int i = 0; i < 5; ++i) emitted.push_back(b.emit(GateType::kXor));
+  const auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], emitted);
+}
+
+// --- cross-group checking (§2.2's stated future improvement) --------------
+
+TEST(CrossGroup, RejoinsRunsSplitByAStrayLine) {
+  Builder b;
+  const NetId n1 = b.emit(GateType::kNand);
+  const NetId n2 = b.emit(GateType::kNand);
+  const NetId stray = b.emit(GateType::kXor);
+  const NetId n3 = b.emit(GateType::kNand);
+  const NetId n4 = b.emit(GateType::kNand);
+  auto groups = potential_bit_groups(b.nl);
+  ASSERT_EQ(groups.size(), 3u);
+  const auto merged = merge_groups_across_gaps(b.nl, std::move(groups), 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (PotentialBitGroup{n1, n2, n3, n4}));
+  EXPECT_EQ(merged[1], (PotentialBitGroup{stray}));
+}
+
+TEST(CrossGroup, RespectsGapLimit) {
+  Builder b;
+  b.emit(GateType::kNand);
+  for (int i = 0; i < 3; ++i) b.emit(GateType::kXor);  // gap of 3 lines
+  b.emit(GateType::kNand);
+  auto groups = potential_bit_groups(b.nl);
+  const auto merged = merge_groups_across_gaps(b.nl, std::move(groups), 2);
+  EXPECT_EQ(merged.size(), 3u);  // gap too wide: nothing merged
+}
+
+TEST(CrossGroup, ChainsAcrossSeveralGaps) {
+  Builder b;
+  std::vector<NetId> nands;
+  for (int block = 0; block < 3; ++block) {
+    nands.push_back(b.emit(GateType::kNand));
+    nands.push_back(b.emit(GateType::kNand));
+    if (block < 2) b.emit(GateType::kOr);
+  }
+  auto groups = potential_bit_groups(b.nl);
+  const auto merged = merge_groups_across_gaps(b.nl, std::move(groups), 1);
+  // All three NAND runs coalesce; the two OR strays stay alone.
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], nands);
+}
+
+TEST(CrossGroup, DifferentTypesNeverMerge) {
+  Builder b;
+  b.emit(GateType::kNand);
+  b.emit(GateType::kXor);
+  b.emit(GateType::kNor);
+  auto groups = potential_bit_groups(b.nl);
+  const auto merged = merge_groups_across_gaps(b.nl, std::move(groups), 4);
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(CrossGroup, PreservesTotalCoverage) {
+  Builder b;
+  for (int i = 0; i < 9; ++i)
+    b.emit(i % 3 == 2 ? GateType::kXor : GateType::kNand);
+  auto groups = potential_bit_groups(b.nl);
+  const auto merged = merge_groups_across_gaps(b.nl, std::move(groups), 2);
+  std::size_t total = 0;
+  for (const auto& group : merged) total += group.size();
+  EXPECT_EQ(total, b.nl.gate_count());
+}
+
+}  // namespace
+}  // namespace netrev::wordrec

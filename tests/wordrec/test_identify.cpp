@@ -1,0 +1,257 @@
+#include "wordrec/identify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wordrec/baseline.h"
+
+namespace netrev::wordrec {
+namespace {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+// Builds words the way the synthetic benchmarks do: operand logic first,
+// root gates on consecutive lines.
+struct Builder {
+  Netlist nl;
+  std::vector<NetId> srcs;
+  int counter = 0;
+
+  Builder() {
+    for (int i = 0; i < 10; ++i) {
+      srcs.push_back(nl.add_net("s" + std::to_string(i)));
+      nl.mark_primary_input(srcs.back());
+    }
+  }
+
+  NetId fresh(const std::string& prefix) {
+    return nl.add_net(prefix + std::to_string(counter++));
+  }
+  NetId gate(GateType type, std::initializer_list<NetId> ins,
+             const std::string& prefix = "n") {
+    const NetId out = fresh(prefix);
+    nl.add_gate(type, out, ins);
+    return out;
+  }
+
+  // Control word of `width` bits; bits >= plain get per-bit distinct
+  // dissimilar subtrees NAND-fed by a fresh internal control signal.
+  struct ControlWord {
+    std::vector<NetId> bits;
+    NetId ctrl;
+  };
+  ControlWord control_word(std::size_t width, std::size_t plain) {
+    ControlWord word;
+    const NetId t = gate(GateType::kNand, {srcs[0], srcs[1]});
+    word.ctrl = gate(GateType::kNor, {t, srcs[2]}, "ctrl");
+
+    std::vector<std::pair<NetId, NetId>> sim(width);
+    std::vector<NetId> extras(width, NetId::invalid());
+    for (std::size_t i = 0; i < width; ++i) {
+      sim[i].first = gate(GateType::kNand,
+                          {srcs[3 + i % 4], srcs[4 + i % 4]});
+      sim[i].second = gate(GateType::kNor,
+                           {srcs[3 + i % 4], srcs[5 + i % 4]});
+      if (i < plain) continue;
+      NetId garnish;
+      switch (i % 3) {
+        case 0: garnish = srcs[6]; break;
+        case 1: garnish = gate(GateType::kNot, {srcs[6]}); break;
+        default: garnish = gate(GateType::kAnd, {srcs[6], srcs[7]}); break;
+      }
+      extras[i] = gate(GateType::kNand, {word.ctrl, garnish}, "e");
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      const NetId root =
+          extras[i].is_valid()
+              ? gate(GateType::kNand, {sim[i].first, sim[i].second, extras[i]},
+                     "bit")
+              : gate(GateType::kNand, {sim[i].first, sim[i].second}, "bit");
+      word.bits.push_back(root);
+    }
+    return word;
+  }
+
+  // Pair-controlled word: every bit's extra dies only under both signals.
+  struct PairWord {
+    std::vector<NetId> bits;
+    NetId ctrl_a, ctrl_b;
+  };
+  PairWord pair_word(std::size_t width) {
+    PairWord word;
+    word.ctrl_a = gate(GateType::kNor, {srcs[0], srcs[1]}, "ca");
+    word.ctrl_b = gate(GateType::kNor, {srcs[2], srcs[3]}, "cb");
+    std::vector<std::pair<NetId, NetId>> sim(width);
+    std::vector<NetId> extras(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      sim[i].first = gate(GateType::kNand, {srcs[4 + i % 3], srcs[5 + i % 3]});
+      sim[i].second = gate(GateType::kNor, {srcs[4 + i % 3], srcs[6 + i % 3]});
+      const NetId ga = (i % 2 == 0)
+                           ? srcs[7]
+                           : gate(GateType::kNot, {srcs[7]});
+      const NetId gb = (i % 2 == 0)
+                           ? gate(GateType::kAnd, {srcs[8], srcs[9]})
+                           : srcs[8];
+      const NetId ea = gate(GateType::kNand, {word.ctrl_a, ga}, "ea");
+      const NetId eb = gate(GateType::kNand, {word.ctrl_b, gb}, "eb");
+      extras[i] = gate(GateType::kAnd, {ea, eb}, "e");
+    }
+    for (std::size_t i = 0; i < width; ++i)
+      word.bits.push_back(gate(
+          GateType::kNand, {sim[i].first, sim[i].second, extras[i]}, "bit"));
+    return word;
+  }
+};
+
+std::optional<Word> word_containing(const WordSet& words, NetId bit) {
+  for (const Word& word : words.words) {
+    if (word.width() < 2) continue;
+    if (std::find(word.bits.begin(), word.bits.end(), bit) != word.bits.end())
+      return word;
+  }
+  return std::nullopt;
+}
+
+bool word_covers(const WordSet& words, const std::vector<NetId>& bits) {
+  const auto word = word_containing(words, bits[0]);
+  if (!word) return false;
+  return std::all_of(bits.begin(), bits.end(), [&](NetId bit) {
+    return std::find(word->bits.begin(), word->bits.end(), bit) !=
+           word->bits.end();
+  });
+}
+
+TEST(Identify, UnifiesControlWordBaselineMisses) {
+  Builder b;
+  const auto word = b.control_word(4, 0);
+  const WordSet base = identify_words_baseline(b.nl);
+  EXPECT_FALSE(word_covers(base, word.bits));
+
+  const IdentifyResult ours = identify_words(b.nl);
+  EXPECT_TRUE(word_covers(ours.words, word.bits));
+  ASSERT_EQ(ours.used_control_signals.size(), 1u);
+  EXPECT_EQ(ours.used_control_signals[0], word.ctrl);
+  EXPECT_EQ(ours.stats.unified_subgroups, 1u);
+}
+
+TEST(Identify, UnifiesPartialControlWord) {
+  Builder b;
+  const auto word = b.control_word(5, 3);
+  const IdentifyResult ours = identify_words(b.nl);
+  EXPECT_TRUE(word_covers(ours.words, word.bits));
+}
+
+TEST(Identify, RecordsWinningAssignment) {
+  Builder b;
+  const auto word = b.control_word(4, 0);
+  const IdentifyResult ours = identify_words(b.nl);
+  ASSERT_EQ(ours.unified.size(), 1u);
+  ASSERT_EQ(ours.unified[0].assignment.size(), 1u);
+  EXPECT_EQ(ours.unified[0].assignment[0].first, word.ctrl);
+  EXPECT_EQ(ours.unified[0].assignment[0].second, false);  // NAND controlling
+}
+
+TEST(Identify, PairWordNeedsTwoSimultaneousAssignments) {
+  Builder b;
+  const auto word = b.pair_word(4);
+
+  Options single;
+  single.max_simultaneous_assignments = 1;
+  const IdentifyResult limited = identify_words(b.nl, single);
+  EXPECT_FALSE(word_covers(limited.words, word.bits));
+
+  Options pairs;  // default 2
+  const IdentifyResult ours = identify_words(b.nl, pairs);
+  EXPECT_TRUE(word_covers(ours.words, word.bits));
+  EXPECT_EQ(ours.used_control_signals.size(), 2u);
+  ASSERT_EQ(ours.unified.size(), 1u);
+  EXPECT_EQ(ours.unified[0].assignment.size(), 2u);
+}
+
+TEST(Identify, CleanWordsNeedNoControlSignals) {
+  Builder b;
+  const auto word = b.control_word(4, 4);  // all plain
+  const IdentifyResult ours = identify_words(b.nl);
+  EXPECT_TRUE(word_covers(ours.words, word.bits));
+  EXPECT_TRUE(ours.used_control_signals.empty());
+  EXPECT_EQ(ours.stats.reduction_trials, 0u);
+}
+
+TEST(Identify, FallbackMatchesBaselineSegmentsOnFailure) {
+  // A subgroup whose dissimilar subtrees share nothing: no control signal,
+  // so Ours must fall back to base-style full-match runs.
+  Builder b;
+  std::vector<std::pair<NetId, NetId>> sim(4);
+  std::vector<NetId> extras(4, NetId::invalid());
+  for (int i = 0; i < 4; ++i) {
+    sim[static_cast<std::size_t>(i)].first =
+        b.gate(GateType::kNand, {b.srcs[0], b.srcs[1]});
+    sim[static_cast<std::size_t>(i)].second =
+        b.gate(GateType::kNor, {b.srcs[0], b.srcs[2]});
+  }
+  // bits 2,3 carry unrelated extras (no common nets).
+  extras[2] = b.gate(GateType::kXor, {b.srcs[3], b.srcs[4]});
+  extras[3] = b.gate(GateType::kXnor, {b.srcs[5], b.srcs[6]});
+  std::vector<NetId> bits;
+  for (int i = 0; i < 4; ++i) {
+    const auto& s = sim[static_cast<std::size_t>(i)];
+    bits.push_back(extras[static_cast<std::size_t>(i)].is_valid()
+                       ? b.gate(GateType::kNand,
+                                {s.first, s.second,
+                                 extras[static_cast<std::size_t>(i)]},
+                                "bit")
+                       : b.gate(GateType::kNand, {s.first, s.second}, "bit"));
+  }
+
+  const IdentifyResult ours = identify_words(b.nl);
+  // bits 0-1 form a word; 2 and 3 end up singletons — same as baseline.
+  const auto word = word_containing(ours.words, bits[0]);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(word->bits, (std::vector<NetId>{bits[0], bits[1]}));
+  EXPECT_FALSE(word_containing(ours.words, bits[2]).has_value());
+  EXPECT_EQ(ours.stats.unified_subgroups, 0u);
+}
+
+TEST(Identify, PartitionCoversEveryGateOutput) {
+  Builder b;
+  b.control_word(4, 0);
+  b.pair_word(3);
+  const IdentifyResult ours = identify_words(b.nl);
+  const auto index = ours.words.index_of_net();
+  std::size_t total = 0;
+  for (const Word& word : ours.words.words) total += word.width();
+  EXPECT_EQ(total, b.nl.gate_count());
+  for (std::size_t g = 0; g < b.nl.gate_count(); ++g)
+    EXPECT_TRUE(index.contains(b.nl.gate(b.nl.gate_id_at(g)).output));
+}
+
+TEST(Identify, StatsAreCoherent) {
+  Builder b;
+  b.control_word(4, 0);
+  const IdentifyResult ours = identify_words(b.nl);
+  EXPECT_GT(ours.stats.groups, 0u);
+  EXPECT_GE(ours.stats.subgroups, ours.stats.partial_subgroups);
+  EXPECT_GE(ours.stats.reduction_trials, ours.stats.unified_subgroups);
+  EXPECT_GT(ours.stats.control_signal_candidates, 0u);
+}
+
+TEST(Identify, TrialBudgetCapsSearch) {
+  Builder b;
+  b.pair_word(4);
+  Options tight;
+  tight.max_assignment_trials_per_subgroup = 1;  // only the first single
+  const IdentifyResult ours = identify_words(b.nl, tight);
+  EXPECT_LE(ours.stats.reduction_trials, 2u);  // one per partial subgroup max
+}
+
+TEST(Identify, EmptyNetlist) {
+  const IdentifyResult ours = identify_words(Netlist{});
+  EXPECT_TRUE(ours.words.words.empty());
+  EXPECT_TRUE(ours.used_control_signals.empty());
+}
+
+}  // namespace
+}  // namespace netrev::wordrec

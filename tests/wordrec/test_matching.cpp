@@ -1,0 +1,182 @@
+#include "wordrec/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace netrev::wordrec {
+namespace {
+
+using netlist::GateType;
+using netlist::NetId;
+
+BitSignature make_sig(GateType root, std::vector<std::pair<std::string, int>> keys) {
+  BitSignature sig;
+  sig.root_type = root;
+  for (auto& [key, id] : keys)
+    sig.subtrees.push_back(SubtreeKey{key, NetId(static_cast<std::uint32_t>(id))});
+  std::sort(sig.subtrees.begin(), sig.subtrees.end(),
+            [](const SubtreeKey& a, const SubtreeKey& b) {
+              return a.key < b.key || (a.key == b.key && a.root < b.root);
+            });
+  return sig;
+}
+
+TEST(CompareBits, FullMatch) {
+  const auto a = make_sig(GateType::kNand, {{"(pp)N", 1}, {"(ff)A", 2}});
+  const auto b = make_sig(GateType::kNand, {{"(ff)A", 7}, {"(pp)N", 8}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_TRUE(match.comparable);
+  EXPECT_TRUE(match.full);
+  EXPECT_FALSE(match.partial);
+  EXPECT_TRUE(match.dissimilar_a.empty());
+  EXPECT_TRUE(match.dissimilar_b.empty());
+}
+
+TEST(CompareBits, PartialMatchReportsDissimilarRoots) {
+  const auto a = make_sig(GateType::kNand, {{"(pp)N", 1}, {"(ff)A", 2}});
+  const auto b = make_sig(GateType::kNand, {{"(pp)N", 7}, {"(pp)X", 9}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_FALSE(match.full);
+  EXPECT_TRUE(match.partial);
+  ASSERT_EQ(match.dissimilar_a.size(), 1u);
+  EXPECT_EQ(match.dissimilar_a[0], NetId(2));  // "(ff)A"
+  ASSERT_EQ(match.dissimilar_b.size(), 1u);
+  EXPECT_EQ(match.dissimilar_b[0], NetId(9));  // "(pp)X"
+}
+
+TEST(CompareBits, NoSharedKeysIsNeitherFullNorPartial) {
+  const auto a = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  const auto b = make_sig(GateType::kNand, {{"(pp)X", 2}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_TRUE(match.comparable);
+  EXPECT_FALSE(match.full);
+  EXPECT_FALSE(match.partial);
+}
+
+TEST(CompareBits, ExtraSubtreeBreaksFullMatch) {
+  const auto a = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  const auto b = make_sig(GateType::kNand, {{"(pp)N", 2}, {"(pp)O", 3}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_FALSE(match.full);
+  EXPECT_TRUE(match.partial);
+  EXPECT_TRUE(match.dissimilar_a.empty());
+  ASSERT_EQ(match.dissimilar_b.size(), 1u);
+  EXPECT_EQ(match.dissimilar_b[0], NetId(3));
+}
+
+TEST(CompareBits, DuplicateKeysMatchAsMultiset) {
+  const auto a = make_sig(GateType::kAnd, {{"p", 1}, {"p", 2}});
+  const auto b = make_sig(GateType::kAnd, {{"p", 3}, {"p", 4}, {"p", 5}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_TRUE(match.partial);
+  EXPECT_EQ(match.dissimilar_a.size(), 0u);
+  EXPECT_EQ(match.dissimilar_b.size(), 1u);  // the unmatched third copy
+}
+
+TEST(CompareBits, RootTypeMismatchNeverMatches) {
+  const auto a = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  const auto b = make_sig(GateType::kNor, {{"(pp)N", 2}});
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_TRUE(match.comparable);
+  EXPECT_FALSE(match.full);
+  EXPECT_FALSE(match.partial);
+  EXPECT_EQ(match.dissimilar_a.size(), 1u);
+  EXPECT_EQ(match.dissimilar_b.size(), 1u);
+}
+
+TEST(CompareBits, IncomparableWhenRootMissing) {
+  BitSignature empty;
+  const auto b = make_sig(GateType::kNand, {{"p", 1}});
+  EXPECT_FALSE(compare_bits(empty, b).comparable);
+  EXPECT_FALSE(compare_bits(b, empty).comparable);
+}
+
+TEST(CompareBits, EmptySubtreeListsNeverFullMatch) {
+  // Two flop-driven bits: comparable but no structural evidence.
+  BitSignature a, b;
+  a.root_type = GateType::kDff;
+  b.root_type = GateType::kDff;
+  const BitMatch match = compare_bits(a, b);
+  EXPECT_FALSE(match.full);
+  EXPECT_FALSE(match.partial);
+}
+
+// --- subgroup formation ----------------------------------------------------
+
+TEST(Subgroups, FullChainStaysOneSubgroup) {
+  const auto sig = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  std::vector<NetId> group{NetId(10), NetId(11), NetId(12)};
+  std::vector<BitSignature> sigs{sig, sig, sig};
+  const auto subgroups = form_subgroups(group, sigs);
+  ASSERT_EQ(subgroups.size(), 1u);
+  EXPECT_EQ(subgroups[0].bits, group);
+  EXPECT_TRUE(subgroups[0].fully_similar);
+  EXPECT_FALSE(subgroups[0].has_dissimilar());
+}
+
+TEST(Subgroups, PartialChainRecordsDissimilar) {
+  const auto common = SubtreeKey{"(pp)N", NetId(1)};
+  auto a = make_sig(GateType::kNand, {{"(pp)N", 1}, {"(pp)A", 2}});
+  auto b = make_sig(GateType::kNand, {{"(pp)N", 3}, {"(pp)O", 4}});
+  auto c = make_sig(GateType::kNand, {{"(pp)N", 5}, {"(pp)X", 6}});
+  std::vector<NetId> group{NetId(10), NetId(11), NetId(12)};
+  std::vector<BitSignature> sigs{a, b, c};
+  const auto subgroups = form_subgroups(group, sigs);
+  ASSERT_EQ(subgroups.size(), 1u);
+  const Subgroup& sg = subgroups[0];
+  EXPECT_FALSE(sg.fully_similar);
+  ASSERT_EQ(sg.dissimilar.size(), 3u);
+  EXPECT_EQ(sg.dissimilar[0], std::vector<NetId>{NetId(2)});
+  EXPECT_EQ(sg.dissimilar[1], std::vector<NetId>{NetId(4)});
+  EXPECT_EQ(sg.dissimilar[2], std::vector<NetId>{NetId(6)});
+  (void)common;
+}
+
+TEST(Subgroups, BreakOnNoMatch) {
+  auto a = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  auto alien = make_sig(GateType::kNand, {{"(pp)R", 2}});
+  std::vector<NetId> group{NetId(10), NetId(11), NetId(12)};
+  std::vector<BitSignature> sigs{a, alien, a};
+  const auto subgroups = form_subgroups(group, sigs);
+  ASSERT_EQ(subgroups.size(), 3u);
+}
+
+TEST(Subgroups, FullMatchOnlyModeSplitsPartialChains) {
+  auto a = make_sig(GateType::kNand, {{"(pp)N", 1}, {"(pp)A", 2}});
+  auto b = make_sig(GateType::kNand, {{"(pp)N", 3}, {"(pp)O", 4}});
+  std::vector<NetId> group{NetId(10), NetId(11)};
+  std::vector<BitSignature> sigs{a, b};
+  EXPECT_EQ(form_subgroups(group, sigs, false).size(), 1u);
+  EXPECT_EQ(form_subgroups(group, sigs, true).size(), 2u);
+}
+
+TEST(Subgroups, MiddleBitAccumulatesBothNeighbours) {
+  // a<->b partial (b's extra X), b<->c partial (b's extra Y unmatched too).
+  auto a = make_sig(GateType::kNand, {{"(pp)N", 1}});
+  auto b = make_sig(GateType::kNand, {{"(pp)N", 2}, {"(pp)X", 3}, {"(pp)Y", 4}});
+  auto c = make_sig(GateType::kNand, {{"(pp)N", 5}, {"(pp)X", 6}});
+  std::vector<NetId> group{NetId(10), NetId(11), NetId(12)};
+  std::vector<BitSignature> sigs{a, b, c};
+  const auto subgroups = form_subgroups(group, sigs);
+  ASSERT_EQ(subgroups.size(), 1u);
+  // b recorded X and Y from the first comparison; the second comparison
+  // matches X but leaves Y (and nothing new) — union preserved, no dupes.
+  const auto& b_dissimilar = subgroups[0].dissimilar[1];
+  EXPECT_EQ(b_dissimilar.size(), 2u);
+}
+
+TEST(Subgroups, EmptyGroup) {
+  EXPECT_TRUE(form_subgroups({}, {}).empty());
+}
+
+TEST(Subgroups, MismatchedSpansRejected) {
+  std::vector<NetId> group{NetId(1)};
+  std::vector<BitSignature> sigs;
+  EXPECT_THROW(form_subgroups(group, sigs), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netrev::wordrec

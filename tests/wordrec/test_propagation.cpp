@@ -1,0 +1,208 @@
+#include "wordrec/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netrev::wordrec {
+namespace {
+
+using netlist::GateType;
+using netlist::NetId;
+using netlist::Netlist;
+
+// A 3-bit word whose bits are NAND(AND(x_i, y_i), NOT(s_i)): subtree roots
+// and leaves all align unambiguously across bits.
+struct Fixture {
+  Netlist nl;
+  std::vector<NetId> x, y, s;
+  std::vector<NetId> and_nets, not_nets, bits;
+
+  Fixture() {
+    for (int i = 0; i < 3; ++i) {
+      x.push_back(pi("x" + std::to_string(i)));
+      y.push_back(flop("y" + std::to_string(i)));
+      s.push_back(pi("s" + std::to_string(i)));
+    }
+    for (int i = 0; i < 3; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      and_nets.push_back(gate(GateType::kAnd, "a" + std::to_string(i),
+                              {x[idx], y[idx]}));
+      not_nets.push_back(gate(GateType::kNot, "n" + std::to_string(i), {s[idx]}));
+    }
+    for (int i = 0; i < 3; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      bits.push_back(gate(GateType::kNand, "bit" + std::to_string(i),
+                          {and_nets[idx], not_nets[idx]}));
+    }
+  }
+
+  NetId pi(const std::string& name) {
+    const NetId id = nl.add_net(name);
+    nl.mark_primary_input(id);
+    return id;
+  }
+  NetId flop(const std::string& name) {
+    const NetId d = pi(name + "_d");
+    const NetId q = nl.add_net(name);
+    nl.add_gate(GateType::kDff, q, {d});
+    return q;
+  }
+  NetId gate(GateType type, const std::string& name,
+             std::initializer_list<NetId> ins) {
+    const NetId id = nl.add_net(name);
+    nl.add_gate(type, id, ins);
+    return id;
+  }
+
+  WordSet word_set() const {
+    WordSet set;
+    Word word;
+    word.bits = bits;
+    set.words.push_back(word);
+    return set;
+  }
+};
+
+bool has_candidate(const WordPropagationResult& result,
+                   const std::vector<NetId>& bits) {
+  return std::any_of(result.candidates.begin(), result.candidates.end(),
+                     [&](const PropagatedWord& c) { return c.word.bits == bits; });
+}
+
+TEST(Propagation, DerivesSubtreeRootWords) {
+  Fixture f;
+  const auto result = propagate_words(f.nl, f.word_set());
+  EXPECT_EQ(result.parents_used, 1u);
+  EXPECT_TRUE(has_candidate(result, f.and_nets));
+  EXPECT_TRUE(has_candidate(result, f.not_nets));
+}
+
+TEST(Propagation, DerivesAlignedLeafWords) {
+  Fixture f;
+  const auto result = propagate_words(f.nl, f.word_set());
+  EXPECT_TRUE(has_candidate(result, f.x));
+  EXPECT_TRUE(has_candidate(result, f.y));
+  EXPECT_TRUE(has_candidate(result, f.s));
+}
+
+TEST(Propagation, CandidateSourcesAreLabelled) {
+  Fixture f;
+  const auto result = propagate_words(f.nl, f.word_set());
+  for (const auto& candidate : result.candidates) {
+    if (candidate.word.bits == f.and_nets) {
+      EXPECT_EQ(candidate.source, PropagatedWord::Source::kSubtreeRoots);
+    }
+    if (candidate.word.bits == f.x) {
+      EXPECT_EQ(candidate.source, PropagatedWord::Source::kAlignedLeaves);
+    }
+  }
+}
+
+TEST(Propagation, SkipsSingletonParents) {
+  Fixture f;
+  WordSet set;
+  Word narrow;
+  narrow.bits = {f.bits[0]};
+  set.words.push_back(narrow);
+  const auto result = propagate_words(f.nl, set);
+  EXPECT_EQ(result.parents_used, 0u);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(Propagation, SkipsMisalignedParents) {
+  Fixture f;
+  // A fake "word" over structurally different bits contributes nothing.
+  WordSet set;
+  Word fake;
+  fake.bits = {f.bits[0], f.and_nets[0]};
+  set.words.push_back(fake);
+  const auto result = propagate_words(f.nl, set);
+  EXPECT_EQ(result.parents_used, 0u);
+}
+
+TEST(Propagation, SharedNetAcrossBitsIsRejected) {
+  // All bits read the SAME select inverter: the aligned "word" would repeat
+  // one net and must be dropped.
+  Netlist nl;
+  const NetId s = nl.add_net("s");
+  nl.mark_primary_input(s);
+  const NetId shared_not = nl.add_net("sn");
+  nl.add_gate(GateType::kNot, shared_not, {s});
+  std::vector<NetId> bits;
+  std::vector<NetId> xs;
+  for (int i = 0; i < 3; ++i) {
+    const NetId x = nl.add_net("x" + std::to_string(i));
+    nl.mark_primary_input(x);
+    xs.push_back(x);
+    const NetId a = nl.add_net("a" + std::to_string(i));
+    nl.add_gate(GateType::kAnd, a, {x, s});
+    const NetId bit = nl.add_net("bit" + std::to_string(i));
+    nl.add_gate(GateType::kNand, bit, {a, shared_not});
+    bits.push_back(bit);
+  }
+  WordSet set;
+  Word word;
+  word.bits = bits;
+  set.words.push_back(word);
+  const auto result = propagate_words(nl, set);
+  for (const auto& candidate : result.candidates)
+    EXPECT_NE(candidate.word.bits,
+              (std::vector<NetId>{shared_not, shared_not, shared_not}));
+}
+
+TEST(Propagation, AmbiguousPositionsAreSkippedNotGuessed) {
+  // Bits whose two subtrees have IDENTICAL keys: alignment is ambiguous.
+  Netlist nl;
+  std::vector<NetId> bits;
+  for (int i = 0; i < 2; ++i) {
+    const auto pi = [&](const std::string& n) {
+      const NetId id = nl.add_net(n + std::to_string(i));
+      nl.mark_primary_input(id);
+      return id;
+    };
+    const NetId a1 = nl.add_net("a1_" + std::to_string(i));
+    nl.add_gate(GateType::kAnd, a1, {pi("p"), pi("q")});
+    const NetId a2 = nl.add_net("a2_" + std::to_string(i));
+    nl.add_gate(GateType::kAnd, a2, {pi("r"), pi("t")});
+    const NetId bit = nl.add_net("bit" + std::to_string(i));
+    nl.add_gate(GateType::kNand, bit, {a1, a2});
+    bits.push_back(bit);
+  }
+  WordSet set;
+  Word word;
+  word.bits = bits;
+  set.words.push_back(word);
+  const auto result = propagate_words(nl, set);
+  EXPECT_GT(result.ambiguous_positions, 0u);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(Propagation, DoesNotReturnInputWords) {
+  Fixture f;
+  WordSet set = f.word_set();
+  Word also_ands;
+  also_ands.bits = f.and_nets;
+  set.words.push_back(also_ands);
+  const auto result = propagate_words(f.nl, set);
+  EXPECT_FALSE(has_candidate(result, f.and_nets));  // already known
+  EXPECT_FALSE(has_candidate(result, f.bits));
+}
+
+TEST(Propagation, FixpointIteratesThroughDerivedWords) {
+  // bits -> AND layer -> deeper XOR layer: the fixpoint reaches the deep
+  // layer even though depth-1 candidates only see the AND roots...
+  Fixture shallow;
+  const auto once = propagate_words(shallow.nl, shallow.word_set());
+  const auto fix = propagate_words_to_fixpoint(shallow.nl, shallow.word_set());
+  EXPECT_GE(fix.candidates.size(), once.candidates.size());
+}
+
+TEST(Propagation, RespectsMinWidth) {
+  Fixture f;
+  const auto result = propagate_words(f.nl, f.word_set(), {}, 4);
+  EXPECT_TRUE(result.candidates.empty());  // parent is only 3 bits wide
+}
+
+}  // namespace
+}  // namespace netrev::wordrec

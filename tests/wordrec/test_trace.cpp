@@ -1,0 +1,76 @@
+#include "wordrec/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "itc/fig1.h"
+#include "wordrec/identify.h"
+
+namespace netrev::wordrec {
+namespace {
+
+TEST(Trace, RecordsFigure1Narrative) {
+  const itc::Fig1Circuit fig = itc::build_fig1_circuit();
+  IdentifyTrace trace;
+  Options options;
+  options.trace = &trace;
+  const IdentifyResult result = identify_words(fig.netlist, options);
+  ASSERT_FALSE(result.unified.empty());
+
+  EXPECT_GT(trace.count(TraceRecord::Kind::kPartialSubgroup), 0u);
+  EXPECT_GT(trace.count(TraceRecord::Kind::kControlSignals), 0u);
+  EXPECT_GT(trace.count(TraceRecord::Kind::kTrial), 0u);
+  EXPECT_EQ(trace.count(TraceRecord::Kind::kUnified), 1u);
+
+  // The unified record names the word bits and the winning assignment.
+  for (const TraceRecord& record : trace.records) {
+    if (record.kind != TraceRecord::Kind::kUnified) continue;
+    EXPECT_EQ(record.nets, fig.word_bits);
+    ASSERT_EQ(record.assignment.size(), 1u);
+    EXPECT_EQ(record.assignment[0].first, fig.u201);
+  }
+}
+
+TEST(Trace, TrialCountMatchesStats) {
+  const itc::Fig1Circuit fig = itc::build_fig1_circuit();
+  IdentifyTrace trace;
+  Options options;
+  options.trace = &trace;
+  const IdentifyResult result = identify_words(fig.netlist, options);
+  EXPECT_EQ(trace.count(TraceRecord::Kind::kTrial),
+            result.stats.reduction_trials);
+  EXPECT_EQ(trace.count(TraceRecord::Kind::kUnified),
+            result.stats.unified_subgroups);
+}
+
+TEST(Trace, NullTraceIsNoOp) {
+  const itc::Fig1Circuit fig = itc::build_fig1_circuit();
+  Options options;  // trace == nullptr
+  EXPECT_NO_THROW(identify_words(fig.netlist, options));
+}
+
+TEST(Trace, RenderNamesNetsAndOutcomes) {
+  const itc::Fig1Circuit fig = itc::build_fig1_circuit();
+  IdentifyTrace trace;
+  Options options;
+  options.trace = &trace;
+  identify_words(fig.netlist, options);
+  const std::string text = render_trace(fig.netlist, trace);
+  EXPECT_NE(text.find("control signals: U201 U221"), std::string::npos);
+  EXPECT_NE(text.find("UNIFIED via U201=0"), std::string::npos);
+  EXPECT_NE(text.find("U215 U216 U217"), std::string::npos);
+}
+
+TEST(Trace, ResultsIdenticalWithAndWithoutTrace) {
+  const itc::Fig1Circuit fig = itc::build_fig1_circuit();
+  IdentifyTrace trace;
+  Options with;
+  with.trace = &trace;
+  const auto traced = identify_words(fig.netlist, with);
+  const auto plain = identify_words(fig.netlist, Options{});
+  EXPECT_EQ(traced.words.words.size(), plain.words.words.size());
+  EXPECT_EQ(traced.used_control_signals, plain.used_control_signals);
+  EXPECT_EQ(traced.stats.reduction_trials, plain.stats.reduction_trials);
+}
+
+}  // namespace
+}  // namespace netrev::wordrec
