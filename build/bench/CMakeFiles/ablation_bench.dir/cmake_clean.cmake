@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bench.dir/ablation_bench.cpp.o"
+  "CMakeFiles/ablation_bench.dir/ablation_bench.cpp.o.d"
+  "ablation_bench"
+  "ablation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_casestudy.dir/fig1_casestudy.cpp.o"
+  "CMakeFiles/fig1_casestudy.dir/fig1_casestudy.cpp.o.d"
+  "fig1_casestudy"
+  "fig1_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_bench.dir/propagation_bench.cpp.o"
+  "CMakeFiles/propagation_bench.dir/propagation_bench.cpp.o.d"
+  "propagation_bench"
+  "propagation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

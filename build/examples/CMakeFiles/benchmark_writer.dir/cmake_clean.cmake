@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_writer.dir/benchmark_writer.cpp.o"
+  "CMakeFiles/benchmark_writer.dir/benchmark_writer.cpp.o.d"
+  "benchmark_writer"
+  "benchmark_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

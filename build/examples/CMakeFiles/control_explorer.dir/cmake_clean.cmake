@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_explorer.dir/control_explorer.cpp.o"
+  "CMakeFiles/control_explorer.dir/control_explorer.cpp.o.d"
+  "control_explorer"
+  "control_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netrev_cli.cpp" "examples/CMakeFiles/netrev.dir/netrev_cli.cpp.o" "gcc" "examples/CMakeFiles/netrev.dir/netrev_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

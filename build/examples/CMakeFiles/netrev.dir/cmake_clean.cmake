@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev.dir/netrev_cli.cpp.o"
+  "CMakeFiles/netrev.dir/netrev_cli.cpp.o.d"
+  "netrev"
+  "netrev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

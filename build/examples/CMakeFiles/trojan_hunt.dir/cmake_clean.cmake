@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_hunt.dir/trojan_hunt.cpp.o"
+  "CMakeFiles/trojan_hunt.dir/trojan_hunt.cpp.o.d"
+  "trojan_hunt"
+  "trojan_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

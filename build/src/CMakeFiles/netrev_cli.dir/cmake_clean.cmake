@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_cli.dir/cli/cli.cpp.o"
+  "CMakeFiles/netrev_cli.dir/cli/cli.cpp.o.d"
+  "libnetrev_cli.a"
+  "libnetrev_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

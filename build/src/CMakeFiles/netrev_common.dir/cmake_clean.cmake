@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_common.dir/common/text.cpp.o"
+  "CMakeFiles/netrev_common.dir/common/text.cpp.o.d"
+  "libnetrev_common.a"
+  "libnetrev_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

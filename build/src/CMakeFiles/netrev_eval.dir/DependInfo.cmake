@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/diagnose.cpp" "src/CMakeFiles/netrev_eval.dir/eval/diagnose.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/diagnose.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/netrev_eval.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/reference.cpp" "src/CMakeFiles/netrev_eval.dir/eval/reference.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/reference.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/netrev_eval.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/runner.cpp" "src/CMakeFiles/netrev_eval.dir/eval/runner.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/runner.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/CMakeFiles/netrev_eval.dir/eval/table.cpp.o" "gcc" "src/CMakeFiles/netrev_eval.dir/eval/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_eval.dir/eval/diagnose.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/diagnose.cpp.o.d"
+  "CMakeFiles/netrev_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/netrev_eval.dir/eval/reference.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/reference.cpp.o.d"
+  "CMakeFiles/netrev_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/report.cpp.o.d"
+  "CMakeFiles/netrev_eval.dir/eval/runner.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/runner.cpp.o.d"
+  "CMakeFiles/netrev_eval.dir/eval/table.cpp.o"
+  "CMakeFiles/netrev_eval.dir/eval/table.cpp.o.d"
+  "libnetrev_eval.a"
+  "libnetrev_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itc/benchgen.cpp" "src/CMakeFiles/netrev_itc.dir/itc/benchgen.cpp.o" "gcc" "src/CMakeFiles/netrev_itc.dir/itc/benchgen.cpp.o.d"
+  "/root/repo/src/itc/family.cpp" "src/CMakeFiles/netrev_itc.dir/itc/family.cpp.o" "gcc" "src/CMakeFiles/netrev_itc.dir/itc/family.cpp.o.d"
+  "/root/repo/src/itc/fig1.cpp" "src/CMakeFiles/netrev_itc.dir/itc/fig1.cpp.o" "gcc" "src/CMakeFiles/netrev_itc.dir/itc/fig1.cpp.o.d"
+  "/root/repo/src/itc/profile.cpp" "src/CMakeFiles/netrev_itc.dir/itc/profile.cpp.o" "gcc" "src/CMakeFiles/netrev_itc.dir/itc/profile.cpp.o.d"
+  "/root/repo/src/itc/wordgen.cpp" "src/CMakeFiles/netrev_itc.dir/itc/wordgen.cpp.o" "gcc" "src/CMakeFiles/netrev_itc.dir/itc/wordgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_itc.dir/itc/benchgen.cpp.o"
+  "CMakeFiles/netrev_itc.dir/itc/benchgen.cpp.o.d"
+  "CMakeFiles/netrev_itc.dir/itc/family.cpp.o"
+  "CMakeFiles/netrev_itc.dir/itc/family.cpp.o.d"
+  "CMakeFiles/netrev_itc.dir/itc/fig1.cpp.o"
+  "CMakeFiles/netrev_itc.dir/itc/fig1.cpp.o.d"
+  "CMakeFiles/netrev_itc.dir/itc/profile.cpp.o"
+  "CMakeFiles/netrev_itc.dir/itc/profile.cpp.o.d"
+  "CMakeFiles/netrev_itc.dir/itc/wordgen.cpp.o"
+  "CMakeFiles/netrev_itc.dir/itc/wordgen.cpp.o.d"
+  "libnetrev_itc.a"
+  "libnetrev_itc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_itc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/compare.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/compare.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/compare.cpp.o.d"
+  "/root/repo/src/netlist/cone.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/cone.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/cone.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/dot.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/dot.cpp.o.d"
+  "/root/repo/src/netlist/gate_type.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/gate_type.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/gate_type.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/random_netlist.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/random_netlist.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/random_netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/subcircuit.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/subcircuit.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/subcircuit.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/CMakeFiles/netrev_netlist.dir/netlist/validate.cpp.o" "gcc" "src/CMakeFiles/netrev_netlist.dir/netlist/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_netlist.dir/netlist/compare.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/compare.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/cone.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/cone.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/dot.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/dot.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/gate_type.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/gate_type.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/random_netlist.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/random_netlist.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/stats.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/stats.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/subcircuit.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/subcircuit.cpp.o.d"
+  "CMakeFiles/netrev_netlist.dir/netlist/validate.cpp.o"
+  "CMakeFiles/netrev_netlist.dir/netlist/validate.cpp.o.d"
+  "libnetrev_netlist.a"
+  "libnetrev_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/bench_parser.cpp" "src/CMakeFiles/netrev_parser.dir/parser/bench_parser.cpp.o" "gcc" "src/CMakeFiles/netrev_parser.dir/parser/bench_parser.cpp.o.d"
+  "/root/repo/src/parser/lexer.cpp" "src/CMakeFiles/netrev_parser.dir/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/netrev_parser.dir/parser/lexer.cpp.o.d"
+  "/root/repo/src/parser/verilog_parser.cpp" "src/CMakeFiles/netrev_parser.dir/parser/verilog_parser.cpp.o" "gcc" "src/CMakeFiles/netrev_parser.dir/parser/verilog_parser.cpp.o.d"
+  "/root/repo/src/parser/verilog_writer.cpp" "src/CMakeFiles/netrev_parser.dir/parser/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/netrev_parser.dir/parser/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_parser.dir/parser/bench_parser.cpp.o"
+  "CMakeFiles/netrev_parser.dir/parser/bench_parser.cpp.o.d"
+  "CMakeFiles/netrev_parser.dir/parser/lexer.cpp.o"
+  "CMakeFiles/netrev_parser.dir/parser/lexer.cpp.o.d"
+  "CMakeFiles/netrev_parser.dir/parser/verilog_parser.cpp.o"
+  "CMakeFiles/netrev_parser.dir/parser/verilog_parser.cpp.o.d"
+  "CMakeFiles/netrev_parser.dir/parser/verilog_writer.cpp.o"
+  "CMakeFiles/netrev_parser.dir/parser/verilog_writer.cpp.o.d"
+  "libnetrev_parser.a"
+  "libnetrev_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetrev_parser.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/expr.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/expr.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/expr.cpp.o.d"
+  "/root/repo/src/rtl/lower_ops.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/lower_ops.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/lower_ops.cpp.o.d"
+  "/root/repo/src/rtl/module.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/module.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/module.cpp.o.d"
+  "/root/repo/src/rtl/netnamer.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/netnamer.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/netnamer.cpp.o.d"
+  "/root/repo/src/rtl/scan.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/scan.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/scan.cpp.o.d"
+  "/root/repo/src/rtl/synth.cpp" "src/CMakeFiles/netrev_rtl.dir/rtl/synth.cpp.o" "gcc" "src/CMakeFiles/netrev_rtl.dir/rtl/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

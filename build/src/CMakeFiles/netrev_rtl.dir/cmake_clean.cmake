@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_rtl.dir/rtl/expr.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/expr.cpp.o.d"
+  "CMakeFiles/netrev_rtl.dir/rtl/lower_ops.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/lower_ops.cpp.o.d"
+  "CMakeFiles/netrev_rtl.dir/rtl/module.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/module.cpp.o.d"
+  "CMakeFiles/netrev_rtl.dir/rtl/netnamer.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/netnamer.cpp.o.d"
+  "CMakeFiles/netrev_rtl.dir/rtl/scan.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/scan.cpp.o.d"
+  "CMakeFiles/netrev_rtl.dir/rtl/synth.cpp.o"
+  "CMakeFiles/netrev_rtl.dir/rtl/synth.cpp.o.d"
+  "libnetrev_rtl.a"
+  "libnetrev_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

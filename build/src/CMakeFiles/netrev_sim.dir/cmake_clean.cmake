@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_sim.dir/sim/equivalence.cpp.o"
+  "CMakeFiles/netrev_sim.dir/sim/equivalence.cpp.o.d"
+  "CMakeFiles/netrev_sim.dir/sim/levelize.cpp.o"
+  "CMakeFiles/netrev_sim.dir/sim/levelize.cpp.o.d"
+  "CMakeFiles/netrev_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/netrev_sim.dir/sim/simulator.cpp.o.d"
+  "libnetrev_sim.a"
+  "libnetrev_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

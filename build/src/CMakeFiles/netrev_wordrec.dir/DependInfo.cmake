@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wordrec/assignment.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/assignment.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/assignment.cpp.o.d"
+  "/root/repo/src/wordrec/baseline.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/baseline.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/baseline.cpp.o.d"
+  "/root/repo/src/wordrec/control.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/control.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/control.cpp.o.d"
+  "/root/repo/src/wordrec/funcheck.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/funcheck.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/funcheck.cpp.o.d"
+  "/root/repo/src/wordrec/grouping.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/grouping.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/grouping.cpp.o.d"
+  "/root/repo/src/wordrec/hash_key.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/hash_key.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/hash_key.cpp.o.d"
+  "/root/repo/src/wordrec/identify.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/identify.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/identify.cpp.o.d"
+  "/root/repo/src/wordrec/matching.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/matching.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/matching.cpp.o.d"
+  "/root/repo/src/wordrec/propagation.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/propagation.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/propagation.cpp.o.d"
+  "/root/repo/src/wordrec/reduce.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/reduce.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/reduce.cpp.o.d"
+  "/root/repo/src/wordrec/trace.cpp" "src/CMakeFiles/netrev_wordrec.dir/wordrec/trace.cpp.o" "gcc" "src/CMakeFiles/netrev_wordrec.dir/wordrec/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

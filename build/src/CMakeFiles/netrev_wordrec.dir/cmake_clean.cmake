@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrev_wordrec.dir/wordrec/assignment.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/assignment.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/baseline.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/baseline.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/control.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/control.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/funcheck.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/funcheck.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/grouping.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/grouping.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/hash_key.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/hash_key.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/identify.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/identify.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/matching.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/matching.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/propagation.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/propagation.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/reduce.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/reduce.cpp.o.d"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/trace.cpp.o"
+  "CMakeFiles/netrev_wordrec.dir/wordrec/trace.cpp.o.d"
+  "libnetrev_wordrec.a"
+  "libnetrev_wordrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrev_wordrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for netrev_wordrec.
+# This may be replaced when dependencies are built.

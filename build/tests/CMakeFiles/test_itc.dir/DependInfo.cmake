@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/itc/test_benchgen.cpp" "tests/CMakeFiles/test_itc.dir/itc/test_benchgen.cpp.o" "gcc" "tests/CMakeFiles/test_itc.dir/itc/test_benchgen.cpp.o.d"
+  "/root/repo/tests/itc/test_family.cpp" "tests/CMakeFiles/test_itc.dir/itc/test_family.cpp.o" "gcc" "tests/CMakeFiles/test_itc.dir/itc/test_family.cpp.o.d"
+  "/root/repo/tests/itc/test_profile.cpp" "tests/CMakeFiles/test_itc.dir/itc/test_profile.cpp.o" "gcc" "tests/CMakeFiles/test_itc.dir/itc/test_profile.cpp.o.d"
+  "/root/repo/tests/itc/test_wordgen.cpp" "tests/CMakeFiles/test_itc.dir/itc/test_wordgen.cpp.o" "gcc" "tests/CMakeFiles/test_itc.dir/itc/test_wordgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itc.dir/itc/test_benchgen.cpp.o"
+  "CMakeFiles/test_itc.dir/itc/test_benchgen.cpp.o.d"
+  "CMakeFiles/test_itc.dir/itc/test_family.cpp.o"
+  "CMakeFiles/test_itc.dir/itc/test_family.cpp.o.d"
+  "CMakeFiles/test_itc.dir/itc/test_profile.cpp.o"
+  "CMakeFiles/test_itc.dir/itc/test_profile.cpp.o.d"
+  "CMakeFiles/test_itc.dir/itc/test_wordgen.cpp.o"
+  "CMakeFiles/test_itc.dir/itc/test_wordgen.cpp.o.d"
+  "test_itc"
+  "test_itc.pdb"
+  "test_itc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netlist/test_compare.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_compare.cpp.o.d"
+  "/root/repo/tests/netlist/test_cone.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_cone.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_cone.cpp.o.d"
+  "/root/repo/tests/netlist/test_dot.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_dot.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_dot.cpp.o.d"
+  "/root/repo/tests/netlist/test_gate_type.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_gate_type.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_gate_type.cpp.o.d"
+  "/root/repo/tests/netlist/test_netlist.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_netlist.cpp.o.d"
+  "/root/repo/tests/netlist/test_random_netlist.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_random_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_random_netlist.cpp.o.d"
+  "/root/repo/tests/netlist/test_stats.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_stats.cpp.o.d"
+  "/root/repo/tests/netlist/test_subcircuit.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_subcircuit.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_subcircuit.cpp.o.d"
+  "/root/repo/tests/netlist/test_validate.cpp" "tests/CMakeFiles/test_netlist.dir/netlist/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/netlist/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

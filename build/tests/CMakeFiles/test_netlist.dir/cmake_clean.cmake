@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist.dir/netlist/test_compare.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_compare.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_cone.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_cone.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_dot.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_dot.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_gate_type.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_gate_type.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_netlist.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_netlist.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_random_netlist.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_random_netlist.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_stats.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_stats.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_subcircuit.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_subcircuit.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/test_validate.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/test_validate.cpp.o.d"
+  "test_netlist"
+  "test_netlist.pdb"
+  "test_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser.dir/parser/test_bench_parser.cpp.o"
+  "CMakeFiles/test_parser.dir/parser/test_bench_parser.cpp.o.d"
+  "CMakeFiles/test_parser.dir/parser/test_lexer.cpp.o"
+  "CMakeFiles/test_parser.dir/parser/test_lexer.cpp.o.d"
+  "CMakeFiles/test_parser.dir/parser/test_verilog_parser.cpp.o"
+  "CMakeFiles/test_parser.dir/parser/test_verilog_parser.cpp.o.d"
+  "CMakeFiles/test_parser.dir/parser/test_verilog_roundtrip.cpp.o"
+  "CMakeFiles/test_parser.dir/parser/test_verilog_roundtrip.cpp.o.d"
+  "test_parser"
+  "test_parser.pdb"
+  "test_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

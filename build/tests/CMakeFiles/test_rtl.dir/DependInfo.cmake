@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtl/test_expr.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_expr.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_expr.cpp.o.d"
+  "/root/repo/tests/rtl/test_lower_ops.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_lower_ops.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_lower_ops.cpp.o.d"
+  "/root/repo/tests/rtl/test_module.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o.d"
+  "/root/repo/tests/rtl/test_scan.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o.d"
+  "/root/repo/tests/rtl/test_synth.cpp" "tests/CMakeFiles/test_rtl.dir/rtl/test_synth.cpp.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

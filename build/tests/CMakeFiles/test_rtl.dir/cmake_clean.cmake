@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_expr.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_expr.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_lower_ops.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_lower_ops.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_module.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_synth.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_synth.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+  "test_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wordrec/test_assignment.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_assignment.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_assignment.cpp.o.d"
+  "/root/repo/tests/wordrec/test_baseline.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_baseline.cpp.o.d"
+  "/root/repo/tests/wordrec/test_control.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_control.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_control.cpp.o.d"
+  "/root/repo/tests/wordrec/test_fig1.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_fig1.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_fig1.cpp.o.d"
+  "/root/repo/tests/wordrec/test_funcheck.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_funcheck.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_funcheck.cpp.o.d"
+  "/root/repo/tests/wordrec/test_grouping.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_grouping.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_grouping.cpp.o.d"
+  "/root/repo/tests/wordrec/test_hash_key.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_hash_key.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_hash_key.cpp.o.d"
+  "/root/repo/tests/wordrec/test_identify.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_identify.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_identify.cpp.o.d"
+  "/root/repo/tests/wordrec/test_matching.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_matching.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_matching.cpp.o.d"
+  "/root/repo/tests/wordrec/test_propagation.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_propagation.cpp.o.d"
+  "/root/repo/tests/wordrec/test_reduce.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_reduce.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_reduce.cpp.o.d"
+  "/root/repo/tests/wordrec/test_trace.cpp" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_wordrec.dir/wordrec/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netrev_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_wordrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_itc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netrev_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

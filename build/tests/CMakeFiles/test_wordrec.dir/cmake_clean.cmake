@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wordrec.dir/wordrec/test_assignment.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_assignment.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_baseline.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_baseline.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_control.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_control.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_fig1.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_fig1.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_funcheck.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_funcheck.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_grouping.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_grouping.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_hash_key.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_hash_key.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_identify.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_identify.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_matching.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_matching.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_propagation.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_propagation.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_reduce.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_reduce.cpp.o.d"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_trace.cpp.o"
+  "CMakeFiles/test_wordrec.dir/wordrec/test_trace.cpp.o.d"
+  "test_wordrec"
+  "test_wordrec.pdb"
+  "test_wordrec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wordrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
