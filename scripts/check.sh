@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Sanitizer gate: Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
+# then the full test suite.  The fault-injection harness in particular must be
+# clean under both sanitizers — it feeds hundreds of corrupted netlists through
+# the permissive pipeline.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DNETREV_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Make UBSan failures hard errors instead of prints.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=0"
+
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+echo "check.sh: all tests passed under address,undefined sanitizers"

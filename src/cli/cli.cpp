@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "common/diagnostics.h"
 #include "eval/diagnose.h"
 #include "eval/metrics.h"
 #include "eval/reference.h"
@@ -13,9 +14,11 @@
 #include "eval/table.h"
 #include "itc/family.h"
 #include "netlist/dot.h"
+#include "netlist/repair.h"
 #include "netlist/stats.h"
 #include "netlist/validate.h"
 #include "parser/bench_parser.h"
+#include "parser/parse_options.h"
 #include "parser/verilog_parser.h"
 #include "parser/verilog_writer.h"
 #include "rtl/scan.h"
@@ -46,12 +49,12 @@ bool is_family_name(const std::string& name) {
   }
 }
 
-// Loads a design: family benchmark name, .bench file, or Verilog file.
-Netlist load_design(const std::string& spec) {
-  if (is_family_name(spec)) return itc::build_benchmark(spec).netlist;
-  if (ends_with(spec, ".bench")) return parser::parse_bench_file(spec);
-  return parser::parse_verilog_file(spec);
-}
+// Thrown when a permissive load recovers nothing usable (fatal diagnostics,
+// or a netlist that still fails validation after repair).  Mapped to exit
+// code 4 by run_cli.
+struct UnusableInputError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct ParsedFlags {
   std::vector<std::string> positional;
@@ -59,11 +62,51 @@ struct ParsedFlags {
   bool json = false;
   bool cross_group = false;
   bool trace = false;
+  bool permissive = false;
+  bool diag_json = false;
   std::optional<std::size_t> depth;
   std::optional<std::size_t> max_assign;
+  std::optional<std::size_t> max_errors;
   std::optional<std::string> output;
   std::vector<std::pair<std::string, bool>> assignments;
+  // Non-owning; set by run_cli so permissive loads have a sink.
+  diag::Diagnostics* diags = nullptr;
 };
+
+// Loads a design: family benchmark name, .bench file, or Verilog file.
+// Strict by default (any parse error throws); with --permissive the parsers
+// recover what they can, the netlist is repaired, and only a design that
+// still fails validation is rejected.
+Netlist load_design(const std::string& spec, const ParsedFlags& flags) {
+  if (is_family_name(spec)) return itc::build_benchmark(spec).netlist;
+  if (!flags.permissive) {
+    if (ends_with(spec, ".bench")) return parser::parse_bench_file(spec);
+    return parser::parse_verilog_file(spec);
+  }
+
+  diag::Diagnostics& diags = *flags.diags;
+  parser::ParseOptions options;
+  options.permissive = true;
+  options.filename = spec;
+  Netlist nl = ends_with(spec, ".bench")
+                   ? parser::parse_bench_file(spec, options, diags)
+                   : parser::parse_verilog_file(spec, options, diags);
+  if (!diags.usable())
+    throw UnusableInputError("input unusable: " + spec +
+                             " (fatal diagnostics; see --diag-json)");
+
+  const netlist::RepairResult repaired = netlist::repair(nl, diags);
+  const auto report = netlist::validate(repaired.netlist);
+  if (!report.ok()) {
+    for (const auto& issue : report.issues)
+      if (issue.severity == netlist::ValidationIssue::Severity::kError)
+        diags.error(issue.message, {spec, 0, 0});
+    throw UnusableInputError("input unusable: " + spec + " fails validation (" +
+                             std::to_string(report.error_count()) +
+                             " error(s)) even after repair");
+  }
+  return repaired.netlist;
+}
 
 ParsedFlags parse_flags(const std::vector<std::string>& args,
                         std::size_t start) {
@@ -83,6 +126,12 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
       flags.cross_group = true;
     } else if (arg == "--trace") {
       flags.trace = true;
+    } else if (arg == "--permissive") {
+      flags.permissive = true;
+    } else if (arg == "--diag-json") {
+      flags.diag_json = true;
+    } else if (arg == "--max-errors") {
+      flags.max_errors = std::stoul(next_value("--max-errors"));
     } else if (arg == "--depth") {
       flags.depth = std::stoul(next_value("--depth"));
     } else if (arg == "--max-assign") {
@@ -129,7 +178,7 @@ void print_words(std::ostream& out, const Netlist& nl,
 int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("stats: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   out << nl.name() << ": " << netlist::compute_stats(nl).to_string() << '\n';
   const auto profile = netlist::compute_fanin_profile(nl);
   out << "max fanin " << profile.max_fanin << ", avg fanin "
@@ -144,7 +193,7 @@ int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
 int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("reference: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   const auto extraction = eval::extract_reference_words(nl);
   out << extraction.words.size() << " reference word(s), "
       << extraction.indexed_flops << "/" << extraction.flop_count
@@ -160,7 +209,7 @@ int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
 int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("identify: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   const wordrec::Options options = options_from(flags);
 
   if (flags.base) {
@@ -206,7 +255,7 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
     throw std::invalid_argument("reduce: expected one design");
   if (flags.assignments.empty())
     throw std::invalid_argument("reduce: needs at least one --assign NET=V");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
 
   std::vector<std::pair<netlist::NetId, bool>> seeds;
   for (const auto& [name, value] : flags.assignments) {
@@ -233,7 +282,7 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
 int cmd_propagate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("propagate: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   const wordrec::Options options = options_from(flags);
   const wordrec::IdentifyResult result = wordrec::identify_words(nl, options);
   const auto propagated =
@@ -258,7 +307,7 @@ int cmd_propagate(const ParsedFlags& flags, std::ostream& out) {
 int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("evaluate: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   const auto reference = eval::extract_reference_words(nl);
   if (reference.words.empty())
     throw std::invalid_argument(
@@ -301,7 +350,7 @@ int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
 int cmd_scan(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("scan: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
   const auto scanned = rtl::insert_scan_chain(nl);
   out << "inserted " << scanned.muxes_inserted
       << " scan mux(es); control signal "
@@ -316,7 +365,7 @@ int cmd_scan(const ParsedFlags& flags, std::ostream& out) {
 int cmd_dot(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("dot: expected one design");
-  const Netlist nl = load_design(flags.positional[0]);
+  const Netlist nl = load_design(flags.positional[0], flags);
 
   netlist::DotOptions dot_options;
   // --depth here bounds the DRAWN cones (0 = whole design); identification
@@ -388,7 +437,12 @@ std::string usage() {
          "  scan <design> [-o out.v]                insert scan chain\n"
          "  dot <design> [--depth N] [-o out.dot]   GraphViz with words\n"
          "  table [bXXs ...] [--json]               Table 1 rows\n"
-         "(<design> = family name, .bench file, or Verilog file)\n";
+         "(<design> = family name, .bench file, or Verilog file)\n"
+         "global flags: --permissive (recover from parse errors and repair\n"
+         "  the netlist), --max-errors N (stop recovery after N errors),\n"
+         "  --diag-json (print collected diagnostics as JSON)\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
+         "  4 unusable input\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -397,25 +451,46 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << usage();
     return 2;
   }
+  diag::Diagnostics diags;
+  bool diag_json = false;
   try {
     const std::string& command = args[0];
-    const ParsedFlags flags = parse_flags(args, 1);
-    if (command == "stats") return cmd_stats(flags, out);
-    if (command == "reference") return cmd_reference(flags, out);
-    if (command == "identify") return cmd_identify(flags, out);
-    if (command == "reduce") return cmd_reduce(flags, out);
-    if (command == "evaluate") return cmd_evaluate(flags, out);
-    if (command == "propagate") return cmd_propagate(flags, out);
-    if (command == "generate") return cmd_generate(flags, out);
-    if (command == "scan") return cmd_scan(flags, out);
-    if (command == "dot") return cmd_dot(flags, out);
-    if (command == "table") return cmd_table(flags, out);
+    ParsedFlags flags = parse_flags(args, 1);
+    if (flags.max_errors) diags.set_max_errors(*flags.max_errors);
+    flags.diags = &diags;
+    diag_json = flags.diag_json;
+
+    const auto dispatch = [&]() -> std::optional<int> {
+      if (command == "stats") return cmd_stats(flags, out);
+      if (command == "reference") return cmd_reference(flags, out);
+      if (command == "identify") return cmd_identify(flags, out);
+      if (command == "reduce") return cmd_reduce(flags, out);
+      if (command == "evaluate") return cmd_evaluate(flags, out);
+      if (command == "propagate") return cmd_propagate(flags, out);
+      if (command == "generate") return cmd_generate(flags, out);
+      if (command == "scan") return cmd_scan(flags, out);
+      if (command == "dot") return cmd_dot(flags, out);
+      if (command == "table") return cmd_table(flags, out);
+      return std::nullopt;
+    };
+    const std::optional<int> rc = dispatch();
+    if (rc) {
+      if (flags.diag_json) out << diags.to_json() << '\n';
+      // A permissive run that succeeded but collected diagnostics signals
+      // "recovered with warnings" so scripts can tell it from a clean pass.
+      if (*rc == 0 && flags.permissive && !diags.empty()) return 3;
+      return *rc;
+    }
     if (command == "help" || command == "--help") {
       out << usage();
       return 0;
     }
     err << "unknown command: " << command << "\n" << usage();
     return 2;
+  } catch (const UnusableInputError& error) {
+    if (diag_json) out << diags.to_json() << '\n';
+    err << "error: " << error.what() << '\n';
+    return 4;
   } catch (const std::exception& error) {
     err << "error: " << error.what() << '\n';
     return 1;

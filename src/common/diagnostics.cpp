@@ -1,0 +1,111 @@
+#include "common/diagnostics.h"
+
+namespace netrev::diag {
+
+namespace {
+
+// Minimal JSON string escaping (diagnostics may quote arbitrary net names).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SourceLocation::to_string() const {
+  if (file.empty() && !has_position()) return {};
+  if (file.empty())
+    return "line " + std::to_string(line) + ", column " + std::to_string(column);
+  if (!has_position()) return file;
+  return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out(severity_name(severity));
+  out += ": ";
+  out += message;
+  const std::string where = location.to_string();
+  if (!where.empty()) {
+    out += " at ";
+    out += where;
+  }
+  return out;
+}
+
+bool Diagnostics::report(Severity severity, std::string message,
+                         SourceLocation location) {
+  ++reported_;
+  ++counts_[static_cast<std::size_t>(severity)];
+  if (entries_.size() >= max_total_) return false;
+  entries_.push_back(
+      Diagnostic{severity, std::move(message), std::move(location)});
+  return true;
+}
+
+std::string Diagnostics::to_string() const {
+  std::string out;
+  for (const Diagnostic& entry : entries_) {
+    out += entry.to_string();
+    out += '\n';
+  }
+  if (suppressed_count() > 0)
+    out += "(" + std::to_string(suppressed_count()) +
+           " further diagnostic(s) suppressed)\n";
+  return out;
+}
+
+std::string Diagnostics::to_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Diagnostic& entry = entries_[i];
+    if (i > 0) out += ',';
+    out += "{\"severity\":\"";
+    out += severity_name(entry.severity);
+    out += "\",\"message\":\"" + json_escape(entry.message) + "\"";
+    if (!entry.location.file.empty())
+      out += ",\"file\":\"" + json_escape(entry.location.file) + "\"";
+    if (entry.location.has_position()) {
+      out += ",\"line\":" + std::to_string(entry.location.line);
+      out += ",\"column\":" + std::to_string(entry.location.column);
+    }
+    out += '}';
+  }
+  out += "],\"notes\":" + std::to_string(note_count());
+  out += ",\"warnings\":" + std::to_string(warning_count());
+  out += ",\"errors\":" + std::to_string(error_count());
+  out += ",\"fatal\":" + std::to_string(fatal_count());
+  out += ",\"suppressed\":" + std::to_string(suppressed_count());
+  out += '}';
+  return out;
+}
+
+}  // namespace netrev::diag

@@ -1,0 +1,113 @@
+// Diagnostics collection for the ingestion path.
+//
+// Netlists arrive from third-party CAD flows and are routinely malformed;
+// instead of throwing on the first problem, recovering parsers and the repair
+// pass report every issue into a Diagnostics sink carrying severity, message,
+// and a real source location (file/line/column).  The sink enforces per-run
+// caps so a pathological input cannot produce unbounded diagnostics, and
+// renders to text or JSON for the CLI's --diag-json mode.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netrev::diag {
+
+struct SourceLocation {
+  std::string file;        // empty = not file-backed (in-memory source)
+  std::size_t line = 0;    // 1-based; 0 = no position
+  std::size_t column = 0;  // 1-based; 0 = no position
+
+  bool has_position() const { return line != 0; }
+  // "file:line:column", omitting absent parts ("file", "line 3, column 7").
+  std::string to_string() const;
+};
+
+enum class Severity {
+  kNote,     // informational (repair actions, recovery summaries)
+  kWarning,  // input was suspicious but unambiguously recoverable
+  kError,    // a construct was dropped or rewritten during recovery
+  kFatal,    // the input is unusable (resource limit, unreadable file)
+};
+
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLocation location;
+
+  // "error: expected '=' at b03s.bench:4:7"
+  std::string to_string() const;
+};
+
+// Bounded sink.  Every report() is counted; only the first `max_total`
+// diagnostics are stored, and parsers stop recovering once `max_errors`
+// errors have been reported (at_error_limit()).
+class Diagnostics {
+ public:
+  static constexpr std::size_t kDefaultMaxErrors = 64;
+  static constexpr std::size_t kDefaultMaxTotal = 256;
+
+  Diagnostics() = default;
+  explicit Diagnostics(std::size_t max_errors,
+                       std::size_t max_total = kDefaultMaxTotal)
+      : max_errors_(max_errors), max_total_(max_total) {}
+
+  void set_max_errors(std::size_t max_errors) { max_errors_ = max_errors; }
+  std::size_t max_errors() const { return max_errors_; }
+  std::size_t max_total() const { return max_total_; }
+
+  // Returns false if the diagnostic was counted but not stored (cap hit).
+  bool report(Severity severity, std::string message,
+              SourceLocation location = {});
+
+  void note(std::string message, SourceLocation location = {}) {
+    report(Severity::kNote, std::move(message), std::move(location));
+  }
+  void warning(std::string message, SourceLocation location = {}) {
+    report(Severity::kWarning, std::move(message), std::move(location));
+  }
+  void error(std::string message, SourceLocation location = {}) {
+    report(Severity::kError, std::move(message), std::move(location));
+  }
+  void fatal(std::string message, SourceLocation location = {}) {
+    report(Severity::kFatal, std::move(message), std::move(location));
+  }
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  bool empty() const { return reported_ == 0; }
+  std::size_t size() const { return entries_.size(); }
+
+  std::size_t note_count() const { return counts_[0]; }
+  std::size_t warning_count() const { return counts_[1]; }
+  std::size_t error_count() const { return counts_[2]; }
+  std::size_t fatal_count() const { return counts_[3]; }
+  // Diagnostics counted but not stored because max_total was reached.
+  std::size_t suppressed_count() const { return reported_ - entries_.size(); }
+
+  // True once the error budget is spent; recovering parsers give up (with a
+  // final note) instead of producing unbounded noise.
+  bool at_error_limit() const {
+    return error_count() + fatal_count() >= max_errors_;
+  }
+  // True if any diagnostic marks the input as unusable.
+  bool usable() const { return fatal_count() == 0; }
+
+  // One diagnostic per line, in report order.
+  std::string to_string() const;
+  // {"diagnostics":[...],"notes":N,"warnings":N,"errors":N,"fatal":N,
+  //  "suppressed":N}
+  std::string to_json() const;
+
+ private:
+  std::size_t max_errors_ = kDefaultMaxErrors;
+  std::size_t max_total_ = kDefaultMaxTotal;
+  std::vector<Diagnostic> entries_;
+  std::size_t reported_ = 0;
+  std::size_t counts_[4] = {};  // indexed by Severity
+};
+
+}  // namespace netrev::diag

@@ -1,0 +1,54 @@
+// Resource ceilings for untrusted inputs.
+//
+// Parsers check file size and net/gate counts against ResourceLimits, and
+// graph traversals charge a WorkBudget, so a runaway or adversarial netlist
+// produces a clean ResourceLimitError (which the CLI turns into a diagnostic
+// and a distinct exit code) instead of an OOM kill or a hang.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace netrev {
+
+// Thrown when an input exceeds a configured resource ceiling.  Deliberately a
+// domain error (not ContractViolation): hitting a limit means bad input, not
+// a programming bug.
+class ResourceLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Ceilings applied while ingesting a netlist.  The defaults are far above any
+// legitimate design this library targets.
+struct ResourceLimits {
+  std::size_t max_file_bytes = 256ull << 20;  // 256 MiB of netlist text
+  std::size_t max_nets = 8'000'000;
+  std::size_t max_gates = 8'000'000;
+};
+
+// Metered work counter for graph traversals.  charge() every visited node;
+// once the limit is exceeded the traversal is aborted via ResourceLimitError.
+// A default-constructed budget is unlimited.
+class WorkBudget {
+ public:
+  WorkBudget() = default;
+  explicit WorkBudget(std::size_t limit) : limit_(limit) {}
+
+  void charge(std::size_t units = 1) {
+    spent_ += units;
+    if (limit_ != 0 && spent_ > limit_)
+      throw ResourceLimitError("cone traversal work limit exceeded (" +
+                               std::to_string(limit_) + " nodes)");
+  }
+
+  bool limited() const { return limit_ != 0; }
+  std::size_t spent() const { return spent_; }
+
+ private:
+  std::size_t limit_ = 0;  // 0 = unlimited
+  std::size_t spent_ = 0;
+};
+
+}  // namespace netrev

@@ -12,10 +12,14 @@ bool expandable(const Netlist& nl, NetId net) {
   return drv.has_value() && nl.gate(*drv).type != GateType::kDff;
 }
 
+void charge(WorkBudget* budget) {
+  if (budget != nullptr) budget->charge();
+}
+
 }  // namespace
 
 std::vector<NetId> fanin_cone_nets(const Netlist& nl, NetId root,
-                                   std::size_t max_depth) {
+                                   std::size_t max_depth, WorkBudget* budget) {
   std::vector<NetId> order;
   std::unordered_set<NetId> seen;
   std::deque<std::pair<NetId, std::size_t>> queue{{root, 0}};
@@ -23,6 +27,7 @@ std::vector<NetId> fanin_cone_nets(const Netlist& nl, NetId root,
   while (!queue.empty()) {
     const auto [net, depth] = queue.front();
     queue.pop_front();
+    charge(budget);
     order.push_back(net);
     if (depth >= max_depth || !expandable(nl, net)) continue;
     const Gate& gate = nl.gate(*nl.driver_of(net));
@@ -32,7 +37,8 @@ std::vector<NetId> fanin_cone_nets(const Netlist& nl, NetId root,
   return order;
 }
 
-std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root) {
+std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root,
+                                               WorkBudget* budget) {
   std::unordered_set<NetId> cone;
   std::vector<NetId> stack;
   if (expandable(nl, root)) {
@@ -43,6 +49,7 @@ std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root) {
   while (!stack.empty()) {
     const NetId net = stack.back();
     stack.pop_back();
+    charge(budget);
     if (!expandable(nl, net)) continue;
     const Gate& gate = nl.gate(*nl.driver_of(net));
     for (NetId in : gate.inputs)
@@ -51,7 +58,8 @@ std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root) {
   return cone;
 }
 
-bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate) {
+bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate,
+                   WorkBudget* budget) {
   if (root == candidate) return false;
   // Targeted DFS with early exit instead of materializing the full cone.
   std::unordered_set<NetId> seen;
@@ -66,6 +74,7 @@ bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate) {
   while (!stack.empty()) {
     const NetId net = stack.back();
     stack.pop_back();
+    charge(budget);
     if (net == candidate) return true;
     push_inputs(net);
   }
@@ -73,13 +82,14 @@ bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate) {
 }
 
 std::vector<NetId> cone_leaves(const Netlist& nl, NetId root,
-                               std::size_t max_depth) {
+                               std::size_t max_depth, WorkBudget* budget) {
   std::vector<NetId> leaves;
   std::unordered_set<NetId> seen{root};
   std::deque<std::pair<NetId, std::size_t>> queue{{root, 0}};
   while (!queue.empty()) {
     const auto [net, depth] = queue.front();
     queue.pop_front();
+    charge(budget);
     if (depth >= max_depth || !expandable(nl, net)) {
       leaves.push_back(net);
       continue;

@@ -11,28 +11,37 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/resource_guard.h"
 #include "netlist/netlist.h"
 
 namespace netrev::netlist {
+
+// Every traversal takes an optional WorkBudget and charges it one unit per
+// visited net; a limited budget turns a pathologically deep/wide cone into a
+// clean ResourceLimitError instead of an unbounded walk.
 
 // Nets visited walking backward from `root` through at most `max_depth`
 // levels of combinational gates.  `root` itself is included (depth 0).  The
 // walk does not go through flip-flops: a flop-driven net is a cone leaf.
 // Result is in deterministic BFS order, deduplicated.
 std::vector<NetId> fanin_cone_nets(const Netlist& nl, NetId root,
-                                   std::size_t max_depth);
+                                   std::size_t max_depth,
+                                   WorkBudget* budget = nullptr);
 
 // Unbounded combinational fanin cone of `root`, excluding `root` itself.
 // Stops at flop outputs and primary inputs (which are included as leaves).
-std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root);
+std::unordered_set<NetId> fanin_cone_unbounded(const Netlist& nl, NetId root,
+                                               WorkBudget* budget = nullptr);
 
 // True if `candidate` lies in the (unbounded, combinational) fanin cone of
 // `root`, excluding root itself.
-bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate);
+bool in_fanin_cone(const Netlist& nl, NetId root, NetId candidate,
+                   WorkBudget* budget = nullptr);
 
 // The nets at the boundary of a bounded cone: flop outputs, primary inputs,
 // and nets whose depth equals max_depth (i.e. left unexpanded).
 std::vector<NetId> cone_leaves(const Netlist& nl, NetId root,
-                               std::size_t max_depth);
+                               std::size_t max_depth,
+                               WorkBudget* budget = nullptr);
 
 }  // namespace netrev::netlist

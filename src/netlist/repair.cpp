@@ -1,0 +1,111 @@
+#include "netlist/repair.h"
+
+#include <vector>
+
+namespace netrev::netlist {
+
+RepairResult repair(const Netlist& nl, diag::Diagnostics& diags,
+                    const RepairOptions& options) {
+  RepairResult result;
+  const std::size_t gate_count = nl.gate_count();
+  const std::size_t net_count = nl.net_count();
+
+  // --- 1. find floating combinational gates (iterated to a fixpoint) ------
+  std::vector<bool> pruned(gate_count, false);
+  if (options.prune_floating) {
+    // Live fanout count per net; removing a gate decrements its inputs'
+    // counts, which can float further gates upstream.
+    std::vector<std::size_t> fanout(net_count, 0);
+    for (std::size_t i = 0; i < net_count; ++i)
+      fanout[i] = nl.net(nl.net_id_at(i)).fanouts.size();
+
+    std::vector<GateId> work;
+    const auto is_floating = [&](GateId g) {
+      const Gate& gate = nl.gate(g);
+      if (gate.type == GateType::kDff) return false;  // state is kept
+      const Net& out = nl.net(gate.output);
+      return fanout[gate.output.value()] == 0 && !out.is_primary_output;
+    };
+    for (std::size_t i = 0; i < gate_count; ++i) {
+      const GateId g = nl.gate_id_at(i);
+      if (is_floating(g)) work.push_back(g);
+    }
+    while (!work.empty()) {
+      const GateId g = work.back();
+      work.pop_back();
+      if (pruned[g.value()]) continue;
+      if (!is_floating(g)) continue;
+      pruned[g.value()] = true;
+      ++result.stats.floating_pruned;
+      for (NetId in : nl.gate(g).inputs) {
+        if (--fanout[in.value()] != 0) continue;
+        const auto drv = nl.driver_of(in);
+        if (drv && is_floating(*drv)) work.push_back(*drv);
+      }
+    }
+  }
+
+  // --- 2. rebuild, keeping nets that still play a role --------------------
+  std::vector<bool> keep_net(net_count, false);
+  for (std::size_t i = 0; i < net_count; ++i) {
+    const Net& net = nl.net(nl.net_id_at(i));
+    if (net.is_primary_input || net.is_primary_output) keep_net[i] = true;
+  }
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    if (pruned[i]) continue;
+    const Gate& gate = nl.gate(nl.gate_id_at(i));
+    keep_net[gate.output.value()] = true;
+    for (NetId in : gate.inputs) keep_net[in.value()] = true;
+  }
+
+  Netlist out(nl.name());
+  for (std::size_t i = 0; i < net_count; ++i) {
+    if (!keep_net[i]) {
+      ++result.stats.nets_dropped;
+      continue;
+    }
+    const Net& net = nl.net(nl.net_id_at(i));
+    const NetId id = out.find_or_add_net(net.name);
+    if (net.is_primary_input) out.mark_primary_input(id);
+    if (net.is_primary_output) out.mark_primary_output(id);
+  }
+  for (std::size_t i = 0; i < gate_count; ++i) {
+    if (pruned[i]) continue;
+    const Gate& gate = nl.gate(nl.gate_id_at(i));
+    const NetId output = *out.find_net(nl.net(gate.output).name);
+    std::vector<NetId> inputs;
+    inputs.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs)
+      inputs.push_back(*out.find_net(nl.net(in).name));
+    out.add_gate(gate.type, output, inputs);
+  }
+
+  // --- 3. tie off dangling nets -------------------------------------------
+  if (options.tie_off_dangling) {
+    const std::size_t rebuilt_nets = out.net_count();
+    for (std::size_t i = 0; i < rebuilt_nets; ++i) {
+      const NetId id = out.net_id_at(i);
+      const Net& net = out.net(id);
+      if (net.driver.is_valid() || net.is_primary_input) continue;
+      if (net.fanouts.empty() && !net.is_primary_output) continue;
+      out.add_gate(GateType::kConst0, id, std::initializer_list<NetId>{});
+      ++result.stats.dangling_tied;
+      diags.note("repair: tied dangling net '" + net.name +
+                 "' to constant 0");
+    }
+  }
+
+  if (result.stats.floating_pruned != 0)
+    diags.warning("repair: pruned " +
+                  std::to_string(result.stats.floating_pruned) +
+                  " floating gate(s)");
+  if (result.stats.dangling_tied != 0)
+    diags.warning("repair: tied off " +
+                  std::to_string(result.stats.dangling_tied) +
+                  " dangling net(s)");
+
+  result.netlist = std::move(out);
+  return result;
+}
+
+}  // namespace netrev::netlist

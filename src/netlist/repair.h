@@ -1,0 +1,44 @@
+// Structural repair for recovered netlists.
+//
+// A permissive parse of a damaged netlist can leave dangling nets (references
+// to constructs that were dropped) and floating logic (gates whose reader was
+// dropped).  repair() rebuilds the netlist into something identify can run
+// on: dangling non-primary-input nets are tied off to constant 0, and
+// floating combinational gates (transitively unread, non-primary-output) are
+// pruned.  All edits are deterministic — gate file order is preserved, tie-off
+// constants are appended in net-id order — and every edit is reported into
+// the Diagnostics sink.
+#pragma once
+
+#include "common/diagnostics.h"
+#include "netlist/netlist.h"
+
+namespace netrev::netlist {
+
+struct RepairOptions {
+  // Drive every undriven non-primary-input net with a CONST0 gate.
+  bool tie_off_dangling = true;
+  // Drop combinational gates whose output transitively feeds nothing
+  // (flip-flops are kept: they are architectural state).
+  bool prune_floating = true;
+};
+
+struct RepairStats {
+  std::size_t dangling_tied = 0;    // nets tied off to constant 0
+  std::size_t floating_pruned = 0;  // combinational gates removed
+  std::size_t nets_dropped = 0;     // nets left with no role at all
+
+  bool changed() const {
+    return dangling_tied != 0 || floating_pruned != 0 || nets_dropped != 0;
+  }
+};
+
+struct RepairResult {
+  Netlist netlist;
+  RepairStats stats;
+};
+
+RepairResult repair(const Netlist& nl, diag::Diagnostics& diags,
+                    const RepairOptions& options = {});
+
+}  // namespace netrev::netlist

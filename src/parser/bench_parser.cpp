@@ -2,7 +2,6 @@
 
 #include <fstream>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/text.h"
 #include "parser/lexer.h"
@@ -14,51 +13,94 @@ namespace {
 using netlist::GateType;
 using netlist::Netlist;
 
+// 1-based column of `sub` within the line buffer `base`.  Both views must
+// point into the same underlying storage (substr/trim preserve this).
+std::size_t column_of(std::string_view base, std::string_view sub) {
+  return static_cast<std::size_t>(sub.data() - base.data()) + 1;
+}
+
 struct BenchLine {
   std::string output;
   std::string function;
   std::vector<std::string> args;
   std::size_t line_number = 0;
+  std::size_t output_column = 1;
+  std::size_t function_column = 1;
 };
 
-// Parses "NAME = FUNC(arg, arg, ...)" into a BenchLine.
-BenchLine parse_gate_line(std::string_view line, std::size_t line_number) {
+// Parses "NAME = FUNC(arg, arg, ...)" into a BenchLine.  `base` is the raw
+// line as read from the file; `line` is its comment-stripped, trimmed view
+// into the same buffer, so reported columns are real file columns.
+BenchLine parse_gate_line(std::string_view base, std::string_view line,
+                          std::size_t line_number) {
   BenchLine parsed;
   parsed.line_number = line_number;
   const std::size_t eq = line.find('=');
   if (eq == std::string_view::npos)
-    throw ParseError("expected '='", line_number, 1);
-  parsed.output = std::string(trim(line.substr(0, eq)));
+    throw ParseError("expected '='", line_number, column_of(base, line));
+  const std::string_view lhs = trim(line.substr(0, eq));
+  parsed.output = std::string(lhs);
+  parsed.output_column =
+      lhs.empty() ? column_of(base, line) : column_of(base, lhs);
   std::string_view rhs = trim(line.substr(eq + 1));
   const std::size_t open = rhs.find('(');
   const std::size_t close = rhs.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos ||
       close < open)
-    throw ParseError("expected FUNC(args)", line_number, 1);
-  parsed.function = std::string(trim(rhs.substr(0, open)));
+    throw ParseError("expected FUNC(args)", line_number,
+                     rhs.empty() ? column_of(base, line) + eq + 1
+                                 : column_of(base, rhs));
+  const std::string_view func = trim(rhs.substr(0, open));
+  parsed.function = std::string(func);
+  parsed.function_column =
+      func.empty() ? column_of(base, rhs) : column_of(base, func);
   const std::string_view args = rhs.substr(open + 1, close - open - 1);
   if (!trim(args).empty()) {
-    for (const auto& field : split(args, ',')) {
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t comma = args.find(',', pos);
+      const std::string_view field =
+          comma == std::string_view::npos ? args.substr(pos)
+                                          : args.substr(pos, comma - pos);
       const auto arg = trim(field);
-      if (arg.empty()) throw ParseError("empty argument", line_number, 1);
+      if (arg.empty())
+        throw ParseError("empty argument", line_number,
+                         column_of(base, field));
       parsed.args.emplace_back(arg);
+      if (comma == std::string_view::npos) break;
+      pos = comma + 1;
     }
   }
   if (parsed.output.empty())
-    throw ParseError("empty output name", line_number, 1);
+    throw ParseError("empty output name", line_number, parsed.output_column);
   return parsed;
 }
 
-GateType function_to_type(const std::string& function, std::size_t line) {
+GateType function_to_type(const std::string& function, std::size_t line,
+                          std::size_t column) {
   if (auto type = netlist::gate_type_from_name(function)) return *type;
   if (function == "VDD") return GateType::kConst1;
   if (function == "GND") return GateType::kConst0;
-  throw ParseError("unknown function '" + function + "'", line, 1);
+  throw ParseError("unknown function '" + function + "'", line, column);
 }
 
 }  // namespace
 
-Netlist parse_bench(std::string_view source) {
+Netlist parse_bench(std::string_view source, const ParseOptions& options,
+                    diag::Diagnostics& diags) {
+  const auto here = [&](std::size_t line, std::size_t column) {
+    return diag::SourceLocation{options.filename, line, column};
+  };
+
+  if (source.size() > options.limits.max_file_bytes) {
+    const std::string message =
+        "input exceeds maximum file size (" + std::to_string(source.size()) +
+        " > " + std::to_string(options.limits.max_file_bytes) + " bytes)";
+    if (!options.permissive) throw ResourceLimitError(message);
+    diags.fatal(message, here(0, 0));
+    return Netlist("bench");
+  }
+
   std::vector<std::string> inputs;
   std::vector<std::string> outputs;
   std::vector<BenchLine> gates;
@@ -66,7 +108,13 @@ Netlist parse_bench(std::string_view source) {
   std::size_t line_number = 0;
   for (const auto& raw : split(source, '\n')) {
     ++line_number;
-    std::string_view line = raw;
+    if (options.permissive && diags.at_error_limit()) {
+      diags.note("too many errors; giving up on the rest of the input",
+                 here(line_number, 1));
+      break;
+    }
+    const std::string_view base = raw;
+    std::string_view line = base;
     const std::size_t hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
     line = trim(line);
@@ -76,15 +124,51 @@ Netlist parse_bench(std::string_view source) {
     } else if (starts_with(line, "OUTPUT(") && line.back() == ')') {
       outputs.emplace_back(trim(line.substr(7, line.size() - 8)));
     } else {
-      gates.push_back(parse_gate_line(line, line_number));
+      try {
+        gates.push_back(parse_gate_line(base, line, line_number));
+      } catch (const ParseError& err) {
+        if (!options.permissive) throw;
+        diags.error(err.message() + "; line skipped",
+                    here(err.line(), err.column()));
+      }
     }
   }
 
   Netlist nl("bench");
+  const auto over_limits = [&] {
+    return nl.net_count() > options.limits.max_nets ||
+           nl.gate_count() > options.limits.max_gates;
+  };
+  const auto limit_failure = [&](std::size_t line) {
+    const std::string message =
+        "netlist exceeds resource limits (" + std::to_string(nl.net_count()) +
+        " nets, " + std::to_string(nl.gate_count()) + " gates)";
+    if (!options.permissive) throw ResourceLimitError(message);
+    diags.fatal(message, here(line, 1));
+  };
+
   for (const auto& name : inputs) nl.mark_primary_input(nl.find_or_add_net(name));
   for (const auto& name : outputs) nl.mark_primary_output(nl.find_or_add_net(name));
+  if (over_limits()) {
+    limit_failure(line_number);
+    return nl;
+  }
   for (const auto& gate : gates) {
-    const GateType type = function_to_type(gate.function, gate.line_number);
+    if (options.permissive && diags.at_error_limit()) {
+      diags.note("too many errors; giving up on the rest of the input",
+                 here(gate.line_number, 1));
+      break;
+    }
+    GateType type;
+    try {
+      type = function_to_type(gate.function, gate.line_number,
+                              gate.function_column);
+    } catch (const ParseError& err) {
+      if (!options.permissive) throw;
+      diags.error(err.message() + "; gate dropped",
+                  here(err.line(), err.column()));
+      continue;
+    }
     const auto out = nl.find_or_add_net(gate.output);
     std::vector<netlist::NetId> ins;
     ins.reserve(gate.args.size());
@@ -92,18 +176,44 @@ Netlist parse_bench(std::string_view source) {
     try {
       nl.add_gate(type, out, ins);
     } catch (const std::invalid_argument& err) {
-      throw ParseError(err.what(), gate.line_number, 1);
+      if (!options.permissive)
+        throw ParseError(err.what(), gate.line_number, gate.output_column);
+      // Keep-first: a duplicate driver (or a gate driving a primary input)
+      // drops the later gate; arity violations drop the malformed gate.
+      diags.warning(std::string(err.what()) + "; gate dropped",
+                    here(gate.line_number, gate.output_column));
+      continue;
+    }
+    if (over_limits()) {
+      limit_failure(gate.line_number);
+      return nl;
     }
   }
   return nl;
 }
 
-Netlist parse_bench_file(const std::string& path) {
+Netlist parse_bench(std::string_view source) {
+  diag::Diagnostics diags;
+  return parse_bench(source, ParseOptions{}, diags);
+}
+
+Netlist parse_bench_file(const std::string& path, const ParseOptions& options,
+                         diag::Diagnostics& diags) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
+  if (!in) {
+    if (!options.permissive)
+      throw std::runtime_error("cannot open file: " + path);
+    diags.fatal("cannot open file: " + path, {path, 0, 0});
+    return Netlist("bench");
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_bench(buffer.str());
+  return parse_bench(buffer.str(), options, diags);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  diag::Diagnostics diags;
+  return parse_bench_file(path, ParseOptions{}, diags);
 }
 
 std::string write_bench(const Netlist& nl) {

@@ -13,12 +13,27 @@
 #include <string>
 #include <string_view>
 
+#include "common/diagnostics.h"
 #include "netlist/netlist.h"
+#include "parser/parse_options.h"
 
 namespace netrev::parser {
 
+// Strict parse: throws ParseError (with real line/column) on the first
+// malformed construct, ResourceLimitError on oversized input.
 netlist::Netlist parse_bench(std::string_view source);
 netlist::Netlist parse_bench_file(const std::string& path);
+
+// Configurable parse.  With options.permissive, malformed lines are skipped
+// with a diagnostic and parsing continues; the recovered netlist may contain
+// dangling nets (run netlist::repair() before using it).  Duplicate drivers
+// are resolved keep-first with a warning.
+netlist::Netlist parse_bench(std::string_view source,
+                             const ParseOptions& options,
+                             diag::Diagnostics& diags);
+netlist::Netlist parse_bench_file(const std::string& path,
+                                  const ParseOptions& options,
+                                  diag::Diagnostics& diags);
 
 std::string write_bench(const netlist::Netlist& nl);
 void write_bench_file(const netlist::Netlist& nl, const std::string& path);

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/contracts.h"
+
 namespace netrev::parser {
 
 namespace {
@@ -36,11 +38,25 @@ std::string_view token_kind_name(TokenKind kind) {
 }
 
 std::vector<Token> tokenize(std::string_view source) {
+  return tokenize(source, LexOptions{});
+}
+
+std::vector<Token> tokenize(std::string_view source,
+                            const LexOptions& options) {
+  NETREV_REQUIRE(!options.permissive || options.diags != nullptr);
   std::vector<Token> tokens;
   std::size_t line = 1;
   std::size_t column = 1;
   std::size_t i = 0;
   const std::size_t n = source.size();
+
+  // Throws in strict mode; records a diagnostic in permissive mode, after
+  // which the call site skips the offending text and keeps scanning.
+  const auto fail = [&](const std::string& message, std::size_t at_line,
+                        std::size_t at_column) {
+    if (!options.permissive) throw ParseError(message, at_line, at_column);
+    options.diags->error(message, {options.file, at_line, at_column});
+  };
 
   const auto advance = [&](std::size_t count) {
     for (std::size_t k = 0; k < count; ++k) {
@@ -71,8 +87,11 @@ std::vector<Token> tokenize(std::string_view source) {
       advance(2);
       while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/'))
         advance(1);
-      if (i + 1 >= n)
-        throw ParseError("unterminated block comment", start_line, start_col);
+      if (i + 1 >= n) {
+        fail("unterminated block comment", start_line, start_col);
+        while (i < n) advance(1);  // comment swallows the rest of the input
+        break;
+      }
       advance(2);
       continue;
     }
@@ -109,8 +128,10 @@ std::vector<Token> tokenize(std::string_view source) {
         name += source[i];
         advance(1);
       }
-      if (name.empty())
-        throw ParseError("empty escaped identifier", token.line, token.column);
+      if (name.empty()) {
+        fail("empty escaped identifier", token.line, token.column);
+        continue;
+      }
       token.kind = TokenKind::kIdentifier;
       token.text = std::move(name);
       tokens.push_back(std::move(token));
@@ -138,17 +159,21 @@ std::vector<Token> tokenize(std::string_view source) {
       // Bit literal: <width>'b<value>
       if (i < n && source[i] == '\'') {
         advance(1);
-        if (i >= n || (source[i] != 'b' && source[i] != 'B'))
-          throw ParseError("only binary bit literals are supported",
-                           token.line, token.column);
+        if (i >= n || (source[i] != 'b' && source[i] != 'B')) {
+          fail("only binary bit literals are supported", token.line,
+               token.column);
+          continue;  // the digits and quote are consumed; rescan from here
+        }
         advance(1);
         std::string bits;
         while (i < n && (source[i] == '0' || source[i] == '1')) {
           bits += source[i];
           advance(1);
         }
-        if (bits.empty())
-          throw ParseError("empty bit literal", token.line, token.column);
+        if (bits.empty()) {
+          fail("empty bit literal", token.line, token.column);
+          continue;
+        }
         token.kind = TokenKind::kBitLiteral;
         token.text = std::move(bits);
         tokens.push_back(std::move(token));
@@ -160,8 +185,8 @@ std::vector<Token> tokenize(std::string_view source) {
       continue;
     }
 
-    throw ParseError(std::string("unexpected character '") + c + "'", line,
-                     column);
+    fail(std::string("unexpected character '") + c + "'", line, column);
+    advance(1);
   }
 
   Token eof;

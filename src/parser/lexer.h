@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diagnostics.h"
+
 namespace netrev::parser {
 
 // Raised on any lexical or syntactic error; carries line/column.
@@ -19,13 +21,17 @@ class ParseError : public std::runtime_error {
   ParseError(const std::string& message, std::size_t line, std::size_t column)
       : std::runtime_error(message + " at line " + std::to_string(line) +
                            ", column " + std::to_string(column)),
+        message_(message),
         line_(line),
         column_(column) {}
 
+  // The bare message, without the " at line L, column C" suffix of what().
+  const std::string& message() const { return message_; }
   std::size_t line() const { return line_; }
   std::size_t column() const { return column_; }
 
  private:
+  std::string message_;
   std::size_t line_;
   std::size_t column_;
 };
@@ -53,8 +59,19 @@ struct Token {
   std::size_t column = 0;
 };
 
+struct LexOptions {
+  // Strict (default): throw ParseError on the first bad character.
+  // Permissive: report a diagnostic into `diags`, skip the offending text,
+  // and keep scanning.  `diags` must be non-null when permissive.
+  bool permissive = false;
+  diag::Diagnostics* diags = nullptr;
+  std::string file;  // recorded in diagnostic locations
+};
+
 // Tokenizes the whole input eagerly.  Throws ParseError on bad characters.
 std::vector<Token> tokenize(std::string_view source);
+std::vector<Token> tokenize(std::string_view source,
+                            const LexOptions& options);
 
 std::string_view token_kind_name(TokenKind kind);
 

@@ -1,0 +1,25 @@
+// How the netlist readers treat malformed or oversized input.
+#pragma once
+
+#include <string>
+
+#include "common/resource_guard.h"
+
+namespace netrev::parser {
+
+struct ParseOptions {
+  // Strict (default): throw ParseError on the first malformed construct —
+  // the historical behavior, unchanged byte-for-byte.  Permissive: emit a
+  // diagnostic into the caller's sink, skip the bad construct, and keep
+  // parsing; the result may need netlist::repair() before it is usable.
+  bool permissive = false;
+
+  // Recorded in diagnostic source locations (usually the input path).
+  std::string filename;
+
+  // Ceilings turning runaway inputs into clean failures (strict: throws
+  // ResourceLimitError; permissive: fatal diagnostic, parsing stops).
+  ResourceLimits limits;
+};
+
+}  // namespace netrev::parser

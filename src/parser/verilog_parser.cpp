@@ -58,45 +58,55 @@ struct PendingGate {
   std::string output;
   std::vector<std::string> inputs;
   std::size_t line = 0;
+  std::size_t column = 1;
 };
 
 class VerilogParser {
  public:
-  explicit VerilogParser(std::string_view source)
-      : tokens_(tokenize(source)) {}
+  VerilogParser(std::string_view source, const ParseOptions& options,
+                diag::Diagnostics& diags)
+      : options_(options),
+        diags_(diags),
+        tokens_(tokenize(source, LexOptions{options.permissive, &diags,
+                                            options.filename})) {}
 
   Netlist parse() {
-    expect_keyword("module");
-    const std::string module_name = expect_identifier();
-    parse_port_header();
-    expect(TokenKind::kSemicolon);
+    std::string module_name = parse_header();
 
     while (!at_keyword("endmodule")) {
       const Token& tok = peek();
-      if (tok.kind == TokenKind::kEndOfFile)
-        throw ParseError("missing 'endmodule'", tok.line, tok.column);
-      if (at_keyword("input")) {
-        parse_declaration(inputs_);
-      } else if (at_keyword("output")) {
-        parse_declaration(outputs_);
-      } else if (at_keyword("wire")) {
-        parse_declaration(wires_);
-      } else if (at_keyword("assign")) {
-        parse_assign();
-      } else if (tok.kind == TokenKind::kIdentifier) {
-        parse_instance();
-      } else {
-        throw ParseError("expected statement, got " +
-                             std::string(token_kind_name(tok.kind)),
-                         tok.line, tok.column);
+      if (tok.kind == TokenKind::kEndOfFile) {
+        if (!permissive())
+          throw ParseError("missing 'endmodule'", tok.line, tok.column);
+        diags_.error("missing 'endmodule'", here(tok));
+        break;
+      }
+      if (permissive() && diags_.at_error_limit()) {
+        diags_.note("too many errors; giving up on the rest of the input",
+                    here(tok));
+        break;
+      }
+      try {
+        parse_statement();
+      } catch (const ParseError& err) {
+        if (!permissive()) throw;
+        diags_.error(err.message() + "; statement skipped",
+                     {options_.filename, err.line(), err.column()});
+        synchronize();
       }
     }
-    expect_keyword("endmodule");
+    if (at_keyword("endmodule")) expect_keyword("endmodule");
 
     return build(module_name);
   }
 
  private:
+  bool permissive() const { return options_.permissive; }
+
+  diag::SourceLocation here(const Token& tok) const {
+    return {options_.filename, tok.line, tok.column};
+  }
+
   // --- token stream helpers -----------------------------------------------
 
   const Token& peek(std::size_t ahead = 0) const {
@@ -149,7 +159,58 @@ class VerilogParser {
     return name;
   }
 
+  // Error recovery: skip to just past the next ';' (or stop at 'endmodule' /
+  // end of file) so the next statement starts on a clean boundary.  Always
+  // consumes at least one token unless already at end of file.
+  void synchronize() {
+    while (true) {
+      const Token& tok = peek();
+      if (tok.kind == TokenKind::kEndOfFile) return;
+      if (at_keyword("endmodule")) return;
+      if (tok.kind == TokenKind::kSemicolon) {
+        take();
+        return;
+      }
+      take();
+    }
+  }
+
   // --- grammar ---------------------------------------------------------
+
+  std::string parse_header() {
+    try {
+      expect_keyword("module");
+      const std::string module_name = expect_identifier();
+      parse_port_header();
+      expect(TokenKind::kSemicolon);
+      return module_name;
+    } catch (const ParseError& err) {
+      if (!permissive()) throw;
+      diags_.error(err.message() + "; module header skipped",
+                   {options_.filename, err.line(), err.column()});
+      synchronize();
+      return "recovered";
+    }
+  }
+
+  void parse_statement() {
+    const Token& tok = peek();
+    if (at_keyword("input")) {
+      parse_declaration(inputs_);
+    } else if (at_keyword("output")) {
+      parse_declaration(outputs_);
+    } else if (at_keyword("wire")) {
+      parse_declaration(wires_);
+    } else if (at_keyword("assign")) {
+      parse_assign();
+    } else if (tok.kind == TokenKind::kIdentifier) {
+      parse_instance();
+    } else {
+      throw ParseError("expected statement, got " +
+                           std::string(token_kind_name(tok.kind)),
+                       tok.line, tok.column);
+    }
+  }
 
   void parse_port_header() {
     expect(TokenKind::kLParen);
@@ -178,6 +239,7 @@ class VerilogParser {
     take();  // 'assign'
     PendingGate gate;
     gate.line = keyword.line;
+    gate.column = keyword.column;
     gate.output = expect_net_name();
     expect(TokenKind::kEquals);
     const Token rhs = peek();
@@ -208,6 +270,7 @@ class VerilogParser {
     PendingGate gate;
     gate.type = *type;
     gate.line = cell_tok.line;
+    gate.column = cell_tok.column;
 
     expect(TokenKind::kLParen);
     if (peek().kind == TokenKind::kDot) {
@@ -274,10 +337,20 @@ class VerilogParser {
     for (const auto& name : outputs_) nl.mark_primary_output(ensure(name));
     for (const auto& name : wires_) ensure(name);
 
+    const auto over_limits = [&] {
+      return nl.net_count() > options_.limits.max_nets ||
+             nl.gate_count() > options_.limits.max_gates;
+    };
     for (const auto& gate : gates_) {
-      if (declared_inputs.contains(gate.output))
-        throw ParseError("gate drives primary input '" + gate.output + "'",
-                         gate.line, 1);
+      if (declared_inputs.contains(gate.output)) {
+        if (!permissive())
+          throw ParseError("gate drives primary input '" + gate.output + "'",
+                           gate.line, gate.column);
+        diags_.warning("gate drives primary input '" + gate.output +
+                           "'; gate dropped",
+                       {options_.filename, gate.line, gate.column});
+        continue;
+      }
       const auto out = ensure(gate.output);
       std::vector<netlist::NetId> ins;
       ins.reserve(gate.inputs.size());
@@ -285,12 +358,29 @@ class VerilogParser {
       try {
         nl.add_gate(gate.type, out, ins);
       } catch (const std::invalid_argument& err) {
-        throw ParseError(err.what(), gate.line, 1);
+        if (!permissive())
+          throw ParseError(err.what(), gate.line, gate.column);
+        // Keep-first duplicate-driver resolution; arity violations drop the
+        // malformed gate.
+        diags_.warning(std::string(err.what()) + "; gate dropped",
+                       {options_.filename, gate.line, gate.column});
+        continue;
+      }
+      if (over_limits()) {
+        const std::string message = "netlist exceeds resource limits (" +
+                                    std::to_string(nl.net_count()) + " nets, " +
+                                    std::to_string(nl.gate_count()) +
+                                    " gates)";
+        if (!permissive()) throw ResourceLimitError(message);
+        diags_.fatal(message, {options_.filename, gate.line, gate.column});
+        break;
       }
     }
     return nl;
   }
 
+  const ParseOptions& options_;
+  diag::Diagnostics& diags_;
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   std::vector<std::string> inputs_;
@@ -301,16 +391,43 @@ class VerilogParser {
 
 }  // namespace
 
+netlist::Netlist parse_verilog(std::string_view source,
+                               const ParseOptions& options,
+                               diag::Diagnostics& diags) {
+  if (source.size() > options.limits.max_file_bytes) {
+    const std::string message =
+        "input exceeds maximum file size (" + std::to_string(source.size()) +
+        " > " + std::to_string(options.limits.max_file_bytes) + " bytes)";
+    if (!options.permissive) throw ResourceLimitError(message);
+    diags.fatal(message, {options.filename, 0, 0});
+    return Netlist("recovered");
+  }
+  return VerilogParser(source, options, diags).parse();
+}
+
 netlist::Netlist parse_verilog(std::string_view source) {
-  return VerilogParser(source).parse();
+  diag::Diagnostics diags;
+  return parse_verilog(source, ParseOptions{}, diags);
+}
+
+netlist::Netlist parse_verilog_file(const std::string& path,
+                                    const ParseOptions& options,
+                                    diag::Diagnostics& diags) {
+  std::ifstream in(path);
+  if (!in) {
+    if (!options.permissive)
+      throw std::runtime_error("cannot open file: " + path);
+    diags.fatal("cannot open file: " + path, {path, 0, 0});
+    return Netlist("recovered");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_verilog(buffer.str(), options, diags);
 }
 
 netlist::Netlist parse_verilog_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_verilog(buffer.str());
+  diag::Diagnostics diags;
+  return parse_verilog_file(path, ParseOptions{}, diags);
 }
 
 }  // namespace netrev::parser

@@ -16,9 +16,12 @@
 // which is what the §2.2 grouping pass keys on.
 #pragma once
 
+#include <string>
 #include <string_view>
 
+#include "common/diagnostics.h"
 #include "netlist/netlist.h"
+#include "parser/parse_options.h"
 
 namespace netrev::parser {
 
@@ -27,5 +30,17 @@ netlist::Netlist parse_verilog(std::string_view source);
 
 // Reads and parses a file; throws std::runtime_error if unreadable.
 netlist::Netlist parse_verilog_file(const std::string& path);
+
+// Configurable parse.  With options.permissive, a malformed statement is
+// reported into `diags` and the parser resynchronizes at the next ';',
+// keeping every statement it can; duplicate drivers are resolved keep-first
+// with a warning.  The recovered netlist may contain dangling nets — run
+// netlist::repair() before using it.
+netlist::Netlist parse_verilog(std::string_view source,
+                               const ParseOptions& options,
+                               diag::Diagnostics& diags);
+netlist::Netlist parse_verilog_file(const std::string& path,
+                                    const ParseOptions& options,
+                                    diag::Diagnostics& diags);
 
 }  // namespace netrev::parser

@@ -27,7 +27,8 @@ std::vector<NetId> find_relevant_control_signals(
   // can appear at most once per subtree (fanin_cone_nets deduplicates).
   std::unordered_map<NetId, std::size_t> containment;
   for (NetId root : dissimilar_roots)
-    for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth))
+    for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth,
+                                              options.cone_budget))
       ++containment[net];
 
   std::vector<NetId> common;
@@ -57,7 +58,9 @@ std::vector<NetId> find_relevant_control_signals(
     bool dominated = false;
     for (std::size_t j = 0; j < common.size() && !dominated; ++j) {
       if (i == j) continue;
-      if (netlist::in_fanin_cone(nl, common[j], common[i])) dominated = true;
+      if (netlist::in_fanin_cone(nl, common[j], common[i],
+                                 options.cone_budget))
+        dominated = true;
     }
     if (!dominated) signals.push_back(common[i]);
   }

@@ -114,7 +114,15 @@ void emit_fallback_words(const Subgroup& subgroup,
 
 }  // namespace
 
-IdentifyResult identify_words(const Netlist& nl, const Options& options) {
+IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
+  // Wire up the cone-work resource guard: all cone walks of this run charge
+  // one shared budget, so a runaway input aborts with ResourceLimitError
+  // instead of hanging.
+  WorkBudget local_budget(options_in.max_cone_work);
+  Options options = options_in;
+  if (options.cone_budget == nullptr && options.max_cone_work != 0)
+    options.cone_budget = &local_budget;
+
   const ConeHasher hasher(nl, options);
   IdentifyResult result;
   std::unordered_set<NetId> used_signals;
@@ -178,7 +186,8 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options) {
       std::unordered_set<NetId> region;
       for (const auto& per_bit : subgroup.dissimilar)
         for (NetId root : per_bit)
-          for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth))
+          for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth,
+                                                    options.cone_budget))
             region.insert(net);
 
       std::vector<std::vector<bool>> values_per_signal;

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "common/resource_guard.h"
+
 namespace netrev::wordrec {
 
 struct IdentifyTrace;
@@ -49,6 +51,17 @@ struct Options {
   // Safety valves so adversarial netlists cannot blow up the search.
   std::size_t max_control_signals_per_subgroup = 8;
   std::size_t max_assignment_trials_per_subgroup = 128;
+
+  // Ceiling on total cone-traversal work (nets visited across every cone
+  // walk of one identify_words() run); 0 = unlimited.  Exceeding it aborts
+  // the run with ResourceLimitError — a resource guard against runaway or
+  // adversarial inputs, not a tuning knob.
+  std::size_t max_cone_work = 0;
+
+  // Optional, non-owning: the budget cone walks charge.  identify_words()
+  // wires this up internally from max_cone_work; set it only to share one
+  // budget across several calls.
+  WorkBudget* cone_budget = nullptr;
 };
 
 }  // namespace netrev::wordrec

@@ -229,5 +229,115 @@ TEST(Cli, TableJson) {
   EXPECT_NE(r.out.find("\"benchmark\":\"b03s\""), std::string::npos);
 }
 
+// --- error paths and the permissive pipeline -------------------------------
+
+// A damaged .bench file: one malformed gate line in an otherwise fine design.
+std::string write_damaged_bench() {
+  const std::string path = temp_dir() + "/damaged.bench";
+  std::ofstream(path) << "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+                         "n1 = NAND(a, b)\nn2 = BOGUS(n1)\nq = NOT(n1)\n";
+  return path;
+}
+
+TEST(Cli, ErrorsGoToErrStreamNotOut) {
+  const CliRun r = run({"stats", "/nonexistent.bench"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.out.empty());
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UsageDocumentsExitCodes) {
+  const CliRun r = run({"help"});
+  EXPECT_NE(r.out.find("exit codes"), std::string::npos);
+  EXPECT_NE(r.out.find("--permissive"), std::string::npos);
+  EXPECT_NE(r.out.find("--diag-json"), std::string::npos);
+  EXPECT_NE(r.out.find("--max-errors"), std::string::npos);
+}
+
+TEST(Cli, MalformedNetlistStrictFails) {
+  const std::string path = write_damaged_bench();
+  const CliRun r = run({"stats", path});
+  EXPECT_EQ(r.exit_code, 1);
+  // Strict errors carry a real position.
+  EXPECT_NE(r.err.find("line 5"), std::string::npos);
+  EXPECT_NE(r.err.find("column"), std::string::npos);
+}
+
+TEST(Cli, MalformedNetlistPermissiveRecoversWithExitCode3) {
+  const std::string path = write_damaged_bench();
+  const CliRun r = run({"stats", path, "--permissive"});
+  EXPECT_EQ(r.exit_code, 3);  // recovered with warnings
+  EXPECT_NE(r.out.find("gates="), std::string::npos);
+  EXPECT_TRUE(r.err.empty());
+}
+
+TEST(Cli, DiagJsonPrintsDiagnostics) {
+  const std::string path = write_damaged_bench();
+  const CliRun r = run({"stats", path, "--permissive", "--diag-json"});
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(r.out.find("\"line\":5"), std::string::npos);
+}
+
+TEST(Cli, PermissiveCleanInputStillExitsZero) {
+  // A design with nothing to recover or repair: every net is read, every
+  // net is driven.  (Family benchmarks carry a few fanout-free gates that
+  // repair legitimately prunes, so they exit 3 under --permissive.)
+  const std::string path = temp_dir() + "/clean.bench";
+  std::ofstream(path) << "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+                         "n1 = NAND(a, b)\nq = NOT(n1)\n";
+  const CliRun r = run({"stats", path, "--permissive"});
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(Cli, UnusableInputExitsFour) {
+  // Nothing recoverable: pure garbage is not a netlist.
+  const std::string path = temp_dir() + "/garbage.v";
+  std::ofstream(path) << "this is not verilog at all ((((\n%%%%\n";
+  const CliRun strict = run({"stats", path});
+  EXPECT_EQ(strict.exit_code, 1);
+  const CliRun permissive = run({"stats", path, "--permissive"});
+  // Either nothing parses (empty netlist is valid => exit 3) or the input is
+  // rejected as unusable (exit 4); it must never exit 0 or crash.
+  EXPECT_TRUE(permissive.exit_code == 3 || permissive.exit_code == 4)
+      << "exit " << permissive.exit_code;
+}
+
+TEST(Cli, PermissiveMissingFileIsUnusable) {
+  const CliRun r = run({"stats", "/nonexistent.bench", "--permissive"});
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, MaxErrorsBoundsDiagnostics) {
+  // Many bad lines; --max-errors 2 makes the parser give up early.
+  const std::string path = temp_dir() + "/manybad.bench";
+  std::ofstream file(path);
+  file << "INPUT(a)\n";
+  for (int i = 0; i < 50; ++i) file << "x" << i << " = BAD(a)\n";
+  file.close();
+  const CliRun r =
+      run({"stats", path, "--permissive", "--max-errors", "2", "--diag-json"});
+  EXPECT_NE(r.out.find("giving up"), std::string::npos);
+}
+
+TEST(Cli, PermissiveIdentifyRunsOnDamagedDesign) {
+  // End-to-end: generate, damage one line, identify permissively.
+  const std::string dir = temp_dir();
+  run({"generate", "b03s", "-o", dir});
+  std::ifstream in(dir + "/b03s.bench");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t pos = text.find("U201");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "U2#1");
+  const std::string damaged = dir + "/b03s_damaged.bench";
+  std::ofstream(damaged) << text;
+  const CliRun r = run({"identify", damaged, "--permissive"});
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("word(s)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace netrev::cli

@@ -1,0 +1,83 @@
+#include "common/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::diag {
+namespace {
+
+TEST(Diagnostics, StartsEmptyAndUsable) {
+  Diagnostics diags;
+  EXPECT_TRUE(diags.empty());
+  EXPECT_TRUE(diags.usable());
+  EXPECT_EQ(diags.error_count(), 0u);
+  EXPECT_EQ(diags.suppressed_count(), 0u);
+}
+
+TEST(Diagnostics, CountsPerSeverity) {
+  Diagnostics diags;
+  diags.note("n");
+  diags.warning("w1");
+  diags.warning("w2");
+  diags.error("e");
+  EXPECT_FALSE(diags.empty());
+  EXPECT_EQ(diags.note_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 2u);
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_TRUE(diags.usable());  // errors are recoverable, fatals are not
+}
+
+TEST(Diagnostics, FatalMakesRunUnusable) {
+  Diagnostics diags;
+  diags.fatal("boom");
+  EXPECT_FALSE(diags.usable());
+}
+
+TEST(Diagnostics, LocationRendering) {
+  const SourceLocation with_file{"top.v", 12, 7};
+  EXPECT_EQ(with_file.to_string(), "top.v:12:7");
+  const SourceLocation no_file{"", 12, 7};
+  EXPECT_EQ(no_file.to_string(), "line 12, column 7");
+  EXPECT_TRUE(with_file.has_position());
+  EXPECT_FALSE(SourceLocation{}.has_position());
+
+  Diagnostics diags;
+  diags.error("bad token", {"a.bench", 3, 9});
+  EXPECT_NE(diags.to_string().find("a.bench:3:9"), std::string::npos);
+}
+
+TEST(Diagnostics, ErrorLimitStopsRecoveryNotCounting) {
+  Diagnostics diags(/*max_errors=*/3, /*max_total=*/100);
+  for (int i = 0; i < 5; ++i) diags.error("e" + std::to_string(i));
+  EXPECT_TRUE(diags.at_error_limit());
+  EXPECT_EQ(diags.error_count(), 5u);  // all reported errors are counted
+}
+
+TEST(Diagnostics, TotalCapSuppressesStorageButKeepsCounts) {
+  Diagnostics diags(/*max_errors=*/1000, /*max_total=*/4);
+  for (int i = 0; i < 10; ++i) diags.warning("w" + std::to_string(i));
+  EXPECT_EQ(diags.entries().size(), 4u);
+  EXPECT_EQ(diags.warning_count(), 10u);
+  EXPECT_EQ(diags.suppressed_count(), 6u);
+  EXPECT_NE(diags.to_string().find("suppressed"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonEscapesAndCounts) {
+  Diagnostics diags;
+  diags.error("bad \"quote\"\n", {"f.v", 1, 2});
+  diags.note("fine");
+  const std::string json = diags.to_json();
+  EXPECT_NE(json.find("\"bad \\\"quote\\\"\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"notes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"f.v\""), std::string::npos);
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_EQ(severity_name(Severity::kNote), "note");
+  EXPECT_EQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_EQ(severity_name(Severity::kError), "error");
+  EXPECT_EQ(severity_name(Severity::kFatal), "fatal");
+}
+
+}  // namespace
+}  // namespace netrev::diag

@@ -1,0 +1,43 @@
+#include "common/resource_guard.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev {
+namespace {
+
+TEST(WorkBudget, UnlimitedByDefault) {
+  WorkBudget budget;
+  EXPECT_FALSE(budget.limited());
+  for (int i = 0; i < 1000; ++i) budget.charge();
+  EXPECT_EQ(budget.spent(), 1000u);
+}
+
+TEST(WorkBudget, ThrowsWhenExceeded) {
+  WorkBudget budget(10);
+  EXPECT_TRUE(budget.limited());
+  for (int i = 0; i < 10; ++i) budget.charge();
+  EXPECT_THROW(budget.charge(), ResourceLimitError);
+}
+
+TEST(WorkBudget, ChargesInBulk) {
+  WorkBudget budget(100);
+  budget.charge(90);
+  EXPECT_EQ(budget.spent(), 90u);
+  EXPECT_THROW(budget.charge(20), ResourceLimitError);
+}
+
+TEST(ResourceLimits, DefaultsAreGenerous) {
+  const ResourceLimits limits;
+  EXPECT_GE(limits.max_file_bytes, std::size_t{1} << 20);
+  EXPECT_GE(limits.max_nets, 1'000'000u);
+  EXPECT_GE(limits.max_gates, 1'000'000u);
+}
+
+TEST(ResourceLimitError, IsARuntimeError) {
+  // CLI and harness catch it as a documented, graceful abort.
+  const ResourceLimitError error("cone budget exhausted");
+  EXPECT_NE(std::string(error.what()).find("cone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev

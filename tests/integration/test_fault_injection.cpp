@@ -1,0 +1,172 @@
+// Fault-injection harness: seeded corruptions of family benchmarks pushed
+// through the full permissive pipeline (parse -> repair -> validate ->
+// identify).  The contract under test is robustness, not output quality:
+// no crash or uncaught exception, diagnostics stay bounded, and single-line
+// damage costs at most a sliver of the design.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "common/resource_guard.h"
+#include "itc/family.h"
+#include "netlist/netlist.h"
+#include "netlist/repair.h"
+#include "netlist/validate.h"
+#include "parser/bench_parser.h"
+#include "parser/parse_options.h"
+#include "parser/verilog_parser.h"
+#include "parser/verilog_writer.h"
+#include "support/corrupt.h"
+#include "wordrec/identify.h"
+
+namespace netrev {
+namespace {
+
+using netlist::Netlist;
+using testing::CorruptionKind;
+using testing::kAllCorruptionKinds;
+
+constexpr std::uint64_t kSeedsPerCase = 10;
+const char* const kBenchmarks[] = {"b03s", "b08s", "b13s"};
+
+enum class Format { kBench, kVerilog };
+
+struct PipelineOutcome {
+  std::size_t parsed_gates = 0;
+  std::size_t diagnostics = 0;
+  bool usable = false;
+  bool identified = false;
+};
+
+// Runs one corrupted source through the permissive pipeline.  Returns the
+// outcome; throws only on bugs (anything except the documented
+// ResourceLimitError escape hatch fails the calling test).
+PipelineOutcome run_pipeline(const std::string& source, Format format,
+                             const std::string& label) {
+  PipelineOutcome outcome;
+  diag::Diagnostics diags;
+  parser::ParseOptions options;
+  options.permissive = true;
+  options.filename = label;
+
+  Netlist parsed = format == Format::kBench
+                       ? parser::parse_bench(source, options, diags)
+                       : parser::parse_verilog(source, options, diags);
+  outcome.parsed_gates = parsed.gate_count();
+
+  const netlist::RepairResult repaired = netlist::repair(parsed, diags);
+  const netlist::ValidationReport report = netlist::validate(repaired.netlist);
+  outcome.usable = diags.usable() && report.ok();
+  outcome.diagnostics = diags.entries().size();
+
+  if (outcome.usable && repaired.netlist.gate_count() > 0) {
+    wordrec::Options wopts;
+    // Guard rail, generous for these small designs: a mutation that sends
+    // identification into runaway cone walks must abort cleanly.
+    wopts.max_cone_work = 5'000'000;
+    try {
+      (void)wordrec::identify_words(repaired.netlist, wopts);
+      outcome.identified = true;
+    } catch (const ResourceLimitError&) {
+      // Graceful, documented abort — counts as survival, not identification.
+    }
+  }
+  return outcome;
+}
+
+std::string source_for(const Netlist& nl, Format format) {
+  return format == Format::kBench ? parser::write_bench(nl)
+                                  : parser::write_verilog(nl);
+}
+
+TEST(FaultInjection, PipelineSurvivesSeededCorruptions) {
+  std::size_t mutations = 0;
+  std::size_t identified = 0;
+  std::size_t single_line_cases = 0;
+  std::size_t original_gate_total = 0;
+  std::size_t recovered_gate_total = 0;
+
+  for (const char* benchmark : kBenchmarks) {
+    const Netlist golden = itc::build_benchmark(benchmark).netlist;
+    for (const Format format : {Format::kBench, Format::kVerilog}) {
+      const std::string source = source_for(golden, format);
+      for (const CorruptionKind kind : kAllCorruptionKinds) {
+        for (std::uint64_t seed = 0; seed < kSeedsPerCase; ++seed) {
+          const std::string label =
+              std::string(benchmark) +
+              (format == Format::kBench ? ".bench" : ".v") + ":" +
+              testing::corruption_name(kind) + ":" + std::to_string(seed);
+          SCOPED_TRACE(label);
+
+          const std::string corrupted = testing::corrupt(source, kind, seed);
+          const PipelineOutcome outcome =
+              run_pipeline(corrupted, format, label);
+          ++mutations;
+          if (outcome.identified) ++identified;
+
+          // Diagnostics must stay bounded no matter the damage.
+          EXPECT_LE(outcome.diagnostics, diag::Diagnostics::kDefaultMaxTotal);
+
+          if (testing::single_line_corruption(kind)) {
+            ++single_line_cases;
+            original_gate_total += golden.gate_count();
+            recovered_gate_total += outcome.parsed_gates;
+            // One damaged line can never erase a large slice of the design.
+            EXPECT_GE(outcome.parsed_gates, golden.gate_count() / 2);
+          }
+        }
+      }
+    }
+  }
+
+  EXPECT_GE(mutations, 300u);
+  ASSERT_GT(single_line_cases, 0u);
+  // Across all single-line corruptions, permissive parsing must recover at
+  // least 90% of the gates (acceptance bar; in practice it is far higher).
+  EXPECT_GE(recovered_gate_total * 10, original_gate_total * 9)
+      << "recovered " << recovered_gate_total << " of " << original_gate_total
+      << " gates across " << single_line_cases << " single-line corruptions";
+  // The pipeline should not merely survive: most mutations stay usable all
+  // the way through identification.
+  EXPECT_GE(identified * 2, mutations)
+      << identified << " of " << mutations << " mutations reached identify";
+}
+
+TEST(FaultInjection, CorruptionIsDeterministic) {
+  const Netlist golden = itc::build_benchmark("b03s").netlist;
+  const std::string source = parser::write_bench(golden);
+  for (const CorruptionKind kind : kAllCorruptionKinds) {
+    SCOPED_TRACE(testing::corruption_name(kind));
+    EXPECT_EQ(testing::corrupt(source, kind, 7),
+              testing::corrupt(source, kind, 7));
+  }
+}
+
+TEST(FaultInjection, KindsProduceDistinctDamage) {
+  const Netlist golden = itc::build_benchmark("b03s").netlist;
+  const std::string source = parser::write_bench(golden);
+  for (const CorruptionKind kind : kAllCorruptionKinds) {
+    SCOPED_TRACE(testing::corruption_name(kind));
+    EXPECT_NE(testing::corrupt(source, kind, 3), source);
+  }
+}
+
+TEST(FaultInjection, TruncationNeverCrashesAtAnyLength) {
+  // Sweep every prefix length of a small design through the permissive
+  // parser: byte-level truncation must always yield a netlist + diagnostics.
+  const Netlist golden = itc::build_benchmark("b03s").netlist;
+  const std::string source = parser::write_bench(golden);
+  for (std::size_t len = 0; len <= source.size(); len += 97) {
+    diag::Diagnostics diags;
+    parser::ParseOptions options;
+    options.permissive = true;
+    EXPECT_NO_THROW({
+      (void)parser::parse_bench(source.substr(0, len), options, diags);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace netrev

@@ -1,0 +1,144 @@
+#include "netlist/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.h"
+
+namespace netrev::netlist {
+namespace {
+
+Netlist clean_netlist() {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::kAnd, y, {a, b});
+  nl.mark_primary_output(y);
+  return nl;
+}
+
+TEST(Repair, CleanNetlistIsUntouched) {
+  diag::Diagnostics diags;
+  const RepairResult result = repair(clean_netlist(), diags);
+  EXPECT_FALSE(result.stats.changed());
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(result.netlist.gate_count(), 1u);
+  EXPECT_TRUE(validate(result.netlist).ok());
+}
+
+TEST(Repair, TiesOffDanglingNet) {
+  Netlist nl = clean_netlist();
+  // z = BUF(ghost); ghost has no driver and is not a primary input.
+  const NetId ghost = nl.add_net("ghost");
+  const NetId z = nl.add_net("z");
+  nl.add_gate(GateType::kBuf, z, {ghost});
+  nl.mark_primary_output(z);
+  ASSERT_FALSE(validate(nl).ok());
+
+  diag::Diagnostics diags;
+  const RepairResult result = repair(nl, diags);
+  EXPECT_EQ(result.stats.dangling_tied, 1u);
+  EXPECT_TRUE(validate(result.netlist).ok());
+  // The tie-off is a CONST0 driver on the formerly dangling net.
+  const auto net = result.netlist.find_net("ghost");
+  ASSERT_TRUE(net.has_value());
+  const auto driver = result.netlist.driver_of(*net);
+  ASSERT_TRUE(driver.has_value());
+  EXPECT_EQ(result.netlist.gate(*driver).type, GateType::kConst0);
+  EXPECT_FALSE(diags.empty());
+}
+
+TEST(Repair, PrunesFloatingGatesTransitively) {
+  Netlist nl = clean_netlist();
+  const NetId a = *nl.find_net("a");
+  // u = NOT(a); v = BUF(u); neither feeds anything and neither is a PO, so
+  // pruning v must also make u floating and prune it too.
+  const NetId u = nl.add_net("u");
+  const NetId v = nl.add_net("v");
+  nl.add_gate(GateType::kNot, u, {a});
+  nl.add_gate(GateType::kBuf, v, {u});
+
+  diag::Diagnostics diags;
+  const RepairResult result = repair(nl, diags);
+  EXPECT_EQ(result.stats.floating_pruned, 2u);
+  EXPECT_EQ(result.netlist.gate_count(), 1u);
+  EXPECT_FALSE(result.netlist.find_net("u").has_value());
+  EXPECT_FALSE(result.netlist.find_net("v").has_value());
+  EXPECT_TRUE(validate(result.netlist).ok());
+}
+
+TEST(Repair, KeepsFloatingFlops) {
+  Netlist nl = clean_netlist();
+  const NetId a = *nl.find_net("a");
+  const NetId q = nl.add_net("q");
+  nl.add_gate(GateType::kDff, q, {a});  // unread flop: architectural state
+
+  diag::Diagnostics diags;
+  const RepairResult result = repair(nl, diags);
+  EXPECT_EQ(result.stats.floating_pruned, 0u);
+  EXPECT_TRUE(result.netlist.find_net("q").has_value());
+}
+
+TEST(Repair, KeepsFanoutFreePrimaryOutputs) {
+  Netlist nl = clean_netlist();
+  const NetId a = *nl.find_net("a");
+  const NetId po = nl.add_net("po");
+  nl.add_gate(GateType::kNot, po, {a});
+  nl.mark_primary_output(po);
+
+  diag::Diagnostics diags;
+  const RepairResult result = repair(nl, diags);
+  EXPECT_EQ(result.stats.floating_pruned, 0u);
+  EXPECT_EQ(result.netlist.gate_count(), 2u);
+}
+
+TEST(Repair, OptionsDisableEachPhase) {
+  Netlist nl = clean_netlist();
+  const NetId ghost = nl.add_net("ghost");
+  const NetId z = nl.add_net("z");
+  nl.add_gate(GateType::kBuf, z, {ghost});
+  nl.mark_primary_output(z);
+  const NetId a = *nl.find_net("a");
+  const NetId u = nl.add_net("u");
+  nl.add_gate(GateType::kNot, u, {a});
+
+  diag::Diagnostics diags;
+  RepairOptions keep_floating;
+  keep_floating.prune_floating = false;
+  const RepairResult tied_only = repair(nl, diags, keep_floating);
+  EXPECT_EQ(tied_only.stats.floating_pruned, 0u);
+  EXPECT_EQ(tied_only.stats.dangling_tied, 1u);
+
+  RepairOptions keep_dangling;
+  keep_dangling.tie_off_dangling = false;
+  const RepairResult pruned_only = repair(nl, diags, keep_dangling);
+  EXPECT_EQ(pruned_only.stats.dangling_tied, 0u);
+  EXPECT_GE(pruned_only.stats.floating_pruned, 1u);
+}
+
+TEST(Repair, IsIdempotent) {
+  Netlist nl = clean_netlist();
+  const NetId ghost = nl.add_net("ghost");
+  const NetId z = nl.add_net("z");
+  nl.add_gate(GateType::kBuf, z, {ghost});
+  nl.mark_primary_output(z);
+
+  diag::Diagnostics diags;
+  const RepairResult once = repair(nl, diags);
+  diag::Diagnostics diags2;
+  const RepairResult twice = repair(once.netlist, diags2);
+  EXPECT_FALSE(twice.stats.changed());
+  EXPECT_TRUE(diags2.empty());
+}
+
+TEST(Repair, EmptyNetlistIsFine) {
+  diag::Diagnostics diags;
+  const RepairResult result = repair(Netlist(), diags);
+  EXPECT_FALSE(result.stats.changed());
+  EXPECT_EQ(result.netlist.gate_count(), 0u);
+}
+
+}  // namespace
+}  // namespace netrev::netlist

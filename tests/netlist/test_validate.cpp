@@ -94,6 +94,53 @@ TEST(Validate, SelfLoopIsError) {
   EXPECT_FALSE(validate(nl).ok());
 }
 
+TEST(Validate, ZeroGateNetlistPasses) {
+  // Degenerate but legal: no gates at all, and even no nets at all.
+  EXPECT_TRUE(validate(Netlist()).ok());
+
+  Netlist wires_only;
+  const NetId a = wires_only.add_net("a");
+  wires_only.mark_primary_input(a);
+  wires_only.mark_primary_output(a);
+  const auto report = validate(wires_only);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(Validate, SecondDriverIsRejectedAtConstruction) {
+  // The netlist representation forbids multi-driver nets outright, so the
+  // invariant validate() relies on is enforced by add_gate.
+  Netlist nl = well_formed();
+  const NetId y = *nl.find_net("y");
+  const NetId a = *nl.find_net("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, y, {a}), std::invalid_argument);
+  EXPECT_TRUE(validate(nl).ok());  // the rejected gate left no trace
+}
+
+TEST(Validate, DrivingPrimaryInputIsRejectedAtConstruction) {
+  Netlist nl = well_formed();
+  const NetId a = *nl.find_net("a");
+  const NetId b = *nl.find_net("b");
+  EXPECT_THROW(nl.add_gate(GateType::kBuf, a, {b}), std::invalid_argument);
+  EXPECT_TRUE(validate(nl).ok());
+}
+
+TEST(Validate, MarkingDrivenNetAsPrimaryInputIsRejected) {
+  Netlist nl = well_formed();
+  const NetId y = *nl.find_net("y");
+  EXPECT_THROW(nl.mark_primary_input(y), std::invalid_argument);
+}
+
+TEST(Validate, SelfLoopThroughFlopIsLegal) {
+  // q = DFF(q): a flop feeding itself is sequential state, not a
+  // combinational cycle.
+  Netlist nl;
+  const NetId q = nl.add_net("q");
+  nl.add_gate(GateType::kDff, q, {q});
+  nl.mark_primary_output(q);
+  EXPECT_TRUE(validate(nl).ok());
+}
+
 TEST(Validate, ReportRendersSeverities) {
   Netlist nl = well_formed();
   nl.add_net("dangling");

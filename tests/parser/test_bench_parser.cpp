@@ -84,5 +84,100 @@ TEST(BenchParser, MissingFileThrows) {
   EXPECT_THROW(parse_bench_file("/nonexistent/x.bench"), std::runtime_error);
 }
 
+TEST(BenchParser, ErrorCarriesRealColumn) {
+  // "y = BOGUS(a)": the unknown function name starts at column 5.
+  try {
+    parse_bench("INPUT(a)\ny = BOGUS(a)\n");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_EQ(err.column(), 5u);
+  }
+  // "y = NOT a": no '(' after the function name, reported at the function.
+  try {
+    parse_bench("y = NOT a\n");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 1u);
+    EXPECT_EQ(err.column(), 5u);
+  }
+}
+
+TEST(BenchParser, EmptyArgumentColumnPointsAtTheGap) {
+  try {
+    parse_bench("INPUT(a)\ny = AND(a, )\n");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_GT(err.column(), 1u);
+  }
+}
+
+TEST(BenchParser, PermissiveSkipsBadLineKeepsRest) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nn1 = NAND(a, b)\nn2 = BOGUS(n1)\n"
+      "q = NOT(n1)\n",
+      options, diags);
+  EXPECT_EQ(nl.gate_count(), 2u);  // n1 and q survive; n2 is dropped
+  EXPECT_EQ(diags.error_count(), 1u);
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_EQ(diags.entries()[0].location.line, 5u);
+  EXPECT_GT(diags.entries()[0].location.column, 0u);
+  EXPECT_TRUE(diags.usable());
+}
+
+TEST(BenchParser, PermissiveKeepsFirstDuplicateDriver) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_bench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = AND(a, b)\nq = OR(a, b)\n", options,
+      diags);
+  ASSERT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.gate(nl.gates_in_file_order()[0]).type, GateType::kAnd);
+  EXPECT_EQ(diags.warning_count(), 1u);
+}
+
+TEST(BenchParser, PermissiveStopsAtErrorLimit) {
+  std::string source = "INPUT(a)\n";
+  for (int i = 0; i < 20; ++i) source += "x" + std::to_string(i) + " = BAD(a)\n";
+  diag::Diagnostics diags(/*max_errors=*/3);
+  ParseOptions options;
+  options.permissive = true;
+  (void)parse_bench(source, options, diags);
+  EXPECT_TRUE(diags.at_error_limit());
+  // All 20 bad lines would have errored; the limit stops recovery early.
+  EXPECT_LE(diags.error_count(), 4u);
+  EXPECT_GE(diags.note_count(), 1u);  // "giving up" note
+}
+
+TEST(BenchParser, FileSizeLimitEnforced) {
+  ParseOptions options;
+  options.limits.max_file_bytes = 8;
+  EXPECT_THROW(
+      {
+        diag::Diagnostics diags;
+        (void)parse_bench(kSample, options, diags);
+      },
+      ResourceLimitError);
+
+  options.permissive = true;
+  diag::Diagnostics diags;
+  const auto nl = parse_bench(kSample, options, diags);
+  EXPECT_EQ(nl.gate_count(), 0u);
+  EXPECT_FALSE(diags.usable());
+}
+
+TEST(BenchParser, StrictOverloadMatchesLegacyOutput) {
+  const auto legacy = parse_bench(kSample);
+  diag::Diagnostics diags;
+  const auto strict = parse_bench(kSample, ParseOptions{}, diags);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(write_bench(legacy), write_bench(strict));
+}
+
 }  // namespace
 }  // namespace netrev::parser

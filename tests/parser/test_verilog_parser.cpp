@@ -201,5 +201,81 @@ TEST(VerilogParser, MissingFileThrows) {
   EXPECT_THROW(parse_verilog_file("/nonexistent/path.v"), std::runtime_error);
 }
 
+TEST(VerilogParser, ErrorsCarryRealColumn) {
+  // The unknown cell name starts at column 2 of line 3.
+  try {
+    parse_verilog("module m (a);\n input a;\n BOGUS_CELL U1 (a, a);\nendmodule");
+    FAIL();
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 3u);
+    EXPECT_EQ(err.column(), 2u);
+  }
+}
+
+TEST(VerilogParser, PermissiveSkipsBadStatementKeepsRest) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_verilog(R"(
+module m (a, b, q);
+  input a, b;
+  output q;
+  wire n1;
+  NAND2 U1 (n1, a, b);
+  BOGUS_CELL U2 (n1, a);
+  NOT U3 (q, n1);
+endmodule
+)",
+                                options, diags);
+  EXPECT_EQ(nl.gate_count(), 2u);  // U1 and U3 survive, U2 is skipped
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.entries()[0].location.line, 7u);
+  EXPECT_GT(diags.entries()[0].location.column, 0u);
+  EXPECT_TRUE(diags.usable());
+}
+
+TEST(VerilogParser, PermissiveToleratesMissingEndmodule) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_verilog("module m (a);\n  input a;\n", options, diags);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  EXPECT_GE(diags.error_count(), 1u);
+}
+
+TEST(VerilogParser, PermissiveKeepsFirstDuplicateDriver) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_verilog(R"(
+module m (a, y);
+  input a;
+  output y;
+  NOT U1 (y, a);
+  BUF U2 (y, a);
+endmodule
+)",
+                                options, diags);
+  ASSERT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.gate(nl.gates_in_file_order()[0]).type, GateType::kNot);
+  EXPECT_EQ(diags.warning_count(), 1u);
+}
+
+TEST(VerilogParser, PermissiveRecoversFromHeaderDamage) {
+  diag::Diagnostics diags;
+  ParseOptions options;
+  options.permissive = true;
+  const auto nl = parse_verilog(R"(
+module !!broken!! ;
+  input a;
+  wire n1;
+  NOT U1 (n1, a);
+endmodule
+)",
+                                options, diags);
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_GE(diags.error_count(), 1u);
+}
+
 }  // namespace
 }  // namespace netrev::parser

@@ -1,0 +1,203 @@
+#include "support/corrupt.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netrev::testing {
+
+namespace {
+
+struct TokenSpan {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+};
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Runs of identifier characters within `line`.
+std::vector<TokenSpan> word_tokens(std::string_view line) {
+  std::vector<TokenSpan> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!is_word_char(line[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < line.size() && is_word_char(line[i])) ++i;
+    tokens.push_back({begin, i - begin});
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_lines(std::string_view source) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    const std::size_t nl = source.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(source.substr(start));
+      break;
+    }
+    lines.emplace_back(source.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += '\n';
+  }
+  return out;
+}
+
+bool is_blank_or_comment(const std::string& line) {
+  const std::size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos) return true;
+  return line[pos] == '#' || line.compare(pos, 2, "//") == 0;
+}
+
+// A line that creates a driver for some net: a .bench gate assignment, a
+// Verilog cell instance, or a Verilog constant assign.  Duplicating one of
+// these injects a duplicate-driver fault.
+bool is_driver_line(const std::string& line) {
+  const std::size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos) return false;
+  const std::string_view t = std::string_view(line).substr(pos);
+  if (t.starts_with("#") || t.starts_with("//")) return false;
+  if (t.starts_with("module") || t.starts_with("endmodule")) return false;
+  if (t.starts_with("INPUT(") || t.starts_with("OUTPUT(")) return false;
+  if (t.starts_with("input") || t.starts_with("output") ||
+      t.starts_with("wire"))
+    return false;
+  if (t.starts_with("assign")) return true;
+  return t.find('(') != std::string_view::npos;
+}
+
+// Index of a random line satisfying `pred`; npos when none does.
+template <typename Pred>
+std::size_t pick_line(const std::vector<std::string>& lines, Rng& rng,
+                      Pred pred) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (pred(lines[i])) candidates.push_back(i);
+  if (candidates.empty()) return std::string::npos;
+  return candidates[rng.next_below(candidates.size())];
+}
+
+std::string delete_line(std::string_view source, Rng& rng) {
+  std::vector<std::string> lines = split_lines(source);
+  const std::size_t victim = pick_line(
+      lines, rng, [](const std::string& l) { return !is_blank_or_comment(l); });
+  if (victim == std::string::npos) return std::string(source);
+  lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(victim));
+  return join_lines(lines);
+}
+
+std::string swap_tokens(std::string_view source, Rng& rng) {
+  std::vector<std::string> lines = split_lines(source);
+  const std::size_t victim =
+      pick_line(lines, rng, [](const std::string& l) {
+        return !is_blank_or_comment(l) && word_tokens(l).size() >= 2;
+      });
+  if (victim == std::string::npos) return std::string(source);
+  std::string& line = lines[victim];
+  const std::vector<TokenSpan> tokens = word_tokens(line);
+  const std::size_t a = rng.next_below(tokens.size());
+  std::size_t b = rng.next_below(tokens.size() - 1);
+  if (b >= a) ++b;
+  const TokenSpan first = tokens[a < b ? a : b];
+  const TokenSpan second = tokens[a < b ? b : a];
+  const std::string first_text = line.substr(first.begin, first.length);
+  const std::string second_text = line.substr(second.begin, second.length);
+  // Replace back-to-front so earlier offsets stay valid.
+  line.replace(second.begin, second.length, first_text);
+  line.replace(first.begin, first.length, second_text);
+  return join_lines(lines);
+}
+
+std::string mangle_name(std::string_view source, Rng& rng) {
+  std::vector<std::string> lines = split_lines(source);
+  const std::size_t victim =
+      pick_line(lines, rng, [](const std::string& l) {
+        if (is_blank_or_comment(l)) return false;
+        for (const TokenSpan& token : word_tokens(l))
+          if (std::isalpha(static_cast<unsigned char>(l[token.begin])) != 0)
+            return true;
+        return false;
+      });
+  if (victim == std::string::npos) return std::string(source);
+  std::string& line = lines[victim];
+  std::vector<TokenSpan> names;
+  for (const TokenSpan& token : word_tokens(line))
+    if (std::isalpha(static_cast<unsigned char>(line[token.begin])) != 0)
+      names.push_back(token);
+  const TokenSpan name = names[rng.next_below(names.size())];
+  if (rng.next_bool()) {
+    // Lexically invalid character inside the identifier.
+    const std::size_t offset = rng.next_below(name.length);
+    line[name.begin + offset] = '~';
+  } else {
+    // Still a valid identifier, but one nothing else references.
+    line.insert(name.begin + name.length, "_zz9");
+  }
+  return join_lines(lines);
+}
+
+std::string truncate(std::string_view source, Rng& rng) {
+  if (source.size() < 2) return std::string(source);
+  const std::size_t keep = 1 + rng.next_below(source.size() - 1);
+  return std::string(source.substr(0, keep));
+}
+
+std::string duplicate_driver(std::string_view source, Rng& rng) {
+  std::vector<std::string> lines = split_lines(source);
+  const std::size_t victim = pick_line(lines, rng, is_driver_line);
+  if (victim == std::string::npos) return std::string(source);
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(victim) + 1,
+               lines[victim]);
+  return join_lines(lines);
+}
+
+}  // namespace
+
+const char* corruption_name(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kDeleteLine: return "delete-line";
+    case CorruptionKind::kSwapTokens: return "swap-tokens";
+    case CorruptionKind::kMangleName: return "mangle-name";
+    case CorruptionKind::kTruncate: return "truncate";
+    case CorruptionKind::kDuplicateDriver: return "duplicate-driver";
+  }
+  return "unknown";
+}
+
+bool single_line_corruption(CorruptionKind kind) {
+  return kind != CorruptionKind::kTruncate;
+}
+
+std::string corrupt(std::string_view source, CorruptionKind kind,
+                    std::uint64_t seed) {
+  // Mix the kind into the seed so different kinds at the same seed do not
+  // pick the same victim line.
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(kind));
+  switch (kind) {
+    case CorruptionKind::kDeleteLine: return delete_line(source, rng);
+    case CorruptionKind::kSwapTokens: return swap_tokens(source, rng);
+    case CorruptionKind::kMangleName: return mangle_name(source, rng);
+    case CorruptionKind::kTruncate: return truncate(source, rng);
+    case CorruptionKind::kDuplicateDriver:
+      return duplicate_driver(source, rng);
+  }
+  return std::string(source);
+}
+
+}  // namespace netrev::testing

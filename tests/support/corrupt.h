@@ -1,0 +1,40 @@
+// Deterministic netlist-source mutator for fault-injection tests.
+//
+// corrupt() damages a textual netlist (.bench or structural Verilog) in one
+// of five seeded ways and returns the mutated source.  The same
+// (source, kind, seed) triple always yields the same mutation, so failures
+// reproduce exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace netrev::testing {
+
+enum class CorruptionKind {
+  kDeleteLine,        // remove one non-empty line
+  kSwapTokens,        // swap two word tokens on one line
+  kMangleName,        // corrupt one identifier (invalid char or unknown name)
+  kTruncate,          // cut the file at a random byte offset
+  kDuplicateDriver,   // duplicate a gate/assign line (second driver)
+};
+
+inline constexpr std::array<CorruptionKind, 5> kAllCorruptionKinds = {
+    CorruptionKind::kDeleteLine,      CorruptionKind::kSwapTokens,
+    CorruptionKind::kMangleName,      CorruptionKind::kTruncate,
+    CorruptionKind::kDuplicateDriver,
+};
+
+const char* corruption_name(CorruptionKind kind);
+
+// True for kinds whose damage is confined to a single line (the gate-recovery
+// bar applies only to these; truncation may destroy arbitrary suffixes).
+bool single_line_corruption(CorruptionKind kind);
+
+// Returns a damaged copy of `source`.  Deterministic in (source, kind, seed).
+std::string corrupt(std::string_view source, CorruptionKind kind,
+                    std::uint64_t seed);
+
+}  // namespace netrev::testing
