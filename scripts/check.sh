@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Sanitizer gate: Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
-# then the full test suite.  The fault-injection harness in particular must be
-# clean under both sanitizers — it feeds hundreds of corrupted netlists through
-# the permissive pipeline.
+# The full quality gate, in order:
+#   1. clang-tidy over src/ (skips cleanly when clang-tidy is absent)
+#   2. Debug build with AddressSanitizer + UBSan and -Werror
+#   3. the full test suite under both sanitizers
+#   4. `netrev lint --fail-on=warning` over every family benchmark, both as
+#      built-in designs and as generated .bench files (exercising the parser
+#      path); any warning-or-worse finding fails the gate
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -10,9 +13,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
+scripts/tidy.sh
+
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DNETREV_SANITIZE=address,undefined
+  -DNETREV_SANITIZE=address,undefined \
+  -DNETREV_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 # Make UBSan failures hard errors instead of prints.
@@ -20,4 +26,18 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export ASAN_OPTIONS="detect_leaks=0"
 
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
-echo "check.sh: all tests passed under address,undefined sanitizers"
+
+# Lint gate: the shipped example designs must be free of warning-or-worse
+# findings (notes — e.g. high-fanout control candidates — are informational).
+NETREV="$BUILD_DIR/examples/netrev"
+LINT_DIR="$BUILD_DIR/lint-designs"
+mkdir -p "$LINT_DIR"
+for family in b03s b04s b08s b11s b13s; do
+  echo "lint: $family"
+  "$NETREV" lint "$family" --fail-on=warning
+  "$NETREV" generate "$family" -o "$LINT_DIR" > /dev/null
+  "$NETREV" lint "$LINT_DIR/$family.bench" --fail-on=warning
+  "$NETREV" lint "$LINT_DIR/$family.v" --fail-on=warning
+done
+
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate all passed"

@@ -1,0 +1,77 @@
+// The static-analysis engine driver.
+//
+// analyze() runs a rule set over a netlist and returns the findings plus
+// per-severity counts; emit() renders them into a netrev::diag sink so the
+// CLI's text/JSON diagnostics machinery (including --max-errors caps) applies
+// unchanged.  require_acyclic() is the cheap mandatory pre-pass word
+// recovery runs before touching levelization or cone hashing, and
+// break_combinational_cycles() is the matching --permissive repair.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/registry.h"
+#include "analysis/rule.h"
+#include "common/diagnostics.h"
+#include "netlist/netlist.h"
+
+namespace netrev::analysis {
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::size_t rules_run = 0;
+
+  std::size_t count(diag::Severity severity) const;
+  std::size_t note_count() const { return count(diag::Severity::kNote); }
+  std::size_t warning_count() const { return count(diag::Severity::kWarning); }
+  std::size_t error_count() const { return count(diag::Severity::kError); }
+
+  // True if any finding is at least as severe as `threshold`.
+  bool has_finding_at_least(diag::Severity threshold) const;
+
+  // "2 finding(s): 1 error(s), 1 warning(s), 0 note(s); 8 rule(s) run"
+  std::string summary() const;
+};
+
+// Runs `options.enabled_rules` (all rules when empty) from `registry` over
+// the netlist.  `parse_diags` optionally carries parse-time recovery facts
+// (see AnalysisContext).  Throws std::invalid_argument if an enabled rule id
+// is unknown.
+AnalysisResult analyze(const netlist::Netlist& nl,
+                       const AnalysisOptions& options = {},
+                       const diag::Diagnostics* parse_diags = nullptr,
+                       const RuleRegistry& registry = RuleRegistry::builtin());
+
+// Renders every finding into `diags` as "[rule] message (fix: hint)" at the
+// finding's severity, located at `file` (no line: findings are netlist-level).
+void emit(const AnalysisResult& result, diag::Diagnostics& diags,
+          const std::string& file = {});
+
+// Thrown by require_acyclic(): the netlist has a structural defect that word
+// recovery cannot run on.  The message names the offending nets.
+class StructuralDefectError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Cheap structural gate (one SCC pass) for pipeline entry points.  Throws
+// StructuralDefectError naming the first cycle if the combinational logic is
+// cyclic.
+void require_acyclic(const netlist::Netlist& nl);
+
+struct CycleBreakResult {
+  netlist::Netlist netlist;
+  std::size_t cycles_broken = 0;
+};
+
+// Permissive repair for cyclic inputs: every combinational cycle is cut by
+// rewiring one in-cycle input of its first gate (file order) to a fresh
+// constant-0 net.  Original gate file order is preserved (tie-off constants
+// append at the end); every cut is reported into `diags` as a warning.
+CycleBreakResult break_combinational_cycles(const netlist::Netlist& nl,
+                                            diag::Diagnostics& diags);
+
+}  // namespace netrev::analysis

@@ -1,0 +1,23 @@
+#include "analysis/finding.h"
+
+namespace netrev::analysis {
+
+std::string_view category_name(Category category) {
+  switch (category) {
+    case Category::kStructure: return "structure";
+    case Category::kLogic: return "logic";
+    case Category::kSignal: return "signal";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_string() const {
+  std::string out(diag::severity_name(severity));
+  out += '[';
+  out += rule;
+  out += "]: ";
+  out += message;
+  return out;
+}
+
+}  // namespace netrev::analysis

@@ -1,0 +1,47 @@
+// Findings produced by the static-analysis engine.
+//
+// A Finding is one concrete defect (or advisory) located in a netlist: which
+// rule produced it, how severe it is, a human-readable message, an optional
+// fix hint, and the nets involved.  Findings reuse diag::Severity so they
+// render through the netrev::diag sink (text or JSON) without translation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "netlist/netlist.h"
+
+namespace netrev::analysis {
+
+// Coarse grouping of rules, for documentation and reporting.
+enum class Category {
+  kStructure,  // graph-level defects: cycles, drivers, connectivity
+  kLogic,      // locally simplifiable or suspicious logic
+  kSignal,     // signal-role advisories (control/clock/reset candidates)
+};
+
+std::string_view category_name(Category category);
+
+// Static description of a rule: stable id, what it checks, how to fix what
+// it finds, and the severity its findings carry.
+struct RuleInfo {
+  std::string id;        // stable kebab-case id, e.g. "comb-cycle"
+  std::string summary;   // one-line description of the check
+  std::string fix_hint;  // generic remediation advice
+  diag::Severity severity = diag::Severity::kWarning;
+  Category category = Category::kStructure;
+};
+
+struct Finding {
+  std::string rule;  // RuleInfo::id of the producing rule
+  diag::Severity severity = diag::Severity::kWarning;
+  std::string message;
+  std::string fix_hint;                // copied from the rule; may be empty
+  std::vector<netlist::NetId> nets;   // nets involved (may be empty)
+
+  // "error[comb-cycle]: combinational cycle: x -> y -> x"
+  std::string to_string() const;
+};
+
+}  // namespace netrev::analysis

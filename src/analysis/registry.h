@@ -1,0 +1,41 @@
+// Rule registry: owns AnalysisRule instances, preserves registration order,
+// and rejects duplicate ids.  `builtin()` is the engine's stock rule set
+// (~8 structural/logic/signal checks); callers compose their own registry to
+// add project-specific rules.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace netrev::analysis {
+
+class RuleRegistry {
+ public:
+  // Throws std::invalid_argument if a rule with the same id is registered.
+  void add(std::unique_ptr<AnalysisRule> rule);
+
+  // nullptr if no rule has this id.
+  const AnalysisRule* find(std::string_view id) const;
+
+  // All rules in registration order.
+  const std::vector<std::unique_ptr<AnalysisRule>>& rules() const {
+    return rules_;
+  }
+
+  // The stock rule set, constructed once per process:
+  //   comb-cycle, multi-driven, undriven-net, dead-logic, const-foldable,
+  //   degenerate-gate, high-fanout, dff-self-loop
+  static const RuleRegistry& builtin();
+
+ private:
+  std::vector<std::unique_ptr<AnalysisRule>> rules_;
+};
+
+// Registers the stock rules into `registry` (exposed so custom registries can
+// start from the builtin set).
+void register_builtin_rules(RuleRegistry& registry);
+
+}  // namespace netrev::analysis

@@ -1,0 +1,51 @@
+// The pluggable rule interface of the static-analysis engine.
+//
+// A rule inspects a netlist (plus optional parse-time diagnostics, for
+// defects the in-memory model cannot represent, such as multi-driven nets
+// resolved keep-first during recovery) and appends Findings.  Rules are
+// stateless and shared; all per-run state lives in the AnalysisContext.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "common/diagnostics.h"
+#include "netlist/netlist.h"
+
+namespace netrev::analysis {
+
+struct AnalysisOptions {
+  // Run only these rule ids; empty = every registered rule.
+  std::vector<std::string> enabled_rules;
+
+  // high-fanout: flag nets whose fanout reaches this percentile of the
+  // design's nonzero fanout distribution...
+  double fanout_percentile = 99.0;
+  // ...but never below this absolute floor (small designs have tiny tails).
+  std::size_t min_flagged_fanout = 16;
+
+  // Ceiling on findings kept per rule; overflow collapses into one summary
+  // finding so a pathological input cannot produce unbounded output.
+  std::size_t max_findings_per_rule = 32;
+};
+
+struct AnalysisContext {
+  const netlist::Netlist& netlist;
+  const AnalysisOptions& options;
+  // Optional parse-time diagnostics from a permissive load.  Rules that
+  // detect defects dropped during recovery (duplicate drivers) read these;
+  // nullptr means "analysis of an in-memory netlist, no parse facts".
+  const diag::Diagnostics* parse_diags = nullptr;
+};
+
+class AnalysisRule {
+ public:
+  virtual ~AnalysisRule() = default;
+  virtual const RuleInfo& info() const = 0;
+  virtual void run(const AnalysisContext& context,
+                   std::vector<Finding>& out) const = 0;
+};
+
+}  // namespace netrev::analysis

@@ -5,7 +5,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "analysis/analyzer.h"
 #include "common/diagnostics.h"
+#include "common/text.h"
 #include "eval/diagnose.h"
 #include "eval/metrics.h"
 #include "eval/reference.h"
@@ -69,6 +71,8 @@ struct ParsedFlags {
   std::optional<std::size_t> max_errors;
   std::optional<std::string> output;
   std::vector<std::pair<std::string, bool>> assignments;
+  std::vector<std::string> rules;                // lint --rules a,b,c
+  std::optional<diag::Severity> fail_on;         // lint --fail-on=...
   // Non-owning; set by run_cli so permissive loads have a sink.
   diag::Diagnostics* diags = nullptr;
 };
@@ -95,7 +99,13 @@ Netlist load_design(const std::string& spec, const ParsedFlags& flags) {
     throw UnusableInputError("input unusable: " + spec +
                              " (fatal diagnostics; see --diag-json)");
 
-  const netlist::RepairResult repaired = netlist::repair(nl, diags);
+  netlist::RepairResult repaired = netlist::repair(nl, diags);
+  // repair() ties and prunes but cannot fix combinational cycles; break them
+  // here (diag-reported) so levelization and identification can proceed.
+  analysis::CycleBreakResult decycled =
+      analysis::break_combinational_cycles(repaired.netlist, diags);
+  if (decycled.cycles_broken > 0)
+    repaired.netlist = std::move(decycled.netlist);
   const auto report = netlist::validate(repaired.netlist);
   if (!report.ok()) {
     for (const auto& issue : report.issues)
@@ -108,6 +118,14 @@ Netlist load_design(const std::string& spec, const ParsedFlags& flags) {
   return repaired.netlist;
 }
 
+diag::Severity parse_fail_on(const std::string& value) {
+  if (value == "note") return diag::Severity::kNote;
+  if (value == "warning") return diag::Severity::kWarning;
+  if (value == "error") return diag::Severity::kError;
+  throw std::invalid_argument(
+      "--fail-on expects note, warning, or error; got '" + value + "'");
+}
+
 ParsedFlags parse_flags(const std::vector<std::string>& args,
                         std::size_t start) {
   ParsedFlags flags;
@@ -118,7 +136,23 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
         throw std::invalid_argument(std::string(flag) + " needs a value");
       return args[++i];
     };
-    if (arg == "--base") {
+    // `--flag=value` form for the lint flags.
+    const auto inline_value =
+        [&](const std::string& prefix) -> std::optional<std::string> {
+      if (!starts_with(arg, prefix + "=")) return std::nullopt;
+      return arg.substr(prefix.size() + 1);
+    };
+    if (const auto v = inline_value("--rules")) {
+      for (const std::string& id : split(*v, ','))
+        if (!trim(id).empty()) flags.rules.emplace_back(trim(id));
+    } else if (const auto v = inline_value("--fail-on")) {
+      flags.fail_on = parse_fail_on(*v);
+    } else if (arg == "--rules") {
+      for (const std::string& id : split(next_value("--rules"), ','))
+        if (!trim(id).empty()) flags.rules.emplace_back(trim(id));
+    } else if (arg == "--fail-on") {
+      flags.fail_on = parse_fail_on(next_value("--fail-on"));
+    } else if (arg == "--base") {
       flags.base = true;
     } else if (arg == "--json") {
       flags.json = true;
@@ -317,11 +351,20 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
       flags.base ? wordrec::identify_words_baseline(nl, options)
                  : wordrec::identify_words(nl, options).words;
   const eval::Diagnosis diagnosis = eval::diagnose(nl, words, reference);
+  // Structural-health context for the recovery numbers: a netlist the lint
+  // rules flag (dead cones, degenerate gates) depresses recall for reasons
+  // that are not the identifier's fault.
+  const analysis::AnalysisResult health = analysis::analyze(nl);
   if (flags.json) {
-    out << eval::evaluation_to_json(diagnosis.summary, reference.words) << '\n';
+    out << "{\"evaluation\":"
+        << eval::evaluation_to_json(diagnosis.summary, reference.words)
+        << ",\"analysis\":" << eval::analysis_to_json(nl, health) << "}\n";
     return 0;
   }
   out << render_diagnosis(diagnosis);
+  out << "static analysis: " << health.summary() << '\n';
+  for (const analysis::Finding& finding : health.findings)
+    out << "  " << finding.to_string() << '\n';
 
   // Functional screening of the generated words (the paper's "functional
   // techniques may be applied after" note).
@@ -331,6 +374,60 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
         << " (stuck/duplicate/complementary bits)\n";
   }
   return 0;
+}
+
+// Lints a design with the static-analysis engine.  Files always load
+// permissively (lint exists to inspect broken inputs, so parse recovery
+// findings are part of the report); exit 1 when any finding or parse
+// diagnostic reaches the --fail-on threshold (default: error).
+int cmd_lint(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("lint: expected one design");
+  const std::string& spec = flags.positional[0];
+  diag::Diagnostics& diags = *flags.diags;
+
+  Netlist nl;
+  bool parsed_from_file = false;
+  if (is_family_name(spec)) {
+    nl = itc::build_benchmark(spec).netlist;
+  } else {
+    parsed_from_file = true;
+    parser::ParseOptions options;
+    options.permissive = true;
+    options.filename = spec;
+    nl = ends_with(spec, ".bench")
+             ? parser::parse_bench_file(spec, options, diags)
+             : parser::parse_verilog_file(spec, options, diags);
+    if (!diags.usable())
+      throw UnusableInputError("input unusable: " + spec +
+                               " (fatal diagnostics; see --diag-json)");
+  }
+
+  // Parse-time counts, captured before emit() mirrors findings into the sink.
+  const std::size_t parse_errors = diags.error_count();
+  const std::size_t parse_warnings = diags.warning_count();
+
+  analysis::AnalysisOptions options;
+  options.enabled_rules = flags.rules;
+  const analysis::AnalysisResult result =
+      analysis::analyze(nl, options, parsed_from_file ? &diags : nullptr);
+
+  if (!diags.empty()) out << diags.to_string();
+  for (const analysis::Finding& finding : result.findings) {
+    out << finding.to_string() << '\n';
+    if (!finding.fix_hint.empty()) out << "  fix: " << finding.fix_hint << '\n';
+  }
+  // Mirror the findings into the diag sink so --diag-json carries them too.
+  analysis::emit(result, diags, spec);
+  out << spec << ": " << result.summary() << '\n';
+
+  const diag::Severity fail_on =
+      flags.fail_on.value_or(diag::Severity::kError);
+  std::size_t failing = result.error_count() + parse_errors;
+  if (fail_on <= diag::Severity::kWarning)
+    failing += result.warning_count() + parse_warnings;
+  if (fail_on <= diag::Severity::kNote) failing += result.note_count();
+  return failing > 0 ? 1 : 0;
 }
 
 int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
@@ -432,6 +529,9 @@ std::string usage() {
          "           [--max-assign N] [--cross-group]\n"
          "  reduce <design> --assign NET=0|1 ... [-o out.v]\n"
          "  evaluate <design> [--base] [--json]     compare vs reference\n"
+         "  lint <design> [--rules a,b] [--fail-on note|warning|error]\n"
+         "       static-analysis findings; exit 1 at/above --fail-on\n"
+         "       (default error); files always load permissively\n"
          "  propagate <design>                      word propagation\n"
          "  generate <bXXs> [-o dir]                emit family benchmark\n"
          "  scan <design> [-o out.v]                insert scan chain\n"
@@ -466,6 +566,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "identify") return cmd_identify(flags, out);
       if (command == "reduce") return cmd_reduce(flags, out);
       if (command == "evaluate") return cmd_evaluate(flags, out);
+      if (command == "lint") return cmd_lint(flags, out);
       if (command == "propagate") return cmd_propagate(flags, out);
       if (command == "generate") return cmd_generate(flags, out);
       if (command == "scan") return cmd_scan(flags, out);

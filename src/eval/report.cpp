@@ -148,6 +148,28 @@ std::string evaluation_to_json(const EvaluationSummary& summary,
   return out;
 }
 
+std::string analysis_to_json(const netlist::Netlist& nl,
+                             const analysis::AnalysisResult& result) {
+  std::string out = "{\"findings\":[";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    if (i > 0) out += ",";
+    const analysis::Finding& finding = result.findings[i];
+    out += "{\"rule\":\"" + json_escape(finding.rule) + "\",";
+    out += "\"severity\":\"" +
+           std::string(diag::severity_name(finding.severity)) + "\",";
+    out += "\"message\":\"" + json_escape(finding.message) + "\",";
+    out += "\"fix_hint\":\"" + json_escape(finding.fix_hint) + "\",";
+    out += "\"nets\":" + bits_array(nl, finding.nets) + "}";
+  }
+  out += "],";
+  out += "\"errors\":" + std::to_string(result.error_count()) + ",";
+  out += "\"warnings\":" + std::to_string(result.warning_count()) + ",";
+  out += "\"notes\":" + std::to_string(result.note_count()) + ",";
+  out += "\"rules_run\":" + std::to_string(result.rules_run);
+  out += "}";
+  return out;
+}
+
 std::string table_row_to_json(const Table1Row& row) {
   const auto cells = [](const TechniqueCells& c) {
     std::string out = "{";

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "netlist/netlist.h"
@@ -34,5 +35,11 @@ std::string evaluation_to_json(const EvaluationSummary& summary,
 
 // One Table 1 row.
 std::string table_row_to_json(const Table1Row& row);
+
+// Static-analysis findings with per-severity counts:
+// {"findings":[{"rule":...,"severity":...,"message":...,"fix_hint":...,
+//  "nets":[...]}],"errors":N,"warnings":N,"notes":N,"rules_run":N}
+std::string analysis_to_json(const netlist::Netlist& nl,
+                             const analysis::AnalysisResult& result);
 
 }  // namespace netrev::eval

@@ -156,6 +156,48 @@ GeneratedBenchmark generate_benchmark(const BenchmarkProfile& profile) {
   for (const auto& [q, d] : pending_flops)
     nl.add_gate(GateType::kDff, q, {d});
 
+  // Expose unloaded driven nets (word bits no cone happens to read, unread
+  // register outputs) as primary outputs, as the real ITC99 netlists do via
+  // their port lists.  Without this the designs carry dead logic that the
+  // static-analysis engine would rightly flag.
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const netlist::NetId id = nl.net_id_at(i);
+    const netlist::Net& net = nl.net(id);
+    if (net.fanouts.empty() && !net.is_primary_output && !net.is_primary_input)
+      nl.mark_primary_output(id);
+  }
+
+  // Registers must also be architecturally observable.  The real circuits
+  // read every register out through some output cone; this generator's word
+  // registers often feed only each other, leaving whole register loops
+  // invisible from the ports.  Promote unobservable flop outputs to primary
+  // outputs until reverse reachability from the POs (crossing flops) covers
+  // the design, so clean benchmarks carry no dead logic.
+  while (true) {
+    std::vector<bool> live(nl.gate_count(), false);
+    std::vector<std::size_t> queue;
+    const auto enqueue = [&](NetId net) {
+      const auto drv = nl.driver_of(net);
+      if (!drv || live[drv->value()]) return;
+      live[drv->value()] = true;
+      queue.push_back(drv->value());
+    };
+    for (NetId po : nl.primary_outputs()) enqueue(po);
+    while (!queue.empty()) {
+      const std::size_t g = queue.back();
+      queue.pop_back();
+      for (NetId in : nl.gate(nl.gate_id_at(g)).inputs) enqueue(in);
+    }
+    bool changed = false;
+    for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+      const netlist::Gate& gate = nl.gate(nl.gate_id_at(g));
+      if (live[g] || gate.type != GateType::kDff) continue;
+      nl.mark_primary_output(gate.output);
+      changed = true;
+    }
+    if (!changed) break;
+  }
+
   const netlist::ValidationReport report = netlist::validate(nl);
   NETREV_ENSURE(report.ok());
   return result;

@@ -2,13 +2,15 @@
 
 #include <stdexcept>
 
+#include "analysis/scc.h"
+
 namespace netrev::sim {
 
 using netlist::GateId;
 using netlist::GateType;
 using netlist::Netlist;
 
-std::vector<GateId> levelize(const Netlist& nl) {
+std::vector<GateId> levelize(const Netlist& nl, diag::Diagnostics* diags) {
   // Kahn's algorithm over combinational dependencies.  A gate depends on the
   // drivers of its inputs unless that driver is a flop (state from the
   // previous cycle) — flops themselves depend on their D logic.
@@ -40,8 +42,21 @@ std::vector<GateId> levelize(const Netlist& nl) {
     for (std::size_t dep : dependents[g])
       if (--pending[dep] == 0) ready.push_back(dep);
   }
-  if (order.size() != n)
-    throw std::runtime_error("levelize: combinational cycle detected");
+  if (order.size() != n) {
+    // Leftover gates sit on (or behind) a combinational cycle; name the
+    // actual loops so the user sees which nets broke levelization.
+    const auto sccs = analysis::combinational_sccs(nl);
+    std::string message = "levelize: combinational cycle detected";
+    if (!sccs.empty())
+      message += " (" + std::to_string(sccs.size()) +
+                 " cycle(s); first: " + describe_cycle(nl, sccs.front()) + ")";
+    if (diags != nullptr)
+      for (const auto& scc : sccs)
+        diags->error("levelize blocked by combinational cycle of " +
+                     std::to_string(scc.gates.size()) +
+                     " gate(s): " + describe_cycle(nl, scc));
+    throw std::runtime_error(message);
+  }
   return order;
 }
 

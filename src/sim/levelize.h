@@ -6,12 +6,16 @@
 
 #include <vector>
 
+#include "common/diagnostics.h"
 #include "netlist/netlist.h"
 
 namespace netrev::sim {
 
 // Returns all gates in a valid evaluation order.  Throws std::runtime_error
-// if the combinational logic is cyclic.
-std::vector<netlist::GateId> levelize(const netlist::Netlist& nl);
+// if the combinational logic is cyclic; the message names the member nets of
+// the first cycle (via the analysis engine's SCC pass), and when `diags` is
+// given every cycle is also reported there as an error before throwing.
+std::vector<netlist::GateId> levelize(const netlist::Netlist& nl,
+                                      diag::Diagnostics* diags = nullptr);
 
 }  // namespace netrev::sim

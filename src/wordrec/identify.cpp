@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "analysis/analyzer.h"
 #include "netlist/cone.h"
 #include "wordrec/assignment.h"
 #include "wordrec/control.h"
@@ -115,6 +116,13 @@ void emit_fallback_words(const Subgroup& subgroup,
 }  // namespace
 
 IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
+  // Mandatory structural pre-pass (one cheap SCC sweep): a combinational
+  // cycle would poison cone hashing and constant propagation downstream, so
+  // abort with a diagnostic naming the loop instead of computing nonsense.
+  // Callers with damaged inputs repair first (netlist::repair +
+  // analysis::break_combinational_cycles — the CLI's --permissive path).
+  analysis::require_acyclic(nl);
+
   // Wire up the cone-work resource guard: all cone walks of this run charge
   // one shared budget, so a runaway input aborts with ResourceLimitError
   // instead of hanging.

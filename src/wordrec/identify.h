@@ -39,6 +39,11 @@ struct IdentifyResult {
   IdentifyStats stats;
 };
 
+// Runs a mandatory structural pre-pass first: throws
+// analysis::StructuralDefectError (naming the cycle) if the netlist has
+// combinational cycles, instead of handing them to levelization/hashing.
+// Damaged inputs should go through netlist::repair and
+// analysis::break_combinational_cycles before identification.
 IdentifyResult identify_words(const netlist::Netlist& nl,
                               const Options& options = {});
 

@@ -1,0 +1,128 @@
+#include "analysis/scc.h"
+
+#include <gtest/gtest.h>
+
+namespace netrev::analysis {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+Netlist acyclic() {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::kAnd, y, {a, b});
+  nl.mark_primary_output(y);
+  return nl;
+}
+
+TEST(CombinationalScc, AcyclicNetlistHasNone) {
+  EXPECT_TRUE(combinational_sccs(acyclic()).empty());
+}
+
+TEST(CombinationalScc, TwoGateCycleIsOneScc) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kBuf, y, {x});
+  nl.mark_primary_output(y);
+
+  const auto sccs = combinational_sccs(nl);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].gates.size(), 2u);
+  ASSERT_EQ(sccs[0].nets.size(), 2u);
+  // Members come back in ascending gate-id (= file) order.
+  EXPECT_EQ(nl.net(sccs[0].nets[0]).name, "x");
+  EXPECT_EQ(nl.net(sccs[0].nets[1]).name, "y");
+}
+
+TEST(CombinationalScc, SelfReadingGateIsAnScc) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kOr, y, {a, y});
+  nl.mark_primary_output(y);
+
+  const auto sccs = combinational_sccs(nl);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].gates.size(), 1u);
+}
+
+TEST(CombinationalScc, FlopBreaksTheLoop) {
+  // q = DFF(x), x = NOT(q): a legitimate toggle register, not a comb cycle.
+  Netlist nl;
+  const NetId q = nl.add_net("q");
+  const NetId x = nl.add_net("x");
+  nl.add_gate(GateType::kNot, x, {q});
+  nl.add_gate(GateType::kDff, q, {x});
+  nl.mark_primary_output(q);
+  EXPECT_TRUE(combinational_sccs(nl).empty());
+}
+
+TEST(CombinationalScc, MultipleIndependentCycles) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x1 = nl.add_net("x1");
+  const NetId y1 = nl.add_net("y1");
+  nl.add_gate(GateType::kAnd, x1, {a, y1});
+  nl.add_gate(GateType::kBuf, y1, {x1});
+  const NetId x2 = nl.add_net("x2");
+  const NetId y2 = nl.add_net("y2");
+  nl.add_gate(GateType::kOr, x2, {a, y2});
+  nl.add_gate(GateType::kBuf, y2, {x2});
+  nl.mark_primary_output(y1);
+  nl.mark_primary_output(y2);
+
+  const auto sccs = combinational_sccs(nl);
+  ASSERT_EQ(sccs.size(), 2u);
+  // Deterministic order by smallest member gate id.
+  EXPECT_EQ(nl.net(sccs[0].nets[0]).name, "x1");
+  EXPECT_EQ(nl.net(sccs[1].nets[0]).name, "x2");
+}
+
+TEST(CombinationalScc, DescribeCycleNamesMembers) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kBuf, y, {x});
+  nl.mark_primary_output(y);
+
+  const auto sccs = combinational_sccs(nl);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(describe_cycle(nl, sccs[0]), "x -> y -> x");
+}
+
+TEST(CombinationalScc, DescribeCycleElidesLongLoops) {
+  // A ring of 12 buffers closed by an AND; only `max_names` names show.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  std::vector<NetId> ring;
+  for (int i = 0; i < 12; ++i) ring.push_back(nl.add_net("r" + std::to_string(i)));
+  nl.add_gate(GateType::kAnd, ring[0], {a, ring.back()});
+  for (std::size_t i = 1; i < ring.size(); ++i)
+    nl.add_gate(GateType::kBuf, ring[i], {ring[i - 1]});
+  nl.mark_primary_output(ring.back());
+
+  const auto sccs = combinational_sccs(nl);
+  ASSERT_EQ(sccs.size(), 1u);
+  const std::string text = describe_cycle(nl, sccs[0], 4);
+  EXPECT_NE(text.find("..."), std::string::npos);
+  EXPECT_NE(text.find("r0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev::analysis

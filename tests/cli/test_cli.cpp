@@ -339,5 +339,136 @@ TEST(Cli, PermissiveIdentifyRunsOnDamagedDesign) {
   EXPECT_NE(r.out.find("word(s)"), std::string::npos);
 }
 
+// --- lint ------------------------------------------------------------------
+
+std::string write_file(const std::string& name, const std::string& text) {
+  const std::string path = temp_dir() + "/" + name;
+  std::ofstream(path) << text;
+  return path;
+}
+
+TEST(Cli, LintCleanFamilyBenchmarksHaveNoFindings) {
+  for (const char* benchmark : {"b03s", "b08s", "b13s"}) {
+    const CliRun r = run({"lint", benchmark, "--fail-on", "warning"});
+    EXPECT_EQ(r.exit_code, 0) << benchmark << "\n" << r.out;
+    EXPECT_NE(r.out.find("0 finding(s)"), std::string::npos) << benchmark;
+  }
+}
+
+TEST(Cli, LintFlagsSeededCombinationalCycle) {
+  const std::string path = write_file("cycle.bench",
+                                      "INPUT(a)\n"
+                                      "OUTPUT(y)\n"
+                                      "x = AND(a, y)\n"
+                                      "y = BUF(x)\n");
+  const CliRun r = run({"lint", path});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("error[comb-cycle]"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("x -> y -> x"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("fix:"), std::string::npos) << r.out;
+}
+
+TEST(Cli, LintFlagsSeededMultiDrivenNet) {
+  const std::string path = write_file("multidrive.bench",
+                                      "INPUT(a)\n"
+                                      "INPUT(b)\n"
+                                      "OUTPUT(y)\n"
+                                      "y = AND(a, b)\n"
+                                      "y = OR(a, b)\n");
+  const CliRun r = run({"lint", path});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("error[multi-driven]"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("'y' has 2 drivers"), std::string::npos) << r.out;
+}
+
+TEST(Cli, LintFlagsSeededDeadLogicOnlyAtWarningThreshold) {
+  const std::string path = write_file("dead.bench",
+                                      "INPUT(a)\n"
+                                      "INPUT(b)\n"
+                                      "OUTPUT(y)\n"
+                                      "y = AND(a, b)\n"
+                                      "dead = NOT(a)\n");
+  const CliRun relaxed = run({"lint", path});
+  EXPECT_EQ(relaxed.exit_code, 0);  // warnings only, default --fail-on=error
+  EXPECT_NE(relaxed.out.find("warning[dead-logic]"), std::string::npos);
+
+  const CliRun strict = run({"lint", path, "--fail-on=warning"});
+  EXPECT_EQ(strict.exit_code, 1);
+}
+
+TEST(Cli, LintRulesFilterRestrictsTheRun) {
+  const std::string path = write_file("dead2.bench",
+                                      "INPUT(a)\n"
+                                      "INPUT(b)\n"
+                                      "OUTPUT(y)\n"
+                                      "y = AND(a, b)\n"
+                                      "dead = NOT(a)\n");
+  const CliRun r = run({"lint", path, "--rules", "comb-cycle,multi-driven"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("0 finding(s)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("2 rule(s) run"), std::string::npos) << r.out;
+}
+
+TEST(Cli, LintUnknownRuleIsAnError) {
+  const CliRun r = run({"lint", "b03s", "--rules", "bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown analysis rule"), std::string::npos);
+}
+
+TEST(Cli, LintBadFailOnValueIsAnError) {
+  const CliRun r = run({"lint", "b03s", "--fail-on", "fatal"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--fail-on expects"), std::string::npos);
+}
+
+TEST(Cli, LintDiagJsonCarriesFindings) {
+  const std::string path = write_file("cycle2.bench",
+                                      "INPUT(a)\n"
+                                      "OUTPUT(y)\n"
+                                      "x = AND(a, y)\n"
+                                      "y = BUF(x)\n");
+  const CliRun r = run({"lint", path, "--diag-json"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(r.out.find("[comb-cycle]"), std::string::npos);
+}
+
+TEST(Cli, LintUnreadableFileIsUnusableInput) {
+  const CliRun r = run({"lint", "/nonexistent/design.bench"});
+  EXPECT_EQ(r.exit_code, 4);
+}
+
+TEST(Cli, EvaluateTextIncludesAnalysisSummary) {
+  const CliRun r = run({"evaluate", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("static analysis: 0 finding(s)"), std::string::npos)
+      << r.out;
+}
+
+TEST(Cli, EvaluateJsonWrapsEvaluationAndAnalysis) {
+  const CliRun r = run({"evaluate", "b03s", "--json"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out.rfind("{\"evaluation\":", 0), 0u) << r.out.substr(0, 80);
+  EXPECT_NE(r.out.find("\"analysis\":{\"findings\":[]"), std::string::npos)
+      << r.out;
+}
+
+TEST(Cli, PermissiveLoadBreaksCyclesAndIdentifyProceeds) {
+  const std::string path = write_file("cycle3.bench",
+                                      "INPUT(a)\n"
+                                      "OUTPUT(y)\n"
+                                      "x = AND(a, y)\n"
+                                      "y = BUF(x)\n");
+  // Strict load: the identify pre-pass rejects the cycle.
+  const CliRun strict = run({"identify", path});
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_NE(strict.err.find("combinational cycle"), std::string::npos);
+
+  // Permissive load: the cycle is cut (with a diagnostic) and identify runs.
+  const CliRun permissive = run({"identify", path, "--permissive"});
+  EXPECT_EQ(permissive.exit_code, 3);
+  EXPECT_NE(permissive.out.find("word(s)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace netrev::cli

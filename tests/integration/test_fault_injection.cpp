@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/diagnostics.h"
 #include "common/resource_guard.h"
 #include "itc/family.h"
@@ -56,7 +57,13 @@ PipelineOutcome run_pipeline(const std::string& source, Format format,
                        : parser::parse_verilog(source, options, diags);
   outcome.parsed_gates = parsed.gate_count();
 
-  const netlist::RepairResult repaired = netlist::repair(parsed, diags);
+  netlist::RepairResult repaired = netlist::repair(parsed, diags);
+  // Mirror the CLI's permissive path: repair cannot fix combinational
+  // cycles, and identify's structural pre-pass rejects them.
+  analysis::CycleBreakResult decycled =
+      analysis::break_combinational_cycles(repaired.netlist, diags);
+  if (decycled.cycles_broken > 0)
+    repaired.netlist = std::move(decycled.netlist);
   const netlist::ValidationReport report = netlist::validate(repaired.netlist);
   outcome.usable = diags.usable() && report.ok();
   outcome.diagnostics = diags.entries().size();
@@ -132,6 +139,54 @@ TEST(FaultInjection, PipelineSurvivesSeededCorruptions) {
   // the way through identification.
   EXPECT_GE(identified * 2, mutations)
       << identified << " of " << mutations << " mutations reached identify";
+}
+
+TEST(FaultInjection, LintFlagsEveryNetlistRepairHadToTouch) {
+  // Coverage contract for the static-analysis engine: whenever repair() had
+  // to change a recovered netlist (tie a dangling net, prune floating logic),
+  // linting the PRE-repair netlist with the parse diagnostics must surface at
+  // least one finding — repair never fixes a defect lint cannot see.
+  std::size_t repaired_cases = 0;
+  for (const char* benchmark : kBenchmarks) {
+    const Netlist golden = itc::build_benchmark(benchmark).netlist;
+    for (const Format format : {Format::kBench, Format::kVerilog}) {
+      const std::string source = source_for(golden, format);
+      for (const CorruptionKind kind : kAllCorruptionKinds) {
+        for (std::uint64_t seed = 0; seed < kSeedsPerCase; ++seed) {
+          const std::string label =
+              std::string(benchmark) +
+              (format == Format::kBench ? ".bench" : ".v") + ":" +
+              testing::corruption_name(kind) + ":" + std::to_string(seed);
+          SCOPED_TRACE(label);
+
+          diag::Diagnostics diags;
+          parser::ParseOptions options;
+          options.permissive = true;
+          options.filename = label;
+          const std::string corrupted = testing::corrupt(source, kind, seed);
+          const Netlist parsed =
+              format == Format::kBench
+                  ? parser::parse_bench(corrupted, options, diags)
+                  : parser::parse_verilog(corrupted, options, diags);
+
+          diag::Diagnostics repair_diags;
+          const netlist::RepairResult repaired =
+              netlist::repair(parsed, repair_diags);
+          if (!repaired.stats.changed()) continue;
+          ++repaired_cases;
+
+          const analysis::AnalysisResult lint =
+              analysis::analyze(parsed, {}, &diags);
+          EXPECT_FALSE(lint.findings.empty())
+              << "repair changed the netlist (" << repaired.stats.dangling_tied
+              << " tied, " << repaired.stats.floating_pruned
+              << " pruned) but lint saw nothing";
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the contract.
+  EXPECT_GE(repaired_cases, 50u);
 }
 
 TEST(FaultInjection, CorruptionIsDeterministic) {

@@ -77,5 +77,46 @@ TEST(Levelize, ThrowsOnCombinationalCycle) {
   EXPECT_THROW(levelize(nl), std::runtime_error);
 }
 
+TEST(Levelize, CycleErrorNamesTheMemberNets) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kOr, y, {a, x});
+  nl.mark_primary_output(y);
+  try {
+    levelize(nl);
+    FAIL() << "expected a cycle error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("x -> y -> x"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 cycle(s)"), std::string::npos) << what;
+  }
+}
+
+TEST(Levelize, CycleErrorReportsEveryLoopIntoDiagnostics) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x1 = nl.add_net("x1");
+  const NetId y1 = nl.add_net("y1");
+  nl.add_gate(GateType::kAnd, x1, {a, y1});
+  nl.add_gate(GateType::kBuf, y1, {x1});
+  const NetId x2 = nl.add_net("x2");
+  const NetId y2 = nl.add_net("y2");
+  nl.add_gate(GateType::kOr, x2, {a, y2});
+  nl.add_gate(GateType::kBuf, y2, {x2});
+  nl.mark_primary_output(y1);
+  nl.mark_primary_output(y2);
+
+  diag::Diagnostics diags;
+  EXPECT_THROW(levelize(nl, &diags), std::runtime_error);
+  EXPECT_EQ(diags.error_count(), 2u);
+  EXPECT_NE(diags.to_string().find("x1 -> y1 -> x1"), std::string::npos);
+  EXPECT_NE(diags.to_string().find("x2 -> y2 -> x2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace netrev::sim

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "wordrec/baseline.h"
 
 namespace netrev::wordrec {
@@ -251,6 +252,46 @@ TEST(Identify, EmptyNetlist) {
   const IdentifyResult ours = identify_words(Netlist{});
   EXPECT_TRUE(ours.words.words.empty());
   EXPECT_TRUE(ours.used_control_signals.empty());
+}
+
+TEST(Identify, CombinationalCycleAbortsWithStructuralDiagnostic) {
+  // The mandatory pre-pass must reject a cyclic netlist with a diagnostic
+  // naming the loop instead of handing it to levelization/cone hashing.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kOr, y, {a, x});
+  nl.mark_primary_output(y);
+
+  try {
+    identify_words(nl);
+    FAIL() << "expected analysis::StructuralDefectError";
+  } catch (const analysis::StructuralDefectError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("combinational cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("x -> y -> x"), std::string::npos) << what;
+  }
+}
+
+TEST(Identify, BrokenCycleRunsToCompletion) {
+  // The documented recovery: break_combinational_cycles then identify.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::kAnd, x, {a, y});
+  nl.add_gate(GateType::kOr, y, {a, x});
+  nl.mark_primary_output(y);
+
+  diag::Diagnostics diags;
+  const analysis::CycleBreakResult fixed =
+      analysis::break_combinational_cycles(nl, diags);
+  EXPECT_EQ(fixed.cycles_broken, 1u);
+  EXPECT_NO_THROW(identify_words(fixed.netlist));
 }
 
 }  // namespace
