@@ -6,7 +6,9 @@
 //     paper's "a few minutes for >100K gates" claim, Table 1 Time column).
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "eval/runner.h"
+#include "sim/simulator.h"
 #include "itc/family.h"
 #include "wordrec/baseline.h"
 #include "wordrec/grouping.h"
@@ -102,6 +104,55 @@ void BM_Ours(benchmark::State& state) {
       static_cast<double>(bench.netlist.gate_count());
 }
 BENCHMARK(BM_Ours)->DenseRange(0, 10, 5)->Unit(benchmark::kMillisecond);
+
+// The --jobs scaling sweep backing BENCH_parallel.json: the full pipeline on
+// the largest family benchmark (b17s) at 1/2/4/8 jobs.  Speedup is bounded
+// by the host's core count — on a single-core container all rows measure the
+// same work plus pool overhead.
+void BM_OursJobs(benchmark::State& state) {
+  const auto& bench = benchmark_at(10);  // b17s, the largest
+  const std::size_t restore = ThreadPool::global_jobs();
+  ThreadPool::set_global_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = wordrec::identify_words(bench.netlist);
+    benchmark::DoNotOptimize(result);
+  }
+  ThreadPool::set_global_jobs(restore);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_OursJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Random-simulation sampling at 1/2/4/8 jobs (the funcheck hot loop): block
+// sampling is embarrassingly parallel, so this isolates pool overhead from
+// pipeline structure.
+void BM_SampleVectorsJobs(benchmark::State& state) {
+  const auto& bench = benchmark_at(7);  // b12s: widest funcheck load
+  std::vector<netlist::NetId> probes;
+  for (const auto& [root, bits] : bench.word_bits)
+    probes.insert(probes.end(), bits.begin(), bits.end());
+  const std::size_t restore = ThreadPool::global_jobs();
+  ThreadPool::set_global_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto samples = sim::sample_random_vectors(bench.netlist, probes,
+                                              /*vector_count=*/512, 0x5EED);
+    benchmark::DoNotOptimize(samples);
+  }
+  ThreadPool::set_global_jobs(restore);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SampleVectorsJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -6,12 +6,17 @@
 #   4. `netrev lint --fail-on=warning` over every family benchmark, both as
 #      built-in designs and as generated .bench files (exercising the parser
 #      path); any warning-or-worse finding fails the gate
+#   5. ThreadSanitizer build (NETREV_SANITIZE=thread) over the parallel
+#      identification tests: thread pool, profiler, jobs determinism
+#   6. jobs-determinism gate: `evaluate --json` at --jobs 1 vs --jobs $(nproc)
+#      must emit byte-identical output on every family benchmark
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${BUILD_DIR}-tsan"
 
 scripts/tidy.sh
 
@@ -40,4 +45,27 @@ for family in b03s b04s b08s b11s b13s; do
   "$NETREV" lint "$LINT_DIR/$family.v" --fail-on=warning
 done
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate all passed"
+# ThreadSanitizer pass over the concurrency surface: the pool and profiler
+# unit tests plus the end-to-end jobs-determinism suite (which drives every
+# parallel pipeline stage at 1/2/8 jobs).  TSan is incompatible with ASan, so
+# this is a separate build tree.
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DNETREV_SANITIZE=thread \
+  -DNETREV_WERROR=ON
+cmake --build "$TSAN_DIR" -j"$(nproc)"
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
+  --output-on-failure -R 'ThreadPool|Profiler|JobsDeterminism'
+
+# Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
+# must not depend on the worker count.
+JOBS_DIR="$BUILD_DIR/jobs-determinism"
+mkdir -p "$JOBS_DIR"
+for family in b03s b04s b08s b11s b13s; do
+  echo "jobs-determinism: $family"
+  "$NETREV" evaluate "$family" --json --jobs 1 > "$JOBS_DIR/$family.j1.json"
+  "$NETREV" evaluate "$family" --json --jobs "$(nproc)" > "$JOBS_DIR/$family.jN.json"
+  diff "$JOBS_DIR/$family.j1.json" "$JOBS_DIR/$family.jN.json"
+done
+
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism all passed"

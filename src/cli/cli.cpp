@@ -8,6 +8,8 @@
 #include "analysis/analyzer.h"
 #include "common/diagnostics.h"
 #include "common/text.h"
+#include "common/thread_pool.h"
+#include "perf/profile.h"
 #include "eval/diagnose.h"
 #include "eval/metrics.h"
 #include "eval/reference.h"
@@ -66,6 +68,9 @@ struct ParsedFlags {
   bool trace = false;
   bool permissive = false;
   bool diag_json = false;
+  bool profile = false;       // --profile: print the stage tree (text)
+  bool profile_json = false;  // --profile=json: print it as JSON
+  std::optional<std::size_t> jobs;
   std::optional<std::size_t> depth;
   std::optional<std::size_t> max_assign;
   std::optional<std::size_t> max_errors;
@@ -82,6 +87,7 @@ struct ParsedFlags {
 // recover what they can, the netlist is repaired, and only a design that
 // still fails validation is rejected.
 Netlist load_design(const std::string& spec, const ParsedFlags& flags) {
+  perf::Stage stage("load");
   if (is_family_name(spec)) return itc::build_benchmark(spec).netlist;
   if (!flags.permissive) {
     if (ends_with(spec, ".bench")) return parser::parse_bench_file(spec);
@@ -164,6 +170,15 @@ ParsedFlags parse_flags(const std::vector<std::string>& args,
       flags.permissive = true;
     } else if (arg == "--diag-json") {
       flags.diag_json = true;
+    } else if (arg == "--profile") {
+      flags.profile = true;
+    } else if (arg == "--profile=json") {
+      flags.profile = true;
+      flags.profile_json = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      flags.jobs = std::stoul(next_value("--jobs"));
+      if (*flags.jobs == 0)
+        throw std::invalid_argument("--jobs expects a positive thread count");
     } else if (arg == "--max-errors") {
       flags.max_errors = std::stoul(next_value("--max-errors"));
     } else if (arg == "--depth") {
@@ -247,6 +262,7 @@ int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   const wordrec::Options options = options_from(flags);
 
   if (flags.base) {
+    perf::Stage stage("identify");
     const wordrec::WordSet words =
         wordrec::identify_words_baseline(nl, options);
     if (flags.json) {
@@ -342,19 +358,31 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("evaluate: expected one design");
   const Netlist nl = load_design(flags.positional[0], flags);
-  const auto reference = eval::extract_reference_words(nl);
+  const auto reference = [&] {
+    perf::Stage stage("reference");
+    return eval::extract_reference_words(nl);
+  }();
   if (reference.words.empty())
     throw std::invalid_argument(
         "evaluate: no reference words (flop output names carry no indices)");
   const wordrec::Options options = options_from(flags);
-  const wordrec::WordSet words =
-      flags.base ? wordrec::identify_words_baseline(nl, options)
-                 : wordrec::identify_words(nl, options).words;
-  const eval::Diagnosis diagnosis = eval::diagnose(nl, words, reference);
+  // identify_words opens its own "identify" stage; mirror it for --base.
+  const wordrec::WordSet words = [&] {
+    if (!flags.base) return wordrec::identify_words(nl, options).words;
+    perf::Stage stage("identify");
+    return wordrec::identify_words_baseline(nl, options);
+  }();
+  const eval::Diagnosis diagnosis = [&] {
+    perf::Stage stage("diagnose");
+    return eval::diagnose(nl, words, reference);
+  }();
   // Structural-health context for the recovery numbers: a netlist the lint
   // rules flag (dead cones, degenerate gates) depresses recall for reasons
   // that are not the identifier's fault.
-  const analysis::AnalysisResult health = analysis::analyze(nl);
+  const analysis::AnalysisResult health = [&] {
+    perf::Stage stage("analysis");
+    return analysis::analyze(nl);
+  }();
   if (flags.json) {
     out << "{\"evaluation\":"
         << eval::evaluation_to_json(diagnosis.summary, reference.words)
@@ -368,7 +396,10 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
 
   // Functional screening of the generated words (the paper's "functional
   // techniques may be applied after" note).
-  const auto flagged = wordrec::suspicious_words(nl, words);
+  const auto flagged = [&] {
+    perf::Stage stage("funcheck");
+    return wordrec::suspicious_words(nl, words);
+  }();
   if (!flagged.empty()) {
     out << "functionally suspicious generated words: " << flagged.size()
         << " (stuck/duplicate/complementary bits)\n";
@@ -538,9 +569,16 @@ std::string usage() {
          "  dot <design> [--depth N] [-o out.dot]   GraphViz with words\n"
          "  table [bXXs ...] [--json]               Table 1 rows\n"
          "(<design> = family name, .bench file, or Verilog file)\n"
-         "global flags: --permissive (recover from parse errors and repair\n"
-         "  the netlist), --max-errors N (stop recovery after N errors),\n"
-         "  --diag-json (print collected diagnostics as JSON)\n"
+         "global flags:\n"
+         "  --jobs N | -j N   thread count for the parallel pipeline stages\n"
+         "                    (default: NETREV_JOBS env var, else all cores;\n"
+         "                    results are identical at any value)\n"
+         "  --profile         print the stage-profile tree after the command\n"
+         "  --profile=json    ... as JSON on the last line\n"
+         "  --permissive      recover from parse errors and repair the\n"
+         "                    netlist\n"
+         "  --max-errors N    stop recovery after N errors\n"
+         "  --diag-json       print collected diagnostics as JSON\n"
          "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
          "  4 unusable input\n";
 }
@@ -559,6 +597,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (flags.max_errors) diags.set_max_errors(*flags.max_errors);
     flags.diags = &diags;
     diag_json = flags.diag_json;
+    if (flags.jobs) ThreadPool::set_global_jobs(*flags.jobs);
+    if (flags.profile) perf::Profiler::global().enable();
 
     const auto dispatch = [&]() -> std::optional<int> {
       if (command == "stats") return cmd_stats(flags, out);
@@ -576,6 +616,14 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     };
     const std::optional<int> rc = dispatch();
     if (rc) {
+      if (flags.profile) {
+        // Render while still enabled (total = elapsed since enable), then
+        // disable so a later run_cli call in the same process starts clean.
+        out << (flags.profile_json
+                    ? perf::Profiler::global().render_json() + "\n"
+                    : perf::Profiler::global().render_text());
+        perf::Profiler::global().disable();
+      }
       if (flags.diag_json) out << diags.to_json() << '\n';
       // A permissive run that succeeded but collected diagnostics signals
       // "recovered with warnings" so scripts can tell it from a clean pass.
@@ -589,10 +637,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "unknown command: " << command << "\n" << usage();
     return 2;
   } catch (const UnusableInputError& error) {
+    perf::Profiler::global().disable();
     if (diag_json) out << diags.to_json() << '\n';
     err << "error: " << error.what() << '\n';
     return 4;
   } catch (const std::exception& error) {
+    perf::Profiler::global().disable();
     err << "error: " << error.what() << '\n';
     return 1;
   }

@@ -6,6 +6,7 @@
 // and a distinct exit code) instead of an OOM kill or a hang.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -31,24 +32,33 @@ struct ResourceLimits {
 // Metered work counter for graph traversals.  charge() every visited node;
 // once the limit is exceeded the traversal is aborted via ResourceLimitError.
 // A default-constructed budget is unlimited.
+//
+// Thread-safe: one budget is shared by every cone walk of an
+// identify_words() run, and those walks execute on pool workers.  The total
+// charged is exact at any job count; which traversal observes the overflow
+// first may differ between job counts, but every run past the limit aborts
+// with the same error either way.
 class WorkBudget {
  public:
   WorkBudget() = default;
   explicit WorkBudget(std::size_t limit) : limit_(limit) {}
 
   void charge(std::size_t units = 1) {
-    spent_ += units;
-    if (limit_ != 0 && spent_ > limit_)
+    const std::size_t spent =
+        spent_.fetch_add(units, std::memory_order_relaxed) + units;
+    if (limit_ != 0 && spent > limit_)
       throw ResourceLimitError("cone traversal work limit exceeded (" +
                                std::to_string(limit_) + " nodes)");
   }
 
   bool limited() const { return limit_ != 0; }
-  std::size_t spent() const { return spent_; }
+  std::size_t spent() const {
+    return spent_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::size_t limit_ = 0;  // 0 = unlimited
-  std::size_t spent_ = 0;
+  std::atomic<std::size_t> spent_{0};
 };
 
 }  // namespace netrev

@@ -32,6 +32,19 @@ class Rng {
     for (auto& word : state_) word = splitmix64(sm);
   }
 
+  // Independently-seeded stream `index` of logical seed `seed`.  Parallel
+  // stages give each fixed-size work block (NOT each thread) its own stream,
+  // so the vectors a block draws are a function of (seed, block index) alone
+  // and simulation results are identical at any --jobs count.  The stream
+  // seed is derived by running the block index through SplitMix64 keyed by
+  // the seed, so streams are decorrelated even for adjacent indices.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t sm = seed;
+    const std::uint64_t keyed = splitmix64(sm) ^ (index + 0x9E3779B97F4A7C15ULL);
+    std::uint64_t sm2 = keyed;
+    return Rng(splitmix64(sm2));
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

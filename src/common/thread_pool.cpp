@@ -1,0 +1,212 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace netrev {
+
+namespace {
+
+// True on threads currently executing pool work; nested parallel_for calls
+// from such threads run inline instead of re-entering the pool.
+thread_local bool tls_in_pool_task = false;
+
+std::size_t jobs_from_environment() {
+  if (const char* env = std::getenv("NETREV_JOBS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs == 0) jobs = jobs_from_environment();
+  workers_.reserve(jobs > 0 ? jobs - 1 : 0);
+  for (std::size_t i = 0; i + 1 < jobs; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_seq = 0;  // sequence of the last job this worker ran
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && job_seq_ != last_seq);
+      });
+      if (stopping_) return;
+      job = job_;
+      last_seq = job_seq_;
+      ++job->active;
+    }
+    tls_in_pool_task = true;
+    // Workers join as participant 1..N-1; participant index only seeds the
+    // preferred shard, so several workers sharing an index is harmless.
+    run_participant(*job, 1 + (job->shards.size() > 2
+                                   ? std::hash<std::thread::id>{}(
+                                         std::this_thread::get_id()) %
+                                         (job->shards.size() - 1)
+                                   : 0));
+    tls_in_pool_task = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active;
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::record_exception(Job& job, std::size_t index) {
+  // Caller holds no lock; shard_mutex doubles as the exception lock.
+  std::lock_guard<std::mutex> lock(job.shard_mutex);
+  if (!job.exception || index < job.exception_index) {
+    job.exception = std::current_exception();
+    job.exception_index = index;
+  }
+  job.cancelled = true;
+}
+
+void ThreadPool::run_participant(Job& job, std::size_t self) {
+  const std::size_t shard_count = job.shards.size();
+  std::size_t begin = 0, end = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(job.shard_mutex);
+      if (job.cancelled) return;
+      Shard& own = job.shards[self % shard_count];
+      if (own.next < own.end) {
+        begin = own.next;
+        end = std::min(own.next + job.grain, own.end);
+        own.next = end;
+      } else {
+        // Steal the back half of the fullest shard.
+        Shard* victim = nullptr;
+        std::size_t best = 0;
+        for (Shard& shard : job.shards) {
+          const std::size_t avail = shard.end - shard.next;
+          if (avail > best) {
+            best = avail;
+            victim = &shard;
+          }
+        }
+        if (victim == nullptr) return;  // every shard drained
+        const std::size_t take = (best + 1) / 2;
+        end = victim->end;
+        begin = end - take;
+        victim->end = begin;
+        Shard& own_shard = job.shards[self % shard_count];
+        own_shard.next = begin;
+        own_shard.end = end;
+        end = std::min(begin + job.grain, end);
+        own_shard.next = end;
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        record_exception(job, i);
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+
+  // Serial fast paths: a 1-job pool, a tiny range, or a nested call from
+  // inside a pool task (inline execution avoids self-deadlock).
+  if (jobs() <= 1 || count == 1 || tls_in_pool_task) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  const std::size_t participants = std::min(jobs(), (count + grain - 1) / grain);
+  auto job = std::make_unique<Job>();
+  job->body = &body;
+  job->grain = grain;
+  job->shards.resize(participants);
+  const std::size_t per_shard = count / participants;
+  std::size_t cursor = begin;
+  for (std::size_t s = 0; s < participants; ++s) {
+    job->shards[s].next = cursor;
+    cursor += per_shard + (s < count % participants ? 1 : 0);
+    job->shards[s].end = cursor;
+  }
+
+  {
+    // One job at a time; a second top-level parallel_for waits its turn.
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return job_ == nullptr; });
+    job_ = job.get();
+    ++job_seq_;
+    job->active = 1;  // the caller
+  }
+  work_ready_.notify_all();
+
+  tls_in_pool_task = true;
+  run_participant(*job, 0);
+  tls_in_pool_task = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_ == job.get()) job_ = nullptr;  // stop further joiners
+    --job->active;
+    // Wait until no worker still references the job (workers that joined
+    // before we cleared job_ may still be draining their shards).
+    work_done_.wait(lock, [&] { return job->active == 0; });
+  }
+  work_done_.notify_all();
+
+  if (job->exception) std::rethrow_exception(job->exception);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(jobs_from_environment());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return *global_pool_slot(); }
+
+void ThreadPool::set_global_jobs(std::size_t jobs) {
+  global_pool_slot() = std::make_unique<ThreadPool>(
+      jobs == 0 ? jobs_from_environment() : jobs);
+}
+
+std::size_t ThreadPool::global_jobs() { return global().jobs(); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace netrev

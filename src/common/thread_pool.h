@@ -1,0 +1,101 @@
+// Work-stealing thread pool and the `parallel_for` primitive every parallel
+// stage of the identification pipeline runs on.
+//
+// Design constraints (see docs/PERFORMANCE.md):
+//   * Determinism is the caller's contract: tasks write results into
+//     index-addressed slots and the caller merges in index order, so the
+//     output is byte-identical at any job count.  parallel_for itself only
+//     guarantees that f(i) runs exactly once per index.
+//   * The caller participates: a pool of N jobs uses N-1 worker threads plus
+//     the calling thread, so jobs=1 runs entirely inline (no threads, no
+//     synchronization) and is the exact serial algorithm.
+//   * Nested parallel_for calls (a parallel stage invoked from inside a
+//     worker task) run inline on the calling worker — no new tasks are
+//     enqueued, so nesting can never deadlock the pool.
+//   * Work stealing: the index range is pre-split into one contiguous shard
+//     per participant; a participant that drains its shard steals the back
+//     half of the fullest remaining shard.  Imbalanced iteration costs (one
+//     group with a huge fanin cone) therefore do not serialize the stage.
+//   * Exceptions: every participant's first exception is captured; after the
+//     join, the exception with the lowest iteration index is rethrown on the
+//     caller.  At jobs=1 this degenerates to ordinary serial throw semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netrev {
+
+class ThreadPool {
+ public:
+  // jobs = total parallelism including the calling thread; 0 means
+  // "one per hardware thread".  A pool with jobs<=1 spawns no threads.
+  explicit ThreadPool(std::size_t jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism of this pool (worker threads + the caller).
+  std::size_t jobs() const { return workers_.size() + 1; }
+
+  // Runs f(i) exactly once for every i in [begin, end), distributing
+  // iterations over the pool's workers and the calling thread.  Iterations
+  // are claimed in chunks of `grain` (use a larger grain for very cheap
+  // bodies).  Blocks until every iteration finished; rethrows the captured
+  // exception with the lowest index if any body threw.  Safe to call from
+  // inside a task (runs inline).  Concurrent top-level calls from different
+  // threads serialize on the pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  // The process-wide pool used by the pipeline stages.  Sized from
+  // NETREV_JOBS (if set and positive) else std::thread::hardware_concurrency.
+  // set_global_jobs() resizes it (the CLI's --jobs flag); resizing while a
+  // parallel_for is in flight is a caller error.
+  static ThreadPool& global();
+  static void set_global_jobs(std::size_t jobs);
+  static std::size_t global_jobs();
+
+ private:
+  struct Shard {
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t grain = 1;
+    std::vector<Shard> shards;      // one per participant
+    std::mutex shard_mutex;         // guards all shards
+    std::size_t active = 0;         // participants still running
+    bool cancelled = false;         // an exception was captured
+    std::exception_ptr exception;   // lowest-index exception so far
+    std::size_t exception_index = 0;
+  };
+
+  void worker_loop();
+  void run_participant(Job& job, std::size_t self);
+  static void record_exception(Job& job, std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* job_ = nullptr;   // current job, if any
+  std::uint64_t job_seq_ = 0;  // bumps per published job (anti-rejoin)
+  bool stopping_ = false;
+};
+
+// parallel_for over the global pool (the form pipeline stages use).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace netrev

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -51,5 +52,25 @@ class Simulator {
   std::unique_ptr<bool[]> scratch_;
   std::size_t scratch_capacity_ = 0;
 };
+
+// Vectors per block of batched random simulation (see below).  The block
+// size is part of the deterministic contract — changing it changes which
+// stream every vector draws from, and therefore the sampled values.
+inline constexpr std::size_t kRandomSimBlock = 32;
+
+// Batched random simulation: evaluates `vector_count` independent random
+// (input, state) points on `nl` and records the value of every net in
+// `probes`, vector-major (result[v * probes.size() + i] is probe i under
+// vector v).
+//
+// Vectors are partitioned into fixed blocks of kRandomSimBlock; block b
+// draws its stimulus from Rng::stream(seed, b) and blocks run concurrently
+// on the global thread pool, each with a private Simulator.  Because the
+// block decomposition and per-block streams are independent of the job
+// count, the returned samples are byte-identical at any --jobs value.
+// Charges the profiler counter "sim_vectors_run".
+std::vector<std::uint8_t> sample_random_vectors(
+    const netlist::Netlist& nl, std::span<const netlist::NetId> probes,
+    std::size_t vector_count, std::uint64_t seed);
 
 }  // namespace netrev::sim

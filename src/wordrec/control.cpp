@@ -1,9 +1,11 @@
 #include "wordrec/control.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "netlist/cone.h"
 
 namespace netrev::wordrec {
@@ -53,17 +55,22 @@ std::vector<NetId> find_relevant_control_signals(
   std::sort(common.begin(), common.end());
 
   // Dominance filter: drop any common net lying in the fanin cone of another
-  // common net (unbounded combinational reachability).
-  for (std::size_t i = 0; i < common.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < common.size() && !dominated; ++j) {
+  // common net (unbounded combinational reachability).  Each candidate's
+  // dominance test is independent — the quadratic cone-walk loop runs on the
+  // pool, with verdicts written to per-index slots and collected in order.
+  std::vector<std::uint8_t> dominated(common.size(), 0);
+  parallel_for(0, common.size(), [&](std::size_t i) {
+    for (std::size_t j = 0; j < common.size(); ++j) {
       if (i == j) continue;
       if (netlist::in_fanin_cone(nl, common[j], common[i],
-                                 options.cone_budget))
-        dominated = true;
+                                 options.cone_budget)) {
+        dominated[i] = 1;
+        return;
+      }
     }
-    if (!dominated) signals.push_back(common[i]);
-  }
+  });
+  for (std::size_t i = 0; i < common.size(); ++i)
+    if (dominated[i] == 0) signals.push_back(common[i]);
 
   if (signals.size() > options.max_control_signals_per_subgroup)
     signals.resize(options.max_control_signals_per_subgroup);

@@ -1,6 +1,7 @@
 #include "wordrec/funcheck.h"
 
-#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "perf/profile.h"
 #include "sim/simulator.h"
 
 namespace netrev::wordrec {
@@ -15,26 +16,22 @@ FunctionalReport functional_sanity(const Netlist& nl, const Word& word,
   report.vectors = vector_count;
   if (word.bits.empty() || vector_count == 0) return report;
 
-  sim::Simulator simulator(nl);
-  Rng rng(seed);
+  // Batched random simulation (parallel over fixed vector blocks, identical
+  // samples at any job count — see sim::sample_random_vectors).
+  const std::vector<std::uint8_t> samples =
+      sim::sample_random_vectors(nl, word.bits, vector_count, seed);
 
   const std::size_t w = word.width();
-  // Per-bit sampled value streams, packed as counts of agreements.
   std::vector<std::uint8_t> first_value(w, 0);
   std::vector<bool> ever_changed(w, false);
-  // Pairwise agreement counts.
   std::vector<std::size_t> equal_count(w * w, 0);
 
   for (std::size_t v = 0; v < vector_count; ++v) {
-    simulator.randomize_inputs(rng);
-    simulator.randomize_state(rng);
-    simulator.eval();
-    std::vector<bool> sample(w);
-    for (std::size_t i = 0; i < w; ++i) sample[i] = simulator.value(word.bits[i]);
+    const std::uint8_t* sample = samples.data() + v * w;
     for (std::size_t i = 0; i < w; ++i) {
       if (v == 0)
-        first_value[i] = sample[i] ? 1 : 0;
-      else if (sample[i] != (first_value[i] != 0))
+        first_value[i] = sample[i];
+      else if (sample[i] != first_value[i])
         ever_changed[i] = true;
       for (std::size_t j = i + 1; j < w; ++j)
         if (sample[i] == sample[j]) ++equal_count[i * w + j];
@@ -63,12 +60,19 @@ std::vector<std::size_t> suspicious_words(const Netlist& nl,
                                           const WordSet& words,
                                           std::size_t vector_count,
                                           std::uint64_t seed) {
-  std::vector<std::size_t> flagged;
-  for (std::size_t w = 0; w < words.words.size(); ++w) {
-    if (words.words[w].width() < 2) continue;
+  // Per-word screening is independent; run words concurrently and keep the
+  // flagged list in word order.  Each word's samples depend only on (seed,
+  // block index), so the outcome is job-count invariant.
+  std::vector<std::uint8_t> dirty(words.words.size(), 0);
+  parallel_for(0, words.words.size(), [&](std::size_t w) {
+    perf::ScopedWork work("stage.funcheck_ns");
+    if (words.words[w].width() < 2) return;
     if (!functional_sanity(nl, words.words[w], vector_count, seed).clean())
-      flagged.push_back(w);
-  }
+      dirty[w] = 1;
+  });
+  std::vector<std::size_t> flagged;
+  for (std::size_t w = 0; w < dirty.size(); ++w)
+    if (dirty[w] != 0) flagged.push_back(w);
   return flagged;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "perf/profile.h"
 #include "wordrec/collapse.h"
 
 namespace netrev::wordrec {
@@ -98,6 +99,14 @@ HashKey ConeHasher::subtree_key(NetId net, std::size_t depth,
 
 BitSignature ConeHasher::signature(NetId bit,
                                    const AssignmentMap* assignment) const {
+  {
+    // Cached counter: signature() is called once per bit per (re)hash, from
+    // pool workers; the counter is atomic and the disabled cost is one load.
+    static perf::Profiler::Counter& cones =
+        perf::Profiler::global().counter("cones_hashed");
+    if (perf::Profiler::global().enabled())
+      cones.fetch_add(1, std::memory_order_relaxed);
+  }
   BitSignature sig;
   if (assignment != nullptr && assignment->contains(bit)) return sig;
 

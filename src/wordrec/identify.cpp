@@ -1,11 +1,14 @@
 #include "wordrec/identify.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <unordered_set>
 
 #include "analysis/analyzer.h"
+#include "common/thread_pool.h"
 #include "netlist/cone.h"
+#include "perf/profile.h"
 #include "wordrec/assignment.h"
 #include "wordrec/control.h"
 #include "wordrec/grouping.h"
@@ -22,6 +25,12 @@ using netlist::Netlist;
 namespace {
 
 using Seed = std::pair<NetId, bool>;
+
+// Trials are evaluated in fixed chunks of this many (a chunk's trials may
+// run concurrently; the winner is the lowest-index success).  The chunk size
+// is independent of the job count, so which trials get evaluated — and every
+// derived statistic — is too.
+constexpr std::size_t kTrialChunk = 8;
 
 // Candidate constant values for one control signal: the controlling values
 // of the gates it feeds inside the dissimilar region (§2.5: "the assigned
@@ -103,19 +112,210 @@ void enumerate_trials(const std::vector<NetId>& signals,
 // baseline on this span.
 void emit_fallback_words(const Subgroup& subgroup,
                          const std::vector<BitSignature>& signatures,
-                         WordSet& out) {
+                         std::vector<Word>& out) {
   std::vector<Subgroup> segments = form_subgroups(
       subgroup.bits, signatures, /*require_full_match=*/true);
   for (Subgroup& segment : segments) {
     Word word;
     word.bits = std::move(segment.bits);
-    out.words.push_back(std::move(word));
+    out.push_back(std::move(word));
   }
+}
+
+// One trial's verdict: propagate the assignment and re-hash the subgroup's
+// bits under it; true iff every bit stays non-constant and all signatures
+// become equal with at least one subtree left.
+bool trial_unifies(const Netlist& nl, const ConeHasher& hasher,
+                   const Subgroup& subgroup, const std::vector<Seed>& trial,
+                   bool* feasible_out) {
+  const PropagationResult propagated = propagate(nl, trial);
+  if (feasible_out != nullptr) *feasible_out = propagated.feasible;
+  if (!propagated.feasible) return false;
+
+  std::optional<BitSignature> first;
+  for (NetId bit : subgroup.bits) {
+    BitSignature sig = hasher.signature(bit, &propagated.map);
+    if (!sig.root_type.has_value()) return false;  // a bit became constant
+    if (!first) {
+      first = std::move(sig);
+    } else if (!first->structurally_equal(sig)) {
+      return false;
+    }
+  }
+  // A word needs at least one similar subtree left after reduction.
+  return first.has_value() && !first->subtrees.empty();
+}
+
+// Everything identify_words computes for one potential-bit group.  Groups
+// are processed independently (possibly on pool workers) into one of these,
+// and the per-group outcomes are merged in group index order so the final
+// IdentifyResult is byte-identical at any job count.
+struct GroupOutcome {
+  IdentifyStats stats;  // this group's contributions (groups field unused)
+  std::vector<Word> words;
+  std::vector<UnifiedWord> unified;
+};
+
+GroupOutcome process_group(const Netlist& nl, const ConeHasher& hasher,
+                           const PotentialBitGroup& group,
+                           const Options& options,
+                           std::size_t subtree_depth) {
+  GroupOutcome outcome;
+
+  std::vector<BitSignature> signatures(group.size());
+  {
+    // Per-bit cone hashing is embarrassingly parallel.  Nested calls (when
+    // groups themselves run on workers) execute inline — the top-level
+    // group parallelism already saturates the pool.
+    perf::ScopedWork work("stage.hashing_ns");
+    parallel_for(
+        0, group.size(),
+        [&](std::size_t i) { signatures[i] = hasher.signature(group[i]); },
+        /*grain=*/4);
+  }
+
+  std::vector<Subgroup> subgroups;
+  {
+    perf::ScopedWork work("stage.matching_ns");
+    subgroups =
+        form_subgroups(group, signatures, /*require_full_match=*/false);
+  }
+  outcome.stats.subgroups += subgroups.size();
+
+  for (Subgroup& subgroup : subgroups) {
+    if (subgroup.fully_similar) {
+      Word word;
+      word.bits = std::move(subgroup.bits);
+      outcome.words.push_back(std::move(word));
+      continue;
+    }
+    ++outcome.stats.partial_subgroups;
+    if (options.trace != nullptr) {
+      TraceRecord record;
+      record.kind = TraceRecord::Kind::kPartialSubgroup;
+      record.nets = subgroup.bits;
+      options.trace->records.push_back(std::move(record));
+    }
+
+    // Signatures of this subgroup's bits (for the fallback path).
+    std::vector<BitSignature> sub_signatures;
+    sub_signatures.reserve(subgroup.bits.size());
+    for (NetId bit : subgroup.bits)
+      sub_signatures.push_back(hasher.signature(bit));
+
+    std::vector<NetId> signals;
+    std::unordered_set<NetId> region;
+    std::vector<std::vector<bool>> values_per_signal;
+    {
+      perf::ScopedWork work("stage.control_ns");
+      signals = find_relevant_control_signals(nl, subgroup, options);
+      outcome.stats.control_signal_candidates += signals.size();
+      if (options.trace != nullptr) {
+        TraceRecord record;
+        record.kind = TraceRecord::Kind::kControlSignals;
+        record.nets = signals;
+        options.trace->records.push_back(std::move(record));
+      }
+      if (!signals.empty()) {
+        // The dissimilar region: nets of all recorded dissimilar subtrees.
+        for (const auto& per_bit : subgroup.dissimilar)
+          for (NetId root : per_bit)
+            for (NetId net : netlist::fanin_cone_nets(
+                     nl, root, subtree_depth, options.cone_budget))
+              region.insert(net);
+        values_per_signal.reserve(signals.size());
+        for (NetId signal : signals)
+          values_per_signal.push_back(
+              candidate_values(nl, signal, region, options));
+      }
+    }
+    if (signals.empty()) {
+      if (options.trace != nullptr)
+        options.trace->records.push_back(
+            TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
+      emit_fallback_words(subgroup, sub_signatures, outcome.words);
+      continue;
+    }
+
+    std::vector<std::vector<Seed>> trials;
+    for (std::size_t k = 1;
+         k <= options.max_simultaneous_assignments && k <= signals.size();
+         ++k) {
+      enumerate_trials(signals, values_per_signal, k,
+                       options.max_assignment_trials_per_subgroup, trials);
+      if (trials.size() >= options.max_assignment_trials_per_subgroup) break;
+    }
+
+    // Find the first trial (in enumeration order) that unifies the subgroup.
+    // Untraced runs evaluate fixed chunks of kTrialChunk concurrently; a
+    // traced run keeps the serial early-exit loop so trace records stay in
+    // trial order.  Both report reduction_trials as the winning trial's
+    // 1-based index (or all trials if none wins) — the serial early-exit
+    // count — so the statistic is identical across modes and job counts.
+    perf::ScopedWork work("stage.reduction_ns");
+    std::optional<std::size_t> winning_index;
+    if (options.trace != nullptr) {
+      for (std::size_t t = 0; t < trials.size(); ++t) {
+        bool feasible = false;
+        const bool unifies =
+            trial_unifies(nl, hasher, subgroup, trials[t], &feasible);
+        options.trace->records.push_back(TraceRecord{
+            TraceRecord::Kind::kTrial, {}, trials[t], feasible});
+        if (unifies) {
+          winning_index = t;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t chunk = 0;
+           chunk < trials.size() && !winning_index; chunk += kTrialChunk) {
+        const std::size_t chunk_end =
+            std::min(chunk + kTrialChunk, trials.size());
+        std::vector<std::uint8_t> unifies(chunk_end - chunk, 0);
+        parallel_for(chunk, chunk_end, [&](std::size_t t) {
+          unifies[t - chunk] =
+              trial_unifies(nl, hasher, subgroup, trials[t], nullptr) ? 1 : 0;
+        });
+        for (std::size_t t = chunk; t < chunk_end; ++t) {
+          if (unifies[t - chunk] != 0) {
+            winning_index = t;
+            break;
+          }
+        }
+      }
+    }
+    outcome.stats.reduction_trials +=
+        winning_index ? *winning_index + 1 : trials.size();
+
+    if (winning_index) {
+      const std::vector<Seed>& winning = trials[*winning_index];
+      ++outcome.stats.unified_subgroups;
+      if (options.trace != nullptr)
+        options.trace->records.push_back(TraceRecord{
+            TraceRecord::Kind::kUnified, subgroup.bits, winning, true});
+      UnifiedWord unified;
+      unified.bits = subgroup.bits;
+      unified.assignment = winning;
+      outcome.unified.push_back(std::move(unified));
+
+      Word word;
+      word.bits = std::move(subgroup.bits);
+      outcome.words.push_back(std::move(word));
+    } else {
+      if (options.trace != nullptr)
+        options.trace->records.push_back(
+            TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
+      emit_fallback_words(subgroup, sub_signatures, outcome.words);
+    }
+  }
+  return outcome;
 }
 
 }  // namespace
 
 IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
+  perf::Stage stage("identify");
+
   // Mandatory structural pre-pass (one cheap SCC sweep): a combinational
   // cycle would poison cone hashing and constant propagation downstream, so
   // abort with a diagnostic naming the loop instead of computing nonsense.
@@ -133,137 +333,53 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
 
   const ConeHasher hasher(nl, options);
   IdentifyResult result;
-  std::unordered_set<NetId> used_signals;
 
   const std::size_t subtree_depth =
       options.cone_depth > 0 ? options.cone_depth - 1 : 0;
 
-  std::vector<PotentialBitGroup> groups = potential_bit_groups(nl);
-  if (options.cross_group_checking)
-    groups = merge_groups_across_gaps(nl, std::move(groups),
-                                      options.cross_group_max_gap);
-  for (const PotentialBitGroup& group : groups) {
-    ++result.stats.groups;
-    std::vector<BitSignature> signatures;
-    signatures.reserve(group.size());
-    for (NetId bit : group) signatures.push_back(hasher.signature(bit));
+  std::vector<PotentialBitGroup> groups;
+  {
+    perf::Stage grouping_stage("grouping");
+    groups = potential_bit_groups(nl);
+    if (options.cross_group_checking)
+      groups = merge_groups_across_gaps(nl, std::move(groups),
+                                        options.cross_group_max_gap);
+  }
+  result.stats.groups = groups.size();
 
-    std::vector<Subgroup> subgroups =
-        form_subgroups(group, signatures, /*require_full_match=*/false);
-    result.stats.subgroups += subgroups.size();
+  // Process groups independently — the pipeline's main parallel axis — then
+  // merge outcomes in group index order, which makes the words list, the
+  // unified list, and every statistic byte-identical at any job count.  A
+  // traced run stays serial so trace records keep their documented order.
+  std::vector<GroupOutcome> outcomes(groups.size());
+  {
+    perf::Stage groups_stage("groups");
+    const auto process = [&](std::size_t g) {
+      outcomes[g] =
+          process_group(nl, hasher, groups[g], options, subtree_depth);
+    };
+    if (options.trace != nullptr) {
+      for (std::size_t g = 0; g < groups.size(); ++g) process(g);
+    } else {
+      parallel_for(0, groups.size(), process);
+    }
+  }
 
-    for (Subgroup& subgroup : subgroups) {
-      if (subgroup.fully_similar) {
-        Word word;
-        word.bits = std::move(subgroup.bits);
-        result.words.words.push_back(std::move(word));
-        continue;
-      }
-      ++result.stats.partial_subgroups;
-      if (options.trace != nullptr) {
-        TraceRecord record;
-        record.kind = TraceRecord::Kind::kPartialSubgroup;
-        record.nets = subgroup.bits;
-        options.trace->records.push_back(std::move(record));
-      }
-
-      // Signatures of this subgroup's bits (for the fallback path).
-      std::vector<BitSignature> sub_signatures;
-      sub_signatures.reserve(subgroup.bits.size());
-      for (NetId bit : subgroup.bits)
-        sub_signatures.push_back(hasher.signature(bit));
-
-      const std::vector<NetId> signals =
-          find_relevant_control_signals(nl, subgroup, options);
-      result.stats.control_signal_candidates += signals.size();
-      if (options.trace != nullptr) {
-        TraceRecord record;
-        record.kind = TraceRecord::Kind::kControlSignals;
-        record.nets = signals;
-        options.trace->records.push_back(std::move(record));
-      }
-      if (signals.empty()) {
-        if (options.trace != nullptr)
-          options.trace->records.push_back(
-              TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
-        emit_fallback_words(subgroup, sub_signatures, result.words);
-        continue;
-      }
-
-      // The dissimilar region: nets of all recorded dissimilar subtrees.
-      std::unordered_set<NetId> region;
-      for (const auto& per_bit : subgroup.dissimilar)
-        for (NetId root : per_bit)
-          for (NetId net : netlist::fanin_cone_nets(nl, root, subtree_depth,
-                                                    options.cone_budget))
-            region.insert(net);
-
-      std::vector<std::vector<bool>> values_per_signal;
-      values_per_signal.reserve(signals.size());
-      for (NetId signal : signals)
-        values_per_signal.push_back(
-            candidate_values(nl, signal, region, options));
-
-      std::vector<std::vector<Seed>> trials;
-      for (std::size_t k = 1;
-           k <= options.max_simultaneous_assignments && k <= signals.size();
-           ++k) {
-        enumerate_trials(signals, values_per_signal, k,
-                         options.max_assignment_trials_per_subgroup, trials);
-        if (trials.size() >= options.max_assignment_trials_per_subgroup) break;
-      }
-
-      std::optional<std::vector<Seed>> winning;
-      for (const auto& trial : trials) {
-        ++result.stats.reduction_trials;
-        const PropagationResult propagated = propagate(nl, trial);
-        if (options.trace != nullptr)
-          options.trace->records.push_back(TraceRecord{
-              TraceRecord::Kind::kTrial, {}, trial, propagated.feasible});
-        if (!propagated.feasible) continue;
-
-        bool all_equal = true;
-        std::optional<BitSignature> first;
-        for (NetId bit : subgroup.bits) {
-          BitSignature sig = hasher.signature(bit, &propagated.map);
-          if (!sig.root_type.has_value()) {
-            all_equal = false;  // a bit became constant
-            break;
-          }
-          if (!first) {
-            first = std::move(sig);
-          } else if (!first->structurally_equal(sig)) {
-            all_equal = false;
-            break;
-          }
-        }
-        // A word needs at least one similar subtree left after reduction.
-        if (all_equal && first && !first->subtrees.empty()) {
-          winning = trial;
-          break;
-        }
-      }
-
-      if (winning) {
-        ++result.stats.unified_subgroups;
-        if (options.trace != nullptr)
-          options.trace->records.push_back(TraceRecord{
-              TraceRecord::Kind::kUnified, subgroup.bits, *winning, true});
-        UnifiedWord unified;
-        unified.bits = subgroup.bits;
-        unified.assignment = *winning;
-        for (const Seed& seed : *winning) used_signals.insert(seed.first);
-        result.unified.push_back(std::move(unified));
-
-        Word word;
-        word.bits = std::move(subgroup.bits);
-        result.words.words.push_back(std::move(word));
-      } else {
-        if (options.trace != nullptr)
-          options.trace->records.push_back(
-              TraceRecord{TraceRecord::Kind::kFallback, subgroup.bits, {}, false});
-        emit_fallback_words(subgroup, sub_signatures, result.words);
-      }
+  perf::Stage merge_stage("merge");
+  std::unordered_set<NetId> used_signals;
+  for (GroupOutcome& outcome : outcomes) {
+    result.stats.subgroups += outcome.stats.subgroups;
+    result.stats.partial_subgroups += outcome.stats.partial_subgroups;
+    result.stats.control_signal_candidates +=
+        outcome.stats.control_signal_candidates;
+    result.stats.reduction_trials += outcome.stats.reduction_trials;
+    result.stats.unified_subgroups += outcome.stats.unified_subgroups;
+    for (Word& word : outcome.words)
+      result.words.words.push_back(std::move(word));
+    for (UnifiedWord& unified : outcome.unified) {
+      for (const Seed& seed : unified.assignment)
+        used_signals.insert(seed.first);
+      result.unified.push_back(std::move(unified));
     }
   }
 

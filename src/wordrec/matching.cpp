@@ -3,12 +3,25 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "common/thread_pool.h"
+#include "perf/profile.h"
 
 namespace netrev::wordrec {
 
 using netlist::NetId;
 
 BitMatch compare_bits(const BitSignature& a, const BitSignature& b) {
+  {
+    static perf::Profiler::Counter& pairs =
+        perf::Profiler::global().counter("pairs_compared");
+    static perf::Profiler::Counter& subtrees =
+        perf::Profiler::global().counter("subtrees_diffed");
+    if (perf::Profiler::global().enabled()) {
+      pairs.fetch_add(1, std::memory_order_relaxed);
+      subtrees.fetch_add(a.subtrees.size() + b.subtrees.size(),
+                         std::memory_order_relaxed);
+    }
+  }
   BitMatch match;
   if (!a.root_type.has_value() || !b.root_type.has_value()) return match;
   match.comparable = true;
@@ -68,6 +81,19 @@ std::vector<Subgroup> form_subgroups(std::span<const NetId> group,
   std::vector<Subgroup> subgroups;
   if (group.empty()) return subgroups;
 
+  // The chaining decision is inherently sequential, but the expensive part —
+  // the sorted-merge comparison of each adjacent pair — is not: precompute
+  // all group.size()-1 pair matches in parallel (slot k holds the match of
+  // bits k-1 and k), then chain serially.  Identical output to the serial
+  // loop at any job count.
+  std::vector<BitMatch> matches(group.size() > 0 ? group.size() - 1 : 0);
+  parallel_for(
+      1, group.size(),
+      [&](std::size_t k) {
+        matches[k - 1] = compare_bits(signatures[k - 1], signatures[k]);
+      },
+      /*grain=*/8);
+
   const auto start_subgroup = [&](std::size_t index) {
     Subgroup sg;
     sg.bits.push_back(group[index]);
@@ -77,7 +103,7 @@ std::vector<Subgroup> form_subgroups(std::span<const NetId> group,
 
   start_subgroup(0);
   for (std::size_t k = 1; k < group.size(); ++k) {
-    const BitMatch match = compare_bits(signatures[k - 1], signatures[k]);
+    const BitMatch& match = matches[k - 1];
     const bool chains =
         require_full_match ? match.full : (match.full || match.partial);
     if (!chains) {

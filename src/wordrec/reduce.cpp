@@ -1,9 +1,12 @@
 #include "wordrec/reduce.h"
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/contracts.h"
+#include "common/thread_pool.h"
+#include "perf/profile.h"
 #include "wordrec/collapse.h"
 
 namespace netrev::wordrec {
@@ -22,56 +25,71 @@ struct SurvivingGate {
   std::vector<NetId> live_inputs;  // ids in the ORIGINAL netlist
 };
 
+// Survivor decision for one gate: nullopt if the assignment removed it.
+// Pure function of (netlist, assignment, gate) — safe from pool workers.
+std::optional<SurvivingGate> plan_one(const Netlist& nl,
+                                      const AssignmentMap& assignment,
+                                      GateId g) {
+  const netlist::Gate& gate = nl.gate(g);
+  if (assignment.contains(gate.output)) return std::nullopt;  // gate removed
+
+  SurvivingGate survivor;
+  survivor.id = g;
+
+  if (gate.type == GateType::kDff) {
+    // A flop always survives; a constant D input is preserved through a
+    // fresh constant driver (added by the caller below).
+    survivor.effective_type = GateType::kDff;
+    survivor.live_inputs = gate.inputs;
+    return survivor;
+  }
+  if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+    // Pre-existing constant drivers have no inputs; they survive as-is
+    // unless the assignment folded them away (handled above).
+    survivor.effective_type = gate.type;
+    return survivor;
+  }
+
+  bool dropped_parity = false;
+  for (NetId in : gate.inputs) {
+    const auto v = assignment.value(in);
+    if (!v) {
+      survivor.live_inputs.push_back(in);
+      continue;
+    }
+    if (const auto cv = controlling_value(gate.type))
+      NETREV_ASSERT(*v != *cv &&
+                    "controlling input with unassigned output violates "
+                    "propagation closure");
+    dropped_parity = dropped_parity != *v;
+  }
+  NETREV_ASSERT(!survivor.live_inputs.empty() &&
+                "all-constant gate with unassigned output violates "
+                "propagation closure");
+  survivor.effective_type =
+      (survivor.live_inputs.size() == gate.inputs.size())
+          ? gate.type
+          : collapsed_type(gate.type, survivor.live_inputs.size(),
+                           dropped_parity);
+  return survivor;
+}
+
 std::vector<SurvivingGate> plan_survivors(const Netlist& nl,
                                           const AssignmentMap& assignment) {
+  // Per-gate decisions are independent; plan them on the pool into
+  // index-addressed slots, then compact in file order so the surviving list
+  // (and every downstream net id) is identical at any job count.
+  const std::vector<GateId> order = nl.gates_in_file_order();
+  std::vector<std::optional<SurvivingGate>> planned(order.size());
+  parallel_for(
+      0, order.size(),
+      [&](std::size_t i) { planned[i] = plan_one(nl, assignment, order[i]); },
+      /*grain=*/64);
+
   std::vector<SurvivingGate> survivors;
-  survivors.reserve(nl.gate_count());
-  for (GateId g : nl.gates_in_file_order()) {
-    const netlist::Gate& gate = nl.gate(g);
-    if (assignment.contains(gate.output)) continue;  // gate removed
-
-    SurvivingGate survivor;
-    survivor.id = g;
-
-    if (gate.type == GateType::kDff) {
-      // A flop always survives; a constant D input is preserved through a
-      // fresh constant driver (added by the caller below).
-      survivor.effective_type = GateType::kDff;
-      survivor.live_inputs = gate.inputs;
-      survivors.push_back(std::move(survivor));
-      continue;
-    }
-    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
-      // Pre-existing constant drivers have no inputs; they survive as-is
-      // unless the assignment folded them away (handled above).
-      survivor.effective_type = gate.type;
-      survivors.push_back(std::move(survivor));
-      continue;
-    }
-
-    bool dropped_parity = false;
-    for (NetId in : gate.inputs) {
-      const auto v = assignment.value(in);
-      if (!v) {
-        survivor.live_inputs.push_back(in);
-        continue;
-      }
-      if (const auto cv = controlling_value(gate.type))
-        NETREV_ASSERT(*v != *cv &&
-                      "controlling input with unassigned output violates "
-                      "propagation closure");
-      dropped_parity = dropped_parity != *v;
-    }
-    NETREV_ASSERT(!survivor.live_inputs.empty() &&
-                  "all-constant gate with unassigned output violates "
-                  "propagation closure");
-    survivor.effective_type =
-        (survivor.live_inputs.size() == gate.inputs.size())
-            ? gate.type
-            : collapsed_type(gate.type, survivor.live_inputs.size(),
-                             dropped_parity);
-    survivors.push_back(std::move(survivor));
-  }
+  survivors.reserve(order.size());
+  for (auto& plan : planned)
+    if (plan) survivors.push_back(std::move(*plan));
   return survivors;
 }
 

@@ -470,5 +470,39 @@ TEST(Cli, PermissiveLoadBreaksCyclesAndIdentifyProceeds) {
   EXPECT_NE(permissive.out.find("word(s)"), std::string::npos);
 }
 
+TEST(Cli, ProfilePrintsStageTreeAndCounters) {
+  const CliRun r = run({"identify", "b03s", "--profile"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("profile (total"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("- load:"), std::string::npos);
+  EXPECT_NE(r.out.find("- identify:"), std::string::npos);
+  EXPECT_NE(r.out.find("cones_hashed:"), std::string::npos);
+}
+
+TEST(Cli, ProfileJsonEmitsStageTree) {
+  const CliRun r = run({"evaluate", "b03s", "--profile=json"});
+  EXPECT_EQ(r.exit_code, 0);
+  // The profile JSON is the last line of stdout.
+  const auto newline = r.out.find_last_of('\n', r.out.size() - 2);
+  const std::string last = r.out.substr(newline + 1);
+  EXPECT_EQ(last.rfind("{\"total_ns\":", 0), 0u) << last.substr(0, 80);
+  EXPECT_NE(last.find("\"name\":\"identify\""), std::string::npos);
+  EXPECT_NE(last.find("\"counters\":{"), std::string::npos);
+}
+
+TEST(Cli, JobsFlagAcceptedAndOutputMatchesSerial) {
+  const CliRun serial = run({"identify", "b04s", "--jobs", "1"});
+  const CliRun parallel = run({"identify", "b04s", "-j", "4"});
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, JobsZeroRejected) {
+  const CliRun r = run({"identify", "b03s", "--jobs", "0"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace netrev::cli

@@ -122,5 +122,44 @@ TEST_P(RngSweep, AllResiduesPopulated) {
 INSTANTIATE_TEST_SUITE_P(Bounds, RngSweep,
                          ::testing::Values(2, 3, 5, 7, 16, 33));
 
+// Rng::stream(seed, index) keys parallel work blocks: stream identity must
+// depend only on (seed, index), never on construction order or thread.
+TEST(RngStream, DependsOnlyOnSeedAndIndex) {
+  Rng forward = Rng::stream(0x5EED, 3);
+  Rng again = Rng::stream(0x5EED, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(forward.next_u64(), again.next_u64());
+}
+
+TEST(RngStream, DistinctIndicesAreIndependent) {
+  // Adjacent indices must not produce shifted copies of one sequence.
+  Rng s0 = Rng::stream(9, 0);
+  Rng s1 = Rng::stream(9, 1);
+  std::set<std::uint64_t> draws;
+  for (int i = 0; i < 200; ++i) {
+    draws.insert(s0.next_u64());
+    draws.insert(s1.next_u64());
+  }
+  EXPECT_EQ(draws.size(), 400u);
+}
+
+TEST(RngStream, DistinctSeedsDiverge) {
+  Rng a = Rng::stream(1, 0);
+  Rng b = Rng::stream(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngStream, StreamZeroDiffersFromPlainSeed) {
+  // stream(seed, 0) is its own keyed stream, not an alias of Rng(seed).
+  Rng plain(77);
+  Rng stream = Rng::stream(77, 0);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (plain.next_u64() == stream.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
 }  // namespace
 }  // namespace netrev

@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netrev {
+namespace {
+
+TEST(ThreadPool, JobsCountsCallerAsParticipant) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.jobs(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.jobs(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(jobs);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(0, kCount,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, GrainStillCoversWholeRange) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 101;  // not a multiple of the grain
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(0, kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
+                    /*grain=*/16);
+  for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+// The determinism contract: index-addressed slots merged in index order give
+// the same result regardless of how many workers executed the body.
+TEST(ThreadPool, IndexAddressedResultsAreOrderingIndependent) {
+  constexpr std::size_t kCount = 512;
+  const auto run = [&](std::size_t jobs) {
+    ThreadPool pool(jobs);
+    std::vector<std::uint64_t> slots(kCount, 0);
+    pool.parallel_for(0, kCount, [&](std::size_t i) {
+      slots[i] = i * 2654435761u + 17;
+    });
+    return slots;
+  };
+  const auto reference = run(1);
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(8), reference);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  for (std::size_t jobs : {1u, 4u}) {
+    ThreadPool pool(jobs);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100,
+                          [&](std::size_t i) {
+                            if (i == 37)
+                              throw std::runtime_error("boom at 37");
+                          }),
+        std::runtime_error);
+    // The pool survives a throwing job and can run another.
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 10, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 10);
+  }
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  std::string what;
+  try {
+    pool.parallel_for(0, 200, [&](std::size_t i) {
+      if (i % 50 == 10) throw std::runtime_error("i=" + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    what = e.what();
+  }
+  EXPECT_EQ(what, "i=10");
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](std::size_t o) {
+    // Re-entering from a worker task must not enqueue (the pool has one
+    // job slot); the nested loop runs inline on this participant.
+    pool.parallel_for(0, kInner, [&](std::size_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  const std::size_t before = ThreadPool::global_jobs();
+  ThreadPool::set_global_jobs(3);
+  EXPECT_EQ(ThreadPool::global_jobs(), 3u);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  ThreadPool::set_global_jobs(before);
+}
+
+}  // namespace
+}  // namespace netrev

@@ -1,0 +1,71 @@
+// Acceptance gate for the parallel pipeline: identify_words must produce a
+// byte-identical result at any --jobs count on every family benchmark.  The
+// parallel stages write into index-addressed slots merged in group order and
+// all stochastic sampling uses fixed-size blocks keyed by Rng::stream, so
+// nothing downstream may observe the worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "itc/family.h"
+#include "wordrec/identify.h"
+
+namespace netrev {
+namespace {
+
+// Full serialization of an IdentifyResult — every field that identify_words
+// computes, in order, so any divergence (words, assignments, stats) shows up
+// as a string mismatch.
+std::string fingerprint(const wordrec::IdentifyResult& result) {
+  std::ostringstream out;
+  out << "words:";
+  for (const auto& word : result.words.words) {
+    out << " [";
+    for (netlist::NetId bit : word.bits) out << ' ' << bit.value();
+    out << " ]";
+  }
+  out << "\nunified:";
+  for (const auto& unified : result.unified) {
+    out << " {bits:";
+    for (netlist::NetId bit : unified.bits) out << ' ' << bit.value();
+    out << " assign:";
+    for (const auto& [net, value] : unified.assignment)
+      out << ' ' << net.value() << '=' << (value ? 1 : 0);
+    out << '}';
+  }
+  out << "\ncontrols:";
+  for (netlist::NetId net : result.used_control_signals)
+    out << ' ' << net.value();
+  const auto& s = result.stats;
+  out << "\nstats: g=" << s.groups << " sg=" << s.subgroups
+      << " partial=" << s.partial_subgroups
+      << " cand=" << s.control_signal_candidates
+      << " trials=" << s.reduction_trials << " unified=" << s.unified_subgroups;
+  return out.str();
+}
+
+class JobsDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JobsDeterminism, IdentifyIsByteIdenticalAcrossJobCounts) {
+  const auto bench = itc::build_benchmark(GetParam());
+  const std::size_t restore = ThreadPool::global_jobs();
+
+  ThreadPool::set_global_jobs(1);
+  const std::string serial = fingerprint(wordrec::identify_words(bench.netlist));
+  for (std::size_t jobs : {2u, 8u}) {
+    ThreadPool::set_global_jobs(jobs);
+    EXPECT_EQ(fingerprint(wordrec::identify_words(bench.netlist)), serial)
+        << GetParam() << " diverged at jobs=" << jobs;
+  }
+
+  ThreadPool::set_global_jobs(restore);
+}
+
+INSTANTIATE_TEST_SUITE_P(FamilyBenchmarks, JobsDeterminism,
+                         ::testing::Values("b03s", "b04s", "b08s", "b11s",
+                                           "b13s"));
+
+}  // namespace
+}  // namespace netrev

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/contracts.h"
+#include "common/thread_pool.h"
 
 namespace netrev::sim {
 namespace {
@@ -145,6 +149,47 @@ TEST(Simulator, WideGateEvaluation) {
     sim.eval();
     EXPECT_EQ(sim.value(y), ones % 2 == 1) << "mask " << mask;
   }
+}
+
+// Batched random sampling draws each kRandomSimBlock-vector block from its
+// own Rng::stream, so the sample matrix is identical at any job count.
+TEST(SampleRandomVectors, IdenticalAcrossJobCounts) {
+  Netlist nl;
+  std::vector<NetId> probes;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  for (int i = 0; i < 6; ++i) {
+    const NetId y = nl.add_net("y" + std::to_string(i));
+    nl.add_gate(i % 2 == 0 ? GateType::kNand : GateType::kNor, y, {a, b});
+    probes.push_back(y);
+  }
+
+  const std::size_t restore = ThreadPool::global_jobs();
+  ThreadPool::set_global_jobs(1);
+  // 2.5 blocks' worth of vectors: exercises the partial final block.
+  const auto serial =
+      sample_random_vectors(nl, probes, 2 * kRandomSimBlock + 16, 0x5EED);
+  EXPECT_EQ(serial.size(), (2 * kRandomSimBlock + 16) * probes.size());
+  ThreadPool::set_global_jobs(8);
+  const auto parallel =
+      sample_random_vectors(nl, probes, 2 * kRandomSimBlock + 16, 0x5EED);
+  ThreadPool::set_global_jobs(restore);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SampleRandomVectors, SeedChangesSamples) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::kNot, y, {a});
+  const std::vector<NetId> probes{a, y};
+
+  const auto one = sample_random_vectors(nl, probes, 64, 1);
+  const auto two = sample_random_vectors(nl, probes, 64, 2);
+  EXPECT_NE(one, two);
 }
 
 }  // namespace
