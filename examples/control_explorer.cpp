@@ -9,9 +9,8 @@
 #include <cstdio>
 #include <string>
 
-#include "itc/family.h"
 #include "netlist/stats.h"
-#include "parser/verilog_parser.h"
+#include "pipeline/session.h"
 #include "wordrec/identify.h"
 #include "wordrec/reduce.h"
 
@@ -19,19 +18,20 @@ using namespace netrev;
 
 int main(int argc, char** argv) {
   const std::string which = argc > 1 ? argv[1] : "b12s";
-  netlist::Netlist nl;
-  if (which.size() > 2 && which.substr(which.size() - 2) == ".v") {
-    nl = parser::parse_verilog_file(which);
-  } else {
-    nl = itc::build_benchmark(which).netlist;
-  }
+  // Session::load_netlist dispatches on the spec itself (family benchmark
+  // name vs netlist file), replacing the manual format branch this example
+  // used to carry.
+  Session session;
+  const LoadedDesign design = session.load_netlist(which);
+  const netlist::Netlist& nl = design.nl();
 
   const netlist::NetlistStats stats = netlist::compute_stats(nl);
   std::printf("design %s: %s\n\n", nl.name().c_str(),
               stats.to_string().c_str());
 
-  wordrec::Options options;
-  const wordrec::IdentifyResult result = wordrec::identify_words(nl, options);
+  const wordrec::Options& options = session.config().wordrec;
+  const auto identified = session.identify(design);
+  const wordrec::IdentifyResult& result = *identified;
 
   std::printf("pipeline stats:\n");
   std::printf("  potential-bit groups:        %zu\n", result.stats.groups);

@@ -8,9 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "eval/reference.h"
-#include "eval/runner.h"
-#include "parser/verilog_parser.h"
+#include "pipeline/session.h"
 #include "rtl/module.h"
 #include "rtl/synth.h"
 #include "wordrec/identify.h"
@@ -49,25 +47,30 @@ void print_words(const char* label, const wordrec::WordSet& words,
 }  // namespace
 
 int main(int argc, char** argv) {
-  netlist::Netlist nl =
-      argc > 1 ? parser::parse_verilog_file(argv[1]) : demo_design();
+  // One Session fronts the whole pipeline: loading (any format), both
+  // identification techniques, and the reference extraction, with results
+  // cached by content so repeated calls are free.
+  Session session;
+  const LoadedDesign design = argc > 1 ? session.load_netlist(argv[1])
+                                       : session.adopt_netlist(demo_design());
+  const netlist::Netlist& nl = design.nl();
   std::printf("design '%s': %zu gates, %zu nets, %zu flops\n",
               nl.name().c_str(), nl.gate_count(), nl.net_count(),
               nl.flop_count());
 
-  const eval::TechniqueRun base = eval::run_baseline(nl);
-  const eval::TechniqueRun ours = eval::run_ours(nl);
+  const eval::TechniqueRun base = session.run_baseline(design);
+  const eval::TechniqueRun ours = session.run_ours(design);
 
   print_words("shape hashing (Base)", base.words, nl);
   print_words("control-signal identification (Ours)", ours.words, nl);
   std::printf("\nOurs used %zu control signals, %zu reduction trials\n",
               ours.control_signals, ours.stats.reduction_trials);
 
-  const auto reference = eval::extract_reference_words(nl);
-  if (!reference.words.empty()) {
+  const auto reference = session.reference(design);
+  if (!reference->words.empty()) {
     std::printf("\ngolden reference (from register names): %zu words\n",
-                reference.words.size());
-    for (const auto& word : reference.words)
+                reference->words.size());
+    for (const auto& word : reference->words)
       std::printf("  %s: %zu bits\n", word.register_name.c_str(),
                   word.width());
   }

@@ -12,8 +12,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "itc/family.h"
 #include "netlist/cone.h"
+#include "pipeline/session.h"
 #include "rtl/lower_ops.h"
 #include "wordrec/identify.h"
 
@@ -77,15 +77,22 @@ PlantedTrojan plant_trojan(const netlist::Netlist& source) {
 
 int main(int argc, char** argv) {
   const std::string bench_name = argc > 1 ? argv[1] : "b08s";
-  const itc::GeneratedBenchmark bench = itc::build_benchmark(bench_name);
-  const PlantedTrojan planted = plant_trojan(bench.netlist);
-  const netlist::Netlist& nl = planted.netlist;
+  // load_netlist handles family names and netlist files alike; the planted
+  // variant is adopted into the same session so identification runs through
+  // the shared artifact cache.
+  Session session;
+  const LoadedDesign source = session.load_netlist(bench_name);
+  PlantedTrojan planted = plant_trojan(source.nl());
+  const LoadedDesign design =
+      session.adopt_netlist(std::move(planted.netlist));
+  const netlist::Netlist& nl = design.nl();
 
   std::printf("planted a trigger-style trojan into %s (%zu gates)\n",
               bench_name.c_str(), nl.gate_count());
 
   // Step 1: recover words.
-  const wordrec::IdentifyResult result = wordrec::identify_words(nl);
+  const auto identified = session.identify(design);
+  const wordrec::IdentifyResult& result = *identified;
   std::printf("recovered %zu multi-bit words using %zu control signals\n",
               result.words.count_multibit(),
               result.used_control_signals.size());

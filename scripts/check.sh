@@ -10,6 +10,9 @@
 #      identification tests: thread pool, profiler, jobs determinism
 #   6. jobs-determinism gate: `evaluate --json` at --jobs 1 vs --jobs $(nproc)
 #      must emit byte-identical output on every family benchmark
+#   7. batch smoke gate: `netrev batch` over the family benchmarks twice must
+#      emit byte-identical JSON at different job counts, and a batch with
+#      repeated entries must report artifact-cache hits under --profile
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -55,7 +58,8 @@ cmake -B "$TSAN_DIR" -S . \
   -DNETREV_WERROR=ON
 cmake --build "$TSAN_DIR" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
-  --output-on-failure -R 'ThreadPool|Profiler|JobsDeterminism'
+  --output-on-failure \
+  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache'
 
 # Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
 # must not depend on the worker count.
@@ -68,4 +72,25 @@ for family in b03s b04s b08s b11s b13s; do
   diff "$JOBS_DIR/$family.j1.json" "$JOBS_DIR/$family.jN.json"
 done
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism all passed"
+# Batch smoke gate.  The artifact cache is in-memory, so cross-invocation
+# hits cannot exist; instead (a) two independent runs at different job counts
+# must emit byte-identical JSON, and (b) one run with every spec listed twice
+# must satisfy the duplicates from the cache (visible in the profile).
+BATCH_DIR="$BUILD_DIR/batch-smoke"
+mkdir -p "$BATCH_DIR"
+echo "batch-smoke: determinism"
+"$NETREV" batch b03s b04s b08s b11s b13s --json --jobs 1 \
+  > "$BATCH_DIR/run1.json"
+"$NETREV" batch b03s b04s b08s b11s b13s --json --jobs "$(nproc)" \
+  > "$BATCH_DIR/run2.json"
+diff "$BATCH_DIR/run1.json" "$BATCH_DIR/run2.json"
+echo "batch-smoke: cache hits"
+"$NETREV" batch b03s b04s b03s b04s --json --profile \
+  > "$BATCH_DIR/warm.out"
+grep -E 'cache\.hits: *[1-9]' "$BATCH_DIR/warm.out" > /dev/null || {
+  echo "batch-smoke: expected nonzero cache.hits in --profile output" >&2
+  exit 1
+}
+"$NETREV" --version
+
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke all passed"

@@ -2,14 +2,13 @@
 
 #include <filesystem>
 #include <fstream>
-#include <optional>
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
+#include "cli/options.h"
 #include "common/diagnostics.h"
-#include "common/text.h"
 #include "common/thread_pool.h"
-#include "perf/profile.h"
+#include "common/version.h"
 #include "eval/diagnose.h"
 #include "eval/metrics.h"
 #include "eval/reference.h"
@@ -18,15 +17,15 @@
 #include "eval/table.h"
 #include "itc/family.h"
 #include "netlist/dot.h"
-#include "netlist/repair.h"
 #include "netlist/stats.h"
 #include "netlist/validate.h"
 #include "parser/bench_parser.h"
-#include "parser/parse_options.h"
-#include "parser/verilog_parser.h"
 #include "parser/verilog_writer.h"
+#include "perf/profile.h"
+#include "pipeline/batch.h"
+#include "pipeline/manifest.h"
+#include "pipeline/session.h"
 #include "rtl/scan.h"
-#include "wordrec/baseline.h"
 #include "wordrec/funcheck.h"
 #include "wordrec/identify.h"
 #include "wordrec/propagation.h"
@@ -39,177 +38,26 @@ namespace {
 
 using netlist::Netlist;
 
-bool ends_with(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+// All per-stage knobs a subcommand needs, consolidated from the parsed
+// flags into the one RunConfig the Session is constructed with.
+RunConfig config_from(const ParsedFlags& flags) {
+  RunConfig config;
+  config.parse.permissive = flags.permissive;
+  if (flags.depth) config.wordrec.cone_depth = *flags.depth;
+  if (flags.max_assign)
+    config.wordrec.max_simultaneous_assignments = *flags.max_assign;
+  config.wordrec.cross_group_checking = flags.cross_group;
+  config.analysis.enabled_rules = flags.rules;
+  config.use_baseline = flags.base;
+  return config;
 }
 
-bool is_family_name(const std::string& name) {
-  try {
-    itc::profile_by_name(name);
-    return true;
-  } catch (const std::invalid_argument&) {
-    return false;
-  }
-}
-
-// Thrown when a permissive load recovers nothing usable (fatal diagnostics,
-// or a netlist that still fails validation after repair).  Mapped to exit
-// code 4 by run_cli.
-struct UnusableInputError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-struct ParsedFlags {
-  std::vector<std::string> positional;
-  bool base = false;
-  bool json = false;
-  bool cross_group = false;
-  bool trace = false;
-  bool permissive = false;
-  bool diag_json = false;
-  bool profile = false;       // --profile: print the stage tree (text)
-  bool profile_json = false;  // --profile=json: print it as JSON
-  std::optional<std::size_t> jobs;
-  std::optional<std::size_t> depth;
-  std::optional<std::size_t> max_assign;
-  std::optional<std::size_t> max_errors;
-  std::optional<std::string> output;
-  std::vector<std::pair<std::string, bool>> assignments;
-  std::vector<std::string> rules;                // lint --rules a,b,c
-  std::optional<diag::Severity> fail_on;         // lint --fail-on=...
-  // Non-owning; set by run_cli so permissive loads have a sink.
-  diag::Diagnostics* diags = nullptr;
-};
-
-// Loads a design: family benchmark name, .bench file, or Verilog file.
-// Strict by default (any parse error throws); with --permissive the parsers
-// recover what they can, the netlist is repaired, and only a design that
-// still fails validation is rejected.
-Netlist load_design(const std::string& spec, const ParsedFlags& flags) {
-  perf::Stage stage("load");
-  if (is_family_name(spec)) return itc::build_benchmark(spec).netlist;
-  if (!flags.permissive) {
-    if (ends_with(spec, ".bench")) return parser::parse_bench_file(spec);
-    return parser::parse_verilog_file(spec);
-  }
-
-  diag::Diagnostics& diags = *flags.diags;
-  parser::ParseOptions options;
-  options.permissive = true;
-  options.filename = spec;
-  Netlist nl = ends_with(spec, ".bench")
-                   ? parser::parse_bench_file(spec, options, diags)
-                   : parser::parse_verilog_file(spec, options, diags);
-  if (!diags.usable())
-    throw UnusableInputError("input unusable: " + spec +
-                             " (fatal diagnostics; see --diag-json)");
-
-  netlist::RepairResult repaired = netlist::repair(nl, diags);
-  // repair() ties and prunes but cannot fix combinational cycles; break them
-  // here (diag-reported) so levelization and identification can proceed.
-  analysis::CycleBreakResult decycled =
-      analysis::break_combinational_cycles(repaired.netlist, diags);
-  if (decycled.cycles_broken > 0)
-    repaired.netlist = std::move(decycled.netlist);
-  const auto report = netlist::validate(repaired.netlist);
-  if (!report.ok()) {
-    for (const auto& issue : report.issues)
-      if (issue.severity == netlist::ValidationIssue::Severity::kError)
-        diags.error(issue.message, {spec, 0, 0});
-    throw UnusableInputError("input unusable: " + spec + " fails validation (" +
-                             std::to_string(report.error_count()) +
-                             " error(s)) even after repair");
-  }
-  return repaired.netlist;
-}
-
-diag::Severity parse_fail_on(const std::string& value) {
-  if (value == "note") return diag::Severity::kNote;
-  if (value == "warning") return diag::Severity::kWarning;
-  if (value == "error") return diag::Severity::kError;
-  throw std::invalid_argument(
-      "--fail-on expects note, warning, or error; got '" + value + "'");
-}
-
-ParsedFlags parse_flags(const std::vector<std::string>& args,
-                        std::size_t start) {
-  ParsedFlags flags;
-  for (std::size_t i = start; i < args.size(); ++i) {
-    const std::string& arg = args[i];
-    const auto next_value = [&](const char* flag) -> const std::string& {
-      if (i + 1 >= args.size())
-        throw std::invalid_argument(std::string(flag) + " needs a value");
-      return args[++i];
-    };
-    // `--flag=value` form for the lint flags.
-    const auto inline_value =
-        [&](const std::string& prefix) -> std::optional<std::string> {
-      if (!starts_with(arg, prefix + "=")) return std::nullopt;
-      return arg.substr(prefix.size() + 1);
-    };
-    if (const auto v = inline_value("--rules")) {
-      for (const std::string& id : split(*v, ','))
-        if (!trim(id).empty()) flags.rules.emplace_back(trim(id));
-    } else if (const auto v = inline_value("--fail-on")) {
-      flags.fail_on = parse_fail_on(*v);
-    } else if (arg == "--rules") {
-      for (const std::string& id : split(next_value("--rules"), ','))
-        if (!trim(id).empty()) flags.rules.emplace_back(trim(id));
-    } else if (arg == "--fail-on") {
-      flags.fail_on = parse_fail_on(next_value("--fail-on"));
-    } else if (arg == "--base") {
-      flags.base = true;
-    } else if (arg == "--json") {
-      flags.json = true;
-    } else if (arg == "--cross-group") {
-      flags.cross_group = true;
-    } else if (arg == "--trace") {
-      flags.trace = true;
-    } else if (arg == "--permissive") {
-      flags.permissive = true;
-    } else if (arg == "--diag-json") {
-      flags.diag_json = true;
-    } else if (arg == "--profile") {
-      flags.profile = true;
-    } else if (arg == "--profile=json") {
-      flags.profile = true;
-      flags.profile_json = true;
-    } else if (arg == "--jobs" || arg == "-j") {
-      flags.jobs = std::stoul(next_value("--jobs"));
-      if (*flags.jobs == 0)
-        throw std::invalid_argument("--jobs expects a positive thread count");
-    } else if (arg == "--max-errors") {
-      flags.max_errors = std::stoul(next_value("--max-errors"));
-    } else if (arg == "--depth") {
-      flags.depth = std::stoul(next_value("--depth"));
-    } else if (arg == "--max-assign") {
-      flags.max_assign = std::stoul(next_value("--max-assign"));
-    } else if (arg == "-o" || arg == "--output") {
-      flags.output = next_value("-o");
-    } else if (arg == "--assign") {
-      const std::string& spec = next_value("--assign");
-      const auto eq = spec.find('=');
-      if (eq == std::string::npos || eq + 2 != spec.size() ||
-          (spec[eq + 1] != '0' && spec[eq + 1] != '1'))
-        throw std::invalid_argument("--assign expects NET=0 or NET=1, got '" +
-                                    spec + "'");
-      flags.assignments.emplace_back(spec.substr(0, eq), spec[eq + 1] == '1');
-    } else if (!arg.empty() && arg[0] == '-') {
-      throw std::invalid_argument("unknown flag: " + arg);
-    } else {
-      flags.positional.push_back(arg);
-    }
-  }
-  return flags;
-}
-
-wordrec::Options options_from(const ParsedFlags& flags) {
-  wordrec::Options options;
-  if (flags.depth) options.cone_depth = *flags.depth;
-  if (flags.max_assign) options.max_simultaneous_assignments = *flags.max_assign;
-  options.cross_group_checking = flags.cross_group;
-  return options;
+// Loads a design through the session: family benchmark name, .bench file,
+// or Verilog file.  Strict by default; --permissive recovers and repairs
+// (see Session::load_netlist).
+LoadedDesign load_design(const std::string& spec, const ParsedFlags& flags) {
+  return flags.session->load_netlist(spec, flags.session->config().parse,
+                                     *flags.diags);
 }
 
 void print_words(std::ostream& out, const Netlist& nl,
@@ -227,7 +75,8 @@ void print_words(std::ostream& out, const Netlist& nl,
 int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("stats: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
   out << nl.name() << ": " << netlist::compute_stats(nl).to_string() << '\n';
   const auto profile = netlist::compute_fanin_profile(nl);
   out << "max fanin " << profile.max_fanin << ", avg fanin "
@@ -242,12 +91,14 @@ int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
 int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("reference: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
-  const auto extraction = eval::extract_reference_words(nl);
-  out << extraction.words.size() << " reference word(s), "
-      << extraction.indexed_flops << "/" << extraction.flop_count
-      << " flops indexed, avg size " << extraction.average_word_size() << '\n';
-  for (const auto& word : extraction.words) {
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
+  const auto extraction = flags.session->reference(design);
+  out << extraction->words.size() << " reference word(s), "
+      << extraction->indexed_flops << "/" << extraction->flop_count
+      << " flops indexed, avg size " << extraction->average_word_size()
+      << '\n';
+  for (const auto& word : extraction->words) {
     out << "  " << word.register_name << " [" << word.width() << " bits]";
     for (netlist::NetId bit : word.bits) out << ' ' << nl.net(bit).name;
     out << '\n';
@@ -258,38 +109,43 @@ int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
 int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("identify: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
-  const wordrec::Options options = options_from(flags);
+  Session& session = *flags.session;
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
 
   if (flags.base) {
+    // identify_words opens its own "identify" stage; mirror it here.
     perf::Stage stage("identify");
-    const wordrec::WordSet words =
-        wordrec::identify_words_baseline(nl, options);
     if (flags.json) {
-      out << eval::words_to_json(nl, words) << '\n';
-    } else {
-      out << "shape hashing found " << words.count_multibit()
-          << " multi-bit word(s):\n";
-      print_words(out, nl, words);
+      out << session.identify_json(design) << '\n';
+      return 0;
     }
+    const wordrec::WordSet words = *session.identify_baseline(design);
+    out << "shape hashing found " << words.count_multibit()
+        << " multi-bit word(s):\n";
+    print_words(out, nl, words);
+    return 0;
+  }
+
+  if (flags.json && !flags.trace) {
+    out << session.identify_json(design) << '\n';
     return 0;
   }
 
   wordrec::IdentifyTrace trace;
-  wordrec::Options traced_options = options;
-  if (flags.trace) traced_options.trace = &trace;
-  const wordrec::IdentifyResult result =
-      wordrec::identify_words(nl, traced_options);
+  if (flags.trace) session.config().wordrec.trace = &trace;
+  const auto result = session.identify(design);
+  session.config().wordrec.trace = nullptr;
   if (flags.json) {
-    out << eval::identify_result_to_json(nl, result) << '\n';
+    out << eval::identify_result_to_json(nl, *result) << '\n';
     return 0;
   }
   if (flags.trace) out << wordrec::render_trace(nl, trace);
-  out << "found " << result.words.count_multibit() << " multi-bit word(s), "
-      << result.used_control_signals.size() << " control signal(s), "
-      << result.stats.reduction_trials << " reduction trial(s):\n";
-  print_words(out, nl, result.words);
-  for (const auto& unified : result.unified) {
+  out << "found " << result->words.count_multibit() << " multi-bit word(s), "
+      << result->used_control_signals.size() << " control signal(s), "
+      << result->stats.reduction_trials << " reduction trial(s):\n";
+  print_words(out, nl, result->words);
+  for (const auto& unified : result->unified) {
     out << "  unified via";
     for (const auto& [net, value] : unified.assignment)
       out << ' ' << nl.net(net).name << '=' << (value ? 1 : 0);
@@ -305,7 +161,8 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
     throw std::invalid_argument("reduce: expected one design");
   if (flags.assignments.empty())
     throw std::invalid_argument("reduce: needs at least one --assign NET=V");
-  const Netlist nl = load_design(flags.positional[0], flags);
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
 
   std::vector<std::pair<netlist::NetId, bool>> seeds;
   for (const auto& [name, value] : flags.assignments) {
@@ -318,8 +175,8 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
     out << "assignment is infeasible (conflicting implications)\n";
     return 1;
   }
-  const Netlist reduced =
-      wordrec::materialize_reduction(nl, propagated.map, options_from(flags));
+  const Netlist reduced = wordrec::materialize_reduction(
+      nl, propagated.map, flags.session->config().wordrec);
   out << "assigned " << propagated.map.size() << " net(s); " << nl.gate_count()
       << " -> " << reduced.gate_count() << " gates\n";
   if (flags.output) {
@@ -332,12 +189,12 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
 int cmd_propagate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("propagate: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
-  const wordrec::Options options = options_from(flags);
-  const wordrec::IdentifyResult result = wordrec::identify_words(nl, options);
-  const auto propagated =
-      wordrec::propagate_words_to_fixpoint(nl, result.words, options);
-  out << "seeded with " << result.words.count_multibit()
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
+  const auto result = flags.session->identify(design);
+  const auto propagated = wordrec::propagate_words_to_fixpoint(
+      nl, result->words, flags.session->config().wordrec);
+  out << "seeded with " << result->words.count_multibit()
       << " identified word(s); propagation derived "
       << propagated.candidates.size() << " candidate word(s) ("
       << propagated.ambiguous_positions << " ambiguous position(s) skipped)\n";
@@ -357,41 +214,42 @@ int cmd_propagate(const ParsedFlags& flags, std::ostream& out) {
 int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("evaluate: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
+  Session& session = *flags.session;
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
   const auto reference = [&] {
     perf::Stage stage("reference");
-    return eval::extract_reference_words(nl);
+    return session.reference(design);
   }();
-  if (reference.words.empty())
+  if (reference->words.empty())
     throw std::invalid_argument(
         "evaluate: no reference words (flop output names carry no indices)");
-  const wordrec::Options options = options_from(flags);
   // identify_words opens its own "identify" stage; mirror it for --base.
   const wordrec::WordSet words = [&] {
-    if (!flags.base) return wordrec::identify_words(nl, options).words;
+    if (!flags.base) return session.identify(design)->words;
     perf::Stage stage("identify");
-    return wordrec::identify_words_baseline(nl, options);
+    return *session.identify_baseline(design);
   }();
   const eval::Diagnosis diagnosis = [&] {
     perf::Stage stage("diagnose");
-    return eval::diagnose(nl, words, reference);
+    return eval::diagnose(nl, words, *reference);
   }();
   // Structural-health context for the recovery numbers: a netlist the lint
   // rules flag (dead cones, degenerate gates) depresses recall for reasons
   // that are not the identifier's fault.
-  const analysis::AnalysisResult health = [&] {
+  const auto health = [&] {
     perf::Stage stage("analysis");
-    return analysis::analyze(nl);
+    return session.analyze(design);
   }();
   if (flags.json) {
     out << "{\"evaluation\":"
-        << eval::evaluation_to_json(diagnosis.summary, reference.words)
-        << ",\"analysis\":" << eval::analysis_to_json(nl, health) << "}\n";
+        << eval::evaluation_to_json(diagnosis.summary, reference->words)
+        << ",\"analysis\":" << eval::analysis_to_json(nl, *health) << "}\n";
     return 0;
   }
   out << render_diagnosis(diagnosis);
-  out << "static analysis: " << health.summary() << '\n';
-  for (const analysis::Finding& finding : health.findings)
+  out << "static analysis: " << health->summary() << '\n';
+  for (const analysis::Finding& finding : health->findings)
     out << "  " << finding.to_string() << '\n';
 
   // Functional screening of the generated words (the paper's "functional
@@ -415,33 +273,18 @@ int cmd_lint(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("lint: expected one design");
   const std::string& spec = flags.positional[0];
+  Session& session = *flags.session;
   diag::Diagnostics& diags = *flags.diags;
 
-  Netlist nl;
-  bool parsed_from_file = false;
-  if (is_family_name(spec)) {
-    nl = itc::build_benchmark(spec).netlist;
-  } else {
-    parsed_from_file = true;
-    parser::ParseOptions options;
-    options.permissive = true;
-    options.filename = spec;
-    nl = ends_with(spec, ".bench")
-             ? parser::parse_bench_file(spec, options, diags)
-             : parser::parse_verilog_file(spec, options, diags);
-    if (!diags.usable())
-      throw UnusableInputError("input unusable: " + spec +
-                               " (fatal diagnostics; see --diag-json)");
-  }
+  const Session::Parsed parsed = session.parse_netlist(spec, diags);
 
   // Parse-time counts, captured before emit() mirrors findings into the sink.
   const std::size_t parse_errors = diags.error_count();
   const std::size_t parse_warnings = diags.warning_count();
 
-  analysis::AnalysisOptions options;
-  options.enabled_rules = flags.rules;
-  const analysis::AnalysisResult result =
-      analysis::analyze(nl, options, parsed_from_file ? &diags : nullptr);
+  const auto analysis =
+      session.analyze(parsed.design, parsed.design.from_file ? &diags : nullptr);
+  const analysis::AnalysisResult& result = *analysis;
 
   if (!diags.empty()) out << diags.to_string();
   for (const analysis::Finding& finding : result.findings) {
@@ -461,6 +304,27 @@ int cmd_lint(const ParsedFlags& flags, std::ostream& out) {
   return failing > 0 ? 1 : 0;
 }
 
+// Runs the whole pipeline over many designs through the batch engine; see
+// pipeline/batch.h for the per-entry failure and determinism contract.
+int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.empty())
+    throw std::invalid_argument(
+        "batch: expected at least one design, glob, or manifest");
+  const std::vector<std::string> specs =
+      pipeline::expand_specs(flags.positional);
+  pipeline::BatchOptions options;
+  options.config = config_from(flags);
+  options.keep_going = flags.keep_going;
+  options.max_errors =
+      flags.max_errors.value_or(diag::Diagnostics::kDefaultMaxErrors);
+  const pipeline::BatchResult result = pipeline::run_batch(specs, options);
+  if (flags.json)
+    out << result.to_json() << '\n';
+  else
+    out << result.render_text();
+  return result.all_ok() ? 0 : 1;
+}
+
 int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("generate: expected one family name");
@@ -478,8 +342,8 @@ int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
 int cmd_scan(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("scan: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
-  const auto scanned = rtl::insert_scan_chain(nl);
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const auto scanned = rtl::insert_scan_chain(design.nl());
   out << "inserted " << scanned.muxes_inserted
       << " scan mux(es); control signal "
       << scanned.netlist.net(scanned.scan_enable).name << '\n';
@@ -493,7 +357,8 @@ int cmd_scan(const ParsedFlags& flags, std::ostream& out) {
 int cmd_dot(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("dot: expected one design");
-  const Netlist nl = load_design(flags.positional[0], flags);
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  const Netlist& nl = design.nl();
 
   netlist::DotOptions dot_options;
   // --depth here bounds the DRAWN cones (0 = whole design); identification
@@ -524,6 +389,7 @@ int cmd_dot(const ParsedFlags& flags, std::ostream& out) {
 }
 
 int cmd_table(const ParsedFlags& flags, std::ostream& out) {
+  Session& session = *flags.session;
   std::vector<std::string> names = flags.positional;
   if (names.empty())
     for (const auto& profile : itc::itc99s_profiles())
@@ -531,11 +397,11 @@ int cmd_table(const ParsedFlags& flags, std::ostream& out) {
 
   std::vector<eval::Table1Row> rows;
   for (const std::string& name : names) {
-    const auto bench = itc::build_benchmark(name);
-    const auto reference = eval::extract_reference_words(bench.netlist);
-    const auto base = eval::run_baseline(bench.netlist, options_from(flags));
-    const auto ours = eval::run_ours(bench.netlist, options_from(flags));
-    rows.push_back(make_row(name, bench.netlist, reference, base, ours));
+    const LoadedDesign design = load_design(name, flags);
+    const auto reference = session.reference(design);
+    const auto base = session.run_baseline(design);
+    const auto ours = session.run_ours(design);
+    rows.push_back(make_row(name, design.nl(), *reference, base, ours));
   }
   if (flags.json) {
     out << "[";
@@ -552,37 +418,6 @@ int cmd_table(const ParsedFlags& flags, std::ostream& out) {
 
 }  // namespace
 
-std::string usage() {
-  return "usage: netrev <command> [args]\n"
-         "  stats <design>                          design statistics\n"
-         "  reference <design>                      golden reference words\n"
-         "  identify <design> [--base] [--json] [--trace] [--depth N]\n"
-         "           [--max-assign N] [--cross-group]\n"
-         "  reduce <design> --assign NET=0|1 ... [-o out.v]\n"
-         "  evaluate <design> [--base] [--json]     compare vs reference\n"
-         "  lint <design> [--rules a,b] [--fail-on note|warning|error]\n"
-         "       static-analysis findings; exit 1 at/above --fail-on\n"
-         "       (default error); files always load permissively\n"
-         "  propagate <design>                      word propagation\n"
-         "  generate <bXXs> [-o dir]                emit family benchmark\n"
-         "  scan <design> [-o out.v]                insert scan chain\n"
-         "  dot <design> [--depth N] [-o out.dot]   GraphViz with words\n"
-         "  table [bXXs ...] [--json]               Table 1 rows\n"
-         "(<design> = family name, .bench file, or Verilog file)\n"
-         "global flags:\n"
-         "  --jobs N | -j N   thread count for the parallel pipeline stages\n"
-         "                    (default: NETREV_JOBS env var, else all cores;\n"
-         "                    results are identical at any value)\n"
-         "  --profile         print the stage-profile tree after the command\n"
-         "  --profile=json    ... as JSON on the last line\n"
-         "  --permissive      recover from parse errors and repair the\n"
-         "                    netlist\n"
-         "  --max-errors N    stop recovery after N errors\n"
-         "  --diag-json       print collected diagnostics as JSON\n"
-         "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
-         "  4 unusable input\n";
-}
-
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) {
@@ -593,49 +428,62 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   bool diag_json = false;
   try {
     const std::string& command = args[0];
-    ParsedFlags flags = parse_flags(args, 1);
+    if (command == "help" || command == "--help") {
+      out << usage();
+      return 0;
+    }
+    if (command == "version" || command == "--version") {
+      out << "netrev " << version() << '\n';
+      return 0;
+    }
+    const CommandSpec* spec = find_command(command);
+    if (spec == nullptr) {
+      err << "unknown command: " << command << "\n" << usage();
+      return 2;
+    }
+    ParsedFlags flags = parse_flags(*spec, args, 1);
+    if (flags.version) {
+      out << "netrev " << version() << '\n';
+      return 0;
+    }
     if (flags.max_errors) diags.set_max_errors(*flags.max_errors);
-    flags.diags = &diags;
     diag_json = flags.diag_json;
     if (flags.jobs) ThreadPool::set_global_jobs(*flags.jobs);
     if (flags.profile) perf::Profiler::global().enable();
 
-    const auto dispatch = [&]() -> std::optional<int> {
+    Session session(config_from(flags));
+    flags.diags = &diags;
+    flags.session = &session;
+
+    const int rc = [&] {
       if (command == "stats") return cmd_stats(flags, out);
       if (command == "reference") return cmd_reference(flags, out);
       if (command == "identify") return cmd_identify(flags, out);
       if (command == "reduce") return cmd_reduce(flags, out);
       if (command == "evaluate") return cmd_evaluate(flags, out);
       if (command == "lint") return cmd_lint(flags, out);
+      if (command == "batch") return cmd_batch(flags, out);
       if (command == "propagate") return cmd_propagate(flags, out);
       if (command == "generate") return cmd_generate(flags, out);
       if (command == "scan") return cmd_scan(flags, out);
       if (command == "dot") return cmd_dot(flags, out);
       if (command == "table") return cmd_table(flags, out);
-      return std::nullopt;
-    };
-    const std::optional<int> rc = dispatch();
-    if (rc) {
-      if (flags.profile) {
-        // Render while still enabled (total = elapsed since enable), then
-        // disable so a later run_cli call in the same process starts clean.
-        out << (flags.profile_json
-                    ? perf::Profiler::global().render_json() + "\n"
-                    : perf::Profiler::global().render_text());
-        perf::Profiler::global().disable();
-      }
-      if (flags.diag_json) out << diags.to_json() << '\n';
-      // A permissive run that succeeded but collected diagnostics signals
-      // "recovered with warnings" so scripts can tell it from a clean pass.
-      if (*rc == 0 && flags.permissive && !diags.empty()) return 3;
-      return *rc;
+      throw std::logic_error("command in table but not dispatched: " +
+                             command);
+    }();
+    if (flags.profile) {
+      // Render while still enabled (total = elapsed since enable), then
+      // disable so a later run_cli call in the same process starts clean.
+      out << (flags.profile_json
+                  ? perf::Profiler::global().render_json() + "\n"
+                  : perf::Profiler::global().render_text());
+      perf::Profiler::global().disable();
     }
-    if (command == "help" || command == "--help") {
-      out << usage();
-      return 0;
-    }
-    err << "unknown command: " << command << "\n" << usage();
-    return 2;
+    if (flags.diag_json) out << diags.to_json() << '\n';
+    // A permissive run that succeeded but collected diagnostics signals
+    // "recovered with warnings" so scripts can tell it from a clean pass.
+    if (rc == 0 && flags.permissive && !diags.empty()) return 3;
+    return rc;
   } catch (const UnusableInputError& error) {
     perf::Profiler::global().disable();
     if (diag_json) out << diags.to_json() << '\n';

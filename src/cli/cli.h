@@ -1,15 +1,10 @@
 // Command-line driver for the library (the `netrev` tool).
 //
-// Subcommands:
-//   stats <netlist.v|bench>                      size/type/depth statistics
-//   reference <netlist>                          golden reference words
-//   identify <netlist> [--base] [--json]
-//            [--depth N] [--max-assign N] [--cross-group]
-//   reduce <netlist> --assign NET=0|1 ... [-o out.v]
-//   propagate <netlist> [--json]                 word propagation from Ours
-//   generate <bXXs> [-o dir]                     emit a family benchmark
-//   scan <netlist> [-o out.v]                    insert a scan chain
-//   table [bXXs ...] [--json]                    Table 1 rows
+// Subcommands and their flags are declared in cli/options.h (one table
+// drives the parser AND the generated usage()); run `netrev help` for the
+// authoritative list.  Every subcommand routes design loading and the
+// pipeline stages through one netrev::Session, so `netrev batch` and the
+// single-design commands share the content-addressed artifact cache.
 //
 // Netlist files ending in ".bench" are read as ISCAS bench format, anything
 // else as structural Verilog.  A name matching a family benchmark (b03s..)

@@ -1,0 +1,289 @@
+#include "cli/options.h"
+
+#include <stdexcept>
+
+#include "common/text.h"
+
+namespace netrev::cli {
+
+namespace {
+
+diag::Severity parse_fail_on(const std::string& value) {
+  if (value == "note") return diag::Severity::kNote;
+  if (value == "warning") return diag::Severity::kWarning;
+  if (value == "error") return diag::Severity::kError;
+  throw std::invalid_argument(
+      "--fail-on expects note, warning, or error; got '" + value + "'");
+}
+
+const FlagSpec& spec_for(FlagId id) {
+  for (const FlagSpec& spec : flag_table())
+    if (spec.id == id) return spec;
+  throw std::logic_error("flag missing from flag_table()");
+}
+
+bool command_accepts(const CommandSpec& command, FlagId id) {
+  for (FlagId allowed : command.flags)
+    if (allowed == id) return true;
+  return false;
+}
+
+void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
+                const std::string& value) {
+  switch (spec.id) {
+    case FlagId::kBase:
+      flags.base = true;
+      break;
+    case FlagId::kJson:
+      flags.json = true;
+      break;
+    case FlagId::kCrossGroup:
+      flags.cross_group = true;
+      break;
+    case FlagId::kTrace:
+      flags.trace = true;
+      break;
+    case FlagId::kDepth:
+      flags.depth = std::stoul(value);
+      break;
+    case FlagId::kMaxAssign:
+      flags.max_assign = std::stoul(value);
+      break;
+    case FlagId::kOutput:
+      flags.output = value;
+      break;
+    case FlagId::kAssign: {
+      const auto eq = value.find('=');
+      if (eq == std::string::npos || eq + 2 != value.size() ||
+          (value[eq + 1] != '0' && value[eq + 1] != '1'))
+        throw std::invalid_argument("--assign expects NET=0 or NET=1, got '" +
+                                    value + "'");
+      flags.assignments.emplace_back(value.substr(0, eq), value[eq + 1] == '1');
+      break;
+    }
+    case FlagId::kRules:
+      for (const std::string& id : split(value, ','))
+        if (!trim(id).empty()) flags.rules.emplace_back(trim(id));
+      break;
+    case FlagId::kFailOn:
+      flags.fail_on = parse_fail_on(value);
+      break;
+    case FlagId::kKeepGoing:
+      flags.keep_going = true;
+      break;
+    case FlagId::kJobs:
+      flags.jobs = std::stoul(value);
+      if (*flags.jobs == 0)
+        throw std::invalid_argument("--jobs expects a positive thread count");
+      break;
+    case FlagId::kProfile:
+      flags.profile = true;
+      break;
+    case FlagId::kPermissive:
+      flags.permissive = true;
+      break;
+    case FlagId::kDiagJson:
+      flags.diag_json = true;
+      break;
+    case FlagId::kMaxErrors:
+      flags.max_errors = std::stoul(value);
+      break;
+    case FlagId::kVersion:
+      flags.version = true;
+      break;
+  }
+}
+
+}  // namespace
+
+const std::vector<FlagSpec>& flag_table() {
+  static const std::vector<FlagSpec> table = {
+      {FlagId::kBase, "--base", nullptr, false, nullptr,
+       "use the shape-hashing baseline technique", false},
+      {FlagId::kJson, "--json", nullptr, false, nullptr,
+       "machine-readable JSON output", false},
+      {FlagId::kCrossGroup, "--cross-group", nullptr, false, nullptr,
+       "enable cross-group checking", false},
+      {FlagId::kTrace, "--trace", nullptr, false, nullptr,
+       "narrate identification decisions", false},
+      {FlagId::kDepth, "--depth", nullptr, true, "N",
+       "fan-in cone depth bound", false},
+      {FlagId::kMaxAssign, "--max-assign", nullptr, true, "N",
+       "max simultaneous control assignments", false},
+      {FlagId::kOutput, "--output", "-o", true, "PATH",
+       "write output to PATH", false},
+      {FlagId::kAssign, "--assign", nullptr, true, "NET=V",
+       "assign NET=0|1 (repeatable)", false},
+      {FlagId::kRules, "--rules", nullptr, true, "a,b",
+       "comma-separated lint rule ids", false},
+      {FlagId::kFailOn, "--fail-on", nullptr, true, "SEV",
+       "lint failure threshold: note|warning|error", false},
+      {FlagId::kKeepGoing, "--keep-going", nullptr, false, nullptr,
+       "run every batch entry despite failures", false},
+      {FlagId::kJobs, "--jobs", "-j", true, "N",
+       "thread count for the parallel pipeline stages (default: NETREV_JOBS "
+       "env var, else all cores; results are identical at any value)",
+       true},
+      {FlagId::kProfile, "--profile", nullptr, false, nullptr,
+       "print the stage-profile tree after the command (--profile=json for "
+       "JSON on the last line)",
+       true},
+      {FlagId::kPermissive, "--permissive", nullptr, false, nullptr,
+       "recover from parse errors and repair the netlist", true},
+      {FlagId::kDiagJson, "--diag-json", nullptr, false, nullptr,
+       "print collected diagnostics as JSON", true},
+      {FlagId::kMaxErrors, "--max-errors", nullptr, true, "N",
+       "stop recovery after N errors", true},
+      {FlagId::kVersion, "--version", nullptr, false, nullptr,
+       "print the netrev version and exit", true},
+  };
+  return table;
+}
+
+const std::vector<CommandSpec>& command_table() {
+  static const std::vector<CommandSpec> table = {
+      {"stats", "<design>", "design statistics", {}},
+      {"reference", "<design>", "golden reference words", {}},
+      {"identify", "<design>", "control-signal word identification",
+       {FlagId::kBase, FlagId::kJson, FlagId::kTrace, FlagId::kDepth,
+        FlagId::kMaxAssign, FlagId::kCrossGroup}},
+      {"reduce", "<design>", "apply control assignments and reduce",
+       {FlagId::kAssign, FlagId::kOutput, FlagId::kDepth, FlagId::kMaxAssign}},
+      {"evaluate", "<design>", "compare identified words vs reference",
+       {FlagId::kBase, FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign,
+        FlagId::kCrossGroup}},
+      {"lint", "<design>",
+       "static-analysis findings; exit 1 at/above --fail-on (default error); "
+       "files always load permissively",
+       {FlagId::kRules, FlagId::kFailOn}},
+      {"propagate", "<design>", "word propagation",
+       {FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup}},
+      {"batch", "<spec> ...",
+       "run parse/lint/identify/evaluate over many designs (specs: designs, "
+       "globs, or manifest files); artifacts are cached across entries",
+       {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
+        FlagId::kMaxAssign, FlagId::kCrossGroup}},
+      {"generate", "<bXXs>", "emit family benchmark", {FlagId::kOutput}},
+      {"scan", "<design>", "insert scan chain", {FlagId::kOutput}},
+      {"dot", "<design>", "GraphViz with identified words highlighted",
+       {FlagId::kDepth, FlagId::kOutput}},
+      {"table", "[bXXs ...]", "Table 1 rows",
+       {FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign,
+        FlagId::kCrossGroup}},
+  };
+  return table;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& command : command_table())
+    if (name == command.name) return &command;
+  return nullptr;
+}
+
+ParsedFlags parse_flags(const CommandSpec& command,
+                        const std::vector<std::string>& args,
+                        std::size_t start) {
+  ParsedFlags flags;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.empty() || arg[0] != '-') {
+      flags.positional.push_back(arg);
+      continue;
+    }
+    // The one flag with an optional value.
+    if (arg == "--profile=json") {
+      flags.profile = true;
+      flags.profile_json = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string head = arg.substr(0, eq);
+    std::optional<std::string> inline_value;
+    if (eq != std::string::npos) inline_value = arg.substr(eq + 1);
+
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& candidate : flag_table()) {
+      if (head == candidate.name ||
+          (candidate.alias != nullptr && head == candidate.alias)) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) throw std::invalid_argument("unknown flag: " + arg);
+    if (!spec->global && !command_accepts(command, spec->id))
+      throw std::invalid_argument(std::string(spec->name) +
+                                  " is not valid for '" + command.name + "'");
+
+    std::string value;
+    if (spec->takes_value) {
+      if (inline_value) {
+        value = *inline_value;
+      } else {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument(std::string(spec->name) +
+                                      " needs a value");
+        value = args[++i];
+      }
+    } else if (inline_value) {
+      throw std::invalid_argument(std::string(spec->name) +
+                                  " does not take a value");
+    }
+    apply_flag(flags, *spec, value);
+  }
+  return flags;
+}
+
+std::string usage() {
+  std::string out = "usage: netrev <command> [args]\n";
+  for (const CommandSpec& command : command_table()) {
+    std::string line = "  ";
+    line += command.name;
+    if (command.args[0] != '\0') {
+      line += ' ';
+      line += command.args;
+    }
+    for (FlagId id : command.flags) {
+      const FlagSpec& spec = spec_for(id);
+      line += " [";
+      line += spec.name;
+      if (spec.takes_value) {
+        line += ' ';
+        line += spec.value_name;
+      }
+      line += ']';
+    }
+    out += line + "\n";
+    out += "      ";
+    out += command.summary;
+    out += "\n";
+  }
+  out += "(<design> = family name, .bench file, or Verilog file)\n";
+  out += "global flags:\n";
+  for (const FlagSpec& spec : flag_table()) {
+    if (!spec.global) continue;
+    std::string line = "  ";
+    line += spec.name;
+    if (spec.takes_value) {
+      line += ' ';
+      line += spec.value_name;
+    }
+    if (spec.alias != nullptr) {
+      line += " | ";
+      line += spec.alias;
+      if (spec.takes_value) {
+        line += ' ';
+        line += spec.value_name;
+      }
+    }
+    out += line + "\n";
+    out += "      ";
+    out += spec.help;
+    out += "\n";
+  }
+  out +=
+      "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
+      "  4 unusable input\n";
+  return out;
+}
+
+}  // namespace netrev::cli

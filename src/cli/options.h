@@ -1,0 +1,104 @@
+// Table-driven CLI option parsing.
+//
+// Every flag netrev accepts is declared exactly once in flag_table(), and
+// every subcommand in command_table() lists which flags apply to it.  The
+// parser, the per-command applicability check, and usage() are all generated
+// from the same two tables, so help text cannot drift from what the parser
+// actually accepts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/diagnostics.h"
+
+namespace netrev {
+class Session;
+}
+
+namespace netrev::cli {
+
+enum class FlagId {
+  // Command-specific flags.
+  kBase,
+  kJson,
+  kCrossGroup,
+  kTrace,
+  kDepth,
+  kMaxAssign,
+  kOutput,
+  kAssign,
+  kRules,
+  kFailOn,
+  kKeepGoing,
+  // Global flags (valid for every command).
+  kJobs,
+  kProfile,
+  kPermissive,
+  kDiagJson,
+  kMaxErrors,
+  kVersion,
+};
+
+struct FlagSpec {
+  FlagId id;
+  const char* name;        // "--base"
+  const char* alias;       // short form ("-j") or nullptr
+  bool takes_value;        // expects "--flag value" or "--flag=value"
+  const char* value_name;  // metavariable for usage(), e.g. "N"
+  const char* help;        // one-line description for usage()
+  bool global;             // applies to every command
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* args;     // positional signature, e.g. "<design>"
+  const char* summary;  // one-line description for usage()
+  std::vector<FlagId> flags;  // applicable command-specific flags
+};
+
+const std::vector<FlagSpec>& flag_table();
+const std::vector<CommandSpec>& command_table();
+// nullptr when `name` is not a known subcommand.
+const CommandSpec* find_command(const std::string& name);
+
+// The parse result every subcommand consumes.
+struct ParsedFlags {
+  std::vector<std::string> positional;
+  bool base = false;
+  bool json = false;
+  bool cross_group = false;
+  bool trace = false;
+  bool permissive = false;
+  bool diag_json = false;
+  bool profile = false;       // --profile: print the stage tree (text)
+  bool profile_json = false;  // --profile=json: print it as JSON
+  bool keep_going = false;    // batch --keep-going
+  bool version = false;       // --version: print version and exit
+  std::optional<std::size_t> jobs;
+  std::optional<std::size_t> depth;
+  std::optional<std::size_t> max_assign;
+  std::optional<std::size_t> max_errors;
+  std::optional<std::string> output;
+  std::vector<std::pair<std::string, bool>> assignments;
+  std::vector<std::string> rules;         // lint --rules a,b,c
+  std::optional<diag::Severity> fail_on;  // lint --fail-on=...
+  // Non-owning; set by run_cli before dispatch.
+  diag::Diagnostics* diags = nullptr;
+  Session* session = nullptr;
+};
+
+// Parses args[start..] against `command`'s flag set.  Throws
+// std::invalid_argument on unknown flags, missing values, malformed values,
+// and flags that are not valid for this command.
+ParsedFlags parse_flags(const CommandSpec& command,
+                        const std::vector<std::string>& args,
+                        std::size_t start);
+
+// Generated from flag_table() + command_table().
+std::string usage();
+
+}  // namespace netrev::cli

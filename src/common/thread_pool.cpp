@@ -90,7 +90,15 @@ void ThreadPool::run_participant(Job& job, std::size_t self) {
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(job.shard_mutex);
-      if (job.cancelled) return;
+      if (job.cancelled) {
+        // Deterministic winner: an index below the recorded exception could
+        // still throw at a lower index, so that work must run; only the
+        // indices at or above the current winner are abandoned.
+        for (Shard& shard : job.shards) {
+          shard.end = std::min(shard.end, job.exception_index);
+          shard.next = std::min(shard.next, shard.end);
+        }
+      }
       Shard& own = job.shards[self % shard_count];
       if (own.next < own.end) {
         begin = own.next;

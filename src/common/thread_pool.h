@@ -16,9 +16,11 @@
 //     per participant; a participant that drains its shard steals the back
 //     half of the fullest remaining shard.  Imbalanced iteration costs (one
 //     group with a huge fanin cone) therefore do not serialize the stage.
-//   * Exceptions: every participant's first exception is captured; after the
-//     join, the exception with the lowest iteration index is rethrown on the
-//     caller.  At jobs=1 this degenerates to ordinary serial throw semantics.
+//   * Exceptions: after the join, the exception thrown at the lowest
+//     iteration index is rethrown on the caller — deterministically: once an
+//     exception is recorded, only the indices above it are abandoned, so any
+//     lower-index throw still gets its chance to become the winner.  At
+//     jobs=1 this degenerates to ordinary serial throw semantics.
 #pragma once
 
 #include <condition_variable>

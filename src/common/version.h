@@ -1,0 +1,12 @@
+// Build identity, injected by CMake from project(netrev VERSION ...).
+//
+// Batch JSON records this string per run so corpus results can always be
+// traced back to the build that produced them (`netrev --version` prints it).
+#pragma once
+
+namespace netrev {
+
+// "MAJOR.MINOR.PATCH" of the build, e.g. "0.4.0".
+const char* version();
+
+}  // namespace netrev

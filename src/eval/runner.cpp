@@ -25,6 +25,24 @@ TechniqueRun run_baseline(const netlist::Netlist& nl,
   return run;
 }
 
+TechniqueRun technique_run(const wordrec::IdentifyResult& result,
+                           double seconds) {
+  TechniqueRun run;
+  run.words = result.words;
+  run.seconds = seconds;
+  run.control_signals = result.used_control_signals.size();
+  run.stats = result.stats;
+  return run;
+}
+
+TechniqueRun technique_run(const wordrec::WordSet& baseline_words,
+                           double seconds) {
+  TechniqueRun run;
+  run.words = baseline_words;
+  run.seconds = seconds;
+  return run;
+}
+
 TechniqueRun run_ours(const netlist::Netlist& nl,
                       const wordrec::Options& options) {
   TechniqueRun run;

@@ -8,6 +8,12 @@
 //   G12 = NOT(G11)
 //
 // Like the Verilog reader, line order is preserved as gate order.
+//
+// NOTE: calling a format-specific parse_*_file directly from application
+// code is the deprecated pattern — netrev::Session::load_netlist
+// (pipeline/session.h) dispatches on the spec, caches the parse, and layers
+// repair/validation on top.  These entry points remain for the parser layer
+// itself and its tests.
 #pragma once
 
 #include <string>

@@ -14,6 +14,12 @@
 //
 // Gate order in the returned netlist equals statement order in the file,
 // which is what the §2.2 grouping pass keys on.
+//
+// NOTE: calling a format-specific parse_*_file directly from application
+// code is the deprecated pattern — netrev::Session::load_netlist
+// (pipeline/session.h) dispatches on the spec, caches the parse, and layers
+// repair/validation on top.  These entry points remain for the parser layer
+// itself and its tests.
 #pragma once
 
 #include <string>

@@ -1,0 +1,109 @@
+// Content-addressed in-memory artifact cache for the batch pipeline.
+//
+// Artifacts (parsed netlists, repaired designs, identification results,
+// reference extractions, analysis reports, rendered JSON) are immutable and
+// shared via shared_ptr<const T>.  Keys are (stage, content hash, options
+// fingerprint) — see pipeline/fingerprint.h for the hashing rules — so
+// repeated stages over the same design are computed once and reused across
+// identify/evaluate/lint of one batch and across repeated batch runs in one
+// process.
+//
+// Thread-safe: lookups and stores take one mutex; compute callbacks run
+// OUTSIDE the lock, so two threads racing on the same cold key may both
+// compute — the first store wins and both callers observe the stored
+// artifact.  Artifacts are deterministic functions of their key, so the race
+// is only duplicated work, never divergent results.
+//
+// Hit/miss totals are mirrored into perf::Profiler::global() as the
+// "cache.hits" / "cache.misses" counters (visible under --profile[=json]).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+
+#include "pipeline/fingerprint.h"
+
+namespace netrev::pipeline {
+
+struct ArtifactKey {
+  std::string stage;          // "parse", "load", "identify", ...
+  std::uint64_t content = 0;  // content hash of the input
+  std::uint64_t options = 0;  // fingerprint of the stage options
+
+  bool operator==(const ArtifactKey& other) const = default;
+};
+
+struct ArtifactKeyHash {
+  std::size_t operator()(const ArtifactKey& key) const {
+    return static_cast<std::size_t>(
+        mix(mix(fnv1a64(key.stage), key.content), key.options));
+  }
+};
+
+class ArtifactCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 512;
+
+  explicit ArtifactCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  // The process-wide cache the CLI and batch engine share, so repeated runs
+  // in one process (in-process batch reruns, library embedders) reuse work.
+  static ArtifactCache& global();
+
+  // Returns the cached artifact for `key`, or runs `compute`, stores its
+  // result, and returns the stored artifact (the first store for a key wins,
+  // so concurrent callers converge on one shared object).  A throwing
+  // compute stores nothing.  Throws std::logic_error if `key` was previously
+  // stored with a different artifact type.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> get_or_compute(const ArtifactKey& key,
+                                          Fn&& compute) {
+    if (auto hit = lookup(key, typeid(T)))
+      return std::static_pointer_cast<const T>(hit);
+    std::shared_ptr<const T> made = compute();
+    return std::static_pointer_cast<const T>(
+        store(key, std::move(made), typeid(T)));
+  }
+
+  // Counters (process lifetime; clear() does not reset them).
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+    std::uint64_t order = 0;  // insertion order, for FIFO eviction
+  };
+
+  std::shared_ptr<const void> lookup(const ArtifactKey& key,
+                                     const std::type_info& type);
+  std::shared_ptr<const void> store(const ArtifactKey& key,
+                                    std::shared_ptr<const void> value,
+                                    const std::type_info& type);
+  void evict_oldest_locked();
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<ArtifactKey, Entry, ArtifactKeyHash> entries_;
+  std::uint64_t next_order_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace netrev::pipeline

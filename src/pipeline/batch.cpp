@@ -1,0 +1,239 @@
+#include "pipeline/batch.h"
+
+#include <limits>
+
+#include "common/thread_pool.h"
+#include "common/version.h"
+#include "eval/diagnose.h"
+#include "eval/report.h"
+#include "pipeline/session.h"
+
+namespace netrev::pipeline {
+
+namespace {
+
+struct EntryState {
+  BatchEntry out;
+  diag::Diagnostics diags;
+  LoadedDesign design;
+  bool active = true;  // still progressing through waves
+};
+
+void fail(EntryState& state, const char* stage, const std::string& message) {
+  state.out.status = EntryStatus::kFailed;
+  state.out.failed_stage = stage;
+  state.out.error = message;
+  state.active = false;
+}
+
+// Without --keep-going, the FIRST failure in input order ends the batch:
+// every later entry still active is marked skipped.  Earlier entries (and
+// entries that raced ahead before the failure surfaced) keep their results,
+// so the outcome is deterministic at any job count.
+void apply_skip_rule(std::vector<EntryState>& states, bool keep_going) {
+  if (keep_going) return;
+  std::size_t first_failed = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].out.status == EntryStatus::kFailed) {
+      first_failed = i;
+      break;
+    }
+  }
+  if (first_failed == std::numeric_limits<std::size_t>::max()) return;
+  for (std::size_t i = first_failed + 1; i < states.size(); ++i) {
+    if (!states[i].active) continue;
+    states[i].active = false;
+    states[i].out.status = EntryStatus::kSkipped;
+  }
+}
+
+const char* status_name(EntryStatus status) {
+  switch (status) {
+    case EntryStatus::kOk:
+      return "ok";
+    case EntryStatus::kFailed:
+      return "failed";
+    case EntryStatus::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& text) {
+  return eval::json_escape(text);
+}
+
+}  // namespace
+
+BatchResult run_batch(const std::vector<std::string>& specs,
+                      const BatchOptions& options) {
+  Session session(options.config, options.cache);
+  ArtifactCache& cache = session.cache();
+  const std::uint64_t hits_before = cache.hits();
+  const std::uint64_t misses_before = cache.misses();
+
+  std::vector<EntryState> states(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    states[i].out.spec = specs[i];
+    states[i].diags.set_max_errors(options.max_errors);
+  }
+
+  // One wave = one stage over every still-active entry, in parallel.  All
+  // failure modes become per-entry records; nothing escapes a wave.
+  const auto wave = [&](const char* stage, auto&& body) {
+    parallel_for(0, states.size(), [&](std::size_t i) {
+      EntryState& state = states[i];
+      if (!state.active) return;
+      try {
+        body(state);
+      } catch (const std::exception& error) {
+        fail(state, stage, error.what());
+      }
+    });
+    apply_skip_rule(states, options.keep_going);
+  };
+
+  wave("load", [&](EntryState& state) {
+    state.design =
+        session.load_netlist(state.out.spec, options.config.parse, state.diags);
+  });
+
+  if (options.run_lint) {
+    wave("lint", [&](EntryState& state) {
+      const auto analysis = session.analyze(state.design);
+      state.out.analysis_json =
+          eval::analysis_to_json(state.design.nl(), *analysis);
+      state.out.lint_errors = analysis->error_count();
+      state.out.lint_warnings = analysis->warning_count();
+      state.out.lint_notes = analysis->note_count();
+    });
+  }
+
+  wave("identify", [&](EntryState& state) {
+    state.out.identify_json = session.identify_json(state.design);
+    if (options.config.use_baseline) {
+      const auto words = session.identify_baseline(state.design);
+      state.out.multibit_words = words->count_multibit();
+    } else {
+      const auto result = session.identify(state.design);
+      state.out.multibit_words = result->words.count_multibit();
+      state.out.control_signals = result->used_control_signals.size();
+    }
+  });
+
+  if (options.run_evaluate) {
+    wave("evaluate", [&](EntryState& state) {
+      const auto reference = session.reference(state.design);
+      // A design whose flop names carry no indices has nothing to evaluate
+      // against; that is a property of the input, not a failure.
+      if (reference->words.empty()) return;
+      const eval::Diagnosis diagnosis =
+          options.config.use_baseline
+              ? eval::diagnose(state.design.nl(),
+                               *session.identify_baseline(state.design),
+                               *reference)
+              : eval::diagnose(state.design.nl(),
+                               session.identify(state.design)->words,
+                               *reference);
+      state.out.evaluation_json =
+          eval::evaluation_to_json(diagnosis.summary, reference->words);
+    });
+  }
+
+  BatchResult result;
+  result.entries.reserve(states.size());
+  for (EntryState& state : states) {
+    if (!state.diags.empty())
+      state.out.diagnostics_json = state.diags.to_json();
+    switch (state.out.status) {
+      case EntryStatus::kOk:
+        ++result.ok;
+        break;
+      case EntryStatus::kFailed:
+        ++result.failed;
+        break;
+      case EntryStatus::kSkipped:
+        ++result.skipped;
+        break;
+    }
+    result.entries.push_back(std::move(state.out));
+  }
+  result.cache_hits = cache.hits() - hits_before;
+  result.cache_misses = cache.misses() - misses_before;
+  return result;
+}
+
+std::string BatchResult::to_json() const {
+  std::string out = "{\"version\":\"";
+  out += json_escape(version());
+  out += "\",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BatchEntry& entry = entries[i];
+    if (i > 0) out += ",";
+    out += "{\"design\":\"" + json_escape(entry.spec) + "\",\"status\":\"";
+    out += status_name(entry.status);
+    out += "\"";
+    switch (entry.status) {
+      case EntryStatus::kOk:
+        out += ",\"identify\":" + entry.identify_json;
+        out += ",\"analysis\":";
+        out += entry.analysis_json.empty() ? "null" : entry.analysis_json;
+        out += ",\"evaluation\":";
+        out += entry.evaluation_json.empty() ? "null" : entry.evaluation_json;
+        out += ",\"diagnostics\":";
+        out += entry.diagnostics_json.empty() ? "null" : entry.diagnostics_json;
+        out += ",\"words\":" + std::to_string(entry.multibit_words);
+        out +=
+            ",\"control_signals\":" + std::to_string(entry.control_signals);
+        break;
+      case EntryStatus::kFailed:
+        out += ",\"stage\":\"" + json_escape(entry.failed_stage) + "\"";
+        out += ",\"error\":\"" + json_escape(entry.error) + "\"";
+        out += ",\"diagnostics\":";
+        out += entry.diagnostics_json.empty() ? "null" : entry.diagnostics_json;
+        break;
+      case EntryStatus::kSkipped:
+        break;
+    }
+    out += "}";
+  }
+  out += "],\"summary\":{\"total\":" + std::to_string(entries.size());
+  out += ",\"ok\":" + std::to_string(ok);
+  out += ",\"failed\":" + std::to_string(failed);
+  out += ",\"skipped\":" + std::to_string(skipped);
+  out += "}}";
+  return out;
+}
+
+std::string BatchResult::render_text() const {
+  std::string out;
+  for (const BatchEntry& entry : entries) {
+    out += entry.spec;
+    out += ": ";
+    switch (entry.status) {
+      case EntryStatus::kOk:
+        out += "ok, " + std::to_string(entry.multibit_words) + " word(s), " +
+               std::to_string(entry.control_signals) + " control signal(s)";
+        if (!entry.analysis_json.empty())
+          out += ", lint " + std::to_string(entry.lint_errors) +
+                 " error(s) / " + std::to_string(entry.lint_warnings) +
+                 " warning(s)";
+        break;
+      case EntryStatus::kFailed:
+        out += "FAILED at " + entry.failed_stage + ": " + entry.error;
+        break;
+      case EntryStatus::kSkipped:
+        out += "skipped";
+        break;
+    }
+    out += "\n";
+  }
+  out += "batch: " + std::to_string(entries.size()) + " total, " +
+         std::to_string(ok) + " ok, " + std::to_string(failed) + " failed, " +
+         std::to_string(skipped) + " skipped; cache: " +
+         std::to_string(cache_hits) + " hit(s), " +
+         std::to_string(cache_misses) + " miss(es)\n";
+  return out;
+}
+
+}  // namespace netrev::pipeline

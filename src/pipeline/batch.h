@@ -1,0 +1,90 @@
+// Batch pipeline engine: parse -> repair -> lint -> identify -> evaluate
+// over many netlists, scheduled wave-by-wave on the shared ThreadPool and
+// routed through one Session so artifacts (parses, identifications,
+// references, analyses) are computed once per distinct input.
+//
+// Determinism contract: per-entry results are index-addressed and the
+// output (JSON and text) is byte-identical at any job count and on warm
+// cache re-runs.  For that reason the JSON deliberately carries no timing
+// and no cache statistics — those go to perf counters ("cache.hits",
+// "cache.misses") and the text summary instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "pipeline/artifact_cache.h"
+#include "pipeline/run_config.h"
+
+namespace netrev::pipeline {
+
+struct BatchOptions {
+  RunConfig config;
+
+  // Record per-entry failures but keep running every entry.  Off by
+  // default: the first failure (in input order) marks all later entries
+  // skipped — deterministically, regardless of which entries had already
+  // raced ahead on other threads.
+  bool keep_going = false;
+
+  bool run_lint = true;
+  bool run_evaluate = true;
+
+  // Per-entry diagnostics error budget (CLI --max-errors).
+  std::size_t max_errors = diag::Diagnostics::kDefaultMaxErrors;
+
+  // Cache to route artifacts through; null = the process-global cache.
+  ArtifactCache* cache = nullptr;
+};
+
+enum class EntryStatus { kOk, kFailed, kSkipped };
+
+struct BatchEntry {
+  std::string spec;
+  EntryStatus status = EntryStatus::kOk;
+
+  // Failure record (status == kFailed).
+  std::string failed_stage;  // "load" | "lint" | "identify" | "evaluate"
+  std::string error;
+
+  // Stage outputs (status == kOk; empty when the stage did not run).
+  // identify_json is byte-identical to `netrev identify <spec> --json`.
+  std::string identify_json;
+  std::string analysis_json;
+  std::string evaluation_json;  // empty when the design has no reference words
+  std::string diagnostics_json;  // empty when no diagnostics were collected
+
+  std::size_t multibit_words = 0;
+  std::size_t control_signals = 0;  // 0 for the baseline technique
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  std::size_t lint_notes = 0;
+};
+
+struct BatchResult {
+  std::vector<BatchEntry> entries;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+
+  // Cache traffic attributable to this run (lookups during the run).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  bool all_ok() const { return failed == 0 && skipped == 0; }
+
+  // {"version":...,"entries":[...],"summary":{...}} — stable bytes: no
+  // timing, no cache statistics.
+  std::string to_json() const;
+  // Human-readable per-entry lines plus a summary with cache statistics.
+  std::string render_text() const;
+};
+
+// Runs the batch over already-expanded specs (see manifest.h).  Per-entry
+// failures never throw out of this function; spec-expansion errors do.
+BatchResult run_batch(const std::vector<std::string>& specs,
+                      const BatchOptions& options = {});
+
+}  // namespace netrev::pipeline

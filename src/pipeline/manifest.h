@@ -1,0 +1,37 @@
+// Batch input expansion: manifests and globs.
+//
+// `netrev batch` accepts a mixed list of specs; each one is either
+//   - a family benchmark name or netlist file  -> passed through,
+//   - a glob over the final path component     -> expanded (sorted),
+//   - any other existing file                  -> read as a manifest:
+//     one spec per line, `#` starts a comment, blank lines ignored.
+//     Relative entries resolve against the manifest's directory when a
+//     file exists there (so manifests travel with their netlists).
+//
+// Expansion is deterministic: glob matches are sorted, manifest order is
+// preserved, and unknown specs pass through untouched so they surface as
+// per-entry load failures instead of killing the whole batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netrev::pipeline {
+
+// True if `text` matches `pattern`, where `*` matches any run (including
+// empty) and `?` matches exactly one character.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+// Expands a glob whose final path component may contain `*`/`?` into the
+// sorted list of matching paths.  Throws std::invalid_argument when the
+// pattern matches nothing (a silently-empty batch hides typos).
+std::vector<std::string> expand_glob(const std::string& pattern);
+
+// Reads a manifest file into its spec list.  Throws std::runtime_error if
+// the file cannot be opened.
+std::vector<std::string> read_manifest(const std::string& path);
+
+// Expands every spec per the rules above into the final batch entry list.
+std::vector<std::string> expand_specs(const std::vector<std::string>& specs);
+
+}  // namespace netrev::pipeline

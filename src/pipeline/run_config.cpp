@@ -1,0 +1,19 @@
+#include "pipeline/run_config.h"
+
+#include "pipeline/fingerprint.h"
+
+namespace netrev {
+
+std::uint64_t RunConfig::parse_fingerprint(std::size_t max_errors) const {
+  return pipeline::fingerprint(parse, max_errors);
+}
+
+std::uint64_t RunConfig::wordrec_fingerprint() const {
+  return pipeline::fingerprint(wordrec);
+}
+
+std::uint64_t RunConfig::analysis_fingerprint() const {
+  return pipeline::fingerprint(analysis);
+}
+
+}  // namespace netrev

@@ -1,0 +1,41 @@
+// One configuration object for a whole pipeline run.
+//
+// RunConfig consolidates the per-stage option structs that call sites used
+// to plumb individually (parser::ParseOptions, wordrec::Options,
+// analysis::AnalysisOptions) plus the technique selector, so the CLI, the
+// batch engine, and library embedders configure a netrev::Session in one
+// place and cache keys can be derived uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/rule.h"
+#include "parser/parse_options.h"
+#include "wordrec/options.h"
+
+namespace netrev {
+
+struct RunConfig {
+  // How inputs are parsed (permissive recovery, resource limits).  The
+  // filename field is set per load; leave it empty here.
+  parser::ParseOptions parse;
+
+  // The word-identification knobs (§2 of the paper).
+  wordrec::Options wordrec;
+
+  // Static-analysis / lint knobs.
+  analysis::AnalysisOptions analysis;
+
+  // Identify with the shape-hashing baseline instead of the paper's
+  // control-signal technique ("Base" vs "Ours" in Table 1).
+  bool use_baseline = false;
+
+  // Fingerprints of the option subsets, as used in artifact-cache keys.
+  // `max_errors` is the diagnostics sink's error budget (it bounds what a
+  // permissive parse recovers, so it is part of the parse fingerprint).
+  std::uint64_t parse_fingerprint(std::size_t max_errors) const;
+  std::uint64_t wordrec_fingerprint() const;
+  std::uint64_t analysis_fingerprint() const;
+};
+
+}  // namespace netrev

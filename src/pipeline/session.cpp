@@ -1,0 +1,310 @@
+#include "pipeline/session.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyzer.h"
+#include "eval/report.h"
+#include "itc/family.h"
+#include "netlist/repair.h"
+#include "netlist/validate.h"
+#include "parser/bench_parser.h"
+#include "parser/verilog_parser.h"
+#include "perf/profile.h"
+#include "pipeline/fingerprint.h"
+#include "wordrec/baseline.h"
+
+namespace netrev {
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_family_name(const std::string& name) {
+  try {
+    itc::profile_by_name(name);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+// Re-reports every stored diagnostic into `to`, so a warm (cached) load
+// surfaces exactly the diagnostics the cold load did.
+void replay(const diag::Diagnostics& from, diag::Diagnostics& to) {
+  if (&from == &to) return;
+  for (const diag::Diagnostic& entry : from.entries())
+    to.report(entry.severity, entry.message, entry.location);
+}
+
+}  // namespace
+
+struct Session::ParsedArtifact {
+  netlist::Netlist netlist;
+  diag::Diagnostics diags;
+  std::uint64_t content = 0;   // raw input content hash
+  std::uint64_t identity = 0;  // structural fingerprint of `netlist`
+};
+
+struct Session::LoadArtifact {
+  netlist::Netlist netlist;
+  diag::Diagnostics diags;  // parse + repair + cycle-break + validation
+  std::uint64_t identity = 0;
+  bool usable = true;
+  std::size_t validation_errors = 0;
+};
+
+Session::Session(RunConfig config, pipeline::ArtifactCache* cache)
+    : config_(std::move(config)),
+      cache_(cache != nullptr ? cache : &pipeline::ArtifactCache::global()) {}
+
+LoadedDesign Session::design_from(const std::string& spec,
+                                  std::shared_ptr<const netlist::Netlist> nl,
+                                  bool from_family, bool from_file) const {
+  LoadedDesign design;
+  design.spec = spec;
+  design.identity = pipeline::netlist_fingerprint(*nl);
+  design.netlist = std::move(nl);
+  design.from_family = from_family;
+  design.from_file = from_file;
+  return design;
+}
+
+std::shared_ptr<const Session::ParsedArtifact> Session::parse_artifact(
+    const std::string& spec, const parser::ParseOptions& options,
+    std::size_t max_errors) {
+  if (is_family_name(spec)) {
+    pipeline::ArtifactKey key{"parse", pipeline::fnv1a64("family:" + spec), 0};
+    return cache_->get_or_compute<ParsedArtifact>(key, [&] {
+      auto artifact = std::make_shared<ParsedArtifact>();
+      artifact->netlist = itc::build_benchmark(spec).netlist;
+      artifact->content = key.content;
+      artifact->identity = pipeline::netlist_fingerprint(artifact->netlist);
+      return artifact;
+    });
+  }
+
+  std::ifstream in(spec);
+  if (!in) {
+    if (!options.permissive)
+      throw std::runtime_error("cannot open file: " + spec);
+    // Not cached: readability is an environment fact, not input content.
+    auto artifact = std::make_shared<ParsedArtifact>();
+    artifact->netlist =
+        netlist::Netlist(ends_with(spec, ".bench") ? "bench" : "recovered");
+    artifact->diags.fatal("cannot open file: " + spec, {spec, 0, 0});
+    return artifact;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  parser::ParseOptions parse_options = options;
+  parse_options.filename = spec;
+  pipeline::ArtifactKey key{"parse", pipeline::fnv1a64(source),
+                            pipeline::fingerprint(parse_options, max_errors)};
+  return cache_->get_or_compute<ParsedArtifact>(key, [&] {
+    auto artifact = std::make_shared<ParsedArtifact>();
+    artifact->diags.set_max_errors(max_errors);
+    artifact->netlist =
+        ends_with(spec, ".bench")
+            ? parser::parse_bench(source, parse_options, artifact->diags)
+            : parser::parse_verilog(source, parse_options, artifact->diags);
+    artifact->content = key.content;
+    artifact->identity = pipeline::netlist_fingerprint(artifact->netlist);
+    return artifact;
+  });
+}
+
+LoadedDesign Session::load_netlist(const std::string& spec) {
+  return load_netlist(spec, config_.parse, diags_);
+}
+
+LoadedDesign Session::load_netlist(const std::string& spec,
+                                   const parser::ParseOptions& options) {
+  return load_netlist(spec, options, diags_);
+}
+
+LoadedDesign Session::load_netlist(const std::string& spec,
+                                   const parser::ParseOptions& options,
+                                   diag::Diagnostics& diags) {
+  perf::Stage stage("load");
+  const bool family = is_family_name(spec);
+  auto parsed = parse_artifact(spec, options, diags.max_errors());
+  if (family || !options.permissive) {
+    // Strict parses either succeeded identically or threw above.
+    std::shared_ptr<const netlist::Netlist> nl(parsed, &parsed->netlist);
+    LoadedDesign design = design_from(spec, std::move(nl), family, !family);
+    design.identity = parsed->identity;
+    return design;
+  }
+
+  if (!parsed->diags.usable()) {
+    replay(parsed->diags, diags);
+    throw UnusableInputError("input unusable: " + spec +
+                             " (fatal diagnostics; see --diag-json)");
+  }
+
+  parser::ParseOptions parse_options = options;
+  parse_options.filename = spec;
+  pipeline::ArtifactKey key{
+      "load", parsed->content,
+      pipeline::fingerprint(parse_options, diags.max_errors())};
+  auto loaded = cache_->get_or_compute<LoadArtifact>(key, [&] {
+    auto artifact = std::make_shared<LoadArtifact>();
+    artifact->diags.set_max_errors(diags.max_errors());
+    replay(parsed->diags, artifact->diags);
+    netlist::RepairResult repaired =
+        netlist::repair(parsed->netlist, artifact->diags);
+    // repair() ties and prunes but cannot fix combinational cycles; break
+    // them here (diag-reported) so levelization and identification proceed.
+    analysis::CycleBreakResult decycled =
+        analysis::break_combinational_cycles(repaired.netlist,
+                                             artifact->diags);
+    if (decycled.cycles_broken > 0)
+      repaired.netlist = std::move(decycled.netlist);
+    const auto report = netlist::validate(repaired.netlist);
+    if (!report.ok()) {
+      for (const auto& issue : report.issues)
+        if (issue.severity == netlist::ValidationIssue::Severity::kError)
+          artifact->diags.error(issue.message, {spec, 0, 0});
+      artifact->usable = false;
+      artifact->validation_errors = report.error_count();
+    }
+    artifact->netlist = std::move(repaired.netlist);
+    artifact->identity = pipeline::netlist_fingerprint(artifact->netlist);
+    return artifact;
+  });
+
+  replay(loaded->diags, diags);
+  if (!loaded->usable)
+    throw UnusableInputError("input unusable: " + spec +
+                             " fails validation (" +
+                             std::to_string(loaded->validation_errors) +
+                             " error(s)) even after repair");
+  std::shared_ptr<const netlist::Netlist> nl(loaded, &loaded->netlist);
+  LoadedDesign design = design_from(spec, std::move(nl), false, true);
+  design.identity = loaded->identity;
+  return design;
+}
+
+LoadedDesign Session::adopt_netlist(netlist::Netlist nl) {
+  auto owned = std::make_shared<const netlist::Netlist>(std::move(nl));
+  // Read the name before std::move(owned): argument evaluation order is
+  // unspecified, so calling owned->name() in the same argument list could
+  // dereference the already-moved-from pointer.
+  std::string spec = owned->name();
+  return design_from(std::move(spec), std::move(owned), false, false);
+}
+
+Session::Parsed Session::parse_netlist(const std::string& spec,
+                                       diag::Diagnostics& diags) {
+  parser::ParseOptions options = config_.parse;
+  options.permissive = true;
+  const bool family = is_family_name(spec);
+  auto parsed = parse_artifact(spec, options, diags.max_errors());
+  if (!family) replay(parsed->diags, diags);
+  if (!parsed->diags.usable())
+    throw UnusableInputError("input unusable: " + spec +
+                             " (fatal diagnostics; see --diag-json)");
+  Parsed result;
+  std::shared_ptr<const netlist::Netlist> nl(parsed, &parsed->netlist);
+  result.design = design_from(spec, std::move(nl), family, !family);
+  result.design.identity = parsed->identity;
+  result.parse_diags =
+      std::shared_ptr<const diag::Diagnostics>(parsed, &parsed->diags);
+  return result;
+}
+
+std::shared_ptr<const wordrec::IdentifyResult> Session::identify(
+    const LoadedDesign& design) {
+  if (config_.wordrec.trace != nullptr) {
+    // Traced runs narrate the actual execution; never serve or store them.
+    return std::make_shared<wordrec::IdentifyResult>(
+        wordrec::identify_words(design.nl(), config_.wordrec));
+  }
+  pipeline::ArtifactKey key{"identify", design.identity,
+                            config_.wordrec_fingerprint()};
+  bool computed = false;
+  auto result = cache_->get_or_compute<wordrec::IdentifyResult>(key, [&] {
+    computed = true;
+    return std::make_shared<wordrec::IdentifyResult>(
+        wordrec::identify_words(design.nl(), config_.wordrec));
+  });
+  if (!computed) {
+    // Keep the profile tree shape stable on cache hits: identify_words
+    // normally opens this stage itself.
+    perf::Stage stage("identify");
+  }
+  return result;
+}
+
+std::shared_ptr<const wordrec::WordSet> Session::identify_baseline(
+    const LoadedDesign& design) {
+  pipeline::ArtifactKey key{"identify_base", design.identity,
+                            config_.wordrec_fingerprint()};
+  return cache_->get_or_compute<wordrec::WordSet>(key, [&] {
+    return std::make_shared<wordrec::WordSet>(
+        wordrec::identify_words_baseline(design.nl(), config_.wordrec));
+  });
+}
+
+std::string Session::identify_json(const LoadedDesign& design) {
+  const char* stage = config_.use_baseline ? "identify_base_json"
+                                           : "identify_json";
+  pipeline::ArtifactKey key{stage, design.identity,
+                            config_.wordrec_fingerprint()};
+  auto json = cache_->get_or_compute<std::string>(key, [&] {
+    return std::make_shared<std::string>(
+        config_.use_baseline
+            ? eval::words_to_json(design.nl(), *identify_baseline(design))
+            : eval::identify_result_to_json(design.nl(), *identify(design)));
+  });
+  return *json;
+}
+
+std::shared_ptr<const eval::ReferenceExtraction> Session::reference(
+    const LoadedDesign& design) {
+  pipeline::ArtifactKey key{"reference", design.identity, 0};
+  return cache_->get_or_compute<eval::ReferenceExtraction>(key, [&] {
+    return std::make_shared<eval::ReferenceExtraction>(
+        eval::extract_reference_words(design.nl()));
+  });
+}
+
+std::shared_ptr<const analysis::AnalysisResult> Session::analyze(
+    const LoadedDesign& design, const diag::Diagnostics* parse_diags) {
+  std::uint64_t options = config_.analysis_fingerprint();
+  if (parse_diags != nullptr)
+    options = pipeline::mix(options, pipeline::fingerprint(*parse_diags));
+  pipeline::ArtifactKey key{"analyze", design.identity, options};
+  return cache_->get_or_compute<analysis::AnalysisResult>(key, [&] {
+    return std::make_shared<analysis::AnalysisResult>(
+        analysis::analyze(design.nl(), config_.analysis, parse_diags));
+  });
+}
+
+eval::TechniqueRun Session::run_ours(const LoadedDesign& design) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = identify(design);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return eval::technique_run(*result, seconds);
+}
+
+eval::TechniqueRun Session::run_baseline(const LoadedDesign& design) {
+  const auto start = std::chrono::steady_clock::now();
+  auto words = identify_baseline(design);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return eval::technique_run(*words, seconds);
+}
+
+}  // namespace netrev

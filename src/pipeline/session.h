@@ -1,0 +1,147 @@
+// netrev::Session — the unified entry point to the identification pipeline.
+//
+// A Session fronts every pipeline stage behind one object:
+//
+//   Session session(config);
+//   LoadedDesign design = session.load_netlist("b03s");       // or .bench/.v
+//   auto result = session.identify(design);                   // cached
+//   std::string json = session.identify_json(design);         // CLI bytes
+//
+// load_netlist() is the single format-dispatching entry (family benchmark
+// name, `.bench` file, or structural Verilog file) and replaces the
+// per-call-site parser selection the CLI and examples used to do by hand.
+// Every stage routes through the content-addressed ArtifactCache, so
+// repeated stages on the same design — across identify/evaluate/lint, and
+// across repeated runs in one process — are computed once.
+//
+// Thread-safety: a Session may be used from multiple threads as long as the
+// configuration is not mutated concurrently and each thread reports into its
+// own diag::Diagnostics sink (the explicit-sink overloads; the batch engine
+// does exactly this).  The cache itself is always thread-safe.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "common/diagnostics.h"
+#include "eval/reference.h"
+#include "eval/runner.h"
+#include "netlist/netlist.h"
+#include "pipeline/artifact_cache.h"
+#include "pipeline/run_config.h"
+#include "wordrec/identify.h"
+
+namespace netrev {
+
+// Thrown when a permissive load recovers nothing usable (fatal diagnostics,
+// or a netlist that still fails validation after repair).  The CLI maps it
+// to exit code 4; the batch engine records it as a per-entry failure.
+class UnusableInputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// A loaded design: the immutable netlist plus its content-addressed
+// identity.  Cheap to copy (the netlist is shared).
+struct LoadedDesign {
+  std::shared_ptr<const netlist::Netlist> netlist;
+  std::string spec;            // what the caller asked for
+  std::uint64_t identity = 0;  // structural fingerprint of the loaded netlist
+  bool from_family = false;    // built from a family benchmark profile
+  bool from_file = false;      // parsed from a netlist file
+
+  const netlist::Netlist& nl() const { return *netlist; }
+  bool valid() const { return netlist != nullptr; }
+};
+
+class Session {
+ public:
+  explicit Session(RunConfig config = {},
+                   pipeline::ArtifactCache* cache = nullptr);
+
+  RunConfig& config() { return config_; }
+  const RunConfig& config() const { return config_; }
+  pipeline::ArtifactCache& cache() { return *cache_; }
+  // The session-owned sink the single-argument overloads report into.
+  diag::Diagnostics& diagnostics() { return diags_; }
+
+  // --- loading -------------------------------------------------------------
+
+  // Loads a design by spec: family benchmark name, `.bench` file, or
+  // structural Verilog file (anything else parses as Verilog).  Strict by
+  // default (parse errors throw); with config().parse.permissive the parsers
+  // recover, the netlist is repaired, combinational cycles are broken, and
+  // only a design that still fails validation is rejected
+  // (UnusableInputError).  Diagnostics land in `diags` — cached loads replay
+  // the recorded diagnostics so warm runs report identically to cold ones.
+  LoadedDesign load_netlist(const std::string& spec);
+  LoadedDesign load_netlist(const std::string& spec,
+                            const parser::ParseOptions& options);
+  LoadedDesign load_netlist(const std::string& spec,
+                            const parser::ParseOptions& options,
+                            diag::Diagnostics& diags);
+
+  // Wraps an in-memory netlist (synthesized designs, tests) as a loaded
+  // design, content-addressed by its structural fingerprint.
+  LoadedDesign adopt_netlist(netlist::Netlist nl);
+
+  // Permissive parse WITHOUT repair, for lint: the raw recovered netlist
+  // (dangling nets and all) plus the recorded parse diagnostics.  Family
+  // names build the benchmark with empty diagnostics.
+  struct Parsed {
+    LoadedDesign design;
+    std::shared_ptr<const diag::Diagnostics> parse_diags;
+  };
+  Parsed parse_netlist(const std::string& spec, diag::Diagnostics& diags);
+
+  // --- stages (all cache-aware) --------------------------------------------
+
+  // The paper's control-signal identification (config().wordrec).  When a
+  // trace sink is configured the cache is bypassed: traces narrate the
+  // actual run.
+  std::shared_ptr<const wordrec::IdentifyResult> identify(
+      const LoadedDesign& design);
+
+  // The shape-hashing baseline.
+  std::shared_ptr<const wordrec::WordSet> identify_baseline(
+      const LoadedDesign& design);
+
+  // Exactly the bytes `netrev identify <design> --json` prints (sans the
+  // trailing newline); honors config().use_baseline.
+  std::string identify_json(const LoadedDesign& design);
+
+  // Golden reference words from flop output names (§3).
+  std::shared_ptr<const eval::ReferenceExtraction> reference(
+      const LoadedDesign& design);
+
+  // Static-analysis findings (config().analysis).  `parse_diags` optionally
+  // carries parse-time recovery facts (see analysis::AnalysisContext).
+  std::shared_ptr<const analysis::AnalysisResult> analyze(
+      const LoadedDesign& design,
+      const diag::Diagnostics* parse_diags = nullptr);
+
+  // Timed technique runs (eval::TechniqueRun), routed through the cache:
+  // the reported seconds are the wall time of this call, which is the cache
+  // lookup on warm runs.
+  eval::TechniqueRun run_ours(const LoadedDesign& design);
+  eval::TechniqueRun run_baseline(const LoadedDesign& design);
+
+ private:
+  struct ParsedArtifact;  // netlist + parse diagnostics
+  struct LoadArtifact;    // repaired netlist + accumulated diagnostics
+
+  std::shared_ptr<const ParsedArtifact> parse_artifact(
+      const std::string& spec, const parser::ParseOptions& options,
+      std::size_t max_errors);
+  LoadedDesign design_from(const std::string& spec,
+                           std::shared_ptr<const netlist::Netlist> nl,
+                           bool from_family, bool from_file) const;
+
+  RunConfig config_;
+  pipeline::ArtifactCache* cache_;
+  diag::Diagnostics diags_;
+};
+
+}  // namespace netrev

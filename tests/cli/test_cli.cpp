@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "pipeline/artifact_cache.h"
 
 namespace netrev::cli {
 namespace {
@@ -471,6 +474,10 @@ TEST(Cli, PermissiveLoadBreaksCyclesAndIdentifyProceeds) {
 }
 
 TEST(Cli, ProfilePrintsStageTreeAndCounters) {
+  // Earlier tests already identified b03s through the process-global artifact
+  // cache; clear it so this run recomputes and the stage counters (e.g.
+  // cones_hashed) are populated.
+  pipeline::ArtifactCache::global().clear();
   const CliRun r = run({"identify", "b03s", "--profile"});
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.out.find("profile (total"), std::string::npos) << r.out;
@@ -502,6 +509,94 @@ TEST(Cli, JobsZeroRejected) {
   const CliRun r = run({"identify", "b03s", "--jobs", "0"});
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
+// --- version, table-driven flags, and batch --------------------------------
+
+TEST(Cli, VersionFlagPrintsVersionEverywhere) {
+  const CliRun top = run({"--version"});
+  EXPECT_EQ(top.exit_code, 0);
+  EXPECT_EQ(top.out.rfind("netrev ", 0), 0u) << top.out;
+  // As a global flag it works on any subcommand, before any work happens.
+  const CliRun sub = run({"identify", "b03s", "--version"});
+  EXPECT_EQ(sub.exit_code, 0);
+  EXPECT_EQ(sub.out, top.out);
+}
+
+TEST(Cli, UsageListsBatchAndGlobalFlags) {
+  const CliRun r = run({"help"});
+  EXPECT_NE(r.out.find("batch"), std::string::npos);
+  EXPECT_NE(r.out.find("--keep-going"), std::string::npos);
+  EXPECT_NE(r.out.find("--version"), std::string::npos);
+  EXPECT_NE(r.out.find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, FlagNotValidForCommandIsRejected) {
+  const CliRun r = run({"stats", "b03s", "--depth", "3"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("not valid for"), std::string::npos) << r.err;
+}
+
+TEST(Cli, BatchRunsFamiliesAndPrintsSummary) {
+  const CliRun r = run({"batch", "b03s", "b04s"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("b03s"), std::string::npos);
+  EXPECT_NE(r.out.find("batch: 2 total, 2 ok"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("cache:"), std::string::npos);
+}
+
+TEST(Cli, BatchJsonEmbedsTheSingleRunIdentifyBytes) {
+  const CliRun batch = run({"batch", "b03s", "--json"});
+  EXPECT_EQ(batch.exit_code, 0) << batch.err;
+  const CliRun single = run({"identify", "b03s", "--json"});
+  std::string body = single.out;
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  EXPECT_NE(batch.out.find(body), std::string::npos)
+      << "batch JSON does not embed the identify --json bytes";
+  EXPECT_NE(batch.out.find("\"version\":"), std::string::npos);
+  EXPECT_NE(batch.out.find("\"summary\":"), std::string::npos);
+}
+
+TEST(Cli, BatchStopsOrKeepsGoingOnFailure) {
+  const std::string missing = temp_dir() + "/no_such_input.bench";
+  const CliRun stop = run({"batch", missing, "b03s"});
+  EXPECT_EQ(stop.exit_code, 1);
+  EXPECT_NE(stop.out.find("1 failed, 1 skipped"), std::string::npos)
+      << stop.out;
+  const CliRun keep = run({"batch", missing, "b03s", "--keep-going"});
+  EXPECT_EQ(keep.exit_code, 1);
+  EXPECT_NE(keep.out.find("1 ok, 1 failed, 0 skipped"), std::string::npos)
+      << keep.out;
+}
+
+TEST(Cli, BatchWarmRerunIsByteIdenticalWithCacheHits) {
+  // The acceptance gate: rerunning the same batch in one process must hit
+  // the artifact cache without changing a byte of the JSON.
+  const CliRun cold = run({"batch", "b04s", "b08s", "--json"});
+  const CliRun warm = run({"batch", "b04s", "b08s", "--json", "--profile"});
+  EXPECT_EQ(cold.exit_code, 0) << cold.err;
+  EXPECT_EQ(warm.exit_code, 0) << warm.err;
+  // The warm run prints the same JSON, then the profile after it.
+  EXPECT_EQ(warm.out.rfind(cold.out, 0), 0u)
+      << "warm batch JSON diverged from the cold run";
+  const auto pos = warm.out.find("cache.hits:");
+  ASSERT_NE(pos, std::string::npos) << warm.out;
+  const int hits = std::atoi(warm.out.c_str() + pos + 11);
+  EXPECT_GT(hits, 0) << warm.out;
+}
+
+TEST(Cli, BatchExpandsManifestFiles) {
+  const std::string manifest = temp_dir() + "/cli_manifest.txt";
+  std::ofstream(manifest) << "# two families\nb03s\nb04s\n";
+  const CliRun r = run({"batch", manifest});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("batch: 2 total, 2 ok"), std::string::npos) << r.out;
+}
+
+TEST(Cli, BatchRejectsEmptyGlob) {
+  const CliRun r = run({"batch", temp_dir() + "/*.nope"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("glob matched no files"), std::string::npos) << r.err;
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+#include "cli/options.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netrev::cli {
+namespace {
+
+const CommandSpec& cmd(const char* name) {
+  const CommandSpec* command = find_command(name);
+  EXPECT_NE(command, nullptr) << name;
+  return *command;
+}
+
+TEST(CliOptions, CommandTableKnowsEveryCommand) {
+  for (const char* name : {"stats", "reference", "identify", "reduce",
+                           "evaluate", "lint", "propagate", "batch",
+                           "generate", "scan", "dot", "table"})
+    EXPECT_NE(find_command(name), nullptr) << name;
+  EXPECT_EQ(find_command("frobnicate"), nullptr);
+}
+
+TEST(CliOptions, EveryDeclaredFlagExistsInTheFlagTable) {
+  for (const CommandSpec& command : command_table())
+    for (FlagId id : command.flags) {
+      bool found = false;
+      for (const FlagSpec& flag : flag_table())
+        if (flag.id == id) found = true;
+      EXPECT_TRUE(found) << "command " << command.name
+                         << " references an undeclared flag";
+    }
+}
+
+TEST(CliOptions, ParsesBoolInlineAliasAndPositionalForms) {
+  const ParsedFlags flags = parse_flags(
+      cmd("identify"), {"identify", "b03s", "--json", "--depth=3", "-j", "2"},
+      1);
+  EXPECT_TRUE(flags.json);
+  ASSERT_TRUE(flags.depth.has_value());
+  EXPECT_EQ(*flags.depth, 3u);
+  ASSERT_TRUE(flags.jobs.has_value());
+  EXPECT_EQ(*flags.jobs, 2u);
+  ASSERT_EQ(flags.positional.size(), 1u);
+  EXPECT_EQ(flags.positional[0], "b03s");
+}
+
+TEST(CliOptions, RejectsMalformedFlagUses) {
+  EXPECT_THROW((void)parse_flags(cmd("identify"), {"identify", "--bogus"}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_flags(cmd("identify"), {"identify", "--depth"}, 1),
+               std::invalid_argument);  // needs a value
+  EXPECT_THROW((void)parse_flags(cmd("identify"), {"identify", "--json=1"}, 1),
+               std::invalid_argument);  // does not take a value
+  EXPECT_THROW((void)parse_flags(cmd("identify"), {"identify", "--jobs", "0"},
+                                 1),
+               std::invalid_argument);  // positive thread count required
+}
+
+TEST(CliOptions, NonGlobalFlagsAreRejectedPerCommand) {
+  try {
+    (void)parse_flags(cmd("stats"), {"stats", "b03s", "--depth", "3"}, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("not valid for 'stats'"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CliOptions, GlobalFlagsApplyToEveryCommand) {
+  for (const CommandSpec& command : command_table()) {
+    const ParsedFlags flags =
+        parse_flags(command, {command.name, "--permissive"}, 1);
+    EXPECT_TRUE(flags.permissive) << command.name;
+  }
+}
+
+TEST(CliOptions, ProfileFormsParse) {
+  const ParsedFlags text =
+      parse_flags(cmd("identify"), {"identify", "x", "--profile"}, 1);
+  EXPECT_TRUE(text.profile);
+  EXPECT_FALSE(text.profile_json);
+  const ParsedFlags json =
+      parse_flags(cmd("identify"), {"identify", "x", "--profile=json"}, 1);
+  EXPECT_TRUE(json.profile_json);
+}
+
+TEST(CliOptions, FailOnParsesSeverityNames) {
+  const ParsedFlags flags =
+      parse_flags(cmd("lint"), {"lint", "x", "--fail-on", "warning"}, 1);
+  ASSERT_TRUE(flags.fail_on.has_value());
+  EXPECT_EQ(*flags.fail_on, diag::Severity::kWarning);
+  EXPECT_THROW(
+      (void)parse_flags(cmd("lint"), {"lint", "x", "--fail-on", "fatal"}, 1),
+      std::invalid_argument);
+}
+
+TEST(CliOptions, AssignAndRulesAccumulate) {
+  const ParsedFlags reduce = parse_flags(
+      cmd("reduce"), {"reduce", "x", "--assign", "A=0", "--assign", "B=1"}, 1);
+  ASSERT_EQ(reduce.assignments.size(), 2u);
+  EXPECT_EQ(reduce.assignments[0].first, "A");
+  EXPECT_FALSE(reduce.assignments[0].second);
+  EXPECT_EQ(reduce.assignments[1].first, "B");
+  EXPECT_TRUE(reduce.assignments[1].second);
+  EXPECT_THROW(
+      (void)parse_flags(cmd("reduce"), {"reduce", "x", "--assign", "A=2"}, 1),
+      std::invalid_argument);
+
+  const ParsedFlags lint =
+      parse_flags(cmd("lint"), {"lint", "x", "--rules", "a,b"}, 1);
+  EXPECT_EQ(lint.rules, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CliOptions, BatchFlagsParse) {
+  const ParsedFlags flags = parse_flags(
+      cmd("batch"), {"batch", "b03s", "b04s", "--keep-going", "--json"}, 1);
+  EXPECT_TRUE(flags.keep_going);
+  EXPECT_TRUE(flags.json);
+  EXPECT_EQ(flags.positional,
+            (std::vector<std::string>{"b03s", "b04s"}));
+}
+
+TEST(CliOptions, UsageIsGeneratedFromTheTables) {
+  const std::string text = usage();
+  for (const CommandSpec& command : command_table())
+    EXPECT_NE(text.find(command.name), std::string::npos) << command.name;
+  for (const FlagSpec& flag : flag_table())
+    EXPECT_NE(text.find(flag.name), std::string::npos) << flag.name;
+  EXPECT_NE(text.find("exit codes"), std::string::npos);
+  EXPECT_NE(text.find("--version"), std::string::npos);
+  EXPECT_NE(text.find("--keep-going"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netrev::cli

@@ -1,0 +1,130 @@
+#include "pipeline/artifact_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace netrev::pipeline {
+namespace {
+
+std::shared_ptr<const int> make_int(int value) {
+  return std::make_shared<int>(value);
+}
+
+TEST(ArtifactCache, MissThenHitReturnsTheStoredArtifact) {
+  ArtifactCache cache;
+  const ArtifactKey key{"stage", 1, 2};
+  int computes = 0;
+  const auto first = cache.get_or_compute<int>(key, [&] {
+    ++computes;
+    return make_int(7);
+  });
+  const auto second = cache.get_or_compute<int>(key, [&] {
+    ++computes;
+    return make_int(8);
+  });
+  EXPECT_EQ(*first, 7);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ArtifactCache, EveryKeyComponentSeparatesSlots) {
+  ArtifactCache cache;
+  const auto a = cache.get_or_compute<int>({"s", 1, 0}, [] { return make_int(1); });
+  const auto b = cache.get_or_compute<int>({"s", 2, 0}, [] { return make_int(2); });
+  const auto c = cache.get_or_compute<int>({"t", 1, 0}, [] { return make_int(3); });
+  const auto d = cache.get_or_compute<int>({"s", 1, 9}, [] { return make_int(4); });
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(*c, 3);
+  EXPECT_EQ(*d, 4);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ArtifactCache, TypeMismatchOnOneKeyThrows) {
+  ArtifactCache cache;
+  const ArtifactKey key{"s", 1, 0};
+  (void)cache.get_or_compute<int>(key, [] { return make_int(1); });
+  EXPECT_THROW(
+      (void)cache.get_or_compute<std::string>(
+          key, [] { return std::make_shared<const std::string>("x"); }),
+      std::logic_error);
+}
+
+TEST(ArtifactCache, ThrowingComputeStoresNothing) {
+  ArtifactCache cache;
+  const ArtifactKey key{"s", 1, 0};
+  EXPECT_THROW((void)cache.get_or_compute<int>(
+                   key,
+                   []() -> std::shared_ptr<const int> {
+                     throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  const auto value = cache.get_or_compute<int>(key, [] { return make_int(5); });
+  EXPECT_EQ(*value, 5);
+}
+
+TEST(ArtifactCache, FifoEvictionBoundsTheEntryCount) {
+  ArtifactCache cache(4);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    (void)cache.get_or_compute<int>(
+        {"s", i, 0}, [i] { return make_int(static_cast<int>(i)); });
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 4u);
+
+  // The newest entry survived; the oldest was evicted and recomputes.
+  int computes = 0;
+  (void)cache.get_or_compute<int>({"s", 7, 0}, [&] {
+    ++computes;
+    return make_int(0);
+  });
+  EXPECT_EQ(computes, 0);
+  (void)cache.get_or_compute<int>({"s", 0, 0}, [&] {
+    ++computes;
+    return make_int(0);
+  });
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(ArtifactCache, ClearDropsEntriesButKeepsCounters) {
+  ArtifactCache cache;
+  (void)cache.get_or_compute<int>({"s", 1, 0}, [] { return make_int(1); });
+  (void)cache.get_or_compute<int>({"s", 1, 0}, [] { return make_int(1); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ArtifactCache, ConcurrentColdLookupsConvergeOnOneArtifact) {
+  ArtifactCache cache;
+  const ArtifactKey key{"s", 42, 0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const int>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cache, &seen, key, t] {
+      seen[t] = cache.get_or_compute<int>(key, [t] { return make_int(t); });
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t].get(), seen[0].get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits() + cache.misses(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(ArtifactCache, GlobalCacheIsOneSharedInstance) {
+  EXPECT_EQ(&ArtifactCache::global(), &ArtifactCache::global());
+  EXPECT_EQ(ArtifactCache::global().max_entries(),
+            ArtifactCache::kDefaultMaxEntries);
+}
+
+}  // namespace
+}  // namespace netrev::pipeline

@@ -1,0 +1,221 @@
+#include "pipeline/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "common/thread_pool.h"
+#include "itc/family.h"
+#include "parser/bench_parser.h"
+#include "pipeline/manifest.h"
+#include "support/corrupt.h"
+
+namespace netrev {
+namespace {
+
+const std::vector<std::string> kFamilies = {"b03s", "b04s", "b08s", "b11s",
+                                            "b13s"};
+
+std::string temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "netrev_batch_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string write_file(const std::string& name, const std::string& text) {
+  const std::string path = temp_dir() + "/" + name;
+  std::ofstream(path) << text;
+  return path;
+}
+
+// `netrev identify <spec> --json` output without the trailing newline.
+std::string single_identify_json(const std::string& spec) {
+  std::ostringstream out, err;
+  const int exit_code = cli::run_cli({"identify", spec, "--json"}, out, err);
+  EXPECT_EQ(exit_code, 0) << spec << ": " << err.str();
+  std::string text = out.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+TEST(Batch, MatchesSingleRunByteForByteOnFamilyBenchmarks) {
+  const pipeline::BatchResult result = pipeline::run_batch(kFamilies);
+  ASSERT_EQ(result.entries.size(), kFamilies.size());
+  EXPECT_TRUE(result.all_ok()) << result.render_text();
+  for (std::size_t i = 0; i < kFamilies.size(); ++i) {
+    EXPECT_EQ(result.entries[i].status, pipeline::EntryStatus::kOk);
+    EXPECT_EQ(result.entries[i].identify_json,
+              single_identify_json(kFamilies[i]))
+        << kFamilies[i];
+  }
+}
+
+TEST(Batch, JsonIsByteStableAcrossJobCounts) {
+  ThreadPool::set_global_jobs(1);
+  const std::string serial = pipeline::run_batch(kFamilies).to_json();
+  ThreadPool::set_global_jobs(4);
+  const std::string parallel = pipeline::run_batch(kFamilies).to_json();
+  ThreadPool::set_global_jobs(0);  // back to one-per-hardware-thread
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Batch, WarmRerunIsIdenticalAndHitsTheCache) {
+  pipeline::ArtifactCache cache;
+  pipeline::BatchOptions options;
+  options.cache = &cache;
+  const pipeline::BatchResult cold = pipeline::run_batch(kFamilies, options);
+  const pipeline::BatchResult warm = pipeline::run_batch(kFamilies, options);
+  EXPECT_EQ(cold.to_json(), warm.to_json());
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u) << "warm rerun recomputed an artifact";
+}
+
+TEST(Batch, JsonCarriesVersionAndSummaryButNoTimings) {
+  const pipeline::BatchResult result = pipeline::run_batch({"b03s"});
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"version\":"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\":"), std::string::npos);
+  EXPECT_NE(json.find("\"design\":\"b03s\""), std::string::npos);
+  // Determinism contract: no wall-clock or cache traffic in the JSON.
+  EXPECT_EQ(json.find("seconds"), std::string::npos);
+  EXPECT_EQ(json.find("cache"), std::string::npos);
+}
+
+TEST(Batch, TextSummaryReportsCacheTraffic) {
+  const pipeline::BatchResult result = pipeline::run_batch({"b03s", "b04s"});
+  const std::string text = result.render_text();
+  EXPECT_NE(text.find("batch: 2 total, 2 ok"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache:"), std::string::npos) << text;
+}
+
+TEST(Batch, FirstFailureSkipsLaterEntriesDeterministically) {
+  const pipeline::BatchResult result =
+      pipeline::run_batch({"/nonexistent_netrev.bench", "b03s"});
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].status, pipeline::EntryStatus::kFailed);
+  EXPECT_EQ(result.entries[0].failed_stage, "load");
+  EXPECT_FALSE(result.entries[0].error.empty());
+  EXPECT_EQ(result.entries[1].status, pipeline::EntryStatus::kSkipped);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_FALSE(result.all_ok());
+}
+
+TEST(Batch, KeepGoingIsolatesTheFailureToItsEntry) {
+  pipeline::BatchOptions options;
+  options.keep_going = true;
+  const pipeline::BatchResult result =
+      pipeline::run_batch({"/nonexistent_netrev.bench", "b03s"}, options);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].status, pipeline::EntryStatus::kFailed);
+  EXPECT_EQ(result.entries[1].status, pipeline::EntryStatus::kOk);
+  EXPECT_EQ(result.ok, 1u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_EQ(result.skipped, 0u);
+}
+
+TEST(Batch, CorruptInputsNeverEscapeTheirEntry) {
+  // Every corruption kind and several seeds: the damaged entry may recover,
+  // fail its load, or fail validation — but the batch itself never throws
+  // and the healthy companion entry always completes.
+  const std::string source =
+      parser::write_bench(itc::build_benchmark("b03s").netlist);
+  pipeline::BatchOptions options;
+  options.config.parse.permissive = true;
+  options.keep_going = true;
+  for (const testing::CorruptionKind kind : testing::kAllCorruptionKinds) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const std::string name = std::string("corrupt_") +
+                               testing::corruption_name(kind) + "_" +
+                               std::to_string(seed) + ".bench";
+      const std::string path =
+          write_file(name, testing::corrupt(source, kind, seed));
+      const pipeline::BatchResult result =
+          pipeline::run_batch({path, "b04s"}, options);
+      ASSERT_EQ(result.entries.size(), 2u);
+      EXPECT_EQ(result.entries[1].status, pipeline::EntryStatus::kOk)
+          << corruption_name(kind) << " seed " << seed
+          << " broke the healthy entry:\n"
+          << result.render_text();
+      if (result.entries[0].status == pipeline::EntryStatus::kFailed) {
+        EXPECT_FALSE(result.entries[0].error.empty());
+      }
+    }
+  }
+}
+
+TEST(Batch, DesignsWithoutReferenceWordsStillSucceed) {
+  const std::string path = write_file("combinational.v",
+                                      "module tiny (a, b, z);\n"
+                                      "  input a;\n"
+                                      "  input b;\n"
+                                      "  output z;\n"
+                                      "  nand U1 (z, a, b);\n"
+                                      "endmodule\n");
+  const pipeline::BatchResult result = pipeline::run_batch({path});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status, pipeline::EntryStatus::kOk)
+      << result.render_text();
+  EXPECT_FALSE(result.entries[0].identify_json.empty());
+  EXPECT_TRUE(result.entries[0].evaluation_json.empty());
+}
+
+// --- spec expansion --------------------------------------------------------
+
+TEST(Manifest, GlobMatchSupportsStarAndQuestionMark) {
+  EXPECT_TRUE(pipeline::glob_match("*.bench", "a.bench"));
+  EXPECT_FALSE(pipeline::glob_match("*.bench", "a.v"));
+  EXPECT_TRUE(pipeline::glob_match("b?3s", "b03s"));
+  EXPECT_FALSE(pipeline::glob_match("b?3s", "b113s"));
+  EXPECT_TRUE(pipeline::glob_match("*", ""));
+  EXPECT_TRUE(pipeline::glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(pipeline::glob_match("a*b*c", "aXXbYY"));
+}
+
+TEST(Manifest, ExpandGlobReturnsSortedMatchesAndRejectsEmpty) {
+  const std::string dir = temp_dir() + "/glob";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/g2.bench") << "INPUT(a)\n";
+  std::ofstream(dir + "/g1.bench") << "INPUT(a)\n";
+  std::ofstream(dir + "/other.v") << "module m (a); input a; endmodule\n";
+
+  const std::vector<std::string> files = pipeline::expand_glob(dir + "/*.bench");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], dir + "/g1.bench");
+  EXPECT_EQ(files[1], dir + "/g2.bench");
+
+  EXPECT_THROW((void)pipeline::expand_glob(dir + "/*.nothing"),
+               std::invalid_argument);
+}
+
+TEST(Manifest, ManifestEntriesResolveAgainstTheManifestDirectory) {
+  const std::string dir = temp_dir() + "/manifest";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/tiny.bench") << "INPUT(a)\nOUTPUT(q)\nq = NOT(a)\n";
+  std::ofstream(dir + "/run.txt") << "# families first\n"
+                                     "b03s\n"
+                                     "\n"
+                                     "tiny.bench  # sits next to the manifest\n";
+  const std::vector<std::string> specs =
+      pipeline::expand_specs({dir + "/run.txt"});
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "b03s");
+  EXPECT_EQ(specs[1], dir + "/tiny.bench");
+}
+
+TEST(Manifest, FamiliesAndNetlistPathsPassThroughUntouched) {
+  const std::vector<std::string> specs =
+      pipeline::expand_specs({"b03s", "missing_file.v", "also_missing.bench"});
+  EXPECT_EQ(specs, (std::vector<std::string>{"b03s", "missing_file.v",
+                                             "also_missing.bench"}));
+}
+
+}  // namespace
+}  // namespace netrev

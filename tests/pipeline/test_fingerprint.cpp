@@ -1,0 +1,127 @@
+#include "pipeline/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.h"
+#include "itc/family.h"
+#include "netlist/netlist.h"
+#include "wordrec/trace.h"
+
+namespace netrev::pipeline {
+namespace {
+
+TEST(Fingerprint, Fnv1a64IsDeterministicAndSensitive) {
+  EXPECT_EQ(fnv1a64(""), kFnvOffset);
+  EXPECT_EQ(fnv1a64("netrev"), fnv1a64("netrev"));
+  EXPECT_NE(fnv1a64("netrev"), fnv1a64("netreV"));
+  EXPECT_NE(fnv1a64("a"), fnv1a64(""));
+  // Seed chaining: hashing "ab" in one go differs from restarting on "b".
+  EXPECT_EQ(fnv1a64("ab"), fnv1a64("b", fnv1a64("a")));
+}
+
+TEST(Fingerprint, MixIsOrderDependent) {
+  const std::uint64_t a = fnv1a64("left");
+  const std::uint64_t b = fnv1a64("right");
+  EXPECT_EQ(mix(a, b), mix(a, b));
+  EXPECT_NE(mix(a, b), mix(b, a));
+}
+
+TEST(Fingerprint, ParseErrorBudgetOnlyCountsWhenPermissive) {
+  parser::ParseOptions strict;
+  EXPECT_EQ(fingerprint(strict, 16), fingerprint(strict, 64));
+
+  parser::ParseOptions permissive;
+  permissive.permissive = true;
+  EXPECT_NE(fingerprint(permissive, 16), fingerprint(permissive, 64));
+  EXPECT_NE(fingerprint(strict, 64), fingerprint(permissive, 64));
+}
+
+TEST(Fingerprint, ParseFilenameAndLimitsMatter) {
+  parser::ParseOptions a, b;
+  a.filename = "x.bench";
+  b.filename = "y.bench";
+  EXPECT_NE(fingerprint(a, 64), fingerprint(b, 64));
+
+  parser::ParseOptions c;
+  c.filename = "x.bench";
+  c.limits.max_gates = 123;
+  EXPECT_NE(fingerprint(a, 64), fingerprint(c, 64));
+}
+
+TEST(Fingerprint, WordrecKnobsChangeTheFingerprint) {
+  const wordrec::Options base;
+  const std::uint64_t fp = fingerprint(base);
+
+  wordrec::Options depth = base;
+  depth.cone_depth = 3;
+  EXPECT_NE(fingerprint(depth), fp);
+
+  wordrec::Options cross = base;
+  cross.cross_group_checking = true;
+  EXPECT_NE(fingerprint(cross), fp);
+
+  wordrec::Options assign = base;
+  assign.max_simultaneous_assignments = 1;
+  EXPECT_NE(fingerprint(assign), fp);
+}
+
+TEST(Fingerprint, WordrecObservationPointersAreExcluded) {
+  // Trace sinks and shared work budgets observe the run without changing
+  // its result, so they must not fragment the cache key space.
+  wordrec::Options traced;
+  wordrec::IdentifyTrace trace;
+  traced.trace = &trace;
+  EXPECT_EQ(fingerprint(traced), fingerprint(wordrec::Options{}));
+}
+
+TEST(Fingerprint, AnalysisRuleSelectionChangesTheFingerprint) {
+  analysis::AnalysisOptions all, some;
+  some.enabled_rules = {"comb-cycle"};
+  EXPECT_NE(fingerprint(all), fingerprint(some));
+
+  analysis::AnalysisOptions other;
+  other.enabled_rules = {"multi-driven"};
+  EXPECT_NE(fingerprint(some), fingerprint(other));
+}
+
+TEST(Fingerprint, DiagnosticsEntriesChangeTheFingerprint) {
+  diag::Diagnostics empty;
+  diag::Diagnostics one;
+  one.error("dropped line", {"x.bench", 3, 1});
+  EXPECT_NE(fingerprint(empty), fingerprint(one));
+
+  diag::Diagnostics same;
+  same.error("dropped line", {"x.bench", 3, 1});
+  EXPECT_EQ(fingerprint(one), fingerprint(same));
+
+  diag::Diagnostics moved;
+  moved.error("dropped line", {"x.bench", 4, 1});
+  EXPECT_NE(fingerprint(one), fingerprint(moved));
+}
+
+TEST(Fingerprint, NetlistFingerprintIsStructuralAndDeterministic) {
+  const netlist::Netlist a = itc::build_benchmark("b03s").netlist;
+  const netlist::Netlist b = itc::build_benchmark("b03s").netlist;
+  EXPECT_EQ(netlist_fingerprint(a), netlist_fingerprint(b));
+
+  const netlist::Netlist c = itc::build_benchmark("b04s").netlist;
+  EXPECT_NE(netlist_fingerprint(a), netlist_fingerprint(c));
+}
+
+TEST(Fingerprint, NetlistFingerprintSeesGateTypeChanges) {
+  auto build = [](netlist::GateType type) {
+    netlist::Netlist nl;
+    nl.set_name("fp");
+    const netlist::NetId in = nl.add_net("i");
+    const netlist::NetId out = nl.add_net("o");
+    nl.mark_primary_input(in);
+    nl.add_gate(type, out, {in});
+    nl.mark_primary_output(out);
+    return nl;
+  };
+  EXPECT_NE(netlist_fingerprint(build(netlist::GateType::kNot)),
+            netlist_fingerprint(build(netlist::GateType::kBuf)));
+}
+
+}  // namespace
+}  // namespace netrev::pipeline

@@ -1,0 +1,48 @@
+#include "pipeline/run_config.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/fingerprint.h"
+
+namespace netrev {
+namespace {
+
+TEST(RunConfig, FingerprintsDelegateToTheOptionHashes) {
+  const RunConfig config;
+  EXPECT_EQ(config.parse_fingerprint(64),
+            pipeline::fingerprint(config.parse, 64));
+  EXPECT_EQ(config.wordrec_fingerprint(),
+            pipeline::fingerprint(config.wordrec));
+  EXPECT_EQ(config.analysis_fingerprint(),
+            pipeline::fingerprint(config.analysis));
+}
+
+TEST(RunConfig, FieldChangesShowUpOnlyInTheMatchingFingerprint) {
+  const RunConfig a;
+  RunConfig b;
+
+  b.wordrec.cone_depth = 2;
+  EXPECT_NE(a.wordrec_fingerprint(), b.wordrec_fingerprint());
+  EXPECT_EQ(a.analysis_fingerprint(), b.analysis_fingerprint());
+  EXPECT_EQ(a.parse_fingerprint(64), b.parse_fingerprint(64));
+
+  b.analysis.enabled_rules = {"comb-cycle"};
+  EXPECT_NE(a.analysis_fingerprint(), b.analysis_fingerprint());
+
+  b.parse.permissive = true;
+  EXPECT_NE(a.parse_fingerprint(64), b.parse_fingerprint(64));
+}
+
+TEST(RunConfig, TechniqueSelectorDoesNotAffectStageFingerprints) {
+  // use_baseline picks which cached stage to consult ("identify" vs
+  // "identify_base"); it must not change the option fingerprints themselves.
+  const RunConfig a;
+  RunConfig b;
+  b.use_baseline = true;
+  EXPECT_EQ(a.wordrec_fingerprint(), b.wordrec_fingerprint());
+  EXPECT_EQ(a.parse_fingerprint(64), b.parse_fingerprint(64));
+  EXPECT_EQ(a.analysis_fingerprint(), b.analysis_fingerprint());
+}
+
+}  // namespace
+}  // namespace netrev
