@@ -13,6 +13,8 @@
 #   7. batch smoke gate: `netrev batch` over the family benchmarks twice must
 #      emit byte-identical JSON at different job counts, and a batch with
 #      repeated entries must report artifact-cache hits under --profile
+#   8. resume-after-kill gate: a journaled batch SIGKILLed mid-run, then
+#      resumed, must emit byte-identical JSON to an uninterrupted run
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -59,7 +61,7 @@ cmake -B "$TSAN_DIR" -S . \
 cmake --build "$TSAN_DIR" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
   --output-on-failure \
-  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache'
+  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken'
 
 # Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
 # must not depend on the worker count.
@@ -93,4 +95,29 @@ grep -E 'cache\.hits: *[1-9]' "$BATCH_DIR/warm.out" > /dev/null || {
 }
 "$NETREV" --version
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke all passed"
+# Resume-after-kill gate.  Start a journaled batch over the family
+# benchmarks, SIGKILL it mid-run, resume from the journal, and require the
+# resumed output to be byte-identical to an uninterrupted run.  The journal
+# must also have restored at least one entry when the kill landed mid-batch
+# (a too-fast run that finished before the kill simply passes the diff).
+RESUME_DIR="$BUILD_DIR/resume-smoke"
+rm -rf "$RESUME_DIR"
+mkdir -p "$RESUME_DIR"
+JOURNAL="$RESUME_DIR/journal.jsonl"
+FAMILIES=(b03s b04s b08s b11s b13s)
+echo "resume-smoke: uninterrupted reference"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 > "$RESUME_DIR/reference.json"
+echo "resume-smoke: kill mid-run"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 --resume "$JOURNAL" \
+  > "$RESUME_DIR/killed.json" 2> /dev/null &
+BATCH_PID=$!
+# Give the run long enough to journal some entries but not (usually) finish.
+sleep 0.2
+kill -KILL "$BATCH_PID" 2> /dev/null || true
+wait "$BATCH_PID" 2> /dev/null || true
+echo "resume-smoke: resume ($(wc -l < "$JOURNAL" 2> /dev/null || echo 0) journaled)"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 --resume "$JOURNAL" \
+  > "$RESUME_DIR/resumed.json"
+diff "$RESUME_DIR/reference.json" "$RESUME_DIR/resumed.json"
+
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke + resume-smoke all passed"

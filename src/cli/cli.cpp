@@ -1,14 +1,19 @@
 #include "cli/cli.h"
 
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
 #include "cli/options.h"
+#include "common/atomic_file.h"
 #include "common/diagnostics.h"
 #include "common/thread_pool.h"
 #include "common/version.h"
+#include "exec/cancel.h"
+#include "exec/degrade.h"
 #include "eval/diagnose.h"
 #include "eval/metrics.h"
 #include "eval/reference.h"
@@ -26,6 +31,7 @@
 #include "pipeline/manifest.h"
 #include "pipeline/session.h"
 #include "rtl/scan.h"
+#include "wordrec/degrade.h"
 #include "wordrec/funcheck.h"
 #include "wordrec/identify.h"
 #include "wordrec/propagation.h"
@@ -49,8 +55,45 @@ RunConfig config_from(const ParsedFlags& flags) {
   config.wordrec.cross_group_checking = flags.cross_group;
   config.analysis.enabled_rules = flags.rules;
   config.use_baseline = flags.base;
+  if (flags.timeout_ms)
+    config.exec.timeout = std::chrono::milliseconds(*flags.timeout_ms);
+  if (flags.stage_timeout_ms)
+    config.exec.stage_timeout =
+        std::chrono::milliseconds(*flags.stage_timeout_ms);
+  if (flags.degrade) config.exec.degrade = *flags.degrade;
+  if (flags.cache_entries) config.cache_entries = *flags.cache_entries;
   return config;
 }
+
+// --- SIGINT -> cancel token ------------------------------------------------
+// The handler may only touch async-signal-safe state, so it stores through
+// the token's raw atomic flag; everything else (journal flush, exit code
+// 130) happens on the normal path once the in-flight entries observe the
+// flag and unwind.
+
+std::atomic<bool>* g_sigint_flag = nullptr;
+
+void handle_sigint(int) {
+  if (g_sigint_flag != nullptr)
+    g_sigint_flag->store(true, std::memory_order_relaxed);
+}
+
+class SigintGuard {
+ public:
+  explicit SigintGuard(exec::CancelToken& token) {
+    g_sigint_flag = token.flag();
+    previous_ = std::signal(SIGINT, handle_sigint);
+  }
+  ~SigintGuard() {
+    std::signal(SIGINT, previous_);
+    g_sigint_flag = nullptr;
+  }
+  SigintGuard(const SigintGuard&) = delete;
+  SigintGuard& operator=(const SigintGuard&) = delete;
+
+ private:
+  void (*previous_)(int) = nullptr;
+};
 
 // Loads a design through the session: family benchmark name, .bench file,
 // or Verilog file.  Strict by default; --permissive recovers and repairs
@@ -136,11 +179,16 @@ int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   if (flags.trace) session.config().wordrec.trace = &trace;
   const auto result = session.identify(design);
   session.config().wordrec.trace = nullptr;
+  wordrec::report_degradation(*result, *flags.diags);
   if (flags.json) {
     out << eval::identify_result_to_json(nl, *result) << '\n';
     return 0;
   }
   if (flags.trace) out << wordrec::render_trace(nl, trace);
+  if (result->degraded())
+    out << "note: degraded to '"
+        << exec::degrade_level_name(result->degrade_level) << "' ("
+        << result->degrade_reason << ")\n";
   out << "found " << result->words.count_multibit() << " multi-bit word(s), "
       << result->used_control_signals.size() << " control signal(s), "
       << result->stats.reduction_trials << " reduction trial(s):\n";
@@ -226,7 +274,11 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
         "evaluate: no reference words (flop output names carry no indices)");
   // identify_words opens its own "identify" stage; mirror it for --base.
   const wordrec::WordSet words = [&] {
-    if (!flags.base) return session.identify(design)->words;
+    if (!flags.base) {
+      const auto result = session.identify(design);
+      wordrec::report_degradation(*result, *flags.diags);
+      return result->words;
+    }
     perf::Stage stage("identify");
     return *session.identify_baseline(design);
   }();
@@ -317,11 +369,25 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
   options.keep_going = flags.keep_going;
   options.max_errors =
       flags.max_errors.value_or(diag::Diagnostics::kDefaultMaxErrors);
+  if (flags.retries) options.retries = *flags.retries;
+  if (flags.resume) options.resume_path = *flags.resume;
+
+  // Ctrl-C cancels in-flight entries cooperatively; entries that already
+  // finished are in the journal (with --resume), so a rerun picks up where
+  // the interrupted run left off.
+  options.config.exec.cancellable = true;
+  SigintGuard sigint_guard(options.config.exec.cancel);
+
   const pipeline::BatchResult result = pipeline::run_batch(specs, options);
-  if (flags.json)
-    out << result.to_json() << '\n';
-  else
-    out << result.render_text();
+  const std::string rendered =
+      flags.json ? result.to_json() + "\n" : result.render_text();
+  if (flags.output) {
+    io::write_file_atomic(*flags.output, rendered);
+    out << "wrote " << *flags.output << '\n';
+  } else {
+    out << rendered;
+  }
+  if (result.interrupted()) return 130;
   return result.all_ok() ? 0 : 1;
 }
 
@@ -489,6 +555,18 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (diag_json) out << diags.to_json() << '\n';
     err << "error: " << error.what() << '\n';
     return 4;
+  } catch (const exec::DeadlineExceededError& error) {
+    // Only reached when degradation is off (--degrade=off) or the floor
+    // rung itself tripped; otherwise the ladder absorbs the deadline.
+    perf::Profiler::global().disable();
+    if (diag_json) out << diags.to_json() << '\n';
+    err << "error: " << error.what() << '\n';
+    return 5;
+  } catch (const exec::CancelledError& error) {
+    perf::Profiler::global().disable();
+    if (diag_json) out << diags.to_json() << '\n';
+    err << "error: " << error.what() << '\n';
+    return 130;
   } catch (const std::exception& error) {
     perf::Profiler::global().disable();
     err << "error: " << error.what() << '\n';

@@ -71,6 +71,30 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
     case FlagId::kKeepGoing:
       flags.keep_going = true;
       break;
+    case FlagId::kResume:
+      flags.resume = value;
+      break;
+    case FlagId::kRetries:
+      flags.retries = std::stoul(value);
+      break;
+    case FlagId::kTimeout:
+      flags.timeout_ms = std::stoul(value);
+      break;
+    case FlagId::kStageTimeout:
+      flags.stage_timeout_ms = std::stoul(value);
+      break;
+    case FlagId::kDegrade: {
+      const auto policy = exec::parse_degrade_policy(value);
+      if (!policy)
+        throw std::invalid_argument(
+            "--degrade expects off, full, depth, baseline, or groups; got '" +
+            value + "'");
+      flags.degrade = *policy;
+      break;
+    }
+    case FlagId::kCacheEntries:
+      flags.cache_entries = std::stoul(value);
+      break;
     case FlagId::kJobs:
       flags.jobs = std::stoul(value);
       if (*flags.jobs == 0)
@@ -120,6 +144,23 @@ const std::vector<FlagSpec>& flag_table() {
        "lint failure threshold: note|warning|error", false},
       {FlagId::kKeepGoing, "--keep-going", nullptr, false, nullptr,
        "run every batch entry despite failures", false},
+      {FlagId::kResume, "--resume", nullptr, true, "PATH",
+       "append completed entries to the journal at PATH and skip entries "
+       "already recorded there (crash-safe resume)",
+       false},
+      {FlagId::kRetries, "--retries", nullptr, true, "N",
+       "retry transient file-read failures up to N times with backoff",
+       false},
+      {FlagId::kTimeout, "--timeout", nullptr, true, "MS",
+       "whole-run wall-clock budget in milliseconds (0 = unlimited)", true},
+      {FlagId::kStageTimeout, "--stage-timeout", nullptr, true, "MS",
+       "per-stage wall-clock budget in milliseconds (0 = unlimited)", true},
+      {FlagId::kDegrade, "--degrade", nullptr, true, "LVL",
+       "degradation floor when a deadline or work budget trips: off|full|"
+       "depth|baseline|groups (default groups)",
+       true},
+      {FlagId::kCacheEntries, "--cache-entries", nullptr, true, "N",
+       "artifact cache capacity in entries (0 disables caching)", true},
       {FlagId::kJobs, "--jobs", "-j", true, "N",
        "thread count for the parallel pipeline stages (default: NETREV_JOBS "
        "env var, else all cores; results are identical at any value)",
@@ -162,7 +203,8 @@ const std::vector<CommandSpec>& command_table() {
        "run parse/lint/identify/evaluate over many designs (specs: designs, "
        "globs, or manifest files); artifacts are cached across entries",
        {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
-        FlagId::kMaxAssign, FlagId::kCrossGroup}},
+        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kResume,
+        FlagId::kRetries, FlagId::kOutput}},
       {"generate", "<bXXs>", "emit family benchmark", {FlagId::kOutput}},
       {"scan", "<design>", "insert scan chain", {FlagId::kOutput}},
       {"dot", "<design>", "GraphViz with identified words highlighted",
@@ -282,7 +324,7 @@ std::string usage() {
   }
   out +=
       "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
-      "  4 unusable input\n";
+      "  4 unusable input, 5 deadline exceeded, 130 interrupted\n";
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/diagnostics.h"
+#include "exec/degrade.h"
 
 namespace netrev {
 class Session;
@@ -34,7 +35,13 @@ enum class FlagId {
   kRules,
   kFailOn,
   kKeepGoing,
+  kResume,
+  kRetries,
   // Global flags (valid for every command).
+  kTimeout,
+  kStageTimeout,
+  kDegrade,
+  kCacheEntries,
   kJobs,
   kProfile,
   kPermissive,
@@ -83,6 +90,12 @@ struct ParsedFlags {
   std::optional<std::size_t> max_assign;
   std::optional<std::size_t> max_errors;
   std::optional<std::string> output;
+  std::optional<std::size_t> timeout_ms;        // --timeout (whole run)
+  std::optional<std::size_t> stage_timeout_ms;  // --stage-timeout (per stage)
+  std::optional<exec::DegradePolicy> degrade;   // --degrade policy
+  std::optional<std::size_t> cache_entries;     // --cache-entries bound
+  std::optional<std::string> resume;            // batch --resume journal path
+  std::optional<std::size_t> retries;           // batch --retries
   std::vector<std::pair<std::string, bool>> assignments;
   std::vector<std::string> rules;         // lint --rules a,b,c
   std::optional<diag::Severity> fail_on;  // lint --fail-on=...

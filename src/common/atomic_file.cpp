@@ -1,0 +1,63 @@
+#include "common/atomic_file.h"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace netrev::io {
+
+namespace {
+
+// The PID distinguishes processes sharing a directory; the counter
+// distinguishes concurrent writers of the same target within one process.
+std::atomic<std::uint64_t> temp_counter{0};
+
+std::string temp_path_for(const std::string& path) {
+#if defined(_WIN32)
+  const auto pid = static_cast<long>(_getpid());
+#else
+  const auto pid = static_cast<long>(::getpid());
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(temp_counter.fetch_add(1));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string temp = temp_path_for(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open file for writing: " + path);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      throw std::runtime_error("write failed: " + path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    throw std::runtime_error("cannot replace file: " + path + " (" +
+                             ec.message() + ")");
+  }
+}
+
+}  // namespace netrev::io

@@ -1,0 +1,21 @@
+// Crash-safe file output.
+//
+// A bare `std::ofstream(path) << contents` that dies mid-write (crash,
+// SIGKILL, full disk) leaves a truncated artifact behind that looks like a
+// complete file.  write_file_atomic writes to a sibling temporary file and
+// renames it over the target, so the target path only ever holds either its
+// previous contents or the complete new contents — never a torn write.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace netrev::io {
+
+// Writes `contents` to `path` via a unique temp file in the same directory
+// plus an atomic rename.  Throws std::runtime_error when the temp file
+// cannot be created, written, or renamed; the temp file is removed on every
+// failure path, the target is untouched.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace netrev::io

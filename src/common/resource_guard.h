@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/cancel.h"
+
 namespace netrev {
 
 // Thrown when an input exceeds a configured resource ceiling.  Deliberately a
@@ -40,8 +42,20 @@ struct ResourceLimits {
 // with the same error either way.
 class WorkBudget {
  public:
+  // charge() polls the attached checkpoint once per this many units, so a
+  // deadline clock read never sits on the per-net hot path.
+  static constexpr std::size_t kPollStride = 1024;
+
   WorkBudget() = default;
   explicit WorkBudget(std::size_t limit) : limit_(limit) {}
+
+  // Attaches a cancellation/deadline poll point (non-owning; must outlive
+  // the budget's use).  Cone walks thereby become interruptible without any
+  // signature change: everything that charges the budget polls.
+  void set_checkpoint(const exec::Checkpoint* checkpoint) {
+    checkpoint_ = checkpoint != nullptr && checkpoint->armed() ? checkpoint
+                                                               : nullptr;
+  }
 
   void charge(std::size_t units = 1) {
     const std::size_t spent =
@@ -49,6 +63,11 @@ class WorkBudget {
     if (limit_ != 0 && spent > limit_)
       throw ResourceLimitError("cone traversal work limit exceeded (" +
                                std::to_string(limit_) + " nodes)");
+    // Strided poll: checks roughly every kPollStride charged units.  The
+    // stride is approximate under concurrency, which is fine — polls decide
+    // *whether* to keep going, never *what* is computed.
+    if (checkpoint_ != nullptr && (spent & (kPollStride - 1)) < units)
+      checkpoint_->poll();
   }
 
   bool limited() const { return limit_ != 0; }
@@ -58,6 +77,7 @@ class WorkBudget {
 
  private:
   std::size_t limit_ = 0;  // 0 = unlimited
+  const exec::Checkpoint* checkpoint_ = nullptr;  // non-owning
   std::atomic<std::size_t> spent_{0};
 };
 

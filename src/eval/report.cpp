@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/text.h"
+#include "exec/degrade.h"
 
 namespace netrev::eval {
 
@@ -113,7 +114,19 @@ std::string identify_result_to_json(const netlist::Netlist& nl,
   out += "\"unified_subgroups\":" + std::to_string(stats.unified_subgroups);
   out += "},";
 
-  out += "\"words\":" + words_array(nl, result.words, false);
+  out += "\"words\":" + words_array(nl, result.words, false) + ",";
+
+  // Always present ("degraded":null when the run completed at full fidelity)
+  // so a run finishing under its deadline is byte-identical to a run with no
+  // deadline at all.
+  if (result.degraded()) {
+    out += "\"degraded\":{\"level\":\"" +
+           std::string(exec::degrade_level_name(result.degrade_level)) +
+           "\",\"stage\":\"" + json_escape(result.degrade_stage) +
+           "\",\"reason\":\"" + json_escape(result.degrade_reason) + "\"}";
+  } else {
+    out += "\"degraded\":null";
+  }
   out += "}";
   return out;
 }

@@ -1,0 +1,144 @@
+// netrev::exec — cooperative cancellation and deadlines.
+//
+// A long-running pipeline stage must be interruptible for two reasons: the
+// caller gave it a wall-clock budget (a Deadline), or an external event
+// (SIGINT, a dropped client) asked the whole run to stop (a CancelToken).
+// Both are combined into a Checkpoint, the poll point threaded through
+// WorkBudget charges, ThreadPool task bodies, parser loops, and every
+// wordrec stage.  Polling is cooperative: code calls poll() at natural
+// boundaries (a netlist line, a fanin-cone node, an assignment trial) and
+// the poll throws CancelledError or DeadlineExceededError, which unwinds
+// through parallel_for's deterministic lowest-index rethrow like any other
+// stage failure.
+//
+// Cost model: an unarmed Checkpoint (no token, no deadline — the default
+// everywhere) polls in one branch.  Cancellation is one relaxed atomic
+// load.  Only an armed deadline reads the clock, so poll points may sit on
+// hot paths as long as the *unarmed* cost is what they pay by default;
+// ultra-hot paths (per-net cone charges) additionally stride their polls
+// (see WorkBudget).
+//
+// Deadline trips are wall-clock events and therefore not deterministic
+// across machines; determinism contracts are phrased one level up (the
+// degradation ladder, exec/degrade.h): whatever rung a run lands on, the
+// bytes it produces are identical at any job count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace netrev::exec {
+
+// Thrown by Checkpoint::poll() when the run's CancelToken was triggered
+// (SIGINT, caller shutdown).  Never converted into degraded results: a
+// cancelled run is abandoned, not approximated.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("operation cancelled") {}
+};
+
+// Thrown by Checkpoint::poll() when the armed deadline has passed.  The
+// message is deliberately constant (no elapsed times) so a deadline trip
+// recorded in diagnostics or JSON is byte-stable.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  DeadlineExceededError() : std::runtime_error("deadline exceeded") {}
+};
+
+enum class StopReason { kNone, kCancelled, kDeadline };
+
+// Shared cancellation flag.  Copies observe the same flag; the flag is a
+// lock-free atomic so request_cancel() is safe from a signal handler
+// (provided the token outlives the handler's window — the CLI keeps the
+// batch token alive for the whole command).
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  // The raw flag, for contexts restricted to async-signal-safe operations
+  // (the CLI's SIGINT handler stores through this pointer directly).
+  std::atomic<bool>* flag() { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// A wall-clock deadline on the steady clock.  Default-constructed =
+// unlimited.  Value type, trivially copyable.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // A deadline `budget` from now; a zero or negative budget means
+  // "unlimited" (the CLI's 0 = no timeout convention).
+  static Deadline after(std::chrono::milliseconds budget) {
+    Deadline d;
+    if (budget.count() > 0) {
+      d.limited_ = true;
+      d.at_ = std::chrono::steady_clock::now() + budget;
+    }
+    return d;
+  }
+
+  // The earlier of two deadlines (unlimited loses to any limited one).
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    if (!a.limited_) return b;
+    if (!b.limited_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  bool limited() const { return limited_; }
+  bool expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+// The poll point.  Combines a CancelToken and a Deadline; default
+// constructed it is unarmed and polls are a single branch.
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  Checkpoint(CancelToken token, Deadline deadline)
+      : token_(std::move(token)), deadline_(deadline), armed_(true) {}
+
+  // True when this checkpoint can ever stop anything — the fast-path guard
+  // hot loops test before paying for a clock read.
+  bool armed() const { return armed_; }
+
+  StopReason stop_requested() const {
+    if (!armed_) return StopReason::kNone;
+    if (token_.cancel_requested()) return StopReason::kCancelled;
+    if (deadline_.expired()) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+
+  // Throws CancelledError / DeadlineExceededError when a stop is due.
+  void poll() const {
+    switch (stop_requested()) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kCancelled:
+        throw CancelledError();
+      case StopReason::kDeadline:
+        throw DeadlineExceededError();
+    }
+  }
+
+ private:
+  CancelToken token_;
+  Deadline deadline_;
+  bool armed_ = false;
+};
+
+}  // namespace netrev::exec

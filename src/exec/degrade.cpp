@@ -1,0 +1,44 @@
+#include "exec/degrade.h"
+
+namespace netrev::exec {
+
+const char* degrade_level_name(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kFull:
+      return "full";
+    case DegradeLevel::kReducedDepth:
+      return "depth";
+    case DegradeLevel::kBaseline:
+      return "baseline";
+    case DegradeLevel::kGroupsOnly:
+      return "groups";
+  }
+  return "unknown";
+}
+
+std::optional<DegradePolicy> parse_degrade_policy(const std::string& name) {
+  DegradePolicy policy;
+  if (name == "off") {
+    policy.enabled = false;
+    return policy;
+  }
+  if (name == "full") {
+    policy.floor = DegradeLevel::kFull;
+    return policy;
+  }
+  if (name == "depth") {
+    policy.floor = DegradeLevel::kReducedDepth;
+    return policy;
+  }
+  if (name == "baseline") {
+    policy.floor = DegradeLevel::kBaseline;
+    return policy;
+  }
+  if (name == "groups") {
+    policy.floor = DegradeLevel::kGroupsOnly;
+    return policy;
+  }
+  return std::nullopt;
+}
+
+}  // namespace netrev::exec

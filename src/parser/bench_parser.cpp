@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/text.h"
 #include "parser/lexer.h"
 
@@ -108,6 +109,7 @@ Netlist parse_bench(std::string_view source, const ParseOptions& options,
   std::size_t line_number = 0;
   for (const auto& raw : split(source, '\n')) {
     ++line_number;
+    options.checkpoint.poll();
     if (options.permissive && diags.at_error_limit()) {
       diags.note("too many errors; giving up on the rest of the input",
                  here(line_number, 1));
@@ -237,10 +239,8 @@ std::string write_bench(const Netlist& nl) {
 }
 
 void write_bench_file(const Netlist& nl, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
-  out << write_bench(nl);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Temp-file + rename: a crash mid-write never leaves a truncated .bench.
+  io::write_file_atomic(path, write_bench(nl));
 }
 
 }  // namespace netrev::parser

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/resource_guard.h"
+#include "exec/cancel.h"
 
 namespace netrev::parser {
 
@@ -20,6 +21,11 @@ struct ParseOptions {
   // Ceilings turning runaway inputs into clean failures (strict: throws
   // ResourceLimitError; permissive: fatal diagnostic, parsing stops).
   ResourceLimits limits;
+
+  // Cancellation/deadline poll point; the parser loops poll it per line /
+  // statement.  Observation-only: excluded from the options fingerprint
+  // (it changes whether a parse finishes, never what it produces).
+  exec::Checkpoint checkpoint;
 };
 
 }  // namespace netrev::parser

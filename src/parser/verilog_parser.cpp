@@ -74,6 +74,7 @@ class VerilogParser {
     std::string module_name = parse_header();
 
     while (!at_keyword("endmodule")) {
+      options_.checkpoint.poll();
       const Token& tok = peek();
       if (tok.kind == TokenKind::kEndOfFile) {
         if (!permissive())

@@ -1,9 +1,9 @@
 #include "parser/verilog_writer.h"
 
 #include <cctype>
-#include <fstream>
 #include <stdexcept>
 
+#include "common/atomic_file.h"
 #include "common/contracts.h"
 
 namespace netrev::parser {
@@ -86,10 +86,8 @@ std::string write_verilog(const Netlist& nl) {
 }
 
 void write_verilog_file(const Netlist& nl, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
-  out << write_verilog(nl);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Temp-file + rename: a crash mid-write never leaves a truncated .v.
+  io::write_file_atomic(path, write_verilog(nl));
 }
 
 }  // namespace netrev::parser

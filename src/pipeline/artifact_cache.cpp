@@ -14,6 +14,21 @@ std::size_t ArtifactCache::size() const {
   return entries_.size();
 }
 
+std::size_t ArtifactCache::max_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_entries_;
+}
+
+void ArtifactCache::set_max_entries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
+  if (max_entries_ == 0) {
+    entries_.clear();
+    return;
+  }
+  while (entries_.size() > max_entries_) evict_oldest_locked();
+}
+
 void ArtifactCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
@@ -23,7 +38,8 @@ std::shared_ptr<const void> ArtifactCache::lookup(const ArtifactKey& key,
                                                   const std::type_info& type) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
+    const auto it =
+        max_entries_ == 0 ? entries_.end() : entries_.find(key);
     if (it != entries_.end()) {
       if (*it->second.type != type)
         throw std::logic_error("artifact cache type mismatch for stage '" +
@@ -44,6 +60,7 @@ std::shared_ptr<const void> ArtifactCache::store(
     const ArtifactKey& key, std::shared_ptr<const void> value,
     const std::type_info& type) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (max_entries_ == 0) return value;  // caching disabled: pass through
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     // A concurrent compute stored first; converge on its artifact.
@@ -52,8 +69,7 @@ std::shared_ptr<const void> ArtifactCache::store(
                              key.stage + "'");
     return it->second.value;
   }
-  if (max_entries_ > 0 && entries_.size() >= max_entries_)
-    evict_oldest_locked();
+  if (entries_.size() >= max_entries_) evict_oldest_locked();
   Entry entry;
   entry.value = std::move(value);
   entry.type = &type;

@@ -50,6 +50,8 @@ class ArtifactCache {
  public:
   static constexpr std::size_t kDefaultMaxEntries = 512;
 
+  // `max_entries` bounds the FIFO store; 0 disables caching entirely (every
+  // lookup misses, every store is a pass-through).
   explicit ArtifactCache(std::size_t max_entries = kDefaultMaxEntries)
       : max_entries_(max_entries) {}
   ArtifactCache(const ArtifactCache&) = delete;
@@ -79,7 +81,13 @@ class ArtifactCache {
   std::uint64_t misses() const { return misses_.load(); }
   std::uint64_t evictions() const { return evictions_.load(); }
   std::size_t size() const;
-  std::size_t max_entries() const { return max_entries_; }
+  std::size_t max_entries() const;
+
+  // Rebounds the cache (e.g. from --cache-entries).  Shrinking evicts oldest
+  // entries down to the new bound; 0 drops everything and disables caching.
+  // Capacity never keys artifacts, so changing it cannot change results —
+  // only how much recomputation later lookups save.
+  void set_max_entries(std::size_t max_entries);
 
   void clear();
 
@@ -97,7 +105,7 @@ class ArtifactCache {
                                     const std::type_info& type);
   void evict_oldest_locked();
 
-  const std::size_t max_entries_;
+  std::size_t max_entries_;  // guarded by mutex_; 0 = caching disabled
   mutable std::mutex mutex_;
   std::unordered_map<ArtifactKey, Entry, ArtifactKeyHash> entries_;
   std::uint64_t next_order_ = 0;

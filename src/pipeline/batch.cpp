@@ -1,12 +1,22 @@
 #include "pipeline/batch.h"
 
+#include <fstream>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
 
 #include "common/thread_pool.h"
 #include "common/version.h"
 #include "eval/diagnose.h"
 #include "eval/report.h"
+#include "exec/cancel.h"
+#include "exec/degrade.h"
+#include "itc/family.h"
+#include "pipeline/journal.h"
 #include "pipeline/session.h"
+#include "wordrec/degrade.h"
 
 namespace netrev::pipeline {
 
@@ -16,34 +26,174 @@ struct EntryState {
   BatchEntry out;
   diag::Diagnostics diags;
   LoadedDesign design;
-  bool active = true;  // still progressing through waves
+  bool restored = false;  // journal hit: recorded outcome reused as-is
 };
 
 void fail(EntryState& state, const char* stage, const std::string& message) {
   state.out.status = EntryStatus::kFailed;
   state.out.failed_stage = stage;
   state.out.error = message;
-  state.active = false;
 }
 
-// Without --keep-going, the FIRST failure in input order ends the batch:
-// every later entry still active is marked skipped.  Earlier entries (and
-// entries that raced ahead before the failure surfaced) keep their results,
-// so the outcome is deterministic at any job count.
+bool is_family_name(const std::string& name) {
+  try {
+    itc::profile_by_name(name);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+// The journal content hash: raw file bytes for file specs (so an edited
+// input never matches its stale journal entry), a name tag for family
+// benchmarks (built in-process, no bytes to hash), and a spec tag for
+// unreadable files (their recorded outcome is the canonical load error).
+std::uint64_t content_hash_for(const std::string& spec) {
+  if (is_family_name(spec)) return fnv1a64("family:" + spec);
+  std::ifstream in(spec, std::ios::binary);
+  if (!in) return fnv1a64("spec:" + spec);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return fnv1a64(buffer.str());
+}
+
+// Everything that changes what one entry produces.  keep_going is excluded:
+// it reshapes final statuses (the skip rule), never a recorded outcome.
+std::uint64_t batch_options_fingerprint(const BatchOptions& options) {
+  const RunConfig& config = options.config;
+  std::uint64_t fp = fnv1a64("batch-options");
+  fp = mix(fp, config.parse_fingerprint(options.max_errors));
+  fp = mix(fp, config.wordrec_fingerprint());
+  fp = mix(fp, config.analysis_fingerprint());
+  fp = mix(fp, config.exec_fingerprint());
+  fp = mix(fp, config.use_baseline ? 1 : 0);
+  fp = mix(fp, options.run_lint ? 1 : 0);
+  fp = mix(fp, options.run_evaluate ? 1 : 0);
+  return fp;
+}
+
+// Transient-failure retry: probe readability with exponential backoff before
+// handing the spec to the loader.  Heals NFS hiccups and not-yet-visible
+// files; a permanently missing file falls through so the load reports its
+// usual error.
+void await_readable(const std::string& spec, const BatchOptions& options) {
+  if (options.retries == 0 || is_family_name(spec)) return;
+  std::chrono::milliseconds backoff = options.retry_backoff;
+  for (std::size_t attempt = 0; attempt <= options.retries; ++attempt) {
+    if (std::ifstream(spec)) return;
+    if (attempt == options.retries) return;
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
+void run_entry(Session& session, const BatchOptions& options,
+               EntryState& state) {
+  // Poll between stages so an interrupted batch stops at the next stage
+  // boundary even when stage checkpoints are unarmed.
+  const auto check_cancel = [&] {
+    if (options.config.exec.cancellable &&
+        options.config.exec.cancel.cancel_requested())
+      throw exec::CancelledError();
+  };
+
+  const char* stage = "load";
+  try {
+    check_cancel();
+    await_readable(state.out.spec, options);
+    state.design = session.load_netlist(state.out.spec, options.config.parse,
+                                        state.diags);
+
+    if (options.run_lint) {
+      stage = "lint";
+      check_cancel();
+      const auto analysis = session.analyze(state.design);
+      state.out.analysis_json =
+          eval::analysis_to_json(state.design.nl(), *analysis);
+      state.out.lint_errors = analysis->error_count();
+      state.out.lint_warnings = analysis->warning_count();
+      state.out.lint_notes = analysis->note_count();
+    }
+
+    stage = "identify";
+    check_cancel();
+    state.out.identify_json = session.identify_json(state.design);
+    if (options.config.use_baseline) {
+      const auto words = session.identify_baseline(state.design);
+      state.out.multibit_words = words->count_multibit();
+    } else {
+      const auto result = session.identify(state.design);
+      state.out.multibit_words = result->words.count_multibit();
+      state.out.control_signals = result->used_control_signals.size();
+      if (result->degraded()) {
+        state.out.degrade_level =
+            exec::degrade_level_name(result->degrade_level);
+        state.out.degrade_stage = result->degrade_stage;
+        wordrec::report_degradation(*result, state.diags);
+      }
+    }
+
+    if (options.run_evaluate) {
+      stage = "evaluate";
+      check_cancel();
+      const auto reference = session.reference(state.design);
+      // A design whose flop names carry no indices has nothing to evaluate
+      // against; that is a property of the input, not a failure.
+      if (!reference->words.empty()) {
+        const eval::Diagnosis diagnosis =
+            options.config.use_baseline
+                ? eval::diagnose(state.design.nl(),
+                                 *session.identify_baseline(state.design),
+                                 *reference)
+                : eval::diagnose(state.design.nl(),
+                                 session.identify(state.design)->words,
+                                 *reference);
+        state.out.evaluation_json =
+            eval::evaluation_to_json(diagnosis.summary, reference->words);
+      }
+    }
+  } catch (const exec::CancelledError&) {
+    state.out.status = EntryStatus::kCancelled;
+  } catch (const std::exception& error) {
+    fail(state, stage, error.what());
+  }
+  if (!state.diags.empty())
+    state.out.diagnostics_json = state.diags.to_json();
+}
+
+// Without --keep-going, reproduce the historical wave semantics over the
+// final per-entry outcomes: failures surface at stage barriers in input
+// order, and once the first failure (in input order) has surfaced, every
+// later entry not already failed at that barrier is marked skipped — so the
+// statuses are deterministic at any job count even though entries now run
+// their whole pipeline independently.
 void apply_skip_rule(std::vector<EntryState>& states, bool keep_going) {
   if (keep_going) return;
+  static const char* kStages[] = {"load", "lint", "identify", "evaluate"};
+  std::vector<bool> active(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    active[i] = states[i].out.status != EntryStatus::kCancelled;
   std::size_t first_failed = std::numeric_limits<std::size_t>::max();
-  for (std::size_t i = 0; i < states.size(); ++i) {
-    if (states[i].out.status == EntryStatus::kFailed) {
-      first_failed = i;
-      break;
+  for (const char* stage : kStages) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (!active[i]) continue;
+      if (states[i].out.status == EntryStatus::kFailed &&
+          states[i].out.failed_stage == stage) {
+        active[i] = false;
+        if (i < first_failed) first_failed = i;
+      }
     }
-  }
-  if (first_failed == std::numeric_limits<std::size_t>::max()) return;
-  for (std::size_t i = first_failed + 1; i < states.size(); ++i) {
-    if (!states[i].active) continue;
-    states[i].active = false;
-    states[i].out.status = EntryStatus::kSkipped;
+    if (first_failed == std::numeric_limits<std::size_t>::max()) continue;
+    // Stage barrier: entries after the first failure that are still running
+    // are skipped; entries that already failed at this or an earlier stage
+    // keep their failure (they had surfaced before the barrier).  A still-
+    // earlier entry may fail at a later stage, moving first_failed down —
+    // exactly as successive wave barriers did.
+    for (std::size_t i = first_failed + 1; i < states.size(); ++i) {
+      if (!active[i]) continue;
+      active[i] = false;
+      states[i].out.status = EntryStatus::kSkipped;
+    }
   }
 }
 
@@ -55,6 +205,8 @@ const char* status_name(EntryStatus status) {
       return "failed";
     case EntryStatus::kSkipped:
       return "skipped";
+    case EntryStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -78,73 +230,48 @@ BatchResult run_batch(const std::vector<std::string>& specs,
     states[i].diags.set_max_errors(options.max_errors);
   }
 
-  // One wave = one stage over every still-active entry, in parallel.  All
-  // failure modes become per-entry records; nothing escapes a wave.
-  const auto wave = [&](const char* stage, auto&& body) {
-    parallel_for(0, states.size(), [&](std::size_t i) {
-      EntryState& state = states[i];
-      if (!state.active) return;
-      try {
-        body(state);
-      } catch (const std::exception& error) {
-        fail(state, stage, error.what());
-      }
-    });
-    apply_skip_rule(states, options.keep_going);
-  };
-
-  wave("load", [&](EntryState& state) {
-    state.design =
-        session.load_netlist(state.out.spec, options.config.parse, state.diags);
-  });
-
-  if (options.run_lint) {
-    wave("lint", [&](EntryState& state) {
-      const auto analysis = session.analyze(state.design);
-      state.out.analysis_json =
-          eval::analysis_to_json(state.design.nl(), *analysis);
-      state.out.lint_errors = analysis->error_count();
-      state.out.lint_warnings = analysis->warning_count();
-      state.out.lint_notes = analysis->note_count();
-    });
-  }
-
-  wave("identify", [&](EntryState& state) {
-    state.out.identify_json = session.identify_json(state.design);
-    if (options.config.use_baseline) {
-      const auto words = session.identify_baseline(state.design);
-      state.out.multibit_words = words->count_multibit();
-    } else {
-      const auto result = session.identify(state.design);
-      state.out.multibit_words = result->words.count_multibit();
-      state.out.control_signals = result->used_control_signals.size();
-    }
-  });
-
-  if (options.run_evaluate) {
-    wave("evaluate", [&](EntryState& state) {
-      const auto reference = session.reference(state.design);
-      // A design whose flop names carry no indices has nothing to evaluate
-      // against; that is a property of the input, not a failure.
-      if (reference->words.empty()) return;
-      const eval::Diagnosis diagnosis =
-          options.config.use_baseline
-              ? eval::diagnose(state.design.nl(),
-                               *session.identify_baseline(state.design),
-                               *reference)
-              : eval::diagnose(state.design.nl(),
-                               session.identify(state.design)->words,
-                               *reference);
-      state.out.evaluation_json =
-          eval::evaluation_to_json(diagnosis.summary, reference->words);
-    });
-  }
-
   BatchResult result;
+
+  // Journaled runs: restore recorded outcomes, then append the rest as they
+  // finish.  Keys are computed up front (one file read per spec) so restore
+  // and append agree on them.
+  std::vector<std::string> keys;
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.resume_path.empty()) {
+    const std::uint64_t options_fp = batch_options_fingerprint(options);
+    keys.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      keys[i] = journal_key(content_hash_for(specs[i]), options_fp);
+
+    std::unordered_map<std::string, BatchEntry> recorded;
+    for (JournalRecord& record : read_journal(options.resume_path))
+      recorded[record.key] = std::move(record.entry);  // later lines win
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto it = recorded.find(keys[i]);
+      if (it == recorded.end() || it->second.spec != specs[i]) continue;
+      states[i].out = it->second;
+      states[i].restored = true;
+      ++result.resumed;
+    }
+    journal = std::make_unique<JournalWriter>(options.resume_path);
+  }
+
+  // One task per entry runs its whole pipeline; all failure modes become
+  // per-entry records, and a finished entry is journaled before the batch
+  // moves on — the crash-safety property --resume relies on.
+  parallel_for(0, states.size(), [&](std::size_t i) {
+    EntryState& state = states[i];
+    if (state.restored) return;
+    run_entry(session, options, state);
+    if (journal != nullptr && (state.out.status == EntryStatus::kOk ||
+                               state.out.status == EntryStatus::kFailed))
+      journal->append(keys[i], state.out);
+  });
+
+  apply_skip_rule(states, options.keep_going);
+
   result.entries.reserve(states.size());
   for (EntryState& state : states) {
-    if (!state.diags.empty())
-      state.out.diagnostics_json = state.diags.to_json();
     switch (state.out.status) {
       case EntryStatus::kOk:
         ++result.ok;
@@ -154,6 +281,9 @@ BatchResult run_batch(const std::vector<std::string>& specs,
         break;
       case EntryStatus::kSkipped:
         ++result.skipped;
+        break;
+      case EntryStatus::kCancelled:
+        ++result.cancelled;
         break;
     }
     result.entries.push_back(std::move(state.out));
@@ -185,6 +315,13 @@ std::string BatchResult::to_json() const {
         out += ",\"words\":" + std::to_string(entry.multibit_words);
         out +=
             ",\"control_signals\":" + std::to_string(entry.control_signals);
+        out += ",\"degraded\":";
+        if (entry.degrade_level.empty()) {
+          out += "null";
+        } else {
+          out += "{\"level\":\"" + json_escape(entry.degrade_level) +
+                 "\",\"stage\":\"" + json_escape(entry.degrade_stage) + "\"}";
+        }
         break;
       case EntryStatus::kFailed:
         out += ",\"stage\":\"" + json_escape(entry.failed_stage) + "\"";
@@ -193,6 +330,7 @@ std::string BatchResult::to_json() const {
         out += entry.diagnostics_json.empty() ? "null" : entry.diagnostics_json;
         break;
       case EntryStatus::kSkipped:
+      case EntryStatus::kCancelled:
         break;
     }
     out += "}";
@@ -201,6 +339,7 @@ std::string BatchResult::to_json() const {
   out += ",\"ok\":" + std::to_string(ok);
   out += ",\"failed\":" + std::to_string(failed);
   out += ",\"skipped\":" + std::to_string(skipped);
+  out += ",\"cancelled\":" + std::to_string(cancelled);
   out += "}}";
   return out;
 }
@@ -218,6 +357,8 @@ std::string BatchResult::render_text() const {
           out += ", lint " + std::to_string(entry.lint_errors) +
                  " error(s) / " + std::to_string(entry.lint_warnings) +
                  " warning(s)";
+        if (!entry.degrade_level.empty())
+          out += ", degraded to '" + entry.degrade_level + "'";
         break;
       case EntryStatus::kFailed:
         out += "FAILED at " + entry.failed_stage + ": " + entry.error;
@@ -225,13 +366,19 @@ std::string BatchResult::render_text() const {
       case EntryStatus::kSkipped:
         out += "skipped";
         break;
+      case EntryStatus::kCancelled:
+        out += "cancelled";
+        break;
     }
     out += "\n";
   }
   out += "batch: " + std::to_string(entries.size()) + " total, " +
          std::to_string(ok) + " ok, " + std::to_string(failed) + " failed, " +
-         std::to_string(skipped) + " skipped; cache: " +
-         std::to_string(cache_hits) + " hit(s), " +
+         std::to_string(skipped) + " skipped";
+  if (cancelled > 0) out += ", " + std::to_string(cancelled) + " cancelled";
+  if (resumed > 0)
+    out += "; resumed " + std::to_string(resumed) + " from journal";
+  out += "; cache: " + std::to_string(cache_hits) + " hit(s), " +
          std::to_string(cache_misses) + " miss(es)\n";
   return out;
 }

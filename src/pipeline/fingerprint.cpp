@@ -59,7 +59,9 @@ std::uint64_t fingerprint(const wordrec::Options& options) {
   hash = hash_u64(options.max_control_signals_per_subgroup, hash);
   hash = hash_u64(options.max_assignment_trials_per_subgroup, hash);
   hash = hash_u64(options.max_cone_work, hash);
-  // options.trace and options.cone_budget are observation-only and excluded.
+  // options.trace, options.cone_budget, and options.checkpoint are
+  // observation-only and excluded (a deadline changes when a run stops, not
+  // what a completed run computes).
   return hash;
 }
 
@@ -72,6 +74,13 @@ std::uint64_t fingerprint(const analysis::AnalysisOptions& options) {
                   hash);
   hash = hash_u64(options.min_flagged_fanout, hash);
   hash = hash_u64(options.max_findings_per_rule, hash);
+  return hash;
+}
+
+std::uint64_t fingerprint(const exec::DegradePolicy& policy) {
+  std::uint64_t hash = fnv1a64("degrade-policy");
+  hash = hash_bool(policy.enabled, hash);
+  hash = hash_u64(static_cast<std::uint64_t>(policy.floor), hash);
   return hash;
 }
 

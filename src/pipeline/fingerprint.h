@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "analysis/rule.h"
+#include "exec/degrade.h"
 #include "netlist/netlist.h"
 #include "parser/parse_options.h"
 #include "wordrec/options.h"
@@ -36,6 +37,12 @@ std::uint64_t fingerprint(const parser::ParseOptions& options,
                           std::size_t max_errors);
 std::uint64_t fingerprint(const wordrec::Options& options);
 std::uint64_t fingerprint(const analysis::AnalysisOptions& options);
+
+// Degradation policy fingerprint.  The policy changes what a trip *produces*
+// (which rung answers), so identify artifacts key on it; deadlines, cancel
+// tokens, and checkpoints are observation-only and excluded — an untripped
+// deadline must hit the same cache entries as no deadline at all.
+std::uint64_t fingerprint(const exec::DegradePolicy& policy);
 
 // Fingerprint of collected diagnostics (severity + message + location per
 // entry).  Analysis artifacts that consume parse-time facts key on this.

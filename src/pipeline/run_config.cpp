@@ -16,4 +16,8 @@ std::uint64_t RunConfig::analysis_fingerprint() const {
   return pipeline::fingerprint(analysis);
 }
 
+std::uint64_t RunConfig::exec_fingerprint() const {
+  return pipeline::fingerprint(exec.degrade);
+}
+
 }  // namespace netrev

@@ -15,6 +15,7 @@
 #include "perf/profile.h"
 #include "pipeline/fingerprint.h"
 #include "wordrec/baseline.h"
+#include "wordrec/degrade.h"
 
 namespace netrev {
 
@@ -61,7 +62,22 @@ struct Session::LoadArtifact {
 
 Session::Session(RunConfig config, pipeline::ArtifactCache* cache)
     : config_(std::move(config)),
-      cache_(cache != nullptr ? cache : &pipeline::ArtifactCache::global()) {}
+      cache_(cache != nullptr ? cache : &pipeline::ArtifactCache::global()) {
+  if (config_.cache_entries) cache_->set_max_entries(*config_.cache_entries);
+  run_deadline_ = exec::Deadline::after(config_.exec.timeout);
+}
+
+exec::Checkpoint Session::stage_checkpoint() const {
+  const ExecConfig& exec_cfg = config_.exec;
+  const bool armed = exec_cfg.timeout.count() > 0 ||
+                     exec_cfg.stage_timeout.count() > 0 ||
+                     exec_cfg.cancellable;
+  if (!armed) return {};
+  return exec::Checkpoint(
+      exec_cfg.cancel,
+      exec::Deadline::sooner(run_deadline_,
+                             exec::Deadline::after(exec_cfg.stage_timeout)));
+}
 
 LoadedDesign Session::design_from(const std::string& spec,
                                   std::shared_ptr<const netlist::Netlist> nl,
@@ -106,6 +122,7 @@ std::shared_ptr<const Session::ParsedArtifact> Session::parse_artifact(
 
   parser::ParseOptions parse_options = options;
   parse_options.filename = spec;
+  parse_options.checkpoint = stage_checkpoint();
   pipeline::ArtifactKey key{"parse", pipeline::fnv1a64(source),
                             pipeline::fingerprint(parse_options, max_errors)};
   return cache_->get_or_compute<ParsedArtifact>(key, [&] {
@@ -223,18 +240,27 @@ Session::Parsed Session::parse_netlist(const std::string& spec,
 
 std::shared_ptr<const wordrec::IdentifyResult> Session::identify(
     const LoadedDesign& design) {
-  if (config_.wordrec.trace != nullptr) {
-    // Traced runs narrate the actual execution; never serve or store them.
+  wordrec::Options options = config_.wordrec;
+  options.checkpoint = stage_checkpoint();
+  if (options.trace != nullptr) {
+    // Traced runs narrate the actual execution; never serve or store them,
+    // and never degrade them (a trace documents the full technique's run —
+    // deadline trips propagate as errors instead).
     return std::make_shared<wordrec::IdentifyResult>(
-        wordrec::identify_words(design.nl(), config_.wordrec));
+        wordrec::identify_words(design.nl(), options));
   }
-  pipeline::ArtifactKey key{"identify", design.identity,
-                            config_.wordrec_fingerprint()};
+  // The degrade policy changes what a tripped run produces, so it is part of
+  // the key; the deadline itself is not — an untripped deadline must share
+  // cache entries with no deadline at all.
+  pipeline::ArtifactKey key{
+      "identify", design.identity,
+      pipeline::mix(config_.wordrec_fingerprint(), config_.exec_fingerprint())};
   bool computed = false;
   auto result = cache_->get_or_compute<wordrec::IdentifyResult>(key, [&] {
     computed = true;
     return std::make_shared<wordrec::IdentifyResult>(
-        wordrec::identify_words(design.nl(), config_.wordrec));
+        wordrec::identify_words_degradable(design.nl(), options,
+                                           config_.exec.degrade));
   });
   if (!computed) {
     // Keep the profile tree shape stable on cache hits: identify_words
@@ -246,19 +272,24 @@ std::shared_ptr<const wordrec::IdentifyResult> Session::identify(
 
 std::shared_ptr<const wordrec::WordSet> Session::identify_baseline(
     const LoadedDesign& design) {
+  // The baseline IS a degradation rung, so it gets deadline enforcement but
+  // no ladder of its own: a trip here propagates to the caller.
+  wordrec::Options options = config_.wordrec;
+  options.checkpoint = stage_checkpoint();
   pipeline::ArtifactKey key{"identify_base", design.identity,
                             config_.wordrec_fingerprint()};
   return cache_->get_or_compute<wordrec::WordSet>(key, [&] {
     return std::make_shared<wordrec::WordSet>(
-        wordrec::identify_words_baseline(design.nl(), config_.wordrec));
+        wordrec::identify_words_baseline(design.nl(), options));
   });
 }
 
 std::string Session::identify_json(const LoadedDesign& design) {
   const char* stage = config_.use_baseline ? "identify_base_json"
                                            : "identify_json";
-  pipeline::ArtifactKey key{stage, design.identity,
-                            config_.wordrec_fingerprint()};
+  pipeline::ArtifactKey key{
+      stage, design.identity,
+      pipeline::mix(config_.wordrec_fingerprint(), config_.exec_fingerprint())};
   auto json = cache_->get_or_compute<std::string>(key, [&] {
     return std::make_shared<std::string>(
         config_.use_baseline

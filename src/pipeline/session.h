@@ -128,6 +128,15 @@ class Session {
   eval::TechniqueRun run_ours(const LoadedDesign& design);
   eval::TechniqueRun run_baseline(const LoadedDesign& design);
 
+  // --- execution control ---------------------------------------------------
+
+  // The poll point every stage of this session runs under: the run deadline
+  // (started at construction, from config().exec.timeout) capped by a fresh
+  // per-stage deadline (config().exec.stage_timeout), plus the cancel token.
+  // Unarmed — a single-branch no-op poll — unless a timeout is configured or
+  // config().exec.cancellable is set.
+  exec::Checkpoint stage_checkpoint() const;
+
  private:
   struct ParsedArtifact;  // netlist + parse diagnostics
   struct LoadArtifact;    // repaired netlist + accumulated diagnostics
@@ -142,6 +151,7 @@ class Session {
   RunConfig config_;
   pipeline::ArtifactCache* cache_;
   diag::Diagnostics diags_;
+  exec::Deadline run_deadline_;  // whole-run budget, started at construction
 };
 
 }  // namespace netrev

@@ -1,12 +1,25 @@
 #include "wordrec/baseline.h"
 
+#include "common/resource_guard.h"
 #include "wordrec/grouping.h"
 #include "wordrec/matching.h"
 
 namespace netrev::wordrec {
 
 WordSet identify_words_baseline(const netlist::Netlist& nl,
-                                const Options& options) {
+                                const Options& options_in) {
+  // Same budget/checkpoint wiring as identify_words(): cone walks charge a
+  // shared budget, and an armed checkpoint polls through it (strided) plus
+  // once per group here.  The baseline has no ladder of its own — it IS a
+  // degradation rung — so trips propagate to the ladder runner.
+  WorkBudget local_budget(options_in.max_cone_work);
+  Options options = options_in;
+  if (options.cone_budget == nullptr &&
+      (options.max_cone_work != 0 || options.checkpoint.armed())) {
+    local_budget.set_checkpoint(&options.checkpoint);
+    options.cone_budget = &local_budget;
+  }
+
   const ConeHasher hasher(nl, options);
   WordSet result;
   std::vector<PotentialBitGroup> groups = potential_bit_groups(nl);
@@ -14,6 +27,7 @@ WordSet identify_words_baseline(const netlist::Netlist& nl,
     groups = merge_groups_across_gaps(nl, std::move(groups),
                                       options.cross_group_max_gap);
   for (const PotentialBitGroup& group : groups) {
+    options.checkpoint.poll();
     std::vector<BitSignature> signatures;
     signatures.reserve(group.size());
     for (netlist::NetId bit : group) signatures.push_back(hasher.signature(bit));

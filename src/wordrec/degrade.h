@@ -1,0 +1,39 @@
+// The degradation ladder runner for word identification.
+//
+// identify_words_degradable() tries identification rungs from the configured
+// technique down to the unconditional floor (see exec/degrade.h for the rung
+// semantics).  A rung is abandoned only on a resource trip — the stage
+// deadline fired (exec::DeadlineExceededError) or the cone-work budget
+// overflowed (ResourceLimitError); the next rung then starts with a FRESH
+// budget, so the rung a run finally lands on depends only on which rungs can
+// finish within their budget, never on scheduling.  Cancellation
+// (exec::CancelledError) and structural/input errors always propagate: a
+// cancelled run is abandoned, a broken input is an error at every rung.
+//
+// Determinism contract: each rung's output is byte-identical at any job
+// count and across cache reruns; the degrade_{level,stage,reason} fields are
+// built only from constant error messages and rung names, never wall-clock
+// data.  kGroupsOnly performs no cone walks and polls nothing, so it always
+// answers.
+#pragma once
+
+#include "common/diagnostics.h"
+#include "exec/degrade.h"
+#include "wordrec/identify.h"
+
+namespace netrev::wordrec {
+
+// Runs the ladder.  With a disabled policy (or floor kFull) this is exactly
+// identify_words(): trips propagate.  Traced runs (options.trace != nullptr)
+// also bypass the ladder — a trace documents the full technique's decisions,
+// and splicing rung retries into it would corrupt that record.
+IdentifyResult identify_words_degradable(const netlist::Netlist& nl,
+                                         const Options& options,
+                                         const exec::DegradePolicy& policy);
+
+// Reports a degraded result into a diagnostics sink (one warning naming the
+// rung, the tripped stage, and the trip reason).  No-op for full results.
+void report_degradation(const IdentifyResult& result,
+                        diag::Diagnostics& diags);
+
+}  // namespace netrev::wordrec

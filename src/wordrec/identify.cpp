@@ -183,6 +183,7 @@ GroupOutcome process_group(const Netlist& nl, const ConeHasher& hasher,
   outcome.stats.subgroups += subgroups.size();
 
   for (Subgroup& subgroup : subgroups) {
+    options.checkpoint.poll();
     if (subgroup.fully_similar) {
       Word word;
       word.bits = std::move(subgroup.bits);
@@ -269,6 +270,7 @@ GroupOutcome process_group(const Netlist& nl, const ConeHasher& hasher,
     } else {
       for (std::size_t chunk = 0;
            chunk < trials.size() && !winning_index; chunk += kTrialChunk) {
+        options.checkpoint.poll();
         const std::size_t chunk_end =
             std::min(chunk + kTrialChunk, trials.size());
         std::vector<std::uint8_t> unifies(chunk_end - chunk, 0);
@@ -325,11 +327,18 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
 
   // Wire up the cone-work resource guard: all cone walks of this run charge
   // one shared budget, so a runaway input aborts with ResourceLimitError
-  // instead of hanging.
+  // instead of hanging.  An armed checkpoint also routes through the budget
+  // (strided polls per visited net), making every cone walk cancellable.
   WorkBudget local_budget(options_in.max_cone_work);
   Options options = options_in;
-  if (options.cone_budget == nullptr && options.max_cone_work != 0)
+  if (options.cone_budget == nullptr &&
+      (options.max_cone_work != 0 || options.checkpoint.armed())) {
+    // Both locals share this frame's lifetime, so the budget's non-owning
+    // checkpoint pointer stays valid for the whole run.  Caller-shared
+    // budgets are left untouched (the caller owns their wiring).
+    local_budget.set_checkpoint(&options.checkpoint);
     options.cone_budget = &local_budget;
+  }
 
   const ConeHasher hasher(nl, options);
   IdentifyResult result;
@@ -355,6 +364,7 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
   {
     perf::Stage groups_stage("groups");
     const auto process = [&](std::size_t g) {
+      options.checkpoint.poll();
       outcomes[g] =
           process_group(nl, hasher, groups[g], options, subtree_depth);
     };

@@ -4,9 +4,11 @@
 // circuit reduction until the subgroup's bits become fully similar (§2.5).
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "exec/degrade.h"
 #include "netlist/netlist.h"
 #include "wordrec/options.h"
 #include "wordrec/word.h"
@@ -37,6 +39,19 @@ struct IdentifyResult {
   std::vector<netlist::NetId> used_control_signals;
   std::vector<UnifiedWord> unified;
   IdentifyStats stats;
+
+  // Degradation record (see exec/degrade.h and wordrec/degrade.h).
+  // identify_words() itself always reports kFull; the ladder runner fills
+  // these in when a deadline or work budget tripped and a cheaper rung
+  // answered instead.  Both strings are deterministic (no wall-clock data),
+  // so degraded results stay byte-stable across job counts and reruns.
+  exec::DegradeLevel degrade_level = exec::DegradeLevel::kFull;
+  std::string degrade_stage;   // rung that first tripped ("" when kFull)
+  std::string degrade_reason;  // the trip error's message ("" when kFull)
+
+  bool degraded() const {
+    return degrade_level != exec::DegradeLevel::kFull;
+  }
 };
 
 // Runs a mandatory structural pre-pass first: throws

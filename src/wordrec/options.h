@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/resource_guard.h"
+#include "exec/cancel.h"
 
 namespace netrev::wordrec {
 
@@ -62,6 +63,13 @@ struct Options {
   // wires this up internally from max_cone_work; set it only to share one
   // budget across several calls.
   WorkBudget* cone_budget = nullptr;
+
+  // Cancellation/deadline poll point.  identify_words() polls it at group,
+  // subgroup, and trial-chunk boundaries, and attaches it to the cone
+  // budget so every cone walk polls too (strided).  Observation-only:
+  // excluded from the options fingerprint; degradation outcomes are keyed
+  // separately (see RunConfig::exec_fingerprint).
+  exec::Checkpoint checkpoint;
 };
 
 }  // namespace netrev::wordrec

@@ -1,0 +1,112 @@
+#include "common/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace netrev::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs each case as its own parallel process,
+    // so a shared directory would be wiped out from under a sibling.
+    dir_ = fs::temp_directory_path() /
+           (std::string("netrev_atomic_file_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Everything in the test directory except `keep` — after a successful
+  // write no temp sibling may survive.
+  std::size_t stray_files(const std::string& keep) const {
+    std::size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir_))
+      if (entry.path().string() != keep) ++count;
+    return count;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CreatesTheTargetWithExactContents) {
+  const std::string target = path("out.json");
+  write_file_atomic(target, "{\"ok\":true}\n");
+  EXPECT_EQ(read_all(target), "{\"ok\":true}\n");
+  EXPECT_EQ(stray_files(target), 0u) << "temp file left behind";
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingContentsCompletely) {
+  const std::string target = path("out.txt");
+  write_file_atomic(target, "first version, much longer than the second\n");
+  write_file_atomic(target, "v2\n");
+  EXPECT_EQ(read_all(target), "v2\n");
+  EXPECT_EQ(stray_files(target), 0u);
+}
+
+TEST_F(AtomicFileTest, EmptyContentsProduceAnEmptyFile) {
+  const std::string target = path("empty");
+  write_file_atomic(target, "");
+  EXPECT_TRUE(fs::exists(target));
+  EXPECT_EQ(fs::file_size(target), 0u);
+}
+
+TEST_F(AtomicFileTest, BinaryBytesRoundTrip) {
+  const std::string target = path("bytes.bin");
+  std::string contents = "a\0b\nc\r\n";
+  contents += '\xff';
+  write_file_atomic(target, contents);
+  EXPECT_EQ(read_all(target), contents);
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryFailsAndLeavesNothingBehind) {
+  const std::string target = path("no_such_dir/out.txt");
+  EXPECT_THROW(write_file_atomic(target, "x"), std::runtime_error);
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_EQ(stray_files(""), 0u);
+}
+
+TEST_F(AtomicFileTest, FailedWriteKeepsThePreviousContents) {
+  // The crash-safety contract: the target only ever holds the old bytes or
+  // the complete new bytes.  Simulate a failure by making the target's
+  // directory unwritable (temp file creation must fail), then confirm the
+  // original survives untouched.
+  const std::string target = path("stable.txt");
+  write_file_atomic(target, "original\n");
+  fs::permissions(dir_, fs::perms::owner_read | fs::perms::owner_exec);
+  const bool threw = [&] {
+    try {
+      write_file_atomic(target, "replacement\n");
+      return false;
+    } catch (const std::runtime_error&) {
+      return true;
+    }
+  }();
+  fs::permissions(dir_, fs::perms::owner_all);
+  if (threw) {  // root-ish environments may permit the write anyway
+    EXPECT_EQ(read_all(target), "original\n");
+  }
+}
+
+}  // namespace
+}  // namespace netrev::io

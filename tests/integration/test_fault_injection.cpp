@@ -5,12 +5,18 @@
 // damage costs at most a sliver of the design.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/analyzer.h"
 #include "common/diagnostics.h"
 #include "common/resource_guard.h"
+#include "exec/cancel.h"
+#include "exec/degrade.h"
 #include "itc/family.h"
 #include "netlist/netlist.h"
 #include "netlist/repair.h"
@@ -19,7 +25,9 @@
 #include "parser/parse_options.h"
 #include "parser/verilog_parser.h"
 #include "parser/verilog_writer.h"
+#include "pipeline/batch.h"
 #include "support/corrupt.h"
+#include "wordrec/degrade.h"
 #include "wordrec/identify.h"
 
 namespace netrev {
@@ -206,6 +214,102 @@ TEST(FaultInjection, KindsProduceDistinctDamage) {
     SCOPED_TRACE(testing::corruption_name(kind));
     EXPECT_NE(testing::corrupt(source, kind, 3), source);
   }
+}
+
+TEST(FaultInjection, DegradableIdentificationSurvivesAnyBudget) {
+  // Sweep the cone-work budget from "trips instantly" to "never trips": at
+  // every setting the degradation ladder must answer (never throw), and the
+  // answer at a given budget must be reproducible.
+  for (const char* benchmark : kBenchmarks) {
+    const Netlist golden = itc::build_benchmark(benchmark).netlist;
+    for (const std::size_t budget : {std::size_t{1}, std::size_t{64},
+                                     std::size_t{4096}, std::size_t{0}}) {
+      SCOPED_TRACE(std::string(benchmark) + " budget " +
+                   std::to_string(budget));
+      wordrec::Options options;
+      options.max_cone_work = budget;
+      const wordrec::IdentifyResult first =
+          wordrec::identify_words_degradable(golden, options,
+                                             exec::DegradePolicy{});
+      const wordrec::IdentifyResult second =
+          wordrec::identify_words_degradable(golden, options,
+                                             exec::DegradePolicy{});
+      EXPECT_EQ(first.degrade_level, second.degrade_level);
+      EXPECT_EQ(first.degrade_reason, second.degrade_reason);
+      EXPECT_EQ(first.words.words.size(), second.words.words.size());
+      if (budget == 0) {
+        EXPECT_FALSE(first.degraded());
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, DeadlineTripsDegradeCorruptedInputsToo) {
+  // An already-expired stage deadline plus a corrupted netlist: the ladder
+  // must still answer via the groups rung (which never polls) — damage and
+  // deadlines compose without crashing.
+  const Netlist golden = itc::build_benchmark("b03s").netlist;
+  const std::string source = parser::write_bench(golden);
+  exec::CancelToken token;
+  for (const CorruptionKind kind : kAllCorruptionKinds) {
+    SCOPED_TRACE(testing::corruption_name(kind));
+    diag::Diagnostics diags;
+    parser::ParseOptions parse_options;
+    parse_options.permissive = true;
+    const Netlist parsed =
+        parser::parse_bench(testing::corrupt(source, kind, 11), parse_options,
+                            diags);
+    netlist::RepairResult repaired = netlist::repair(parsed, diags);
+    analysis::CycleBreakResult decycled =
+        analysis::break_combinational_cycles(repaired.netlist, diags);
+    if (decycled.cycles_broken > 0)
+      repaired.netlist = std::move(decycled.netlist);
+    if (!diags.usable() || !netlist::validate(repaired.netlist).ok()) continue;
+
+    wordrec::Options options;
+    options.checkpoint = exec::Checkpoint(
+        token, exec::Deadline::after(std::chrono::milliseconds(1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_NO_THROW({
+      const wordrec::IdentifyResult result = wordrec::identify_words_degradable(
+          repaired.netlist, options, exec::DegradePolicy{});
+      (void)result;
+    });
+  }
+}
+
+TEST(FaultInjection, RetriesHealATransientlyMissingBatchInput) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "netrev_transient_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "late.bench").string();
+  const std::string contents =
+      parser::write_bench(itc::build_benchmark("b03s").netlist);
+
+  // Without retries the not-yet-visible file is a load failure.
+  pipeline::BatchOptions no_retry;
+  no_retry.keep_going = true;
+  const pipeline::BatchResult failed = pipeline::run_batch({path}, no_retry);
+  ASSERT_EQ(failed.failed, 1u);
+  EXPECT_EQ(failed.entries[0].failed_stage, "load");
+
+  // With retries, a writer that shows up during the backoff window heals the
+  // entry: the probe loop spans ~1.2s of doubling backoff, the file lands
+  // after ~80ms.
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    std::ofstream(path) << contents;
+  });
+  pipeline::BatchOptions with_retry;
+  with_retry.keep_going = true;
+  with_retry.retries = 6;
+  with_retry.retry_backoff = std::chrono::milliseconds(20);
+  const pipeline::BatchResult healed =
+      pipeline::run_batch({path}, with_retry);
+  writer.join();
+  EXPECT_TRUE(healed.all_ok()) << healed.render_text();
+  fs::remove_all(dir);
 }
 
 TEST(FaultInjection, TruncationNeverCrashesAtAnyLength) {

@@ -120,6 +120,55 @@ TEST(ArtifactCache, ConcurrentColdLookupsConvergeOnOneArtifact) {
   EXPECT_EQ(cache.hits() + cache.misses(), static_cast<std::uint64_t>(kThreads));
 }
 
+TEST(ArtifactCache, SetMaxEntriesEvictsDownToTheNewBound) {
+  ArtifactCache cache(8);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    (void)cache.get_or_compute<int>(
+        {"s", i, 0}, [i] { return make_int(static_cast<int>(i)); });
+  cache.set_max_entries(3);
+  EXPECT_EQ(cache.max_entries(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  // FIFO: the newest entries survive the shrink.
+  int computes = 0;
+  (void)cache.get_or_compute<int>({"s", 7, 0}, [&] {
+    ++computes;
+    return make_int(0);
+  });
+  EXPECT_EQ(computes, 0);
+}
+
+TEST(ArtifactCache, ZeroEntriesDisablesCachingButComputesStillRun) {
+  ArtifactCache cache(0);
+  EXPECT_EQ(cache.max_entries(), 0u);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return make_int(computes);
+  };
+  const auto first = cache.get_or_compute<int>({"s", 1, 0}, compute);
+  const auto second = cache.get_or_compute<int>({"s", 1, 0}, compute);
+  // Every lookup misses and recomputes; nothing is retained.
+  EXPECT_EQ(*first, 1);
+  EXPECT_EQ(*second, 2);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ArtifactCache, SetMaxEntriesZeroClearsExistingEntries) {
+  ArtifactCache cache(8);
+  (void)cache.get_or_compute<int>({"s", 1, 0}, [] { return make_int(1); });
+  cache.set_max_entries(0);
+  EXPECT_EQ(cache.size(), 0u);
+  int computes = 0;
+  (void)cache.get_or_compute<int>({"s", 1, 0}, [&] {
+    ++computes;
+    return make_int(1);
+  });
+  EXPECT_EQ(computes, 1);
+}
+
 TEST(ArtifactCache, GlobalCacheIsOneSharedInstance) {
   EXPECT_EQ(&ArtifactCache::global(), &ArtifactCache::global());
   EXPECT_EQ(ArtifactCache::global().max_entries(),

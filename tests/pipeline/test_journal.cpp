@@ -1,0 +1,197 @@
+#include "pipeline/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netrev::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs each case as its own parallel process,
+    // so a shared directory would be wiped out from under a sibling.
+    dir_ = fs::temp_directory_path() /
+           (std::string("netrev_journal_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal.jsonl").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_all() const {
+    std::ifstream in(path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+BatchEntry ok_entry() {
+  BatchEntry entry;
+  entry.spec = "b03s";
+  entry.status = EntryStatus::kOk;
+  // Nested JSON with quotes and backslashes — the flat-line escaping must
+  // round-trip it byte-for-byte.
+  entry.identify_json = "{\"multibit_words\":7,\"words\":[\"a\\\\b\"]}";
+  entry.analysis_json = "{\"findings\":[]}";
+  entry.evaluation_json = "{\"recall\":100.0}";
+  entry.diagnostics_json = "";
+  entry.degrade_level = "groups";
+  entry.degrade_stage = "full";
+  entry.multibit_words = 7;
+  entry.control_signals = 1;
+  entry.lint_errors = 0;
+  entry.lint_warnings = 2;
+  entry.lint_notes = 3;
+  return entry;
+}
+
+BatchEntry failed_entry() {
+  BatchEntry entry;
+  entry.spec = "/tmp/broken.bench";
+  entry.status = EntryStatus::kFailed;
+  entry.failed_stage = "load";
+  entry.error = "cannot open file: /tmp/broken.bench";
+  return entry;
+}
+
+TEST(JournalKey, IsSixteenLowercaseHexDigits) {
+  const std::string key = journal_key(0x1234, 0x5678);
+  EXPECT_EQ(key.size(), 16u);
+  for (char c : key)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << key;
+}
+
+TEST(JournalKey, CoversBothContentAndOptions) {
+  const std::string base = journal_key(1, 2);
+  EXPECT_NE(journal_key(3, 2), base) << "content change not in the key";
+  EXPECT_NE(journal_key(1, 4), base) << "options change not in the key";
+  EXPECT_EQ(journal_key(1, 2), base) << "key is not deterministic";
+}
+
+TEST_F(JournalTest, RoundTripsOkAndFailedEntries) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", ok_entry());
+    writer.append("00000000000000bb", failed_entry());
+  }
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 2u);
+
+  const BatchEntry& ok = records[0].entry;
+  EXPECT_EQ(records[0].key, "00000000000000aa");
+  EXPECT_EQ(ok.spec, "b03s");
+  EXPECT_EQ(ok.status, EntryStatus::kOk);
+  EXPECT_EQ(ok.identify_json, ok_entry().identify_json);
+  EXPECT_EQ(ok.analysis_json, ok_entry().analysis_json);
+  EXPECT_EQ(ok.evaluation_json, ok_entry().evaluation_json);
+  EXPECT_EQ(ok.diagnostics_json, "");
+  EXPECT_EQ(ok.degrade_level, "groups");
+  EXPECT_EQ(ok.degrade_stage, "full");
+  EXPECT_EQ(ok.multibit_words, 7u);
+  EXPECT_EQ(ok.control_signals, 1u);
+  EXPECT_EQ(ok.lint_warnings, 2u);
+  EXPECT_EQ(ok.lint_notes, 3u);
+
+  const BatchEntry& failed = records[1].entry;
+  EXPECT_EQ(records[1].key, "00000000000000bb");
+  EXPECT_EQ(failed.status, EntryStatus::kFailed);
+  EXPECT_EQ(failed.failed_stage, "load");
+  EXPECT_EQ(failed.error, "cannot open file: /tmp/broken.bench");
+}
+
+TEST_F(JournalTest, EachEntryIsOneFlushedLine) {
+  JournalWriter writer(path_);
+  writer.append("00000000000000aa", ok_entry());
+  // No close, no flush call from the test: crash-safety demands the line is
+  // already durable in the stream's file.
+  const std::string text = read_all();
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST_F(JournalTest, MissingFileReadsAsEmpty) {
+  EXPECT_TRUE(read_journal((dir_ / "never_written.jsonl").string()).empty());
+}
+
+TEST_F(JournalTest, TornFinalLineIsIgnored) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", ok_entry());
+    writer.append("00000000000000bb", failed_entry());
+  }
+  // Simulate a SIGKILL mid-append: chop the file mid-way through line 2.
+  std::string text = read_all();
+  const std::size_t first_newline = text.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  std::ofstream(path_, std::ios::trunc)
+      << text.substr(0, first_newline + 1 + 25);
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "00000000000000aa");
+}
+
+TEST_F(JournalTest, MalformedAndForeignLinesAreSkipped) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", ok_entry());
+  }
+  std::ofstream out(path_, std::ios::app);
+  out << "not json at all\n";
+  out << "{\"v\":2,\"key\":\"00000000000000cc\",\"spec\":\"x\","
+         "\"status\":\"ok\"}\n";  // wrong version
+  out << "{\"v\":1,\"key\":\"short\",\"spec\":\"x\",\"status\":\"ok\"}\n";
+  out << "{\"v\":1,\"key\":\"00000000000000dd\",\"spec\":\"x\","
+         "\"status\":\"skipped\"}\n";  // only ok|failed may be journaled
+  out.close();
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "00000000000000aa");
+}
+
+TEST_F(JournalTest, DuplicateKeysReadBackInFileOrderSoLaterWins) {
+  // read_journal() returns raw records in file order; consumers (run_batch's
+  // restore map) overwrite by key, so the later append wins.
+  BatchEntry first = ok_entry();
+  first.multibit_words = 1;
+  BatchEntry second = ok_entry();
+  second.multibit_words = 9;
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", first);
+    writer.append("00000000000000aa", second);
+  }
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].entry.multibit_words, 1u);
+  EXPECT_EQ(records[1].entry.multibit_words, 9u);
+}
+
+TEST_F(JournalTest, AppendingToAnExistingJournalPreservesOldRecords) {
+  { JournalWriter(path_).append("00000000000000aa", ok_entry()); }
+  { JournalWriter(path_).append("00000000000000bb", failed_entry()); }
+  EXPECT_EQ(read_journal(path_).size(), 2u);
+}
+
+TEST_F(JournalTest, UnopenablePathThrows) {
+  EXPECT_THROW(JournalWriter((dir_ / "no_dir" / "j.jsonl").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace netrev::pipeline

@@ -44,5 +44,36 @@ TEST(RunConfig, TechniqueSelectorDoesNotAffectStageFingerprints) {
   EXPECT_EQ(a.analysis_fingerprint(), b.analysis_fingerprint());
 }
 
+TEST(RunConfig, DegradePolicyIsTheOnlyExecFingerprintInput) {
+  // The degrade policy changes what identification may produce, so it keys
+  // the cache; timeouts and cancellation are observation-only (they decide
+  // whether a rung finishes, never what a finished rung computed) and must
+  // not fragment cache slots or journal keys.
+  const RunConfig a;
+  RunConfig b;
+  b.exec.timeout = std::chrono::milliseconds(5000);
+  b.exec.stage_timeout = std::chrono::milliseconds(100);
+  b.exec.cancellable = true;
+  EXPECT_EQ(a.exec_fingerprint(), b.exec_fingerprint());
+
+  b.exec.degrade.floor = exec::DegradeLevel::kBaseline;
+  EXPECT_NE(a.exec_fingerprint(), b.exec_fingerprint());
+  b.exec.degrade = exec::DegradePolicy{};
+  b.exec.degrade.enabled = false;
+  EXPECT_NE(a.exec_fingerprint(), b.exec_fingerprint());
+}
+
+TEST(RunConfig, CacheCapacityNeverEntersAnyFingerprint) {
+  // --cache-entries tunes retention, not results; a capacity change must
+  // never invalidate cached artifacts or journal entries.
+  const RunConfig a;
+  RunConfig b;
+  b.cache_entries = 0;
+  EXPECT_EQ(a.exec_fingerprint(), b.exec_fingerprint());
+  EXPECT_EQ(a.wordrec_fingerprint(), b.wordrec_fingerprint());
+  EXPECT_EQ(a.parse_fingerprint(64), b.parse_fingerprint(64));
+  EXPECT_EQ(a.analysis_fingerprint(), b.analysis_fingerprint());
+}
+
 }  // namespace
 }  // namespace netrev
