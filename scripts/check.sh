@@ -15,6 +15,9 @@
 #      repeated entries must report artifact-cache hits under --profile
 #   8. resume-after-kill gate: a journaled batch SIGKILLed mid-run, then
 #      resumed, must emit byte-identical JSON to an uninterrupted run
+#   9. serve gate: start the daemon, check `client identify` output is
+#      byte-identical to the one-shot CLI, fire concurrent mixed requests,
+#      SIGTERM mid-load, and require a clean drain (exit 6, "drained")
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -61,7 +64,7 @@ cmake -B "$TSAN_DIR" -S . \
 cmake --build "$TSAN_DIR" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
   --output-on-failure \
-  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken'
+  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken|Serve|Protocol'
 
 # Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
 # must not depend on the worker count.
@@ -120,4 +123,65 @@ echo "resume-smoke: resume ($(wc -l < "$JOURNAL" 2> /dev/null || echo 0) journal
   > "$RESUME_DIR/resumed.json"
 diff "$RESUME_DIR/reference.json" "$RESUME_DIR/resumed.json"
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke + resume-smoke all passed"
+# Serve gate.  Start the daemon on an ephemeral port, require `client
+# identify` output byte-identical to the one-shot CLI, then SIGTERM it with
+# concurrent requests in flight and require a clean drain: exit code 6 and
+# the "drained" trailer.  Shed clients (exit 8) are expected under load.
+SERVE_DIR="$BUILD_DIR/serve-smoke"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+echo "serve-smoke: start daemon"
+"$NETREV" serve --listen 127.0.0.1:0 --max-inflight 2 --max-queue 4 \
+  --drain-timeout 30000 \
+  > "$SERVE_DIR/serve.out" 2> "$SERVE_DIR/serve.err" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^netrev serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$SERVE_DIR/serve.out")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || {
+  echo "serve-smoke: daemon never reported its port" >&2
+  cat "$SERVE_DIR/serve.err" >&2
+  exit 1
+}
+
+echo "serve-smoke: byte-equivalence with the one-shot CLI"
+"$NETREV" identify b03s --json > "$SERVE_DIR/oneshot.json"
+"$NETREV" client identify b03s --connect "127.0.0.1:$PORT" \
+  > "$SERVE_DIR/served.json"
+diff "$SERVE_DIR/oneshot.json" "$SERVE_DIR/served.json"
+
+echo "serve-smoke: mixed ops"
+"$NETREV" client ping --connect "127.0.0.1:$PORT" > /dev/null
+"$NETREV" client load b04s --connect "127.0.0.1:$PORT" > /dev/null
+"$NETREV" client stats --connect "127.0.0.1:$PORT" > "$SERVE_DIR/stats.json"
+grep '"hits":' "$SERVE_DIR/stats.json" > /dev/null
+
+echo "serve-smoke: SIGTERM mid-load drains cleanly"
+CLIENT_PIDS=()
+for family in b03s b04s b08s b11s; do
+  "$NETREV" client identify "$family" --connect "127.0.0.1:$PORT" \
+    > /dev/null 2>&1 &
+  CLIENT_PIDS+=($!)
+done
+sleep 0.1
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || true  # shed/cancelled clients are fine; lost ones are not
+done
+[ "$SERVE_RC" -eq 6 ] || {
+  echo "serve-smoke: expected drain exit code 6, got $SERVE_RC" >&2
+  cat "$SERVE_DIR/serve.err" >&2
+  exit 1
+}
+grep -q "netrev serve drained" "$SERVE_DIR/serve.out" || {
+  echo "serve-smoke: missing 'netrev serve drained' trailer" >&2
+  exit 1
+}
+
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke + resume-smoke + serve-smoke all passed"

@@ -4,12 +4,14 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
 #include "cli/options.h"
 #include "common/atomic_file.h"
 #include "common/diagnostics.h"
+#include "common/exit_code.h"
 #include "common/thread_pool.h"
 #include "common/version.h"
 #include "exec/cancel.h"
@@ -28,7 +30,10 @@
 #include "parser/verilog_writer.h"
 #include "perf/profile.h"
 #include "pipeline/batch.h"
+#include "pipeline/client.h"
+#include "pipeline/journal.h"
 #include "pipeline/manifest.h"
+#include "pipeline/serve.h"
 #include "pipeline/session.h"
 #include "rtl/scan.h"
 #include "wordrec/degrade.h"
@@ -80,19 +85,55 @@ void handle_sigint(int) {
 
 class SigintGuard {
  public:
-  explicit SigintGuard(exec::CancelToken& token) {
+  explicit SigintGuard(exec::CancelToken& token)
+      : previous_flag_(g_sigint_flag) {
     g_sigint_flag = token.flag();
     previous_ = std::signal(SIGINT, handle_sigint);
   }
   ~SigintGuard() {
     std::signal(SIGINT, previous_);
-    g_sigint_flag = nullptr;
+    // Restore (not null) so guards nest: run_cli arms every command, and
+    // cmd_batch layers its own token over it for the batch window.
+    g_sigint_flag = previous_flag_;
   }
   SigintGuard(const SigintGuard&) = delete;
   SigintGuard& operator=(const SigintGuard&) = delete;
 
  private:
+  std::atomic<bool>* previous_flag_;
   void (*previous_)(int) = nullptr;
+};
+
+// --- SIGTERM/SIGINT -> serve drain -----------------------------------------
+// serve turns both signals into a graceful drain: the handler stores into
+// the server's drain flag (async-signal-safe), and the accept loop observes
+// it within one poll tick.
+
+std::atomic<bool>* g_drain_flag = nullptr;
+
+void handle_drain_signal(int) {
+  if (g_drain_flag != nullptr)
+    g_drain_flag->store(true, std::memory_order_relaxed);
+}
+
+class DrainSignalGuard {
+ public:
+  explicit DrainSignalGuard(std::atomic<bool>* flag) {
+    g_drain_flag = flag;
+    previous_term_ = std::signal(SIGTERM, handle_drain_signal);
+    previous_int_ = std::signal(SIGINT, handle_drain_signal);
+  }
+  ~DrainSignalGuard() {
+    std::signal(SIGTERM, previous_term_);
+    std::signal(SIGINT, previous_int_);
+    g_drain_flag = nullptr;
+  }
+  DrainSignalGuard(const DrainSignalGuard&) = delete;
+  DrainSignalGuard& operator=(const DrainSignalGuard&) = delete;
+
+ private:
+  void (*previous_term_)(int) = nullptr;
+  void (*previous_int_)(int) = nullptr;
 };
 
 // Loads a design through the session: family benchmark name, .bench file,
@@ -128,7 +169,7 @@ int cmd_stats(const ParsedFlags& flags, std::ostream& out) {
   const auto report = netlist::validate(nl);
   out << "validation: " << report.error_count() << " error(s), "
       << report.warning_count() << " warning(s)\n";
-  return report.ok() ? 0 : 1;
+  return exit_code(report.ok() ? ExitCode::kOk : ExitCode::kError);
 }
 
 int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
@@ -149,7 +190,7 @@ int cmd_reference(const ParsedFlags& flags, std::ostream& out) {
   return 0;
 }
 
-int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
+int identify_body(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("identify: expected one design");
   Session& session = *flags.session;
@@ -204,6 +245,18 @@ int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   return 0;
 }
 
+int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
+  if (!flags.output) return identify_body(flags, out);
+  // --output: render fully in memory, then commit with the atomic
+  // temp+rename writer — an interrupted run (SIGINT unwinding as
+  // CancelledError) leaves no partial file behind.
+  std::ostringstream rendered;
+  const int rc = identify_body(flags, rendered);
+  io::write_file_atomic(*flags.output, rendered.str());
+  out << "wrote " << *flags.output << '\n';
+  return rc;
+}
+
 int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("reduce: expected one design");
@@ -215,13 +268,13 @@ int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
   std::vector<std::pair<netlist::NetId, bool>> seeds;
   for (const auto& [name, value] : flags.assignments) {
     const auto net = nl.find_net(name);
-    if (!net) throw std::invalid_argument("no such net: " + name);
+    if (!net) throw std::runtime_error("no such net: " + name);
     seeds.emplace_back(*net, value);
   }
   const auto propagated = wordrec::propagate(nl, seeds);
   if (!propagated.feasible) {
     out << "assignment is infeasible (conflicting implications)\n";
-    return 1;
+    return exit_code(ExitCode::kError);
   }
   const Netlist reduced = wordrec::materialize_reduction(
       nl, propagated.map, flags.session->config().wordrec);
@@ -270,7 +323,7 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
     return session.reference(design);
   }();
   if (reference->words.empty())
-    throw std::invalid_argument(
+    throw std::runtime_error(
         "evaluate: no reference words (flop output names carry no indices)");
   // identify_words opens its own "identify" stage; mirror it for --base.
   const wordrec::WordSet words = [&] {
@@ -353,7 +406,7 @@ int cmd_lint(const ParsedFlags& flags, std::ostream& out) {
   if (fail_on <= diag::Severity::kWarning)
     failing += result.warning_count() + parse_warnings;
   if (fail_on <= diag::Severity::kNote) failing += result.note_count();
-  return failing > 0 ? 1 : 0;
+  return exit_code(failing > 0 ? ExitCode::kError : ExitCode::kOk);
 }
 
 // Runs the whole pipeline over many designs through the batch engine; see
@@ -362,6 +415,10 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.empty())
     throw std::invalid_argument(
         "batch: expected at least one design, glob, or manifest");
+  if (flags.compact_journal && !flags.resume)
+    throw std::invalid_argument(
+        "batch: --compact-journal needs --resume PATH (there is no journal "
+        "to compact otherwise)");
   const std::vector<std::string> specs =
       pipeline::expand_specs(flags.positional);
   pipeline::BatchOptions options;
@@ -387,8 +444,17 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
   } else {
     out << rendered;
   }
-  if (result.interrupted()) return 130;
-  return result.all_ok() ? 0 : 1;
+  if (flags.compact_journal) {
+    // Also worthwhile after an interrupt: the journal holds only completed
+    // entries, and a compacted journal resumes identically.
+    const pipeline::CompactionStats stats =
+        pipeline::compact_journal(*flags.resume);
+    out << "compacted " << *flags.resume << ": kept " << stats.kept
+        << " entr" << (stats.kept == 1 ? "y" : "ies") << ", dropped "
+        << stats.dropped << " superseded\n";
+  }
+  if (result.interrupted()) return exit_code(ExitCode::kInterrupted);
+  return exit_code(result.all_ok() ? ExitCode::kOk : ExitCode::kError);
 }
 
 int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
@@ -482,13 +548,142 @@ int cmd_table(const ParsedFlags& flags, std::ostream& out) {
   return 0;
 }
 
+// The long-lived analysis daemon: admission control, QoS, graceful drain.
+// See pipeline/serve.h for the threading model and docs/SERVING.md for the
+// wire protocol.
+int cmd_serve(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
+  if (!flags.positional.empty())
+    throw std::invalid_argument("serve: takes no positional arguments");
+  if (flags.listen && flags.socket_path)
+    throw std::invalid_argument("serve: --listen and --socket are exclusive");
+
+  pipeline::serve::ServeOptions options;
+  if (flags.socket_path) {
+    options.unix_path = *flags.socket_path;
+  } else {
+    const std::string listen = flags.listen.value_or("127.0.0.1:0");
+    const auto endpoint = pipeline::client::parse_endpoint(listen);
+    if (!endpoint)
+      throw std::invalid_argument("serve: --listen expects HOST:PORT, got '" +
+                                  listen + "'");
+    options.host = endpoint->host;
+    options.port = endpoint->port;
+  }
+  if (flags.max_queue) options.max_queue = *flags.max_queue;
+  if (flags.max_inflight) options.max_inflight = *flags.max_inflight;
+  if (flags.idle_timeout_ms)
+    options.idle_timeout = std::chrono::milliseconds(*flags.idle_timeout_ms);
+  if (flags.drain_timeout_ms)
+    options.drain_timeout = std::chrono::milliseconds(*flags.drain_timeout_ms);
+
+  options.executor.base = config_from(flags);
+  // --timeout is the server-enforced per-request ceiling, not a whole-run
+  // budget: client budgets are clamped to it (see protocol.h).
+  options.executor.base.exec.timeout = std::chrono::milliseconds(0);
+  if (flags.timeout_ms)
+    options.executor.max_timeout = std::chrono::milliseconds(*flags.timeout_ms);
+
+  pipeline::serve::Server server(options, &err);
+  server.start();
+  // check.sh and tests parse this exact line to find the ephemeral port.
+  out << "netrev serve listening on " << server.endpoint() << '\n';
+  out.flush();
+
+  DrainSignalGuard drain_guard(server.drain_flag());
+  const ExitCode code = server.run();
+  out << "netrev serve " << exit_code_name(code) << '\n';
+  return exit_code(code);
+}
+
+// One request against a running daemon; prints the raw result bytes so the
+// output is byte-identical to the equivalent one-shot `--json` run.
+int cmd_client(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
+  if (flags.positional.empty())
+    throw std::invalid_argument(
+        "client: expected <op> [design ...] (ping|stats|load|lint|identify|"
+        "evaluate|batch)");
+  const auto op = pipeline::protocol::parse_op(flags.positional[0]);
+  if (!op)
+    throw std::invalid_argument("client: unknown op '" + flags.positional[0] +
+                                "'");
+
+  pipeline::protocol::Request request;
+  request.op = *op;
+  if (flags.request_id) request.id = *flags.request_id;
+  if (*op == pipeline::protocol::Op::kBatch) {
+    request.designs.assign(flags.positional.begin() + 1,
+                           flags.positional.end());
+    if (request.designs.empty())
+      throw std::invalid_argument("client: batch expects at least one design");
+  } else if (flags.positional.size() == 2) {
+    request.design = flags.positional[1];
+  } else if (flags.positional.size() > 2) {
+    throw std::invalid_argument("client: " + flags.positional[0] +
+                                " takes at most one design");
+  }
+  // Bools are always sent so the client's flags fully determine the run,
+  // independent of the server's base configuration — that is what makes the
+  // output comparable to a one-shot CLI run with the same flags.
+  request.options.base = flags.base;
+  request.options.permissive = flags.permissive;
+  request.options.cross_group = flags.cross_group;
+  if (flags.depth) request.options.depth = *flags.depth;
+  if (flags.max_assign) request.options.max_assign = *flags.max_assign;
+  if (flags.max_errors) request.options.max_errors = *flags.max_errors;
+  if (flags.timeout_ms) request.options.timeout_ms = *flags.timeout_ms;
+  if (flags.degrade) request.options.degrade = *flags.degrade;
+
+  pipeline::client::Endpoint endpoint;
+  if (flags.socket_path) {
+    endpoint.unix_path = *flags.socket_path;
+  } else if (flags.connect) {
+    const auto parsed = pipeline::client::parse_endpoint(*flags.connect);
+    if (!parsed)
+      throw std::invalid_argument(
+          "client: --connect expects HOST:PORT, got '" + *flags.connect + "'");
+    endpoint = *parsed;
+  } else {
+    throw std::invalid_argument(
+        "client: needs --connect HOST:PORT or --socket PATH");
+  }
+
+  pipeline::client::Connection connection(endpoint);
+  const pipeline::protocol::Response response = connection.round_trip(request);
+  if (flags.diag_json && !response.diagnostics.empty())
+    err << response.diagnostics << '\n';
+
+  using pipeline::protocol::Status;
+  switch (response.status) {
+    case Status::kOk:
+    case Status::kDegraded:
+      out << response.result << '\n';
+      return exit_code(ExitCode::kOk);
+    case Status::kOverloaded:
+      err << "error: " << response.error << '\n';
+      return exit_code(ExitCode::kOverloaded);
+    case Status::kDeadline:
+      err << "error: " << response.error << '\n';
+      return exit_code(ExitCode::kDeadline);
+    case Status::kCancelled:
+      err << "error: " << response.error << '\n';
+      return exit_code(ExitCode::kInterrupted);
+    case Status::kBadRequest:
+      err << "error: " << response.error << '\n';
+      return exit_code(ExitCode::kUsage);
+    case Status::kError:
+      break;
+  }
+  err << "error: " << response.error << '\n';
+  return exit_code(ExitCode::kError);
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) {
     err << usage();
-    return 2;
+    return exit_code(ExitCode::kUsage);
   }
   diag::Diagnostics diags;
   bool diag_json = false;
@@ -496,21 +691,21 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const std::string& command = args[0];
     if (command == "help" || command == "--help") {
       out << usage();
-      return 0;
+      return exit_code(ExitCode::kOk);
     }
     if (command == "version" || command == "--version") {
       out << "netrev " << version() << '\n';
-      return 0;
+      return exit_code(ExitCode::kOk);
     }
     const CommandSpec* spec = find_command(command);
     if (spec == nullptr) {
       err << "unknown command: " << command << "\n" << usage();
-      return 2;
+      return exit_code(ExitCode::kUsage);
     }
     ParsedFlags flags = parse_flags(*spec, args, 1);
     if (flags.version) {
       out << "netrev " << version() << '\n';
-      return 0;
+      return exit_code(ExitCode::kOk);
     }
     if (flags.max_errors) diags.set_max_errors(*flags.max_errors);
     diag_json = flags.diag_json;
@@ -520,6 +715,14 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     Session session(config_from(flags));
     flags.diags = &diags;
     flags.session = &session;
+
+    // Every command is interruptible: Ctrl-C trips the session's cancel
+    // token, the active stage unwinds as CancelledError, and the command
+    // exits 130 with no partial output (file writes are atomic).  serve
+    // overrides this with its own drain handler; cmd_batch layers a guard
+    // for its separate batch token.
+    session.config().exec.cancellable = true;
+    SigintGuard sigint_guard(session.config().exec.cancel);
 
     const int rc = [&] {
       if (command == "stats") return cmd_stats(flags, out);
@@ -534,6 +737,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "scan") return cmd_scan(flags, out);
       if (command == "dot") return cmd_dot(flags, out);
       if (command == "table") return cmd_table(flags, out);
+      if (command == "serve") return cmd_serve(flags, out, err);
+      if (command == "client") return cmd_client(flags, out, err);
       throw std::logic_error("command in table but not dispatched: " +
                              command);
     }();
@@ -548,29 +753,37 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (flags.diag_json) out << diags.to_json() << '\n';
     // A permissive run that succeeded but collected diagnostics signals
     // "recovered with warnings" so scripts can tell it from a clean pass.
-    if (rc == 0 && flags.permissive && !diags.empty()) return 3;
+    if (rc == exit_code(ExitCode::kOk) && flags.permissive && !diags.empty())
+      return exit_code(ExitCode::kRecoveredWithWarnings);
     return rc;
   } catch (const UnusableInputError& error) {
     perf::Profiler::global().disable();
     if (diag_json) out << diags.to_json() << '\n';
     err << "error: " << error.what() << '\n';
-    return 4;
+    return exit_code(ExitCode::kUnusableInput);
   } catch (const exec::DeadlineExceededError& error) {
     // Only reached when degradation is off (--degrade=off) or the floor
     // rung itself tripped; otherwise the ladder absorbs the deadline.
     perf::Profiler::global().disable();
     if (diag_json) out << diags.to_json() << '\n';
     err << "error: " << error.what() << '\n';
-    return 5;
+    return exit_code(ExitCode::kDeadline);
   } catch (const exec::CancelledError& error) {
     perf::Profiler::global().disable();
     if (diag_json) out << diags.to_json() << '\n';
     err << "error: " << error.what() << '\n';
-    return 130;
+    return exit_code(ExitCode::kInterrupted);
+  } catch (const std::invalid_argument& error) {
+    // Bad flags, malformed values, wrong positionals: usage errors, distinct
+    // from runtime failures so scripts can tell "fix the command line" from
+    // "fix the input".
+    perf::Profiler::global().disable();
+    err << "error: " << error.what() << '\n';
+    return exit_code(ExitCode::kUsage);
   } catch (const std::exception& error) {
     perf::Profiler::global().disable();
     err << "error: " << error.what() << '\n';
-    return 1;
+    return exit_code(ExitCode::kError);
   }
 }
 

@@ -1,12 +1,39 @@
 #include "cli/options.h"
 
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
+#include "common/exit_code.h"
 #include "common/text.h"
 
 namespace netrev::cli {
 
 namespace {
+
+// The one numeric-value parser every counted flag routes through.  std::stoul
+// would silently wrap "-5" into a huge count and accept trailing junk
+// ("3abc"); this accepts exactly non-negative decimal integers and names the
+// offending flag in the diagnostic.
+std::size_t parse_count(const FlagSpec& spec, const std::string& value) {
+  const auto reject = [&](const char* why) -> std::size_t {
+    throw std::invalid_argument(std::string(spec.name) + " expects a " +
+                                "non-negative integer " + spec.value_name +
+                                ", got '" + value + "' (" + why + ")");
+  };
+  if (value.empty()) return reject("empty value");
+  std::size_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9')
+      return reject(c == '-' ? "negative values are not allowed"
+                             : "not a decimal digit");
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (out > (std::numeric_limits<std::size_t>::max() - digit) / 10)
+      return reject("value out of range");
+    out = out * 10 + digit;
+  }
+  return out;
+}
 
 diag::Severity parse_fail_on(const std::string& value) {
   if (value == "note") return diag::Severity::kNote;
@@ -44,10 +71,10 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
       flags.trace = true;
       break;
     case FlagId::kDepth:
-      flags.depth = std::stoul(value);
+      flags.depth = parse_count(spec, value);
       break;
     case FlagId::kMaxAssign:
-      flags.max_assign = std::stoul(value);
+      flags.max_assign = parse_count(spec, value);
       break;
     case FlagId::kOutput:
       flags.output = value;
@@ -75,13 +102,43 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
       flags.resume = value;
       break;
     case FlagId::kRetries:
-      flags.retries = std::stoul(value);
+      flags.retries = parse_count(spec, value);
+      break;
+    case FlagId::kCompactJournal:
+      flags.compact_journal = true;
+      break;
+    case FlagId::kListen:
+      flags.listen = value;
+      break;
+    case FlagId::kSocket:
+      flags.socket_path = value;
+      break;
+    case FlagId::kConnect:
+      flags.connect = value;
+      break;
+    case FlagId::kRequestId:
+      flags.request_id = value;
+      break;
+    case FlagId::kMaxQueue:
+      flags.max_queue = parse_count(spec, value);
+      break;
+    case FlagId::kMaxInflight:
+      flags.max_inflight = parse_count(spec, value);
+      if (*flags.max_inflight == 0)
+        throw std::invalid_argument(
+            "--max-inflight expects a positive worker count");
+      break;
+    case FlagId::kIdleTimeout:
+      flags.idle_timeout_ms = parse_count(spec, value);
+      break;
+    case FlagId::kDrainTimeout:
+      flags.drain_timeout_ms = parse_count(spec, value);
       break;
     case FlagId::kTimeout:
-      flags.timeout_ms = std::stoul(value);
+      flags.timeout_ms = parse_count(spec, value);
       break;
     case FlagId::kStageTimeout:
-      flags.stage_timeout_ms = std::stoul(value);
+      flags.stage_timeout_ms = parse_count(spec, value);
       break;
     case FlagId::kDegrade: {
       const auto policy = exec::parse_degrade_policy(value);
@@ -93,10 +150,10 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
       break;
     }
     case FlagId::kCacheEntries:
-      flags.cache_entries = std::stoul(value);
+      flags.cache_entries = parse_count(spec, value);
       break;
     case FlagId::kJobs:
-      flags.jobs = std::stoul(value);
+      flags.jobs = parse_count(spec, value);
       if (*flags.jobs == 0)
         throw std::invalid_argument("--jobs expects a positive thread count");
       break;
@@ -110,7 +167,7 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
       flags.diag_json = true;
       break;
     case FlagId::kMaxErrors:
-      flags.max_errors = std::stoul(value);
+      flags.max_errors = parse_count(spec, value);
       break;
     case FlagId::kVersion:
       flags.version = true;
@@ -151,6 +208,33 @@ const std::vector<FlagSpec>& flag_table() {
       {FlagId::kRetries, "--retries", nullptr, true, "N",
        "retry transient file-read failures up to N times with backoff",
        false},
+      {FlagId::kCompactJournal, "--compact-journal", nullptr, false, nullptr,
+       "after the run, rewrite the --resume journal dropping superseded "
+       "duplicate entries (atomic temp+rename)",
+       false},
+      {FlagId::kListen, "--listen", nullptr, true, "HOST:PORT",
+       "serve on this TCP endpoint (port 0 = ephemeral, printed on stdout; "
+       "default 127.0.0.1:0)",
+       false},
+      {FlagId::kSocket, "--socket", nullptr, true, "PATH",
+       "serve on / connect to a Unix domain socket instead of TCP", false},
+      {FlagId::kConnect, "--connect", nullptr, true, "HOST:PORT",
+       "connect to a running netrev serve on this TCP endpoint", false},
+      {FlagId::kRequestId, "--id", nullptr, true, "STR",
+       "request id echoed in the response (default: server-assigned)", false},
+      {FlagId::kMaxQueue, "--max-queue", nullptr, true, "N",
+       "admitted-but-not-started request bound; a full queue sheds new "
+       "requests with status 'overloaded' (default 16)",
+       false},
+      {FlagId::kMaxInflight, "--max-inflight", nullptr, true, "N",
+       "concurrently executing request bound (default 4)", false},
+      {FlagId::kIdleTimeout, "--idle-timeout", nullptr, true, "MS",
+       "close connections idle longer than this (0 = never; default 30000)",
+       false},
+      {FlagId::kDrainTimeout, "--drain-timeout", nullptr, true, "MS",
+       "on SIGTERM/SIGINT, give in-flight requests this long before "
+       "cancelling them (default 5000)",
+       false},
       {FlagId::kTimeout, "--timeout", nullptr, true, "MS",
        "whole-run wall-clock budget in milliseconds (0 = unlimited)", true},
       {FlagId::kStageTimeout, "--stage-timeout", nullptr, true, "MS",
@@ -187,7 +271,7 @@ const std::vector<CommandSpec>& command_table() {
       {"reference", "<design>", "golden reference words", {}},
       {"identify", "<design>", "control-signal word identification",
        {FlagId::kBase, FlagId::kJson, FlagId::kTrace, FlagId::kDepth,
-        FlagId::kMaxAssign, FlagId::kCrossGroup}},
+        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kOutput}},
       {"reduce", "<design>", "apply control assignments and reduce",
        {FlagId::kAssign, FlagId::kOutput, FlagId::kDepth, FlagId::kMaxAssign}},
       {"evaluate", "<design>", "compare identified words vs reference",
@@ -204,7 +288,20 @@ const std::vector<CommandSpec>& command_table() {
        "globs, or manifest files); artifacts are cached across entries",
        {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
         FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kResume,
-        FlagId::kRetries, FlagId::kOutput}},
+        FlagId::kRetries, FlagId::kOutput, FlagId::kCompactJournal}},
+      {"serve", "",
+       "long-lived analysis daemon: newline-delimited JSON requests over TCP "
+       "or a Unix socket, bounded admission queue, graceful drain on "
+       "SIGTERM/SIGINT (exit 6 drained, 7 drain timeout)",
+       {FlagId::kListen, FlagId::kSocket, FlagId::kMaxQueue,
+        FlagId::kMaxInflight, FlagId::kIdleTimeout, FlagId::kDrainTimeout,
+        FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign,
+        FlagId::kCrossGroup}},
+      {"client", "<op> [design ...]",
+       "send one request (ping|stats|load|lint|identify|evaluate|batch) to a "
+       "running netrev serve and print the JSON result",
+       {FlagId::kConnect, FlagId::kSocket, FlagId::kRequestId, FlagId::kBase,
+        FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup}},
       {"generate", "<bXXs>", "emit family benchmark", {FlagId::kOutput}},
       {"scan", "<design>", "insert scan chain", {FlagId::kOutput}},
       {"dot", "<design>", "GraphViz with identified words highlighted",
@@ -322,9 +419,22 @@ std::string usage() {
     out += spec.help;
     out += "\n";
   }
-  out +=
-      "exit codes: 0 ok, 1 error, 2 usage, 3 recovered with warnings,\n"
-      "  4 unusable input, 5 deadline exceeded, 130 interrupted\n";
+  // Generated from the ExitCode enum so the help text cannot drift from
+  // what run_cli actually returns.
+  out += "exit codes:";
+  bool first = true;
+  for (const ExitCode code :
+       {ExitCode::kOk, ExitCode::kError, ExitCode::kUsage,
+        ExitCode::kRecoveredWithWarnings, ExitCode::kUnusableInput,
+        ExitCode::kDeadline, ExitCode::kDrained, ExitCode::kDrainTimeout,
+        ExitCode::kOverloaded, ExitCode::kInterrupted}) {
+    out += first ? " " : (code == ExitCode::kDrained ? ",\n  " : ", ");
+    out += std::to_string(exit_code(code));
+    out += ' ';
+    out += exit_code_name(code);
+    first = false;
+  }
+  out += '\n';
   return out;
 }
 

@@ -37,6 +37,16 @@ enum class FlagId {
   kKeepGoing,
   kResume,
   kRetries,
+  kCompactJournal,
+  // serve / client flags.
+  kListen,
+  kSocket,
+  kConnect,
+  kRequestId,
+  kMaxQueue,
+  kMaxInflight,
+  kIdleTimeout,
+  kDrainTimeout,
   // Global flags (valid for every command).
   kTimeout,
   kStageTimeout,
@@ -96,6 +106,15 @@ struct ParsedFlags {
   std::optional<std::size_t> cache_entries;     // --cache-entries bound
   std::optional<std::string> resume;            // batch --resume journal path
   std::optional<std::size_t> retries;           // batch --retries
+  bool compact_journal = false;     // batch --compact-journal (needs --resume)
+  std::optional<std::string> listen;       // serve --listen HOST:PORT
+  std::optional<std::string> socket_path;  // serve/client --socket PATH
+  std::optional<std::string> connect;      // client --connect HOST:PORT
+  std::optional<std::string> request_id;   // client --id STR
+  std::optional<std::size_t> max_queue;         // serve --max-queue
+  std::optional<std::size_t> max_inflight;      // serve --max-inflight
+  std::optional<std::size_t> idle_timeout_ms;   // serve --idle-timeout
+  std::optional<std::size_t> drain_timeout_ms;  // serve --drain-timeout
   std::vector<std::pair<std::string, bool>> assignments;
   std::vector<std::string> rules;         // lint --rules a,b,c
   std::optional<diag::Severity> fail_on;  // lint --fail-on=...

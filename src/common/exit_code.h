@@ -1,0 +1,58 @@
+// Named process exit codes.
+//
+// Every path out of the `netrev` binary reports one of these codes; scripts
+// (scripts/check.sh, CI gates, batch drivers) branch on the numeric values,
+// so they are part of the CLI's stable interface and must never be renumbered
+// — only appended to.  The CLI and the serve daemon both map their outcomes
+// through this enum instead of scattering magic numbers.
+#pragma once
+
+namespace netrev {
+
+enum class ExitCode : int {
+  kOk = 0,                 // success
+  kError = 1,              // generic failure (bad input, per-entry failures)
+  kUsage = 2,              // unknown command / malformed flags
+  kRecoveredWithWarnings = 3,  // --permissive run succeeded but reported
+                               // diagnostics (recovered, not clean)
+  kUnusableInput = 4,      // permissive recovery produced nothing usable
+  kDeadline = 5,           // --timeout tripped with degradation off
+  kDrained = 6,            // serve: graceful drain finished every admitted
+                           // request before --drain-timeout
+  kDrainTimeout = 7,       // serve: drain window expired; remaining work was
+                           // cancelled (each still received a response)
+  kOverloaded = 8,         // client: the server shed the request
+                           // (admission queue full or draining) — retry later
+  kInterrupted = 130,      // SIGINT, cooperatively cancelled (128 + SIGINT)
+};
+
+constexpr int exit_code(ExitCode code) { return static_cast<int>(code); }
+
+// Stable name for logs and tests ("ok", "drained", ...).
+inline const char* exit_code_name(ExitCode code) {
+  switch (code) {
+    case ExitCode::kOk:
+      return "ok";
+    case ExitCode::kError:
+      return "error";
+    case ExitCode::kUsage:
+      return "usage";
+    case ExitCode::kRecoveredWithWarnings:
+      return "recovered-with-warnings";
+    case ExitCode::kUnusableInput:
+      return "unusable-input";
+    case ExitCode::kDeadline:
+      return "deadline";
+    case ExitCode::kDrained:
+      return "drained";
+    case ExitCode::kDrainTimeout:
+      return "drain-timeout";
+    case ExitCode::kOverloaded:
+      return "overloaded";
+    case ExitCode::kInterrupted:
+      return "interrupted";
+  }
+  return "unknown";
+}
+
+}  // namespace netrev

@@ -1,0 +1,143 @@
+#include "pipeline/client.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace netrev::pipeline::client {
+
+std::optional<Endpoint> parse_endpoint(const std::string& text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size())
+    return std::nullopt;
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  int port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  // Port 0 is allowed: `serve --listen HOST:0` binds an ephemeral port.
+  // connect()ing to port 0 fails at the socket layer with a clear error.
+  endpoint.port = port;
+  return endpoint;
+}
+
+Connection::Connection(const Endpoint& endpoint) {
+  if (!endpoint.unix_path.empty()) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("client: cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("client: socket path too long: " +
+                               endpoint.unix_path);
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string reason = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("client: cannot connect to unix:" +
+                               endpoint.unix_path + ": " + reason);
+    }
+    return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: bad host address: " + endpoint.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: cannot connect to " + endpoint.host +
+                             ":" + std::to_string(endpoint.port) + ": " +
+                             reason);
+  }
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::send_all(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0)
+      throw std::runtime_error("client: connection lost while sending");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Connection::read_line(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  char chunk[4096];
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0)
+      throw std::runtime_error("client: timed out waiting for a response");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("client: poll failed");
+    }
+    if (ready == 0)
+      throw std::runtime_error("client: timed out waiting for a response");
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0)
+      throw std::runtime_error(
+          "client: server closed the connection before responding");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Connection::round_trip_line(const std::string& line,
+                                        std::chrono::milliseconds timeout) {
+  send_all(line + "\n");
+  return read_line(timeout);
+}
+
+protocol::Response Connection::round_trip(const protocol::Request& request,
+                                          std::chrono::milliseconds timeout) {
+  const std::string line =
+      round_trip_line(protocol::render_request(request), timeout);
+  protocol::ParsedResponse parsed = protocol::parse_response(line);
+  if (!parsed.response)
+    throw std::runtime_error("client: malformed response line: " +
+                             parsed.error);
+  return std::move(*parsed.response);
+}
+
+}  // namespace netrev::pipeline::client

@@ -1,0 +1,58 @@
+// Client side of the serve wire: connect, send one request line, read one
+// response line.  Used by `netrev client`, the soak tests, and check.sh's
+// serve gate; the protocol bytes themselves live in pipeline/protocol.h.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "pipeline/protocol.h"
+
+namespace netrev::pipeline::client {
+
+struct Endpoint {
+  // TCP when unix_path is empty, Unix domain socket otherwise.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string unix_path;
+};
+
+// Parses "HOST:PORT" (e.g. "127.0.0.1:4821"); nullopt when malformed.
+std::optional<Endpoint> parse_endpoint(const std::string& text);
+
+// One synchronous connection.  Not thread-safe; open one per thread (the
+// soak tests do exactly that).
+class Connection {
+ public:
+  // Connects immediately; throws std::runtime_error on failure.
+  explicit Connection(const Endpoint& endpoint);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Sends one already-rendered request line (no newline) and waits up to
+  // `timeout` for the response line.  Throws std::runtime_error when the
+  // server closes the connection or the timeout passes without a line.
+  std::string round_trip_line(
+      const std::string& line,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(60000));
+
+  // Typed round trip: render, exchange, parse.  Throws on transport errors;
+  // a server-side failure comes back as a non-ok Response, not a throw.
+  protocol::Response round_trip(
+      const protocol::Request& request,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(60000));
+
+  // Raw halves of the round trip, for pipelined clients (send many lines,
+  // then collect the responses — workers may answer out of order).
+  void send_all(const std::string& bytes);
+  std::string read_line(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed newline
+};
+
+}  // namespace netrev::pipeline::client

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/atomic_file.h"
 #include "eval/report.h"
 #include "pipeline/fingerprint.h"
 
@@ -220,6 +221,14 @@ JournalWriter::JournalWriter(const std::string& path)
 }
 
 void JournalWriter::append(const std::string& key, const BatchEntry& entry) {
+  const std::string line = render_journal_line(key, entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  out_.flush();  // one line per entry survives a crash right after
+}
+
+std::string render_journal_line(const std::string& key,
+                                const BatchEntry& entry) {
   std::string line = "{\"v\":1,\"key\":" + quoted(key);
   line += ",\"spec\":" + quoted(entry.spec);
   line += ",\"status\":";
@@ -238,10 +247,7 @@ void JournalWriter::append(const std::string& key, const BatchEntry& entry) {
   line += ",\"lint_warnings\":" + std::to_string(entry.lint_warnings);
   line += ",\"lint_notes\":" + std::to_string(entry.lint_notes);
   line += "}\n";
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  out_ << line;
-  out_.flush();  // one line per entry survives a crash right after
+  return line;
 }
 
 std::vector<JournalRecord> read_journal(const std::string& path) {
@@ -258,6 +264,30 @@ std::vector<JournalRecord> read_journal(const std::string& path) {
     records.push_back(std::move(record));
   }
   return records;
+}
+
+CompactionStats compact_journal(const std::string& path) {
+  CompactionStats stats;
+  const std::vector<JournalRecord> records = read_journal(path);
+  if (records.empty()) return stats;  // nothing to compact (or no journal)
+
+  // Later lines win, so a record survives iff it is the LAST occurrence of
+  // its key; survivors keep their original relative order.
+  std::unordered_map<std::string, std::size_t> last_index;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    last_index[records[i].key] = i;
+
+  std::string compacted;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (last_index[records[i].key] != i) {
+      ++stats.dropped;
+      continue;
+    }
+    compacted += render_journal_line(records[i].key, records[i].entry);
+    ++stats.kept;
+  }
+  io::write_file_atomic(path, compacted);
+  return stats;
 }
 
 }  // namespace netrev::pipeline

@@ -65,4 +65,23 @@ class JournalWriter {
 // (a rerun may legitimately re-append an entry).
 std::vector<JournalRecord> read_journal(const std::string& path);
 
+// One rendered journal line including the trailing newline — the exact bytes
+// JournalWriter::append writes, shared with compaction so a compacted
+// journal is indistinguishable from a freshly written one.
+std::string render_journal_line(const std::string& key,
+                                const BatchEntry& entry);
+
+// `batch --compact-journal`: rewrites the journal keeping only the winning
+// (last) record per key, in their original file order, through the atomic
+// temp+rename writer — a crash mid-compaction leaves the old journal intact.
+// Torn/foreign lines are dropped as a side effect.  A missing file is a
+// no-op.  Resuming from the compacted journal restores exactly the same
+// outcomes as the original (later-lines-win already ignored the dropped
+// records).
+struct CompactionStats {
+  std::size_t kept = 0;     // surviving records (unique keys)
+  std::size_t dropped = 0;  // superseded duplicates removed
+};
+CompactionStats compact_journal(const std::string& path);
+
 }  // namespace netrev::pipeline

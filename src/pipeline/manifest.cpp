@@ -89,10 +89,10 @@ std::vector<std::string> expand_glob(const std::string& pattern) {
     matches.push_back(full.has_parent_path() ? (dir / name).string() : name);
   }
   if (ec)
-    throw std::invalid_argument("cannot expand glob '" + pattern +
-                                "': " + ec.message());
+    throw std::runtime_error("cannot expand glob '" + pattern +
+                             "': " + ec.message());
   if (matches.empty())
-    throw std::invalid_argument("glob matched no files: " + pattern);
+    throw std::runtime_error("glob matched no files: " + pattern);
   std::sort(matches.begin(), matches.end());
   return matches;
 }

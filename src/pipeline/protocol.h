@@ -1,0 +1,171 @@
+// The serve wire protocol: newline-delimited JSON requests and responses.
+//
+// This module is deliberately transport-free — it parses request lines,
+// renders response lines, and executes requests against a shared
+// ArtifactCache — so the whole protocol surface is unit-testable without
+// opening a socket.  pipeline/serve.h supplies the sockets, admission
+// control, and drain choreography on top.
+//
+// Request line (one JSON object, one line):
+//
+//   {"id":"r1","op":"identify","design":"b03s",
+//    "options":{"base":false,"depth":4,"max_assign":2,"cross_group":false,
+//               "permissive":false,"timeout_ms":1000,"degrade":"groups",
+//               "max_errors":64}}
+//
+// Ops: "ping", "stats", "load", "lint", "identify", "evaluate", "batch"
+// (batch takes "designs":[...] instead of "design").  Every field except
+// "op" is optional; an omitted "id" is assigned by the server.
+//
+// Response line:
+//
+//   {"id":"r1","status":"ok","result":{...}}
+//   {"id":"r1","status":"degraded","result":{...}}      // QoS ladder engaged
+//   {"id":"r2","status":"overloaded","error":"..."}     // admission shed
+//   {"id":"r3","status":"deadline","error":"..."}       // budget, degrade off
+//   {"id":"r4","status":"cancelled","error":"..."}      // drain cancelled it
+//   {"id":"r5","status":"error","error":"..."}          // request failed
+//   {"id":"?","status":"bad_request","error":"..."}     // unparseable line
+//
+// Determinism contract: for identical inputs and options, the "result" body
+// of identify/evaluate/lint/batch is byte-identical to the one-shot CLI's
+// JSON output at any --jobs (the Executor routes through the same Session
+// code paths and the same renderers).
+//
+// QoS: the client requests a degradation floor ("degrade") and a wall-clock
+// budget ("timeout_ms"); the server enforces a ceiling — client budgets are
+// clamped to ExecutorConfig::max_timeout, and an omitted budget inherits it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/cancel.h"
+#include "exec/degrade.h"
+#include "pipeline/artifact_cache.h"
+#include "pipeline/run_config.h"
+
+namespace netrev::pipeline::protocol {
+
+inline constexpr int kProtocolVersion = 1;
+
+enum class Op { kPing, kStats, kLoad, kLint, kIdentify, kEvaluate, kBatch };
+
+const char* op_name(Op op);
+std::optional<Op> parse_op(const std::string& name);
+
+// Per-request pipeline knobs, a subset of the one-shot CLI's flags.  Unset
+// fields inherit the server's base RunConfig.
+struct RequestOptions {
+  std::optional<bool> base;
+  std::optional<bool> permissive;
+  std::optional<bool> cross_group;
+  std::optional<std::size_t> depth;
+  std::optional<std::size_t> max_assign;
+  std::optional<std::size_t> max_errors;
+  // Client-requested wall-clock budget; clamped to the server ceiling.
+  std::optional<std::size_t> timeout_ms;
+  // Client-requested degradation floor (QoS): how far identification may
+  // fall when the budget trips ("off" = fail with status "deadline").
+  std::optional<exec::DegradePolicy> degrade;
+};
+
+struct Request {
+  std::string id;  // echoed in the response; server-assigned when empty
+  Op op = Op::kPing;
+  std::string design;                // load/lint/identify/evaluate
+  std::vector<std::string> designs;  // batch
+  RequestOptions options;
+};
+
+enum class Status {
+  kOk,
+  kDegraded,    // completed on a lower QoS rung (result still present)
+  kOverloaded,  // shed by admission control or a draining server
+  kDeadline,    // budget tripped and the degrade floor forbade falling
+  kCancelled,   // drain window expired while the request was in flight
+  kError,       // the request itself failed (bad design, unusable input)
+  kBadRequest,  // the line was not a valid request
+};
+
+const char* status_name(Status status);
+
+struct Response {
+  std::string id;
+  Status status = Status::kOk;
+  std::string result;       // JSON body; empty = none
+  std::string error;        // message for non-ok statuses
+  std::string diagnostics;  // diagnostics JSON when any were collected
+};
+
+// Parses one request line.  On failure `request` is empty and `error` holds
+// a one-line description (the caller answers with status "bad_request").
+struct ParsedRequest {
+  std::optional<Request> request;
+  std::string error;
+};
+ParsedRequest parse_request(const std::string& line);
+
+// Renders a request/response as a single line WITHOUT the trailing newline.
+std::string render_request(const Request& request);
+std::string render_response(const Response& response);
+
+// Parses a response line (the client side of the wire).
+struct ParsedResponse {
+  std::optional<Response> response;
+  std::string error;
+};
+ParsedResponse parse_response(const std::string& line);
+
+// --- execution --------------------------------------------------------------
+
+struct ExecutorConfig {
+  // Server-wide defaults a request's options overlay.  Its exec.timeout is
+  // ignored (per-request budgets come from max_timeout / the request).
+  RunConfig base;
+  // Per-request wall-clock ceiling; 0 = unlimited.  Client budgets are
+  // clamped to it, and requests without a budget inherit it.
+  std::chrono::milliseconds max_timeout{0};
+  // Shared artifact cache; null = the process-global cache.
+  ArtifactCache* cache = nullptr;
+};
+
+// Executes requests, one Session per request over the shared cache so
+// repeated designs are warm across requests.  Thread-safe; execute() never
+// throws.  Also the stats book-keeper: the serve layer reports responses it
+// synthesizes itself (sheds, bad requests) via record(), so the "stats" op
+// sees every response the server ever produced.
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config);
+
+  // Runs one request under `cancel` (the serve layer cancels it on drain
+  // timeout).  The returned response is already record()ed.
+  Response execute(const Request& request, exec::CancelToken cancel);
+
+  // Counts a response produced outside execute() (admission sheds,
+  // bad-request answers) into the stats.
+  void record(Status status);
+
+  // {"protocol":1,"version":"...","requests":{"total":N,"ok":N,...},
+  //  "cache":{"hits":N,"misses":N,"evictions":N,"entries":N}}
+  std::string stats_json() const;
+
+  ArtifactCache& cache() { return *cache_; }
+
+  // The effective RunConfig a request with `options` executes under —
+  // exposed for tests asserting the QoS clamp rules.
+  RunConfig config_for(const RequestOptions& options) const;
+
+ private:
+  ExecutorConfig config_;
+  ArtifactCache* cache_;
+  std::atomic<std::uint64_t> by_status_[7] = {};
+};
+
+}  // namespace netrev::pipeline::protocol

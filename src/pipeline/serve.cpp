@@ -1,0 +1,325 @@
+#include "pipeline/serve.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace netrev::pipeline::serve {
+
+namespace {
+
+// Scoped fd so early-throw paths in start() never leak a socket.
+struct ScopedFd {
+  int fd = -1;
+  ~ScopedFd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() { return std::exchange(fd, -1); }
+};
+
+}  // namespace
+
+// One client connection.  The reader thread owns reads; responses are
+// written by whichever thread finished the request, serialized by
+// write_mutex so concurrent responses to one client never interleave bytes.
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Sends `line` + '\n'.  Best-effort: a client that vanished mid-response
+  // just loses it (the request was still executed and counted).
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  // Unblocks the reader thread's poll/recv from another thread.
+  void shutdown_both() { ::shutdown(fd, SHUT_RDWR); }
+
+  int fd;
+  std::mutex write_mutex;
+};
+
+Server::Server(ServeOptions options, std::ostream* log)
+    : options_(std::move(options)), log_(log), executor_(options_.executor) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+std::string Server::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return options_.host + ":" + std::to_string(port_);
+}
+
+void Server::start() {
+  ScopedFd fd;
+  if (!options_.unix_path.empty()) {
+    fd.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd.fd < 0) throw std::runtime_error("serve: cannot create socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("serve: socket path too long: " +
+                               options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("serve: cannot bind " + options_.unix_path +
+                               ": " + std::strerror(errno));
+  } else {
+    fd.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd.fd < 0) throw std::runtime_error("serve: cannot create socket");
+    const int one = 1;
+    ::setsockopt(fd.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error("serve: bad listen address: " + options_.host);
+    if (::bind(fd.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("serve: cannot bind " + options_.host + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd.fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(fd.fd, 64) != 0)
+    throw std::runtime_error(std::string("serve: listen failed: ") +
+                             std::strerror(errno));
+  listen_fd_ = fd.release();
+}
+
+void Server::logline(const std::string& text) {
+  if (log_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  *log_ << "serve: " << text << '\n';
+  log_->flush();
+}
+
+void Server::respond(const std::shared_ptr<Connection>& connection,
+                     const protocol::Response& response) {
+  connection->write_line(protocol::render_response(response));
+  logline("id=" + (response.id.empty() ? std::string("?") : response.id) +
+          " status=" + protocol::status_name(response.status) +
+          (response.error.empty() ? "" : " error=\"" + response.error + "\""));
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection,
+                         const std::string& line) {
+  protocol::ParsedRequest parsed = protocol::parse_request(line);
+  if (!parsed.request) {
+    protocol::Response response;
+    response.status = protocol::Status::kBadRequest;
+    response.error = parsed.error;
+    executor_.record(response.status);
+    respond(connection, response);
+    return;
+  }
+  protocol::Request request = std::move(*parsed.request);
+  if (request.id.empty())
+    request.id =
+        "s" + std::to_string(next_request_id_.fetch_add(
+                  1, std::memory_order_relaxed));
+
+  // Admission: bounded queue, never a stall.  A shed request is answered
+  // right here on the reader thread.
+  bool shed_for_drain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!draining_ && queue_.size() < options_.max_queue) {
+      queue_.push_back(Work{std::move(request), exec::CancelToken{},
+                            connection});
+      work_cv_.notify_one();
+      return;
+    }
+    shed_for_drain = draining_;
+  }
+  protocol::Response response;
+  response.id = request.id;
+  response.status = protocol::Status::kOverloaded;
+  response.error = shed_for_drain
+                       ? "server is draining; retry against a live instance"
+                       : "admission queue full (max-queue=" +
+                             std::to_string(options_.max_queue) +
+                             "); retry with backoff";
+  executor_.record(response.status);
+  respond(connection, response);
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+      active_.push_back(work.cancel);
+    }
+    const protocol::Response response =
+        executor_.execute(work.request, work.cancel);
+    respond(work.connection, response);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].flag() == work.cancel.flag()) {
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      --inflight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  auto last_activity = std::chrono::steady_clock::now();
+  char chunk[4096];
+  for (;;) {
+    pollfd pfd{connection->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (options_.idle_timeout.count() > 0 &&
+          std::chrono::steady_clock::now() - last_activity >
+              options_.idle_timeout) {
+        logline("connection idle for " +
+                std::to_string(options_.idle_timeout.count()) +
+                "ms, closing");
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed (or the drain shutdown unblocked us)
+    last_activity = std::chrono::steady_clock::now();
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(connection, line);
+    }
+  }
+}
+
+ExitCode Server::run() {
+  for (std::size_t i = 0; i < options_.max_inflight; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+
+  // Accept loop: poll with a short tick so the signal-set drain flag is
+  // observed within ~50ms without any async-signal-unsafe work in handlers.
+  while (!drain_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the drain flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto connection = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    readers_.emplace_back(
+        [this, connection = std::move(connection)]() mutable {
+          reader_loop(std::move(connection));
+        });
+  }
+
+  // --- drain ---------------------------------------------------------------
+  logline("drain requested");
+  ::close(listen_fd_);  // stop accepting; connected readers keep reading
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;  // admission now sheds everything as "overloaded"
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_timeout;
+  bool clean;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    clean = drain_cv_.wait_until(
+        lock, deadline, [&] { return queue_.empty() && inflight_ == 0; });
+    if (!clean) {
+      // Window expired: cancel executing requests (their Executor turns the
+      // CancelledError into a "cancelled" response) and answer everything
+      // still queued ourselves, so every admitted request gets exactly one
+      // response.
+      logline("drain window expired; cancelling in-flight requests");
+      for (exec::CancelToken& token : active_) token.request_cancel();
+      std::deque<Work> unstarted;
+      unstarted.swap(queue_);
+      lock.unlock();
+      for (Work& work : unstarted) {
+        protocol::Response response;
+        response.id = work.request.id;
+        response.status = protocol::Status::kCancelled;
+        response.error = "server drained before this request started";
+        executor_.record(response.status);
+        respond(work.connection, response);
+      }
+      lock.lock();
+      // Cancellation is cooperative and every stage polls, so this wait is
+      // short; it is unbounded because exiting with workers still running
+      // is never an option.
+      drain_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+    }
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Unblock and retire the readers; responses are all flushed (write_line
+  // completes before a worker retires), so closing now loses nothing.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::weak_ptr<Connection>& weak : connections_)
+      if (auto connection = weak.lock()) connection->shutdown_both();
+  }
+  for (std::thread& reader : readers_) reader.join();
+  readers_.clear();
+
+  logline(clean ? "drained cleanly" : "drain timed out");
+  return clean ? ExitCode::kDrained : ExitCode::kDrainTimeout;
+}
+
+}  // namespace netrev::pipeline::serve

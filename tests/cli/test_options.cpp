@@ -124,6 +124,104 @@ TEST(CliOptions, BatchFlagsParse) {
             (std::vector<std::string>{"b03s", "b04s"}));
 }
 
+TEST(CliOptions, NumericFlagsRejectNegativeValues) {
+  // std::stoul would wrap "-5" into a huge count; the central validator
+  // rejects it with a diagnostic naming the flag.
+  try {
+    (void)parse_flags(cmd("identify"),
+                      {"identify", "b03s", "--timeout", "-5"}, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--timeout"), std::string::npos) << what;
+    EXPECT_NE(what.find("negative values are not allowed"), std::string::npos)
+        << what;
+  }
+  EXPECT_THROW((void)parse_flags(cmd("batch"),
+                                 {"batch", "b03s", "--retries", "-1"}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_flags(cmd("identify"),
+                                 {"identify", "b03s", "--cache-entries=-2"},
+                                 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_flags(cmd("identify"),
+                                 {"identify", "b03s", "--depth", "-3"}, 1),
+               std::invalid_argument);
+}
+
+TEST(CliOptions, NumericFlagsRejectTrailingJunkEmptyAndOverflow) {
+  try {
+    (void)parse_flags(cmd("identify"),
+                      {"identify", "b03s", "--depth", "3abc"}, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("not a decimal digit"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)parse_flags(cmd("identify"),
+                                 {"identify", "b03s", "--timeout="}, 1),
+               std::invalid_argument);  // empty value
+  try {
+    (void)parse_flags(
+        cmd("identify"),
+        {"identify", "b03s", "--timeout", "99999999999999999999999999"}, 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("value out of range"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CliOptions, ServeAndClientCommandsParse) {
+  const ParsedFlags serve = parse_flags(
+      cmd("serve"), {"serve", "--listen", "127.0.0.1:0", "--max-queue", "8",
+                     "--max-inflight", "2", "--idle-timeout", "1000",
+                     "--drain-timeout", "2000"},
+      1);
+  EXPECT_EQ(serve.listen, "127.0.0.1:0");
+  EXPECT_EQ(serve.max_queue, 8u);
+  EXPECT_EQ(serve.max_inflight, 2u);
+  EXPECT_EQ(serve.idle_timeout_ms, 1000u);
+  EXPECT_EQ(serve.drain_timeout_ms, 2000u);
+
+  const ParsedFlags client = parse_flags(
+      cmd("client"), {"client", "identify", "b03s", "--connect",
+                      "127.0.0.1:4821", "--id", "r1"},
+      1);
+  EXPECT_EQ(client.connect, "127.0.0.1:4821");
+  EXPECT_EQ(client.request_id, "r1");
+  EXPECT_EQ(client.positional,
+            (std::vector<std::string>{"identify", "b03s"}));
+
+  // Queue bound 0 is legal (shed everything); zero workers is not.
+  EXPECT_EQ(*parse_flags(cmd("serve"), {"serve", "--max-queue", "0"}, 1)
+                 .max_queue,
+            0u);
+  EXPECT_THROW(
+      (void)parse_flags(cmd("serve"), {"serve", "--max-inflight", "0"}, 1),
+      std::invalid_argument);
+}
+
+TEST(CliOptions, BatchCompactJournalFlagParses) {
+  const ParsedFlags flags = parse_flags(
+      cmd("batch"),
+      {"batch", "b03s", "--resume", "j.jsonl", "--compact-journal"}, 1);
+  EXPECT_TRUE(flags.compact_journal);
+  EXPECT_EQ(flags.resume, "j.jsonl");
+}
+
+TEST(CliOptions, UsageListsEveryExitCode) {
+  const std::string text = usage();
+  // The exit-code lines are generated from the ExitCode enum, so each code's
+  // name and value must appear.
+  for (const char* needle :
+       {"0 ok", "2 usage", "5 deadline", "6 drained", "7 drain-timeout",
+        "8 overloaded", "130 interrupted"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
 TEST(CliOptions, UsageIsGeneratedFromTheTables) {
   const std::string text = usage();
   for (const CommandSpec& command : command_table())

@@ -170,7 +170,7 @@ TEST(DegradationCli, BatchDegradedEntriesStillExitZeroUnderKeepGoing) {
 
 TEST(DegradationCli, DegradeFlagRejectsUnknownNames) {
   const CliRun bad = run({"identify", "b03s", "--degrade", "fast"});
-  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_EQ(bad.exit_code, 2);
   EXPECT_NE(bad.err.find("--degrade expects"), std::string::npos);
 }
 

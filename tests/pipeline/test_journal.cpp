@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace netrev::pipeline {
@@ -191,6 +192,104 @@ TEST_F(JournalTest, AppendingToAnExistingJournalPreservesOldRecords) {
 TEST_F(JournalTest, UnopenablePathThrows) {
   EXPECT_THROW(JournalWriter((dir_ / "no_dir" / "j.jsonl").string()),
                std::runtime_error);
+}
+
+TEST_F(JournalTest, RenderedLineMatchesWhatAppendWrites) {
+  { JournalWriter(path_).append("00000000000000aa", ok_entry()); }
+  EXPECT_EQ(read_all(), render_journal_line("00000000000000aa", ok_entry()));
+}
+
+TEST_F(JournalTest, CompactionKeepsTheLastRecordPerKeyInFileOrder) {
+  BatchEntry stale = ok_entry();
+  stale.multibit_words = 1;
+  BatchEntry fresh = ok_entry();
+  fresh.multibit_words = 9;
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", stale);
+    writer.append("00000000000000bb", ok_entry());
+    writer.append("00000000000000aa", fresh);  // supersedes the first line
+    writer.append("00000000000000cc", failed_entry());
+  }
+
+  const CompactionStats stats = compact_journal(path_);
+  EXPECT_EQ(stats.kept, 3u);
+  EXPECT_EQ(stats.dropped, 1u);
+
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 3u);
+  // Survivors keep their original relative order.
+  EXPECT_EQ(records[0].key, "00000000000000bb");
+  EXPECT_EQ(records[1].key, "00000000000000aa");
+  EXPECT_EQ(records[2].key, "00000000000000cc");
+  // ...and the surviving aa record is the later one.
+  EXPECT_EQ(records[1].entry.multibit_words, 9u);
+}
+
+TEST_F(JournalTest, CompactionIsResumeEquivalent) {
+  // Resume builds a key -> entry map where later lines win; compaction must
+  // preserve exactly that view.
+  BatchEntry first = ok_entry();
+  first.multibit_words = 1;
+  BatchEntry second = ok_entry();
+  second.multibit_words = 2;
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", first);
+    writer.append("00000000000000aa", second);
+    writer.append("00000000000000bb", failed_entry());
+  }
+  const std::vector<JournalRecord> before = read_journal(path_);
+  (void)compact_journal(path_);
+  const std::vector<JournalRecord> after = read_journal(path_);
+
+  const auto winners = [](const std::vector<JournalRecord>& records) {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    for (const JournalRecord& record : records) {
+      bool found = false;
+      for (auto& [key, words] : out)
+        if (key == record.key) {
+          words = record.entry.multibit_words;
+          found = true;
+        }
+      if (!found) out.emplace_back(record.key, record.entry.multibit_words);
+    }
+    return out;
+  };
+  EXPECT_EQ(winners(before), winners(after));
+}
+
+TEST_F(JournalTest, CompactionDropsTornAndForeignLines) {
+  { JournalWriter(path_).append("00000000000000aa", ok_entry()); }
+  std::ofstream(path_, std::ios::app)
+      << "not json at all\n"
+      << "{\"v\":1,\"key\":\"00000000000000bb\",\"spec\":\"x";  // torn
+  const CompactionStats stats = compact_journal(path_);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(stats.dropped, 0u);
+  // The rewritten journal is byte-identical to a freshly written one.
+  EXPECT_EQ(read_all(), render_journal_line("00000000000000aa", ok_entry()));
+}
+
+TEST_F(JournalTest, CompactingAMissingJournalIsANoOp) {
+  const CompactionStats stats = compact_journal(path_);
+  EXPECT_EQ(stats.kept, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(JournalTest, CompactionIsIdempotent) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000aa", ok_entry());
+    writer.append("00000000000000aa", ok_entry());
+  }
+  (void)compact_journal(path_);
+  const std::string once = read_all();
+  const CompactionStats again = compact_journal(path_);
+  EXPECT_EQ(again.kept, 1u);
+  EXPECT_EQ(again.dropped, 0u);
+  EXPECT_EQ(read_all(), once);
 }
 
 }  // namespace

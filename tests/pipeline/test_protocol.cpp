@@ -1,0 +1,362 @@
+#include "pipeline/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "exec/cancel.h"
+#include "pipeline/artifact_cache.h"
+#include "pipeline/session.h"
+
+namespace netrev::pipeline::protocol {
+namespace {
+
+using std::chrono::milliseconds;
+
+ExecutorConfig with_cache(ArtifactCache& cache) {
+  ExecutorConfig config;
+  config.cache = &cache;
+  return config;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(Protocol, ParsesMinimalRequest) {
+  const ParsedRequest parsed = parse_request("{\"op\":\"ping\"}");
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->op, Op::kPing);
+  EXPECT_TRUE(parsed.request->id.empty());
+}
+
+TEST(Protocol, ParsesFullIdentifyRequest) {
+  const ParsedRequest parsed = parse_request(
+      "{\"id\":\"r1\",\"op\":\"identify\",\"design\":\"b03s\","
+      "\"options\":{\"base\":false,\"depth\":4,\"max_assign\":2,"
+      "\"cross_group\":true,\"permissive\":false,\"timeout_ms\":1000,"
+      "\"degrade\":\"groups\",\"max_errors\":8}}");
+  ASSERT_TRUE(parsed.request.has_value());
+  const Request& request = *parsed.request;
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.op, Op::kIdentify);
+  EXPECT_EQ(request.design, "b03s");
+  ASSERT_TRUE(request.options.base.has_value());
+  EXPECT_FALSE(*request.options.base);
+  EXPECT_EQ(request.options.depth, 4u);
+  EXPECT_EQ(request.options.max_assign, 2u);
+  EXPECT_EQ(request.options.cross_group, true);
+  EXPECT_EQ(request.options.timeout_ms, 1000u);
+  EXPECT_EQ(request.options.max_errors, 8u);
+  ASSERT_TRUE(request.options.degrade.has_value());
+  EXPECT_TRUE(request.options.degrade->enabled);
+}
+
+TEST(Protocol, ParsesBatchDesignList) {
+  const ParsedRequest parsed = parse_request(
+      "{\"op\":\"batch\",\"designs\":[\"b01s\",\"b02s\"]}");
+  ASSERT_TRUE(parsed.request.has_value());
+  ASSERT_EQ(parsed.request->designs.size(), 2u);
+  EXPECT_EQ(parsed.request->designs[0], "b01s");
+  EXPECT_EQ(parsed.request->designs[1], "b02s");
+}
+
+TEST(Protocol, RejectsMissingOp) {
+  const ParsedRequest parsed = parse_request("{\"design\":\"b03s\"}");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_NE(parsed.error.find("missing \"op\""), std::string::npos);
+}
+
+TEST(Protocol, RejectsUnknownOp) {
+  const ParsedRequest parsed = parse_request("{\"op\":\"frobnicate\"}");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_NE(parsed.error.find("unknown op"), std::string::npos);
+}
+
+TEST(Protocol, RejectsMistypedFields) {
+  EXPECT_FALSE(parse_request("{\"op\":1}").request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\",\"id\":7}").request.has_value());
+  EXPECT_FALSE(
+      parse_request("{\"op\":\"batch\",\"designs\":\"b01s\"}")
+          .request.has_value());
+  EXPECT_FALSE(
+      parse_request("{\"op\":\"batch\",\"designs\":[1,2]}")
+          .request.has_value());
+  EXPECT_FALSE(
+      parse_request("{\"op\":\"identify\",\"options\":[]}")
+          .request.has_value());
+}
+
+TEST(Protocol, RejectsUnknownOptionKeysInsteadOfIgnoringTypos) {
+  const ParsedRequest parsed = parse_request(
+      "{\"op\":\"identify\",\"design\":\"b03s\","
+      "\"options\":{\"deptth\":4}}");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_NE(parsed.error.find("unknown option \"deptth\""), std::string::npos);
+}
+
+TEST(Protocol, RejectsMistypedOptionValues) {
+  EXPECT_FALSE(parse_request("{\"op\":\"identify\",\"options\":"
+                             "{\"depth\":\"four\"}}")
+                   .request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"identify\",\"options\":"
+                             "{\"depth\":-4}}")
+                   .request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"identify\",\"options\":"
+                             "{\"base\":\"yes\"}}")
+                   .request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"identify\",\"options\":"
+                             "{\"degrade\":\"sideways\"}}")
+                   .request.has_value());
+}
+
+TEST(Protocol, RejectsMalformedJson) {
+  EXPECT_FALSE(parse_request("").request.has_value());
+  EXPECT_FALSE(parse_request("not json").request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\"").request.has_value());
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\"} trailing").request.has_value());
+  EXPECT_FALSE(parse_request("[\"op\"]").request.has_value());
+}
+
+// --- round trips ------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTripsThroughRenderAndParse) {
+  Request request;
+  request.id = "r42";
+  request.op = Op::kIdentify;
+  request.design = "b03s";
+  request.options.base = false;
+  request.options.cross_group = true;
+  request.options.depth = 3;
+  request.options.max_assign = 1;
+  request.options.max_errors = 16;
+  request.options.timeout_ms = 250;
+  request.options.degrade =
+      exec::DegradePolicy{true, exec::DegradeLevel::kGroupsOnly};
+
+  const ParsedRequest parsed = parse_request(render_request(request));
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error;
+  const Request& back = *parsed.request;
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.op, request.op);
+  EXPECT_EQ(back.design, request.design);
+  EXPECT_EQ(back.options.base, request.options.base);
+  EXPECT_EQ(back.options.cross_group, request.options.cross_group);
+  EXPECT_EQ(back.options.depth, request.options.depth);
+  EXPECT_EQ(back.options.max_assign, request.options.max_assign);
+  EXPECT_EQ(back.options.max_errors, request.options.max_errors);
+  EXPECT_EQ(back.options.timeout_ms, request.options.timeout_ms);
+  ASSERT_TRUE(back.options.degrade.has_value());
+  EXPECT_TRUE(back.options.degrade->enabled);
+  EXPECT_EQ(back.options.degrade->floor, exec::DegradeLevel::kGroupsOnly);
+}
+
+TEST(Protocol, ResponseResultBytesSurviveTheWireExactly) {
+  // parse_response recovers "result" via its source span, so the client can
+  // re-print the server's bytes without re-rendering (fractional metrics and
+  // key order included).
+  Response response;
+  response.id = "r1";
+  response.status = Status::kOk;
+  response.result = "{\"metrics\":{\"recall\":0.875,\"b\":[1,2.5e-3,null]}}";
+  const std::string line = render_response(response);
+  const ParsedResponse parsed = parse_response(line);
+  ASSERT_TRUE(parsed.response.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.response->result, response.result);
+  EXPECT_EQ(parsed.response->id, "r1");
+  EXPECT_EQ(parsed.response->status, Status::kOk);
+}
+
+TEST(Protocol, ErrorResponseRoundTrips) {
+  Response response;
+  response.id = "r9";
+  response.status = Status::kOverloaded;
+  response.error = "admission queue full (max-queue=2); retry with backoff";
+  const ParsedResponse parsed = parse_response(render_response(response));
+  ASSERT_TRUE(parsed.response.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.response->status, Status::kOverloaded);
+  EXPECT_EQ(parsed.response->error, response.error);
+  EXPECT_TRUE(parsed.response->result.empty());
+}
+
+TEST(Protocol, ParseResponseRejectsUnknownStatus) {
+  const ParsedResponse parsed =
+      parse_response("{\"id\":\"r1\",\"status\":\"sideways\"}");
+  EXPECT_FALSE(parsed.response.has_value());
+  EXPECT_NE(parsed.error.find("unknown status"), std::string::npos);
+}
+
+TEST(Protocol, OpAndStatusNamesRoundTrip) {
+  for (Op op : {Op::kPing, Op::kStats, Op::kLoad, Op::kLint, Op::kIdentify,
+                Op::kEvaluate, Op::kBatch})
+    EXPECT_EQ(parse_op(op_name(op)), op);
+  EXPECT_FALSE(parse_op("nonsense").has_value());
+  EXPECT_STREQ(status_name(Status::kBadRequest), "bad_request");
+  EXPECT_STREQ(status_name(Status::kOverloaded), "overloaded");
+}
+
+// --- QoS clamp --------------------------------------------------------------
+
+TEST(Protocol, ClampsClientBudgetToServerCeiling) {
+  ArtifactCache cache;
+  ExecutorConfig config;
+  config.cache = &cache;
+  config.max_timeout = milliseconds(500);
+  Executor executor(config);
+
+  RequestOptions options;
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(500));
+
+  options.timeout_ms = 100;  // under the ceiling: honored
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(100));
+
+  options.timeout_ms = 5000;  // over the ceiling: clamped
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(500));
+
+  options.timeout_ms = 0;  // "unlimited" still inherits the ceiling
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(500));
+}
+
+TEST(Protocol, UnlimitedCeilingHonorsAnyClientBudget) {
+  ArtifactCache cache;
+  ExecutorConfig config;
+  config.cache = &cache;
+  Executor executor(config);
+
+  RequestOptions options;
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(0));
+  options.timeout_ms = 123456;
+  EXPECT_EQ(executor.config_for(options).exec.timeout, milliseconds(123456));
+}
+
+TEST(Protocol, OptionsOverlayTheBaseConfig) {
+  ArtifactCache cache;
+  ExecutorConfig config;
+  config.cache = &cache;
+  config.base.wordrec.cone_depth = 4;
+  Executor executor(config);
+
+  RequestOptions options;
+  EXPECT_EQ(executor.config_for(options).wordrec.cone_depth, 4u);
+  EXPECT_FALSE(executor.config_for(options).use_baseline);
+
+  options.depth = 2;
+  options.base = true;
+  options.cross_group = true;
+  options.max_assign = 1;
+  const RunConfig effective = executor.config_for(options);
+  EXPECT_EQ(effective.wordrec.cone_depth, 2u);
+  EXPECT_TRUE(effective.use_baseline);
+  EXPECT_TRUE(effective.wordrec.cross_group_checking);
+  EXPECT_EQ(effective.wordrec.max_simultaneous_assignments, 1u);
+}
+
+// --- execution --------------------------------------------------------------
+
+TEST(Protocol, ExecutesPing) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.id = "p1";
+  request.op = Op::kPing;
+  const Response response = executor.execute(request, exec::CancelToken());
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.id, "p1");
+  EXPECT_NE(response.result.find("\"protocol\":1"), std::string::npos);
+  EXPECT_NE(response.result.find("\"version\":"), std::string::npos);
+}
+
+TEST(Protocol, ExecutesLoad) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kLoad;
+  request.design = "b03s";
+  const Response response = executor.execute(request, exec::CancelToken());
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_NE(response.result.find("\"design\":\"b03s\""), std::string::npos);
+  EXPECT_NE(response.result.find("\"gates\":169"), std::string::npos);
+}
+
+TEST(Protocol, IdentifyResultIsByteIdenticalToSessionJson) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kIdentify;
+  request.design = "b03s";
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk) << response.error;
+
+  ArtifactCache reference_cache;
+  Session session({}, &reference_cache);
+  const LoadedDesign design = session.load_netlist("b03s");
+  EXPECT_EQ(response.result, session.identify_json(design));
+}
+
+TEST(Protocol, MissingDesignIsAnErrorResponseNotAThrow) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kIdentify;
+  const Response response = executor.execute(request, exec::CancelToken());
+  EXPECT_EQ(response.status, Status::kError);
+  EXPECT_NE(response.error.find("missing \"design\""), std::string::npos);
+  EXPECT_TRUE(response.result.empty());
+}
+
+TEST(Protocol, UnknownDesignIsAnErrorResponse) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kLoad;
+  request.design = "/nonexistent_netrev_protocol.bench";
+  const Response response = executor.execute(request, exec::CancelToken());
+  EXPECT_EQ(response.status, Status::kError);
+  EXPECT_FALSE(response.error.empty());
+}
+
+TEST(Protocol, PreCancelledRequestReportsCancelled) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  exec::CancelToken cancel;
+  cancel.request_cancel();
+  Request request;
+  request.op = Op::kIdentify;
+  request.design = "b03s";
+  const Response response = executor.execute(request, cancel);
+  EXPECT_EQ(response.status, Status::kCancelled);
+  EXPECT_TRUE(response.result.empty());
+}
+
+TEST(Protocol, RepeatedDesignsHitTheSharedCacheAcrossRequests) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kIdentify;
+  request.design = "b03s";
+  ASSERT_EQ(executor.execute(request, exec::CancelToken()).status, Status::kOk);
+  const std::uint64_t hits_after_first = cache.hits();
+  const Response second = executor.execute(request, exec::CancelToken());
+  EXPECT_EQ(second.status, Status::kOk);
+  EXPECT_GT(cache.hits(), hits_after_first);
+}
+
+TEST(Protocol, StatsCountEveryResponseIncludingRecordedSheds) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request ping;
+  ping.op = Op::kPing;
+  (void)executor.execute(ping, exec::CancelToken());
+  (void)executor.execute(ping, exec::CancelToken());
+  executor.record(Status::kOverloaded);   // what serve does on a shed
+  executor.record(Status::kBadRequest);   // ...and on an unparseable line
+
+  const std::string stats = executor.stats_json();
+  EXPECT_NE(stats.find("\"total\":4"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"ok\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"overloaded\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"bad_request\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache\":{"), std::string::npos) << stats;
+}
+
+}  // namespace
+}  // namespace netrev::pipeline::protocol
