@@ -5,9 +5,12 @@
 #   3. the full test suite under both sanitizers
 #   4. `netrev lint --fail-on=warning` over every family benchmark, both as
 #      built-in designs and as generated .bench files (exercising the parser
-#      path); any warning-or-worse finding fails the gate
+#      path); any warning-or-worse finding fails the gate, and
+#      `lint --diag-json` must be byte-identical at --jobs 1 vs --jobs 8 and
+#      with the artifact cache on vs off (--cache-entries 0)
 #   5. ThreadSanitizer build (NETREV_SANITIZE=thread) over the parallel
-#      identification tests: thread pool, profiler, jobs determinism
+#      identification tests: thread pool, profiler, jobs determinism, and the
+#      dataflow/domain analysis suites
 #   6. jobs-determinism gate: `evaluate --json` at --jobs 1 vs --jobs $(nproc)
 #      must emit byte-identical output on every family benchmark
 #   7. batch smoke gate: `netrev batch` over the family benchmarks twice must
@@ -53,6 +56,23 @@ for family in b03s b04s b08s b11s b13s; do
   "$NETREV" lint "$LINT_DIR/$family.v" --fail-on=warning
 done
 
+# Lint-determinism gate: the full diagnostics JSON (all 12 rules, including
+# the dataflow/domain-backed ones) must not depend on the worker count or on
+# whether the artifact cache is enabled.
+LINT_DET_DIR="$BUILD_DIR/lint-determinism"
+mkdir -p "$LINT_DET_DIR"
+for family in b03s b04s b08s b11s b13s; do
+  echo "lint-determinism: $family"
+  "$NETREV" lint "$family" --diag-json --jobs 1 \
+    > "$LINT_DET_DIR/$family.j1.json"
+  "$NETREV" lint "$family" --diag-json --jobs 8 \
+    > "$LINT_DET_DIR/$family.j8.json"
+  diff "$LINT_DET_DIR/$family.j1.json" "$LINT_DET_DIR/$family.j8.json"
+  "$NETREV" lint "$family" --diag-json --cache-entries 0 \
+    > "$LINT_DET_DIR/$family.nocache.json"
+  diff "$LINT_DET_DIR/$family.j1.json" "$LINT_DET_DIR/$family.nocache.json"
+done
+
 # ThreadSanitizer pass over the concurrency surface: the pool and profiler
 # unit tests plus the end-to-end jobs-determinism suite (which drives every
 # parallel pipeline stage at 1/2/8 jobs).  TSan is incompatible with ASan, so
@@ -64,7 +84,7 @@ cmake -B "$TSAN_DIR" -S . \
 cmake --build "$TSAN_DIR" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
   --output-on-failure \
-  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken|Serve|Protocol'
+  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken|Serve|Protocol|Dataflow|Domain'
 
 # Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
 # must not depend on the worker count.
@@ -184,4 +204,4 @@ grep -q "netrev serve drained" "$SERVE_DIR/serve.out" || {
   exit 1
 }
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + tsan + jobs-determinism + batch-smoke + resume-smoke + serve-smoke all passed"
+echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + batch-smoke + resume-smoke + serve-smoke all passed"

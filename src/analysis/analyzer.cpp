@@ -35,7 +35,8 @@ std::string AnalysisResult::summary() const {
 
 AnalysisResult analyze(const Netlist& nl, const AnalysisOptions& options,
                        const diag::Diagnostics* parse_diags,
-                       const RuleRegistry& registry) {
+                       const RuleRegistry& registry,
+                       const DataflowFacts* dataflow) {
   std::vector<const AnalysisRule*> selected;
   if (options.enabled_rules.empty()) {
     for (const auto& rule : registry.rules()) selected.push_back(rule.get());
@@ -55,7 +56,8 @@ AnalysisResult analyze(const Netlist& nl, const AnalysisOptions& options,
     }
   }
 
-  const AnalysisContext context{nl, options, parse_diags};
+  AnalysisContext context{nl, options, parse_diags};
+  context.dataflow = dataflow;
   AnalysisResult result;
   for (const AnalysisRule* rule : selected) {
     rule->run(context, result.findings);

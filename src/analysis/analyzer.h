@@ -38,12 +38,15 @@ struct AnalysisResult {
 
 // Runs `options.enabled_rules` (all rules when empty) from `registry` over
 // the netlist.  `parse_diags` optionally carries parse-time recovery facts
-// (see AnalysisContext).  Throws std::invalid_argument if an enabled rule id
-// is unknown.
+// (see AnalysisContext).  `dataflow` optionally hands the dataflow-backed
+// rules precomputed engine facts (the Session passes its cached stage);
+// when null, rules that need them compute once per run.  Throws
+// std::invalid_argument if an enabled rule id is unknown.
 AnalysisResult analyze(const netlist::Netlist& nl,
                        const AnalysisOptions& options = {},
                        const diag::Diagnostics* parse_diags = nullptr,
-                       const RuleRegistry& registry = RuleRegistry::builtin());
+                       const RuleRegistry& registry = RuleRegistry::builtin(),
+                       const DataflowFacts* dataflow = nullptr);
 
 // Renders every finding into `diags` as "[rule] message (fix: hint)" at the
 // finding's severity, located at `file` (no line: findings are netlist-level).

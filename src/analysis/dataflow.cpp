@@ -1,0 +1,353 @@
+#include "analysis/dataflow.h"
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "perf/profile.h"
+
+namespace netrev::analysis {
+
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+// Hot loops poll the checkpoint once per stride; an unarmed checkpoint makes
+// the poll itself a single branch, so the stride only amortizes the armed
+// (clock-reading) case.
+constexpr std::size_t kPollStride = 256;
+
+Ternary ternary_not(Ternary v) {
+  switch (v) {
+    case Ternary::kZero:
+      return Ternary::kOne;
+    case Ternary::kOne:
+      return Ternary::kZero;
+    default:
+      return Ternary::kX;
+  }
+}
+
+Ternary norm(Ternary v) {
+  return v == Ternary::kBottom ? Ternary::kX : v;
+}
+
+// Computes the greatest fixpoint of the combinational transfer functions
+// with flop outputs held at `flop_values` (or X when null).  Values start at
+// X and only ever refine (X -> 0/1), so the iteration is monotone and
+// terminates even on combinational cycles.  `order` is the fixpoint seed:
+// on acyclic logic one sweep converges; cycle members just requeue.
+std::vector<Ternary> propagate(const Netlist& nl,
+                               const std::vector<GateId>& order,
+                               const std::vector<Ternary>* flop_values,
+                               const exec::Checkpoint& checkpoint) {
+  std::vector<Ternary> values(nl.net_count(), Ternary::kX);
+
+  // An undriven non-input net is never produced: bottom, not unknown.
+  for (std::size_t i = 0; i < nl.net_count(); ++i) {
+    const auto& net = nl.net(nl.net_id_at(i));
+    if (!net.driver.is_valid() && !net.is_primary_input)
+      values[i] = Ternary::kBottom;
+  }
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const Gate& gate = nl.gate(nl.gate_id_at(i));
+    if (gate.type == GateType::kConst0)
+      values[gate.output.value()] = Ternary::kZero;
+    else if (gate.type == GateType::kConst1)
+      values[gate.output.value()] = Ternary::kOne;
+    else if (gate.type == GateType::kDff)
+      values[gate.output.value()] =
+          flop_values ? norm((*flop_values)[gate.output.value()]) : Ternary::kX;
+  }
+
+  std::deque<GateId> queue(order.begin(), order.end());
+  std::vector<std::uint8_t> in_queue(nl.gate_count(), 0);
+  for (GateId g : order) in_queue[g.value()] = 1;
+
+  std::vector<Ternary> ins;
+  std::size_t steps = 0;
+  while (!queue.empty()) {
+    if (++steps % kPollStride == 0) checkpoint.poll();
+    const GateId g = queue.front();
+    queue.pop_front();
+    in_queue[g.value()] = 0;
+
+    const Gate& gate = nl.gate(g);
+    ins.clear();
+    for (NetId in : gate.inputs) ins.push_back(values[in.value()]);
+    const Ternary out = eval_gate_ternary(gate.type, ins);
+    Ternary& cur = values[gate.output.value()];
+    // Monotone refinement: a driven output starts at X and settles at most
+    // once; anything else would mean a non-monotone transfer function.
+    if (out == cur || cur != Ternary::kX) continue;
+    cur = out;
+    for (GateId reader : nl.net(gate.output).fanouts) {
+      if (!is_combinational(nl.gate(reader).type)) continue;
+      if (in_queue[reader.value()]) continue;
+      in_queue[reader.value()] = 1;
+      queue.push_back(reader);
+    }
+  }
+  return values;
+}
+
+// Evaluates `target` in the world `base` refined by the single assumption
+// `pin = pin_value`.  Only the forward cone of `pin` is recomputed, into a
+// sparse overlay; the fixpoint is monotone (the assumption is a refinement
+// of `base`), order-independent, and therefore deterministic regardless of
+// which worker thread runs it.
+Ternary eval_with_pin(const Netlist& nl, const std::vector<Ternary>& base,
+                      NetId pin, Ternary pin_value, NetId target,
+                      const exec::Checkpoint& checkpoint) {
+  if (pin == target) return pin_value;
+
+  std::unordered_map<std::uint32_t, Ternary> overlay;
+  overlay.emplace(pin.value(), pin_value);
+  const auto value_of = [&](NetId n) {
+    const auto it = overlay.find(n.value());
+    return it != overlay.end() ? it->second : base[n.value()];
+  };
+
+  std::deque<GateId> queue;
+  std::vector<std::uint8_t> in_queue;  // lazily sized: only touched on push
+  const auto push_readers = [&](NetId net) {
+    for (GateId reader : nl.net(net).fanouts) {
+      if (!is_combinational(nl.gate(reader).type)) continue;
+      if (in_queue.empty()) in_queue.assign(nl.gate_count(), 0);
+      if (in_queue[reader.value()]) continue;
+      in_queue[reader.value()] = 1;
+      queue.push_back(reader);
+    }
+  };
+  push_readers(pin);
+
+  std::vector<Ternary> ins;
+  std::size_t steps = 0;
+  while (!queue.empty()) {
+    if (++steps % kPollStride == 0) checkpoint.poll();
+    const GateId g = queue.front();
+    queue.pop_front();
+    in_queue[g.value()] = 0;
+
+    const Gate& gate = nl.gate(g);
+    ins.clear();
+    for (NetId in : gate.inputs) ins.push_back(value_of(in));
+    const Ternary out = eval_gate_ternary(gate.type, ins);
+    const Ternary cur = value_of(gate.output);
+    // The assumption can only refine X values; a net already constant in
+    // `base` keeps that constant under any refinement.
+    if (out == cur || cur != Ternary::kX) continue;
+    overlay[gate.output.value()] = out;
+    push_readers(gate.output);
+  }
+  return norm(value_of(target));
+}
+
+}  // namespace
+
+Ternary ternary_join(Ternary a, Ternary b) {
+  if (a == b) return a;
+  if (a == Ternary::kBottom) return b;
+  if (b == Ternary::kBottom) return a;
+  return Ternary::kX;  // 0 ⊔ 1, or anything with X
+}
+
+char ternary_code(Ternary v) {
+  switch (v) {
+    case Ternary::kBottom:
+      return '_';
+    case Ternary::kZero:
+      return '0';
+    case Ternary::kOne:
+      return '1';
+    case Ternary::kX:
+      return 'X';
+  }
+  return '?';
+}
+
+Ternary eval_gate_ternary(GateType type, std::span<const Ternary> inputs) {
+  switch (type) {
+    case GateType::kConst0:
+      return Ternary::kZero;
+    case GateType::kConst1:
+      return Ternary::kOne;
+    case GateType::kBuf:
+    case GateType::kDff:
+      return inputs.empty() ? Ternary::kX : norm(inputs[0]);
+    case GateType::kNot:
+      return inputs.empty() ? Ternary::kX : ternary_not(norm(inputs[0]));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_zero = false;
+      bool any_x = false;
+      for (Ternary v : inputs) {
+        v = norm(v);
+        if (v == Ternary::kZero) any_zero = true;
+        else if (v == Ternary::kX) any_x = true;
+      }
+      const Ternary out = any_zero ? Ternary::kZero
+                          : any_x  ? Ternary::kX
+                                   : Ternary::kOne;
+      return type == GateType::kNand ? ternary_not(out) : out;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_one = false;
+      bool any_x = false;
+      for (Ternary v : inputs) {
+        v = norm(v);
+        if (v == Ternary::kOne) any_one = true;
+        else if (v == Ternary::kX) any_x = true;
+      }
+      const Ternary out = any_one ? Ternary::kOne
+                          : any_x ? Ternary::kX
+                                  : Ternary::kZero;
+      return type == GateType::kNor ? ternary_not(out) : out;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool parity = false;
+      for (Ternary v : inputs) {
+        v = norm(v);
+        if (v == Ternary::kX) return Ternary::kX;
+        parity ^= (v == Ternary::kOne);
+      }
+      const Ternary out = parity ? Ternary::kOne : Ternary::kZero;
+      return type == GateType::kXnor ? ternary_not(out) : out;
+    }
+  }
+  return Ternary::kX;
+}
+
+std::vector<GateId> combinational_order(const Netlist& nl) {
+  // Kahn over combinational gates only; flop outputs, primary inputs,
+  // constants and undriven nets are all sources.
+  std::vector<std::uint32_t> indegree(nl.gate_count(), 0);
+  std::vector<std::uint8_t> comb(nl.gate_count(), 0);
+  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
+    const Gate& gate = nl.gate(nl.gate_id_at(i));
+    if (!is_combinational(gate.type)) continue;
+    comb[i] = 1;
+    for (NetId in : gate.inputs) {
+      const auto driver = nl.driver_of(in);
+      if (driver && is_combinational(nl.gate(*driver).type)) ++indegree[i];
+    }
+  }
+
+  std::vector<GateId> order;
+  order.reserve(nl.gate_count());
+  std::deque<GateId> ready;
+  for (std::size_t i = 0; i < nl.gate_count(); ++i)
+    if (comb[i] && indegree[i] == 0) ready.push_back(nl.gate_id_at(i));
+
+  std::vector<std::uint8_t> emitted(nl.gate_count(), 0);
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    emitted[g.value()] = 1;
+    for (GateId reader : nl.net(nl.gate(g).output).fanouts) {
+      if (!comb[reader.value()]) continue;
+      if (--indegree[reader.value()] == 0) ready.push_back(reader);
+    }
+  }
+  // Gates caught in combinational cycles never reach indegree 0; append them
+  // in file order so the fixpoint still visits them.
+  for (std::size_t i = 0; i < nl.gate_count(); ++i)
+    if (comb[i] && !emitted[i]) order.push_back(nl.gate_id_at(i));
+  return order;
+}
+
+std::vector<std::uint8_t> DataflowFacts::constant_mask() const {
+  std::vector<std::uint8_t> mask(always.size(), 0);
+  for (std::size_t i = 0; i < always.size(); ++i)
+    mask[i] = is_ternary_const(always[i]) ? 1 : 0;
+  return mask;
+}
+
+DataflowFacts run_dataflow(const Netlist& nl, const DataflowOptions& options) {
+  perf::ScopedWork work("stage.dataflow_ns");
+  const exec::Checkpoint& checkpoint = options.checkpoint;
+  checkpoint.poll();
+
+  const std::vector<GateId> order = combinational_order(nl);
+
+  DataflowFacts facts;
+  facts.always = propagate(nl, order, nullptr, checkpoint);
+
+  // Flop replace-iteration toward a steady state.  Each round computes every
+  // flop's next value synchronously from the previous round, then
+  // re-propagates the combinational logic.  A flop whose next value
+  // conflicts with an already-refined one oscillates: freeze it at X.
+  std::vector<GateId> flops;
+  for (GateId g : nl.gates_in_file_order())
+    if (nl.gate(g).type == GateType::kDff) flops.push_back(g);
+
+  facts.steady = facts.always;
+  std::vector<std::uint8_t> frozen(flops.size(), 0);
+  for (std::size_t round = 0; round < options.max_iterations; ++round) {
+    checkpoint.poll();
+    std::vector<Ternary> next(flops.size());
+    for (std::size_t i = 0; i < flops.size(); ++i)
+      next[i] = norm(facts.steady[nl.gate(flops[i]).inputs[0].value()]);
+
+    bool changed = false;
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      if (frozen[i]) continue;
+      Ternary& cur = facts.steady[nl.gate(flops[i]).output.value()];
+      if (next[i] == cur) continue;
+      if (cur == Ternary::kX) {
+        cur = next[i];
+      } else {
+        cur = Ternary::kX;
+        frozen[i] = 1;
+      }
+      changed = true;
+    }
+    facts.iterations = round + 1;
+    if (!changed) {
+      facts.converged = true;
+      break;
+    }
+    facts.steady = propagate(nl, order, &facts.steady, checkpoint);
+  }
+  if (!facts.converged) facts.steady = facts.always;  // stay sound
+
+  // Per-flop stuck detection: independent D-cone evaluations under Q=0 and
+  // Q=1, fanned out per flop with index-addressed slots so the result is
+  // byte-identical at any job count.
+  std::vector<StuckFlop> slots(flops.size());
+  ThreadPool::global().parallel_for(
+      0, flops.size(),
+      [&](std::size_t i) {
+        checkpoint.poll();
+        const Gate& gate = nl.gate(flops[i]);
+        StuckFlop stuck;
+        stuck.flop = flops[i];
+        const Ternary steady = facts.steady[gate.output.value()];
+        if (facts.converged && is_ternary_const(steady))
+          stuck.settles_to = steady;
+        const Ternary v0 = eval_with_pin(nl, facts.always, gate.output,
+                                         Ternary::kZero, gate.inputs[0],
+                                         checkpoint);
+        const Ternary v1 = eval_with_pin(nl, facts.always, gate.output,
+                                         Ternary::kOne, gate.inputs[0],
+                                         checkpoint);
+        stuck.holds_state = v0 == Ternary::kZero && v1 == Ternary::kOne;
+        slots[i] = stuck;
+      },
+      /*grain=*/8);
+
+  for (const StuckFlop& stuck : slots)
+    if (stuck.holds_state || is_ternary_const(stuck.settles_to))
+      facts.stuck_flops.push_back(stuck);
+  return facts;
+}
+
+}  // namespace netrev::analysis

@@ -27,7 +27,8 @@ class RuleRegistry {
 
   // The stock rule set, constructed once per process:
   //   comb-cycle, multi-driven, undriven-net, dead-logic, const-foldable,
-  //   degenerate-gate, high-fanout, dff-self-loop
+  //   degenerate-gate, high-fanout, dff-self-loop, plus the dataflow-backed
+  //   rules const-net, stuck-ff, redundant-mux, mixed-domain-word
   static const RuleRegistry& builtin();
 
  private:
@@ -35,7 +36,12 @@ class RuleRegistry {
 };
 
 // Registers the stock rules into `registry` (exposed so custom registries can
-// start from the builtin set).
+// start from the builtin set).  Includes the dataflow rules below.
 void register_builtin_rules(RuleRegistry& registry);
+
+// Registers only the rules built on the dataflow/domain engines
+// (dataflow_rules.cpp): const-net, stuck-ff, redundant-mux,
+// mixed-domain-word.
+void register_dataflow_rules(RuleRegistry& registry);
 
 }  // namespace netrev::analysis

@@ -7,14 +7,19 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/finding.h"
 #include "common/diagnostics.h"
+#include "exec/cancel.h"
 #include "netlist/netlist.h"
 
 namespace netrev::analysis {
+
+struct DataflowFacts;
+struct DomainAnalysis;
 
 struct AnalysisOptions {
   // Run only these rule ids; empty = every registered rule.
@@ -29,6 +34,14 @@ struct AnalysisOptions {
   // Ceiling on findings kept per rule; overflow collapses into one summary
   // finding so a pathological input cannot produce unbounded output.
   std::size_t max_findings_per_rule = 32;
+
+  // Dataflow engine knobs (analysis/dataflow.h, analysis/domains.h).
+  std::size_t dataflow_max_iterations = 8;
+  std::size_t min_control_fanout = 3;
+
+  // Observation-only (excluded from the options fingerprint): polled by the
+  // dataflow engine and the SCC passes the rules run.
+  exec::Checkpoint checkpoint;
 };
 
 struct AnalysisContext {
@@ -38,7 +51,23 @@ struct AnalysisContext {
   // detect defects dropped during recovery (duplicate drivers) read these;
   // nullptr means "analysis of an in-memory netlist, no parse facts".
   const diag::Diagnostics* parse_diags = nullptr;
+
+  // Precomputed dataflow facts / domain analysis (the Session passes its
+  // ArtifactCache-backed stage results here).  nullptr => rules that need
+  // them compute once per run into the mutable lazy slots below, via
+  // dataflow_facts() / domain_analysis().  Rules stay stateless: all per-run
+  // state lives in this context.
+  const DataflowFacts* dataflow = nullptr;
+  const DomainAnalysis* domains = nullptr;
+  mutable std::shared_ptr<const DataflowFacts> lazy_dataflow;
+  mutable std::shared_ptr<const DomainAnalysis> lazy_domains;
 };
+
+// Shared-fact accessors: the precomputed pointer when present, else a
+// lazily-computed (and context-cached) run of the engine with this context's
+// options.  analyze() runs rules serially, so the lazy fill needs no lock.
+const DataflowFacts& dataflow_facts(const AnalysisContext& context);
+const DomainAnalysis& domain_analysis(const AnalysisContext& context);
 
 class AnalysisRule {
  public:

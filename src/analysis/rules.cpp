@@ -431,6 +431,7 @@ void register_builtin_rules(RuleRegistry& registry) {
   registry.add(std::make_unique<DegenerateGateRule>());
   registry.add(std::make_unique<HighFanoutRule>());
   registry.add(std::make_unique<DffSelfLoopRule>());
+  register_dataflow_rules(registry);
 }
 
 }  // namespace netrev::analysis

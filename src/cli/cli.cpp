@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <filesystem>
@@ -58,6 +59,7 @@ RunConfig config_from(const ParsedFlags& flags) {
   if (flags.max_assign)
     config.wordrec.max_simultaneous_assignments = *flags.max_assign;
   config.wordrec.cross_group_checking = flags.cross_group;
+  config.wordrec.use_dataflow = flags.use_dataflow;
   config.analysis.enabled_rules = flags.rules;
   config.use_baseline = flags.base;
   if (flags.timeout_ms)
@@ -374,9 +376,63 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
 // permissively (lint exists to inspect broken inputs, so parse recovery
 // findings are part of the report); exit 1 when any finding or parse
 // diagnostic reaches the --fail-on threshold (default: error).
+// Renders the builtin rule table for --list-rules: one row per rule in
+// registration order, aligned on the widest id.
+std::string render_rule_table() {
+  const auto& rules = analysis::RuleRegistry::builtin().rules();
+  std::size_t id_width = 0;
+  std::size_t sev_width = 0;
+  for (const auto& rule : rules) {
+    id_width = std::max(id_width, rule->info().id.size());
+    sev_width =
+        std::max(sev_width, diag::severity_name(rule->info().severity).size());
+  }
+  std::string table;
+  for (const auto& rule : rules) {
+    const analysis::RuleInfo& info = rule->info();
+    const std::string_view severity = diag::severity_name(info.severity);
+    table += "  ";
+    table += info.id;
+    table.append(id_width - info.id.size() + 2, ' ');
+    table += severity;
+    table.append(sev_width - severity.size(), ' ');
+    table += "  [";
+    table += analysis::category_name(info.category);
+    table += "]  ";
+    table += info.summary;
+    table += '\n';
+  }
+  return std::to_string(rules.size()) + " rule(s):\n" + table;
+}
+
+// Rejects unknown --rules ids before any design is loaded: a typo in the
+// rule list is a usage error (exit 2), not an analysis failure, and should
+// not depend on whether the design parses.
+void validate_rule_ids(const std::vector<std::string>& ids) {
+  const analysis::RuleRegistry& registry = analysis::RuleRegistry::builtin();
+  for (const std::string& id : ids) {
+    if (registry.find(id) != nullptr) continue;
+    std::string known;
+    for (const auto& rule : registry.rules()) {
+      if (!known.empty()) known += ", ";
+      known += rule->info().id;
+    }
+    throw std::invalid_argument("unknown analysis rule '" + id +
+                                "' (known rules: " + known + ")");
+  }
+}
+
 int cmd_lint(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.list_rules) {
+    if (!flags.positional.empty() || !flags.rules.empty())
+      throw std::invalid_argument(
+          "lint: --list-rules takes no design and no --rules");
+    out << render_rule_table();
+    return exit_code(ExitCode::kOk);
+  }
   if (flags.positional.size() != 1)
     throw std::invalid_argument("lint: expected one design");
+  validate_rule_ids(flags.rules);
   const std::string& spec = flags.positional[0];
   Session& session = *flags.session;
   diag::Diagnostics& diags = *flags.diags;
@@ -627,6 +683,7 @@ int cmd_client(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
   request.options.base = flags.base;
   request.options.permissive = flags.permissive;
   request.options.cross_group = flags.cross_group;
+  request.options.use_dataflow = flags.use_dataflow;
   if (flags.depth) request.options.depth = *flags.depth;
   if (flags.max_assign) request.options.max_assign = *flags.max_assign;
   if (flags.max_errors) request.options.max_errors = *flags.max_errors;

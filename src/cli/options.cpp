@@ -67,6 +67,9 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
     case FlagId::kCrossGroup:
       flags.cross_group = true;
       break;
+    case FlagId::kUseDataflow:
+      flags.use_dataflow = true;
+      break;
     case FlagId::kTrace:
       flags.trace = true;
       break;
@@ -94,6 +97,9 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
       break;
     case FlagId::kFailOn:
       flags.fail_on = parse_fail_on(value);
+      break;
+    case FlagId::kListRules:
+      flags.list_rules = true;
       break;
     case FlagId::kKeepGoing:
       flags.keep_going = true;
@@ -185,6 +191,10 @@ const std::vector<FlagSpec>& flag_table() {
        "machine-readable JSON output", false},
       {FlagId::kCrossGroup, "--cross-group", nullptr, false, nullptr,
        "enable cross-group checking", false},
+      {FlagId::kUseDataflow, "--use-dataflow", nullptr, false, nullptr,
+       "prune provably-constant nets from control-signal candidates via "
+       "ternary dataflow (conservative: only removes proven constants)",
+       false},
       {FlagId::kTrace, "--trace", nullptr, false, nullptr,
        "narrate identification decisions", false},
       {FlagId::kDepth, "--depth", nullptr, true, "N",
@@ -199,6 +209,10 @@ const std::vector<FlagSpec>& flag_table() {
        "comma-separated lint rule ids", false},
       {FlagId::kFailOn, "--fail-on", nullptr, true, "SEV",
        "lint failure threshold: note|warning|error", false},
+      {FlagId::kListRules, "--list-rules", nullptr, false, nullptr,
+       "print the built-in lint rule table (id, severity, category, "
+       "description) and exit",
+       false},
       {FlagId::kKeepGoing, "--keep-going", nullptr, false, nullptr,
        "run every batch entry despite failures", false},
       {FlagId::kResume, "--resume", nullptr, true, "PATH",
@@ -271,44 +285,47 @@ const std::vector<CommandSpec>& command_table() {
       {"reference", "<design>", "golden reference words", {}},
       {"identify", "<design>", "control-signal word identification",
        {FlagId::kBase, FlagId::kJson, FlagId::kTrace, FlagId::kDepth,
-        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kOutput}},
+        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow,
+        FlagId::kOutput}},
       {"reduce", "<design>", "apply control assignments and reduce",
        {FlagId::kAssign, FlagId::kOutput, FlagId::kDepth, FlagId::kMaxAssign}},
       {"evaluate", "<design>", "compare identified words vs reference",
        {FlagId::kBase, FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign,
-        FlagId::kCrossGroup}},
+        FlagId::kCrossGroup, FlagId::kUseDataflow}},
       {"lint", "<design>",
        "static-analysis findings; exit 1 at/above --fail-on (default error); "
        "files always load permissively",
-       {FlagId::kRules, FlagId::kFailOn}},
+       {FlagId::kRules, FlagId::kFailOn, FlagId::kListRules}},
       {"propagate", "<design>", "word propagation",
        {FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup}},
       {"batch", "<spec> ...",
        "run parse/lint/identify/evaluate over many designs (specs: designs, "
        "globs, or manifest files); artifacts are cached across entries",
        {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
-        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kResume,
-        FlagId::kRetries, FlagId::kOutput, FlagId::kCompactJournal}},
+        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow,
+        FlagId::kResume, FlagId::kRetries, FlagId::kOutput,
+        FlagId::kCompactJournal}},
       {"serve", "",
        "long-lived analysis daemon: newline-delimited JSON requests over TCP "
        "or a Unix socket, bounded admission queue, graceful drain on "
        "SIGTERM/SIGINT (exit 6 drained, 7 drain timeout)",
        {FlagId::kListen, FlagId::kSocket, FlagId::kMaxQueue,
         FlagId::kMaxInflight, FlagId::kIdleTimeout, FlagId::kDrainTimeout,
-        FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign,
-        FlagId::kCrossGroup}},
+        FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
+        FlagId::kUseDataflow}},
       {"client", "<op> [design ...]",
        "send one request (ping|stats|load|lint|identify|evaluate|batch) to a "
        "running netrev serve and print the JSON result",
        {FlagId::kConnect, FlagId::kSocket, FlagId::kRequestId, FlagId::kBase,
-        FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup}},
+        FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
+        FlagId::kUseDataflow}},
       {"generate", "<bXXs>", "emit family benchmark", {FlagId::kOutput}},
       {"scan", "<design>", "insert scan chain", {FlagId::kOutput}},
       {"dot", "<design>", "GraphViz with identified words highlighted",
        {FlagId::kDepth, FlagId::kOutput}},
       {"table", "[bXXs ...]", "Table 1 rows",
-       {FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign,
-        FlagId::kCrossGroup}},
+       {FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
+        FlagId::kUseDataflow}},
   };
   return table;
 }

@@ -27,6 +27,7 @@ enum class FlagId {
   kBase,
   kJson,
   kCrossGroup,
+  kUseDataflow,
   kTrace,
   kDepth,
   kMaxAssign,
@@ -34,6 +35,7 @@ enum class FlagId {
   kAssign,
   kRules,
   kFailOn,
+  kListRules,
   kKeepGoing,
   kResume,
   kRetries,
@@ -88,6 +90,7 @@ struct ParsedFlags {
   bool base = false;
   bool json = false;
   bool cross_group = false;
+  bool use_dataflow = false;  // --use-dataflow: constant-net pruning
   bool trace = false;
   bool permissive = false;
   bool diag_json = false;
@@ -118,6 +121,7 @@ struct ParsedFlags {
   std::vector<std::pair<std::string, bool>> assignments;
   std::vector<std::string> rules;         // lint --rules a,b,c
   std::optional<diag::Severity> fail_on;  // lint --fail-on=...
+  bool list_rules = false;                // lint --list-rules
   // Non-owning; set by run_cli before dispatch.
   diag::Diagnostics* diags = nullptr;
   Session* session = nullptr;

@@ -88,4 +88,54 @@ std::string render_table(const std::vector<std::string>& header,
   return out;
 }
 
+namespace {
+
+bool all_digits(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace
+
+std::optional<IndexedName> parse_indexed_name(std::string_view name) {
+  // COUNT_REG[5]
+  if (!name.empty() && name.back() == ']') {
+    const std::size_t open = name.rfind('[');
+    if (open != std::string_view::npos) {
+      const std::string_view digits =
+          name.substr(open + 1, name.size() - open - 2);
+      if (all_digits(digits) && open > 0)
+        return IndexedName{
+            std::string(name.substr(0, open)),
+            static_cast<std::size_t>(std::stoul(std::string(digits)))};
+    }
+    return std::nullopt;
+  }
+  // COUNT_REG_5_
+  if (!name.empty() && name.back() == '_') {
+    const std::string_view body = name.substr(0, name.size() - 1);
+    const std::size_t underscore = body.rfind('_');
+    if (underscore != std::string_view::npos) {
+      const std::string_view digits = body.substr(underscore + 1);
+      if (all_digits(digits) && underscore > 0)
+        return IndexedName{
+            std::string(body.substr(0, underscore)),
+            static_cast<std::size_t>(std::stoul(std::string(digits)))};
+    }
+    return std::nullopt;
+  }
+  // COUNT_REG_5
+  const std::size_t underscore = name.rfind('_');
+  if (underscore != std::string_view::npos && underscore > 0) {
+    const std::string_view digits = name.substr(underscore + 1);
+    if (all_digits(digits))
+      return IndexedName{
+          std::string(name.substr(0, underscore)),
+          static_cast<std::size_t>(std::stoul(std::string(digits)))};
+  }
+  return std::nullopt;
+}
+
 }  // namespace netrev

@@ -1,6 +1,7 @@
 // Small text-formatting helpers shared by the table writers and reports.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,5 +31,19 @@ bool starts_with(std::string_view text, std::string_view prefix);
 // columns as `header`.
 std::string render_table(const std::vector<std::string>& header,
                          const std::vector<std::vector<std::string>>& rows);
+
+// A bus-bit style name split into its base and index.  Recognised shapes
+// (all produced by common netlist writers; see docs/ANALYSIS.md):
+//   COUNT_REG_5_   (Synopsys flattened bus bit)
+//   COUNT_REG[5]   (bracketed bus bit)
+//   COUNT_REG_5    (plain trailing index)
+struct IndexedName {
+  std::string base;
+  std::size_t index = 0;
+};
+
+// Parses one indexed name; nullopt when no index pattern matches (e.g. a
+// scalar name like "stato_reg").
+std::optional<IndexedName> parse_indexed_name(std::string_view name);
 
 }  // namespace netrev

@@ -59,6 +59,10 @@ std::uint64_t fingerprint(const wordrec::Options& options) {
   hash = hash_u64(options.max_control_signals_per_subgroup, hash);
   hash = hash_u64(options.max_assignment_trials_per_subgroup, hash);
   hash = hash_u64(options.max_cone_work, hash);
+  hash = hash_bool(options.use_dataflow, hash);
+  // options.constant_nets is derived purely from the netlist (already part
+  // of every artifact key via the design identity), so the mask pointer is
+  // excluded; use_dataflow above is what changes the output.
   // options.trace, options.cone_budget, and options.checkpoint are
   // observation-only and excluded (a deadline changes when a run stops, not
   // what a completed run computes).
@@ -74,6 +78,9 @@ std::uint64_t fingerprint(const analysis::AnalysisOptions& options) {
                   hash);
   hash = hash_u64(options.min_flagged_fanout, hash);
   hash = hash_u64(options.max_findings_per_rule, hash);
+  hash = hash_u64(options.dataflow_max_iterations, hash);
+  hash = hash_u64(options.min_control_fanout, hash);
+  // options.checkpoint is observation-only and excluded.
   return hash;
 }
 

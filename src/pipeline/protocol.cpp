@@ -325,9 +325,9 @@ bool read_options(const JsonValue& object, RequestOptions& out,
     error = "\"options\" must be an object";
     return false;
   }
-  static const char* known[] = {"base",       "permissive", "cross_group",
-                                "depth",      "max_assign", "max_errors",
-                                "timeout_ms", "degrade"};
+  static const char* known[] = {"base",        "permissive", "cross_group",
+                                "use_dataflow", "depth",     "max_assign",
+                                "max_errors",  "timeout_ms", "degrade"};
   for (const auto& [key, value] : options->object) {
     (void)value;
     bool recognized = false;
@@ -341,6 +341,8 @@ bool read_options(const JsonValue& object, RequestOptions& out,
   if (!read_bool(*options, "base", out.base, error)) return false;
   if (!read_bool(*options, "permissive", out.permissive, error)) return false;
   if (!read_bool(*options, "cross_group", out.cross_group, error))
+    return false;
+  if (!read_bool(*options, "use_dataflow", out.use_dataflow, error))
     return false;
   if (!read_count(*options, "depth", out.depth, error)) return false;
   if (!read_count(*options, "max_assign", out.max_assign, error)) return false;
@@ -487,6 +489,9 @@ std::string render_request(const Request& request) {
     add(std::string("\"permissive\":") + (*o.permissive ? "true" : "false"));
   if (o.cross_group)
     add(std::string("\"cross_group\":") + (*o.cross_group ? "true" : "false"));
+  if (o.use_dataflow)
+    add(std::string("\"use_dataflow\":") +
+        (*o.use_dataflow ? "true" : "false"));
   if (o.depth) add("\"depth\":" + std::to_string(*o.depth));
   if (o.max_assign) add("\"max_assign\":" + std::to_string(*o.max_assign));
   if (o.max_errors) add("\"max_errors\":" + std::to_string(*o.max_errors));
@@ -582,6 +587,8 @@ RunConfig Executor::config_for(const RequestOptions& options) const {
   if (options.permissive) config.parse.permissive = *options.permissive;
   if (options.cross_group)
     config.wordrec.cross_group_checking = *options.cross_group;
+  if (options.use_dataflow)
+    config.wordrec.use_dataflow = *options.use_dataflow;
   if (options.depth) config.wordrec.cone_depth = *options.depth;
   if (options.max_assign)
     config.wordrec.max_simultaneous_assignments = *options.max_assign;

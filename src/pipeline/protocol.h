@@ -65,6 +65,7 @@ struct RequestOptions {
   std::optional<bool> base;
   std::optional<bool> permissive;
   std::optional<bool> cross_group;
+  std::optional<bool> use_dataflow;
   std::optional<std::size_t> depth;
   std::optional<std::size_t> max_assign;
   std::optional<std::size_t> max_errors;

@@ -1,11 +1,13 @@
 #include "pipeline/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "eval/report.h"
 #include "itc/family.h"
 #include "netlist/repair.h"
@@ -77,6 +79,11 @@ exec::Checkpoint Session::stage_checkpoint() const {
       exec_cfg.cancel,
       exec::Deadline::sooner(run_deadline_,
                              exec::Deadline::after(exec_cfg.stage_timeout)));
+}
+
+exec::Checkpoint Session::analysis_checkpoint() const {
+  if (!config_.exec.cancellable) return {};
+  return exec::Checkpoint(config_.exec.cancel, exec::Deadline());
 }
 
 LoadedDesign Session::design_from(const std::string& spec,
@@ -238,10 +245,39 @@ Session::Parsed Session::parse_netlist(const std::string& spec,
   return result;
 }
 
+std::shared_ptr<const analysis::DataflowFacts> Session::dataflow(
+    const LoadedDesign& design) {
+  // Only dataflow_max_iterations keys the stage: the checkpoint is
+  // observation-only, and the netlist is keyed by the design identity.
+  pipeline::ArtifactKey key{
+      "dataflow", design.identity,
+      pipeline::mix(pipeline::fnv1a64("dataflow-options"),
+                    config_.analysis.dataflow_max_iterations)};
+  // Opened outside the cache lookup so the profile tree has the same shape
+  // on hits and misses (run_dataflow's stage.dataflow_ns counter still only
+  // accrues on misses, which is the honest cost).
+  perf::Stage stage("dataflow");
+  return cache_->get_or_compute<analysis::DataflowFacts>(key, [&] {
+    analysis::DataflowOptions options;
+    options.max_iterations = config_.analysis.dataflow_max_iterations;
+    options.checkpoint = analysis_checkpoint();
+    return std::make_shared<analysis::DataflowFacts>(
+        analysis::run_dataflow(design.nl(), options));
+  });
+}
+
 std::shared_ptr<const wordrec::IdentifyResult> Session::identify(
     const LoadedDesign& design) {
   wordrec::Options options = config_.wordrec;
   options.checkpoint = stage_checkpoint();
+  // The session resolves the dataflow mask from its cached stage so repeated
+  // identifies (and a lint on the same design) share one engine run.  The
+  // mask must outlive the identify_words call below.
+  std::vector<std::uint8_t> constant_mask;
+  if (options.use_dataflow && options.constant_nets == nullptr) {
+    constant_mask = dataflow(design)->constant_mask();
+    options.constant_nets = &constant_mask;
+  }
   if (options.trace != nullptr) {
     // Traced runs narrate the actual execution; never serve or store them,
     // and never degrade them (a trace documents the full technique's run —
@@ -315,8 +351,23 @@ std::shared_ptr<const analysis::AnalysisResult> Session::analyze(
     options = pipeline::mix(options, pipeline::fingerprint(*parse_diags));
   pipeline::ArtifactKey key{"analyze", design.identity, options};
   return cache_->get_or_compute<analysis::AnalysisResult>(key, [&] {
+    analysis::AnalysisOptions analysis_options = config_.analysis;
+    analysis_options.checkpoint = analysis_checkpoint();
+    // Hand the dataflow rules the session's cached facts so a lint sharing
+    // a cache with an identify run (or an earlier lint) computes the engine
+    // once — but only when a selected rule would consume them.
+    std::shared_ptr<const analysis::DataflowFacts> facts;
+    const auto& enabled = analysis_options.enabled_rules;
+    const bool wants_dataflow =
+        enabled.empty() ||
+        std::any_of(enabled.begin(), enabled.end(), [](const std::string& id) {
+          return id == "const-net" || id == "stuck-ff" ||
+                 id == "redundant-mux";
+        });
+    if (wants_dataflow) facts = dataflow(design);
     return std::make_shared<analysis::AnalysisResult>(
-        analysis::analyze(design.nl(), config_.analysis, parse_diags));
+        analysis::analyze(design.nl(), analysis_options, parse_diags,
+                          analysis::RuleRegistry::builtin(), facts.get()));
   });
 }
 

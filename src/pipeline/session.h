@@ -116,6 +116,14 @@ class Session {
   std::shared_ptr<const eval::ReferenceExtraction> reference(
       const LoadedDesign& design);
 
+  // Ternary dataflow facts (analysis::run_dataflow under
+  // config().analysis.dataflow_max_iterations).  Cached per design identity;
+  // identify() consumes the constant mask when config().wordrec.use_dataflow
+  // is set, and analyze() hands the same facts to the dataflow rules so one
+  // lint + identify run computes them once.
+  std::shared_ptr<const analysis::DataflowFacts> dataflow(
+      const LoadedDesign& design);
+
   // Static-analysis findings (config().analysis).  `parse_diags` optionally
   // carries parse-time recovery facts (see analysis::AnalysisContext).
   std::shared_ptr<const analysis::AnalysisResult> analyze(
@@ -136,6 +144,13 @@ class Session {
   // Unarmed — a single-branch no-op poll — unless a timeout is configured or
   // config().exec.cancellable is set.
   exec::Checkpoint stage_checkpoint() const;
+
+  // The poll point for the static-analysis stages (dataflow facts, domain
+  // grouping, the lint rules).  Cancellation-only: lint has no degradation
+  // ladder, so a deadline trip here would turn a slow wall clock into a hard
+  // stage failure and make lint output time-dependent.  Deadlines stay with
+  // the stages that can degrade (identify).
+  exec::Checkpoint analysis_checkpoint() const;
 
  private:
   struct ParsedArtifact;  // netlist + parse diagnostics

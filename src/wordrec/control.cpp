@@ -33,6 +33,18 @@ std::vector<NetId> find_relevant_control_signals(
                                               options.cone_budget))
       ++containment[net];
 
+  // Dataflow pruning (--use-dataflow): a provably-constant net can never be
+  // toggled, so it cannot remove a dissimilar subtree.  Pruned nets are
+  // dropped from the *candidate* side but still serve as dominators below,
+  // so the surviving list is exactly the default list minus provably-
+  // constant nets — the conservative guarantee the knob promises.
+  const std::vector<std::uint8_t>* constant_nets =
+      options.use_dataflow ? options.constant_nets : nullptr;
+  const auto is_pruned = [&](NetId net) {
+    return constant_nets != nullptr && net.value() < constant_nets->size() &&
+           (*constant_nets)[net.value()] != 0;
+  };
+
   std::vector<NetId> common;
   for (const auto& [net, count] : containment) {
     if (count != dissimilar_roots.size()) continue;
@@ -60,6 +72,12 @@ std::vector<NetId> find_relevant_control_signals(
   // pool, with verdicts written to per-index slots and collected in order.
   std::vector<std::uint8_t> dominated(common.size(), 0);
   parallel_for(0, common.size(), [&](std::size_t i) {
+    // A pruned candidate needs no dominance cone walks: it is dropped
+    // regardless of the verdict (but stays in the j loop as a dominator).
+    if (is_pruned(common[i])) {
+      dominated[i] = 1;
+      return;
+    }
     for (std::size_t j = 0; j < common.size(); ++j) {
       if (i == j) continue;
       if (netlist::in_fanin_cone(nl, common[j], common[i],

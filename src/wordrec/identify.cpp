@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "common/thread_pool.h"
 #include "netlist/cone.h"
 #include "perf/profile.h"
@@ -338,6 +339,19 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
     // budgets are left untouched (the caller owns their wiring).
     local_budget.set_checkpoint(&options.checkpoint);
     options.cone_budget = &local_budget;
+  }
+
+  // --use-dataflow without Session wiring: run the ternary engine here so
+  // library callers and the trace path get the same pruning.  The Session
+  // passes its ArtifactCache-backed mask instead, skipping this.
+  std::vector<std::uint8_t> local_constant_mask;
+  if (options.use_dataflow && options.constant_nets == nullptr) {
+    perf::Stage dataflow_stage("dataflow");
+    analysis::DataflowOptions dataflow_options;
+    dataflow_options.checkpoint = options.checkpoint;
+    local_constant_mask = analysis::run_dataflow(nl, dataflow_options)
+                              .constant_mask();
+    options.constant_nets = &local_constant_mask;
   }
 
   const ConeHasher hasher(nl, options);

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/resource_guard.h"
 #include "exec/cancel.h"
@@ -70,6 +72,22 @@ struct Options {
   // excluded from the options fingerprint; degradation outcomes are keyed
   // separately (see RunConfig::exec_fingerprint).
   exec::Checkpoint checkpoint;
+
+  // Opt-in dataflow pruning (--use-dataflow): drop provably-constant nets
+  // from candidate control signals (a constant can never be toggled, so it
+  // can never separate dissimilar subtrees).  Guaranteed conservative: the
+  // pruned candidate list is exactly the default list minus nets the
+  // ternary engine proves constant, so with the knob off — or on a design
+  // with no derived constants — output is byte-identical to the default.
+  bool use_dataflow = false;
+
+  // Optional, non-owning: per-net "provably constant at every cycle" mask,
+  // indexed by NetId (analysis::DataflowFacts::constant_mask()).  Set by the
+  // Session from its cached dataflow stage; identify_words() computes it
+  // on demand when use_dataflow is set and this is null.  Derived purely
+  // from the netlist, so it is not part of the options fingerprint
+  // (use_dataflow is).
+  const std::vector<std::uint8_t>* constant_nets = nullptr;
 };
 
 }  // namespace netrev::wordrec

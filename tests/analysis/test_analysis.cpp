@@ -47,9 +47,10 @@ std::vector<std::string> rules_hit(const AnalysisResult& result) {
 TEST(Analyze, CleanNetlistHasNoFindings) {
   const AnalysisResult result = analyze(clean());
   EXPECT_TRUE(result.findings.empty()) << result.summary();
-  EXPECT_EQ(result.rules_run, 8u);
-  EXPECT_EQ(result.summary(),
-            "0 finding(s): 0 error(s), 0 warning(s), 0 note(s); 8 rule(s) run");
+  EXPECT_EQ(result.rules_run, 12u);
+  EXPECT_EQ(
+      result.summary(),
+      "0 finding(s): 0 error(s), 0 warning(s), 0 note(s); 12 rule(s) run");
 }
 
 TEST(Analyze, UnknownRuleIdThrowsListingKnownRules) {
@@ -381,10 +382,12 @@ TEST(Analyze, MultipleDefectsHitMultipleRules) {
   EXPECT_TRUE(result.has_finding_at_least(diag::Severity::kError));
 }
 
-TEST(Registry, BuiltinHasEightRulesAndFindsById) {
+TEST(Registry, BuiltinHasTwelveRulesAndFindsById) {
   const RuleRegistry& registry = RuleRegistry::builtin();
-  EXPECT_EQ(registry.rules().size(), 8u);
+  EXPECT_EQ(registry.rules().size(), 12u);
   ASSERT_NE(registry.find("comb-cycle"), nullptr);
+  ASSERT_NE(registry.find("const-net"), nullptr);
+  ASSERT_NE(registry.find("mixed-domain-word"), nullptr);
   EXPECT_EQ(registry.find("comb-cycle")->info().severity,
             diag::Severity::kError);
   EXPECT_EQ(registry.find("nope"), nullptr);

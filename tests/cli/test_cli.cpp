@@ -430,6 +430,55 @@ TEST(Cli, LintBadFailOnValueIsAnError) {
   EXPECT_NE(r.err.find("--fail-on expects"), std::string::npos);
 }
 
+TEST(Cli, LintUnknownRuleErrorListsTheKnownIds) {
+  const CliRun r = run({"lint", "b03s", "--rules", "const-net,typo-rule"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown analysis rule 'typo-rule'"),
+            std::string::npos);
+  EXPECT_NE(r.err.find("known rules:"), std::string::npos);
+  EXPECT_NE(r.err.find("mixed-domain-word"), std::string::npos);
+}
+
+TEST(Cli, LintListRulesPrintsTheRegistry) {
+  const CliRun r = run({"lint", "--list-rules"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("12 rule(s)"), std::string::npos) << r.out;
+  for (const char* id : {"comb-cycle", "const-net", "stuck-ff",
+                         "redundant-mux", "mixed-domain-word"})
+    EXPECT_NE(r.out.find(id), std::string::npos) << id;
+  EXPECT_NE(r.out.find("warning"), std::string::npos);
+  EXPECT_NE(r.out.find("error"), std::string::npos);
+}
+
+TEST(Cli, LintListRulesRejectsADesignArgument) {
+  const CliRun r = run({"lint", "b03s", "--list-rules"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("--list-rules"), std::string::npos);
+}
+
+TEST(Cli, LintDataflowRulesRunCleanOnFamilies) {
+  const CliRun r = run({"lint", "b03s", "--rules",
+                        "const-net,stuck-ff,redundant-mux,mixed-domain-word",
+                        "--fail-on=warning"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("0 finding(s)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("4 rule(s) run"), std::string::npos) << r.out;
+}
+
+TEST(Cli, IdentifyUseDataflowMatchesDefaultOutput) {
+  const CliRun plain = run({"identify", "b04s", "--json"});
+  const CliRun pruned = run({"identify", "b04s", "--json", "--use-dataflow"});
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(pruned.exit_code, 0);
+  EXPECT_EQ(plain.out, pruned.out);  // no derived constants in the family
+}
+
+TEST(Cli, UseDataflowIsRejectedWhereItHasNoMeaning) {
+  const CliRun r = run({"stats", "b03s", "--use-dataflow"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("not valid"), std::string::npos);
+}
+
 TEST(Cli, LintDiagJsonCarriesFindings) {
   const std::string path = write_file("cycle2.bench",
                                       "INPUT(a)\n"

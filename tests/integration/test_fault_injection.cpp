@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
+#include "analysis/domains.h"
 #include "common/diagnostics.h"
 #include "common/resource_guard.h"
 #include "exec/cancel.h"
@@ -195,6 +197,63 @@ TEST(FaultInjection, LintFlagsEveryNetlistRepairHadToTouch) {
   }
   // The sweep must actually exercise the contract.
   EXPECT_GE(repaired_cases, 50u);
+}
+
+TEST(FaultInjection, DataflowAndDomainsSurviveSeededCorruptions) {
+  // Robustness contract for the new analysis layers: every seeded mutation,
+  // taken through the same permissive front end lint uses (parse -> repair ->
+  // cycle break), must flow through the ternary dataflow engine, the domain
+  // inference, and the full 12-rule analyze() without a crash, hang, or
+  // uncaught exception.  Output quality is not asserted — termination and
+  // bounded findings are.
+  std::size_t mutations = 0;
+  for (const char* benchmark : kBenchmarks) {
+    const Netlist golden = itc::build_benchmark(benchmark).netlist;
+    for (const Format format : {Format::kBench, Format::kVerilog}) {
+      const std::string source = source_for(golden, format);
+      for (const CorruptionKind kind : kAllCorruptionKinds) {
+        for (std::uint64_t seed = 0; seed < kSeedsPerCase; ++seed) {
+          const std::string label =
+              std::string(benchmark) +
+              (format == Format::kBench ? ".bench" : ".v") + ":" +
+              testing::corruption_name(kind) + ":" + std::to_string(seed);
+          SCOPED_TRACE(label);
+
+          diag::Diagnostics diags;
+          parser::ParseOptions options;
+          options.permissive = true;
+          options.filename = label;
+          const std::string corrupted = testing::corrupt(source, kind, seed);
+          const Netlist parsed =
+              format == Format::kBench
+                  ? parser::parse_bench(corrupted, options, diags)
+                  : parser::parse_verilog(corrupted, options, diags);
+          netlist::RepairResult repaired = netlist::repair(parsed, diags);
+          analysis::CycleBreakResult decycled =
+              analysis::break_combinational_cycles(repaired.netlist, diags);
+          if (decycled.cycles_broken > 0)
+            repaired.netlist = std::move(decycled.netlist);
+          ++mutations;
+
+          EXPECT_NO_THROW({
+            const analysis::DataflowFacts facts =
+                analysis::run_dataflow(repaired.netlist);
+            ASSERT_EQ(facts.always.size(), repaired.netlist.net_count());
+            const analysis::DomainAnalysis domains =
+                analysis::analyze_domains(repaired.netlist);
+            std::size_t grouped = 0;
+            for (const analysis::DomainGroup& group : domains.groups)
+              grouped += group.flops.size();
+            EXPECT_EQ(grouped, domains.flops.size());
+            const analysis::AnalysisResult lint =
+                analysis::analyze(repaired.netlist, {}, &diags);
+            EXPECT_EQ(lint.rules_run, 12u);
+          });
+        }
+      }
+    }
+  }
+  EXPECT_GE(mutations, 300u);
 }
 
 TEST(FaultInjection, CorruptionIsDeterministic) {

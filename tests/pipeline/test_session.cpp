@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/dataflow.h"
 #include "itc/family.h"
+#include "perf/profile.h"
 #include "pipeline/fingerprint.h"
 #include "wordrec/trace.h"
 
@@ -189,6 +191,60 @@ TEST(Session, ParseNetlistForLintSkipsRepair) {
   ASSERT_TRUE(parsed.design.valid());
   ASSERT_NE(parsed.parse_diags, nullptr);
   EXPECT_GT(parsed.parse_diags->error_count(), 0u);
+}
+
+TEST(Session, DataflowStageIsCachedByDesignIdentity) {
+  pipeline::ArtifactCache cache;
+  Session session({}, &cache);
+  const LoadedDesign design = session.load_netlist("b03s");
+  const auto first = session.dataflow(design);
+  const auto second = session.dataflow(design);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_GT(cache.hits(), 0u);
+  ASSERT_EQ(first->always.size(), design.nl().net_count());
+
+  // Changing the engine's iteration bound changes the key.
+  session.config().analysis.dataflow_max_iterations = 3;
+  EXPECT_NE(session.dataflow(design).get(), first.get());
+  session.config().analysis.dataflow_max_iterations = 8;
+  EXPECT_EQ(session.dataflow(design).get(), first.get());
+}
+
+TEST(Session, DataflowStageReportsProfileWork) {
+  Session session;
+  const LoadedDesign design = session.load_netlist("b03s");
+  perf::Profiler::global().enable();  // resets all counters
+  (void)session.dataflow(design);
+  const std::uint64_t work =
+      perf::Profiler::global().counter_value("stage.dataflow_ns");
+  const std::string tree = perf::Profiler::global().render_text();
+  perf::Profiler::global().disable();
+  EXPECT_GT(work, 0u);
+  EXPECT_NE(tree.find("dataflow"), std::string::npos);
+}
+
+TEST(Session, IdentifyWithDataflowMatchesDefaultOnFamilies) {
+  // b03s has no derived constants, so the pruning knob must not move the
+  // JSON a byte (the knob's conservative guarantee, end to end).
+  Session session;
+  const LoadedDesign design = session.load_netlist("b03s");
+  const std::string plain = session.identify_json(design);
+  session.config().wordrec.use_dataflow = true;
+  const std::string pruned = session.identify_json(design);
+  EXPECT_EQ(plain, pruned);
+}
+
+TEST(Session, AnalyzeSharesTheCachedDataflowStage) {
+  pipeline::ArtifactCache cache;
+  Session session({}, &cache);
+  const LoadedDesign design = session.load_netlist("b03s");
+  (void)session.dataflow(design);
+  const std::uint64_t misses = cache.misses();
+  const auto result = session.analyze(design);
+  EXPECT_EQ(result->rules_run, 12u);
+  // analyze() added its own artifact miss but reused the dataflow facts
+  // instead of recomputing/rekeying them.
+  EXPECT_EQ(cache.misses(), misses + 1);
 }
 
 TEST(Session, TimedRunsComeBackFromTheCache) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "analysis/dataflow.h"
+
 namespace netrev::wordrec {
 namespace {
 
@@ -157,6 +159,85 @@ TEST(ControlSignals, SubgroupOverloadUnionsPerBitRoots) {
   const auto signals = find_relevant_control_signals(f.nl, sg, f.options);
   ASSERT_EQ(signals.size(), 1u);
   EXPECT_EQ(signals[0], f.ctrl);
+}
+
+// Two dissimilar subtrees whose common cone contains a live control `ctrl`,
+// a *derived* constant k = AND(a, 0) (the ternary engine proves it 0), and
+// k's fanin `a`.  Default candidates: {ctrl, k} — a is dominated by k.
+struct DerivedConstantFixture : Builder {
+  NetId a, k, ctrl, r0, r1;
+
+  DerivedConstantFixture() {
+    a = pi("a");
+    ctrl = pi("ctrl");
+    const NetId c0 = gate(GateType::kConst0, "c0", {});
+    k = gate(GateType::kAnd, "k", {a, c0});
+    r0 = gate(GateType::kNand, "r0", {ctrl, k, pi("z0")});
+    r1 = gate(GateType::kNand, "r1", {ctrl, k, pi("z1")});
+  }
+
+  std::vector<NetId> signals(const Options& opts) const {
+    const NetId roots[] = {r0, r1};
+    return find_relevant_control_signals(nl, roots, opts);
+  }
+};
+
+TEST(ControlSignals, DataflowPruningRemovesExactlyTheProvenConstants) {
+  DerivedConstantFixture f;
+  const std::vector<NetId> fallback = f.signals(f.options);
+  EXPECT_TRUE(contains(fallback, f.ctrl));
+  EXPECT_TRUE(contains(fallback, f.k));
+
+  const auto mask = analysis::run_dataflow(f.nl).constant_mask();
+  Options pruning = f.options;
+  pruning.use_dataflow = true;
+  pruning.constant_nets = &mask;
+  const std::vector<NetId> pruned = f.signals(pruning);
+
+  // The knob's contract: pruned == default minus provably-constant nets,
+  // nothing more and nothing less.
+  std::vector<NetId> expected;
+  for (NetId net : fallback)
+    if (mask[net.value()] == 0) expected.push_back(net);
+  EXPECT_EQ(pruned, expected);
+  EXPECT_TRUE(contains(pruned, f.ctrl));
+  EXPECT_FALSE(contains(pruned, f.k));
+}
+
+TEST(ControlSignals, PrunedConstantStillDominatesItsCone) {
+  // If pruning dropped k before the dominance filter, k's fanin `a` would
+  // surface as a brand-new candidate — which would violate the "only
+  // removes" guarantee.  k must keep its dominator role.
+  DerivedConstantFixture f;
+  const auto mask = analysis::run_dataflow(f.nl).constant_mask();
+  Options pruning = f.options;
+  pruning.use_dataflow = true;
+  pruning.constant_nets = &mask;
+  const std::vector<NetId> pruned = f.signals(pruning);
+  EXPECT_FALSE(contains(pruned, f.a));
+}
+
+TEST(ControlSignals, DataflowFlagWithoutMaskIsANoop) {
+  DerivedConstantFixture f;
+  const std::vector<NetId> fallback = f.signals(f.options);
+
+  Options flag_only = f.options;
+  flag_only.use_dataflow = true;  // mask left null
+  EXPECT_EQ(f.signals(flag_only), fallback);
+
+  const auto mask = analysis::run_dataflow(f.nl).constant_mask();
+  Options mask_only = f.options;
+  mask_only.constant_nets = &mask;  // flag left off
+  EXPECT_EQ(f.signals(mask_only), fallback);
+}
+
+TEST(ControlSignals, AllZeroMaskPrunesNothing) {
+  DerivedConstantFixture f;
+  const std::vector<std::uint8_t> zeros(f.nl.net_count(), 0);
+  Options pruning = f.options;
+  pruning.use_dataflow = true;
+  pruning.constant_nets = &zeros;
+  EXPECT_EQ(f.signals(pruning), f.signals(f.options));
 }
 
 TEST(ControlSignals, DeterministicOrder) {

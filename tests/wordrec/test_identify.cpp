@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "itc/family.h"
 #include "wordrec/baseline.h"
 
 namespace netrev::wordrec {
@@ -292,6 +293,27 @@ TEST(Identify, BrokenCycleRunsToCompletion) {
       analysis::break_combinational_cycles(nl, diags);
   EXPECT_EQ(fixed.cycles_broken, 1u);
   EXPECT_NO_THROW(identify_words(fixed.netlist));
+}
+
+TEST(Identify, DataflowPruningLeavesBenchmarkResultsUnchanged) {
+  // The synthetic benchmarks contain no derived constants, so --use-dataflow
+  // must not change anything: same words, same control signals, same stats.
+  // (identify_words computes the constant mask on demand here, exercising
+  // the standalone path the Session's cached stage bypasses.)
+  const Netlist nl = itc::build_benchmark("b03s").netlist;
+  const IdentifyResult base = identify_words(nl);
+  Options pruning;
+  pruning.use_dataflow = true;
+  const IdentifyResult pruned = identify_words(nl, pruning);
+
+  ASSERT_EQ(base.words.words.size(), pruned.words.words.size());
+  for (std::size_t i = 0; i < base.words.words.size(); ++i)
+    EXPECT_EQ(base.words.words[i].bits, pruned.words.words[i].bits);
+  EXPECT_EQ(base.used_control_signals, pruned.used_control_signals);
+  EXPECT_EQ(base.stats.control_signal_candidates,
+            pruned.stats.control_signal_candidates);
+  EXPECT_EQ(base.stats.reduction_trials, pruned.stats.reduction_trials);
+  EXPECT_EQ(base.stats.unified_subgroups, pruned.stats.unified_subgroups);
 }
 
 }  // namespace
