@@ -6,8 +6,11 @@
 //     paper's "a few minutes for >100K gates" claim, Table 1 Time column).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/thread_pool.h"
 #include "eval/runner.h"
+#include "netlist/compact.h"
 #include "sim/simulator.h"
 #include "itc/family.h"
 #include "wordrec/baseline.h"
@@ -37,6 +40,29 @@ const itc::GeneratedBenchmark& benchmark_at(std::size_t index) {
     return all;
   }();
   return cache[index % cache.size()];
+}
+
+// The giant scaling family (b19s ~262K gates .. b21s ~2M), built lazily and
+// one at a time — materializing all three up front would hold several
+// million pointer-heavy gates in memory for benchmarks that touch one.
+const itc::GeneratedBenchmark& giant_at(std::size_t index) {
+  static const std::vector<std::string> names = {"b19s", "b20s", "b21s"};
+  static std::vector<std::unique_ptr<itc::GeneratedBenchmark>> cache(
+      names.size());
+  const std::size_t i = index % names.size();
+  if (!cache[i])
+    cache[i] = std::make_unique<itc::GeneratedBenchmark>(
+        itc::build_benchmark(names[i]));
+  return *cache[i];
+}
+
+// All reference-word bit nets of a benchmark, the probe set funcheck reads.
+std::vector<netlist::NetId> all_word_probes(
+    const itc::GeneratedBenchmark& bench) {
+  std::vector<netlist::NetId> probes;
+  for (const auto& [root, bits] : bench.word_bits)
+    probes.insert(probes.end(), bits.begin(), bits.end());
+  return probes;
 }
 
 void BM_Grouping(benchmark::State& state) {
@@ -153,6 +179,121 @@ BENCHMARK(BM_SampleVectorsJobs)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// --- data-oriented core (BENCH_core.json) ---------------------------------
+//
+// The before/after pair for 64-way bit-parallel random simulation: the
+// scalar oracle evaluates one vector per pass over the levelized order; the
+// packed engine evaluates 64 vectors per pass, one uint64_t lane word per
+// net.  Both produce byte-identical samples (tests/sim/test_packed.cpp), so
+// the ratio is pure throughput.
+void BM_SampleScalar(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  const auto probes = all_word_probes(bench);
+  for (auto _ : state) {
+    auto samples = sim::sample_random_vectors_scalar(bench.netlist, probes,
+                                                     /*vector_count=*/512,
+                                                     0x5EED);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+  state.counters["vectors_per_s"] = benchmark::Counter(
+      512, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SampleScalar)->DenseRange(0, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_SamplePacked(benchmark::State& state) {
+  const auto& bench = benchmark_at(static_cast<std::size_t>(state.range(0)));
+  const auto probes = all_word_probes(bench);
+  const auto view = netlist::CompactView::build(bench.netlist);
+  for (auto _ : state) {
+    auto samples = sim::sample_random_vectors(view, probes,
+                                              /*vector_count=*/512, 0x5EED);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+  state.counters["vectors_per_s"] = benchmark::Counter(
+      512, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SamplePacked)->DenseRange(0, 10, 2)->Unit(benchmark::kMillisecond);
+
+// CompactView construction cost across the full size sweep, giants included:
+// the one-time price of entering the data-oriented core (the Session caches
+// it per design identity, so a process pays it once per design).
+void BM_CompactBuild(benchmark::State& state) {
+  const auto& bench = giant_at(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto view = netlist::CompactView::build(bench.netlist);
+    bytes = view.memory_bytes();
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+  state.counters["view_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_gate"] =
+      static_cast<double>(bytes) / bench.netlist.gate_count();
+}
+BENCHMARK(BM_CompactBuild)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// The million-gate identify sweep (compact core vs the legacy pointer core)
+// on the giant family.  Run with --benchmark_filter=Giant; b21s holds ~2M
+// gates, so expect minutes per row on a laptop-class host.
+void BM_GiantIdentify(benchmark::State& state) {
+  const auto& bench = giant_at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = wordrec::identify_words(bench.netlist);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_GiantIdentify)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_GiantIdentifyLegacy(benchmark::State& state) {
+  const auto& bench = giant_at(static_cast<std::size_t>(state.range(0)));
+  wordrec::Options options;
+  options.use_compact = false;
+  for (auto _ : state) {
+    auto result = wordrec::identify_words(bench.netlist, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_GiantIdentifyLegacy)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Jobs sweep on a giant design: the BENCH_core.json counterpart of
+// BM_OursJobs, exercising the compact core's parallel axes (per-group
+// processing, packed sampling blocks) at million-gate scale.
+void BM_GiantIdentifyJobs(benchmark::State& state) {
+  const auto& bench = giant_at(0);  // b19s: the smallest giant
+  const std::size_t restore = ThreadPool::global_jobs();
+  ThreadPool::set_global_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = wordrec::identify_words(bench.netlist);
+    benchmark::DoNotOptimize(result);
+  }
+  ThreadPool::set_global_jobs(restore);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["gates"] =
+      static_cast<double>(bench.netlist.gate_count());
+}
+BENCHMARK(BM_GiantIdentifyJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
 # The full quality gate, in order:
 #   1. clang-tidy over src/ (skips cleanly when clang-tidy is absent)
-#   2. Debug build with AddressSanitizer + UBSan and -Werror
-#   3. the full test suite under both sanitizers
-#   4. `netrev lint --fail-on=warning` over every family benchmark, both as
+#   2. doc-link gate: every relative Markdown link in docs/ and README.md
+#      must resolve to an existing file
+#   3. Debug build with AddressSanitizer + UBSan and -Werror
+#   4. the full test suite under both sanitizers
+#   5. `netrev lint --fail-on=warning` over every family benchmark, both as
 #      built-in designs and as generated .bench files (exercising the parser
 #      path); any warning-or-worse finding fails the gate, and
 #      `lint --diag-json` must be byte-identical at --jobs 1 vs --jobs 8 and
 #      with the artifact cache on vs off (--cache-entries 0)
-#   5. ThreadSanitizer build (NETREV_SANITIZE=thread) over the parallel
+#   6. ThreadSanitizer build (NETREV_SANITIZE=thread) over the parallel
 #      identification tests: thread pool, profiler, jobs determinism, and the
 #      dataflow/domain analysis suites
-#   6. jobs-determinism gate: `evaluate --json` at --jobs 1 vs --jobs $(nproc)
+#   7. jobs-determinism gate: `evaluate --json` at --jobs 1 vs --jobs $(nproc)
 #      must emit byte-identical output on every family benchmark
-#   7. batch smoke gate: `netrev batch` over the family benchmarks twice must
+#   8. giant-family smoke gate: generate b19s (~262K gates), identify it
+#      under a hard time budget, and require byte-identical output between
+#      the compact core, --legacy-core, and --jobs 8
+#   9. batch smoke gate: `netrev batch` over the family benchmarks twice must
 #      emit byte-identical JSON at different job counts, and a batch with
 #      repeated entries must report artifact-cache hits under --profile
-#   8. resume-after-kill gate: a journaled batch SIGKILLed mid-run, then
+#  10. resume-after-kill gate: a journaled batch SIGKILLed mid-run, then
 #      resumed, must emit byte-identical JSON to an uninterrupted run
-#   9. serve gate: start the daemon, check `client identify` output is
+#  11. serve gate: start the daemon, check `client identify` output is
 #      byte-identical to the one-shot CLI, fire concurrent mixed requests,
 #      SIGTERM mid-load, and require a clean drain (exit 6, "drained")
 #
@@ -30,6 +35,10 @@ BUILD_DIR="${1:-build-asan}"
 TSAN_DIR="${BUILD_DIR}-tsan"
 
 scripts/tidy.sh
+
+# Doc-link gate (cheap, fails fast): every relative Markdown link in docs/
+# and README.md must resolve to an existing file.
+python3 scripts/check_doc_links.py
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -96,6 +105,27 @@ for family in b03s b04s b08s b11s b13s; do
   "$NETREV" evaluate "$family" --json --jobs "$(nproc)" > "$JOBS_DIR/$family.jN.json"
   diff "$JOBS_DIR/$family.j1.json" "$JOBS_DIR/$family.jN.json"
 done
+
+# Giant-family smoke gate: the data-oriented core at scale.  Generate the
+# smallest giant profile (b19s, ~262K gates), identify it under a hard time
+# budget, and require the compact core's output to be byte-identical to the
+# legacy pointer core and to itself at --jobs 8.  Sanitized debug builds run
+# several times slower than release, hence the generous budget; a hang or a
+# byte diff is what this gate exists to catch.
+GIANT_DIR="$BUILD_DIR/giant-smoke"
+mkdir -p "$GIANT_DIR"
+echo "giant-smoke: generate b19s"
+timeout 300 "$NETREV" generate b19s -o "$GIANT_DIR" > /dev/null
+echo "giant-smoke: identify (compact core)"
+timeout 1800 "$NETREV" identify b19s --json > "$GIANT_DIR/compact.json"
+echo "giant-smoke: identify (--legacy-core)"
+timeout 1800 "$NETREV" identify b19s --json --legacy-core \
+  > "$GIANT_DIR/legacy.json"
+diff "$GIANT_DIR/compact.json" "$GIANT_DIR/legacy.json"
+echo "giant-smoke: identify (--jobs 8)"
+timeout 1800 "$NETREV" identify b19s --json --jobs 8 \
+  > "$GIANT_DIR/jobs8.json"
+diff "$GIANT_DIR/compact.json" "$GIANT_DIR/jobs8.json"
 
 # Batch smoke gate.  The artifact cache is in-memory, so cross-invocation
 # hits cannot exist; instead (a) two independent runs at different job counts
@@ -204,4 +234,4 @@ grep -q "netrev serve drained" "$SERVE_DIR/serve.out" || {
   exit 1
 }
 
-echo "check.sh: tidy + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + batch-smoke + resume-smoke + serve-smoke all passed"
+echo "check.sh: tidy + doc-links + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + giant-smoke + batch-smoke + resume-smoke + serve-smoke all passed"

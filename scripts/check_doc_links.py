@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the Markdown docs.
+
+Scans README.md and everything under docs/ for Markdown links and image
+references, resolves each relative target against the file it appears in,
+and fails (exit 1) listing every target that does not exist.  External
+links (http/https/mailto) and pure in-page anchors (#...) are skipped;
+anchors on relative links are stripped before the existence check.
+
+Usage: scripts/check_doc_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target); target ends at the first unescaped ')'.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check(root: Path) -> int:
+    broken = []
+    for doc in doc_files(root):
+        in_code_fence = False
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append(
+                        f"{doc.relative_to(root)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    if broken:
+        print("\n".join(broken), file=sys.stderr)
+        print(f"check_doc_links: {len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(doc_files(root))} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    sys.exit(check(root.resolve()))

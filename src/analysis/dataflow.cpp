@@ -5,12 +5,14 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "netlist/compact.h"
 #include "perf/profile.h"
 
 namespace netrev::analysis {
 
 namespace {
 
+using netlist::CompactView;
 using netlist::Gate;
 using netlist::GateId;
 using netlist::GateType;
@@ -42,54 +44,56 @@ Ternary norm(Ternary v) {
 // X and only ever refine (X -> 0/1), so the iteration is monotone and
 // terminates even on combinational cycles.  `order` is the fixpoint seed:
 // on acyclic logic one sweep converges; cycle members just requeue.
-std::vector<Ternary> propagate(const Netlist& nl,
-                               const std::vector<GateId>& order,
+//
+// The transfer loop iterates the CompactView's CSR arrays — fanin span,
+// output id, fanout span — instead of per-gate heap vectors; the queue
+// discipline (FIFO seeded by `order`, readers appended in fanout order) is
+// unchanged, so the fixpoint values are identical to the pre-CSR engine's.
+std::vector<Ternary> propagate(const CompactView& view,
+                               const std::vector<std::uint32_t>& order,
                                const std::vector<Ternary>* flop_values,
                                const exec::Checkpoint& checkpoint) {
-  std::vector<Ternary> values(nl.net_count(), Ternary::kX);
+  std::vector<Ternary> values(view.net_count(), Ternary::kX);
 
   // An undriven non-input net is never produced: bottom, not unknown.
-  for (std::size_t i = 0; i < nl.net_count(); ++i) {
-    const auto& net = nl.net(nl.net_id_at(i));
-    if (!net.driver.is_valid() && !net.is_primary_input)
-      values[i] = Ternary::kBottom;
-  }
-  for (std::size_t i = 0; i < nl.gate_count(); ++i) {
-    const Gate& gate = nl.gate(nl.gate_id_at(i));
-    if (gate.type == GateType::kConst0)
-      values[gate.output.value()] = Ternary::kZero;
-    else if (gate.type == GateType::kConst1)
-      values[gate.output.value()] = Ternary::kOne;
-    else if (gate.type == GateType::kDff)
-      values[gate.output.value()] =
-          flop_values ? norm((*flop_values)[gate.output.value()]) : Ternary::kX;
+  for (std::uint32_t n = 0; n < view.net_count(); ++n)
+    if (view.driver(n) == CompactView::kNoGate && !view.is_primary_input(n))
+      values[n] = Ternary::kBottom;
+  for (std::uint32_t g = 0; g < view.gate_count(); ++g) {
+    const GateType type = view.gate_type(g);
+    if (type == GateType::kConst0)
+      values[view.gate_output(g)] = Ternary::kZero;
+    else if (type == GateType::kConst1)
+      values[view.gate_output(g)] = Ternary::kOne;
+    else if (type == GateType::kDff)
+      values[view.gate_output(g)] =
+          flop_values ? norm((*flop_values)[view.gate_output(g)]) : Ternary::kX;
   }
 
-  std::deque<GateId> queue(order.begin(), order.end());
-  std::vector<std::uint8_t> in_queue(nl.gate_count(), 0);
-  for (GateId g : order) in_queue[g.value()] = 1;
+  std::deque<std::uint32_t> queue(order.begin(), order.end());
+  std::vector<std::uint8_t> in_queue(view.gate_count(), 0);
+  for (std::uint32_t g : order) in_queue[g] = 1;
 
   std::vector<Ternary> ins;
   std::size_t steps = 0;
   while (!queue.empty()) {
     if (++steps % kPollStride == 0) checkpoint.poll();
-    const GateId g = queue.front();
+    const std::uint32_t g = queue.front();
     queue.pop_front();
-    in_queue[g.value()] = 0;
+    in_queue[g] = 0;
 
-    const Gate& gate = nl.gate(g);
     ins.clear();
-    for (NetId in : gate.inputs) ins.push_back(values[in.value()]);
-    const Ternary out = eval_gate_ternary(gate.type, ins);
-    Ternary& cur = values[gate.output.value()];
+    for (std::uint32_t in : view.fanin(g)) ins.push_back(values[in]);
+    const Ternary out = eval_gate_ternary(view.gate_type(g), ins);
+    Ternary& cur = values[view.gate_output(g)];
     // Monotone refinement: a driven output starts at X and settles at most
     // once; anything else would mean a non-monotone transfer function.
     if (out == cur || cur != Ternary::kX) continue;
     cur = out;
-    for (GateId reader : nl.net(gate.output).fanouts) {
-      if (!is_combinational(nl.gate(reader).type)) continue;
-      if (in_queue[reader.value()]) continue;
-      in_queue[reader.value()] = 1;
+    for (std::uint32_t reader : view.fanout(view.gate_output(g))) {
+      if (!is_combinational(view.gate_type(reader))) continue;
+      if (in_queue[reader]) continue;
+      in_queue[reader] = 1;
       queue.push_back(reader);
     }
   }
@@ -101,26 +105,27 @@ std::vector<Ternary> propagate(const Netlist& nl,
 // sparse overlay; the fixpoint is monotone (the assumption is a refinement
 // of `base`), order-independent, and therefore deterministic regardless of
 // which worker thread runs it.
-Ternary eval_with_pin(const Netlist& nl, const std::vector<Ternary>& base,
-                      NetId pin, Ternary pin_value, NetId target,
+Ternary eval_with_pin(const CompactView& view,
+                      const std::vector<Ternary>& base, std::uint32_t pin,
+                      Ternary pin_value, std::uint32_t target,
                       const exec::Checkpoint& checkpoint) {
   if (pin == target) return pin_value;
 
   std::unordered_map<std::uint32_t, Ternary> overlay;
-  overlay.emplace(pin.value(), pin_value);
-  const auto value_of = [&](NetId n) {
-    const auto it = overlay.find(n.value());
-    return it != overlay.end() ? it->second : base[n.value()];
+  overlay.emplace(pin, pin_value);
+  const auto value_of = [&](std::uint32_t n) {
+    const auto it = overlay.find(n);
+    return it != overlay.end() ? it->second : base[n];
   };
 
-  std::deque<GateId> queue;
+  std::deque<std::uint32_t> queue;
   std::vector<std::uint8_t> in_queue;  // lazily sized: only touched on push
-  const auto push_readers = [&](NetId net) {
-    for (GateId reader : nl.net(net).fanouts) {
-      if (!is_combinational(nl.gate(reader).type)) continue;
-      if (in_queue.empty()) in_queue.assign(nl.gate_count(), 0);
-      if (in_queue[reader.value()]) continue;
-      in_queue[reader.value()] = 1;
+  const auto push_readers = [&](std::uint32_t net) {
+    for (std::uint32_t reader : view.fanout(net)) {
+      if (!is_combinational(view.gate_type(reader))) continue;
+      if (in_queue.empty()) in_queue.assign(view.gate_count(), 0);
+      if (in_queue[reader]) continue;
+      in_queue[reader] = 1;
       queue.push_back(reader);
     }
   };
@@ -130,20 +135,19 @@ Ternary eval_with_pin(const Netlist& nl, const std::vector<Ternary>& base,
   std::size_t steps = 0;
   while (!queue.empty()) {
     if (++steps % kPollStride == 0) checkpoint.poll();
-    const GateId g = queue.front();
+    const std::uint32_t g = queue.front();
     queue.pop_front();
-    in_queue[g.value()] = 0;
+    in_queue[g] = 0;
 
-    const Gate& gate = nl.gate(g);
     ins.clear();
-    for (NetId in : gate.inputs) ins.push_back(value_of(in));
-    const Ternary out = eval_gate_ternary(gate.type, ins);
-    const Ternary cur = value_of(gate.output);
+    for (std::uint32_t in : view.fanin(g)) ins.push_back(value_of(in));
+    const Ternary out = eval_gate_ternary(view.gate_type(g), ins);
+    const Ternary cur = value_of(view.gate_output(g));
     // The assumption can only refine X values; a net already constant in
     // `base` keeps that constant under any refinement.
     if (out == cur || cur != Ternary::kX) continue;
-    overlay[gate.output.value()] = out;
-    push_readers(gate.output);
+    overlay[view.gate_output(g)] = out;
+    push_readers(view.gate_output(g));
   }
   return norm(value_of(target));
 }
@@ -276,10 +280,18 @@ DataflowFacts run_dataflow(const Netlist& nl, const DataflowOptions& options) {
   const exec::Checkpoint& checkpoint = options.checkpoint;
   checkpoint.poll();
 
-  const std::vector<GateId> order = combinational_order(nl);
+  // One flattening pass; every fixpoint sweep below then iterates CSR
+  // arrays.  The build is O(E) while the sweeps are O(E) *per round*, so it
+  // pays for itself on the first propagate call.
+  const CompactView view = CompactView::build(nl);
+
+  const std::vector<GateId> order_ids = combinational_order(nl);
+  std::vector<std::uint32_t> order(order_ids.size());
+  for (std::size_t i = 0; i < order_ids.size(); ++i)
+    order[i] = order_ids[i].value();
 
   DataflowFacts facts;
-  facts.always = propagate(nl, order, nullptr, checkpoint);
+  facts.always = propagate(view, order, nullptr, checkpoint);
 
   // Flop replace-iteration toward a steady state.  Each round computes every
   // flop's next value synchronously from the previous round, then
@@ -315,7 +327,7 @@ DataflowFacts run_dataflow(const Netlist& nl, const DataflowOptions& options) {
       facts.converged = true;
       break;
     }
-    facts.steady = propagate(nl, order, &facts.steady, checkpoint);
+    facts.steady = propagate(view, order, &facts.steady, checkpoint);
   }
   if (!facts.converged) facts.steady = facts.always;  // stay sound
 
@@ -333,12 +345,12 @@ DataflowFacts run_dataflow(const Netlist& nl, const DataflowOptions& options) {
         const Ternary steady = facts.steady[gate.output.value()];
         if (facts.converged && is_ternary_const(steady))
           stuck.settles_to = steady;
-        const Ternary v0 = eval_with_pin(nl, facts.always, gate.output,
-                                         Ternary::kZero, gate.inputs[0],
-                                         checkpoint);
-        const Ternary v1 = eval_with_pin(nl, facts.always, gate.output,
-                                         Ternary::kOne, gate.inputs[0],
-                                         checkpoint);
+        const Ternary v0 = eval_with_pin(view, facts.always,
+                                         gate.output.value(), Ternary::kZero,
+                                         gate.inputs[0].value(), checkpoint);
+        const Ternary v1 = eval_with_pin(view, facts.always,
+                                         gate.output.value(), Ternary::kOne,
+                                         gate.inputs[0].value(), checkpoint);
         stuck.holds_state = v0 == Ternary::kZero && v1 == Ternary::kOne;
         slots[i] = stuck;
       },

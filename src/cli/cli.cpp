@@ -60,6 +60,7 @@ RunConfig config_from(const ParsedFlags& flags) {
     config.wordrec.max_simultaneous_assignments = *flags.max_assign;
   config.wordrec.cross_group_checking = flags.cross_group;
   config.wordrec.use_dataflow = flags.use_dataflow;
+  config.wordrec.use_compact = !flags.legacy_core;
   config.analysis.enabled_rules = flags.rules;
   config.use_baseline = flags.base;
   if (flags.timeout_ms)
@@ -363,6 +364,12 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
   // techniques may be applied after" note).
   const auto flagged = [&] {
     perf::Stage stage("funcheck");
+    // The cached view feeds the bit-parallel sampler; --legacy-core screens
+    // on the scalar path (identical samples either way).
+    if (session.config().wordrec.use_compact) {
+      const auto view = session.compact(design);
+      return wordrec::suspicious_words(nl, words, 64, 0x5EED, view.get());
+    }
     return wordrec::suspicious_words(nl, words);
   }();
   if (!flagged.empty()) {

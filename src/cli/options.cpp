@@ -70,6 +70,9 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
     case FlagId::kUseDataflow:
       flags.use_dataflow = true;
       break;
+    case FlagId::kLegacyCore:
+      flags.legacy_core = true;
+      break;
     case FlagId::kTrace:
       flags.trace = true;
       break;
@@ -249,6 +252,10 @@ const std::vector<FlagSpec>& flag_table() {
        "on SIGTERM/SIGINT, give in-flight requests this long before "
        "cancelling them (default 5000)",
        false},
+      {FlagId::kLegacyCore, "--legacy-core", nullptr, false, nullptr,
+       "run identification on the pointer-chasing legacy core instead of "
+       "the flat CSR core (byte-identical output; performance knob)",
+       true},
       {FlagId::kTimeout, "--timeout", nullptr, true, "MS",
        "whole-run wall-clock budget in milliseconds (0 = unlimited)", true},
       {FlagId::kStageTimeout, "--stage-timeout", nullptr, true, "MS",

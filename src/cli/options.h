@@ -50,6 +50,7 @@ enum class FlagId {
   kIdleTimeout,
   kDrainTimeout,
   // Global flags (valid for every command).
+  kLegacyCore,
   kTimeout,
   kStageTimeout,
   kDegrade,
@@ -98,6 +99,7 @@ struct ParsedFlags {
   bool profile_json = false;  // --profile=json: print it as JSON
   bool keep_going = false;    // batch --keep-going
   bool version = false;       // --version: print version and exit
+  bool legacy_core = false;   // --legacy-core: pointer netlist, scalar sim
   std::optional<std::size_t> jobs;
   std::optional<std::size_t> depth;
   std::optional<std::size_t> max_assign;

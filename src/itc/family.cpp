@@ -290,6 +290,30 @@ BenchmarkProfile b18s() {
   return p;
 }
 
+// One giant scaling profile.  The word-plan mix mirrors the large Table 1
+// rows (mostly clean words, a sprinkle of control-unified and fragmented
+// ones) scaled by `word_groups`; everything past the words is size top-up
+// filler, so target_gates — not the plan — dictates the netlist size.
+BenchmarkProfile giant(std::string name, std::uint64_t seed,
+                       std::size_t target_gates, std::size_t word_groups) {
+  BenchmarkProfile p;
+  p.name = std::move(name);
+  p.seed = seed;
+  p.target_gates = target_gates;
+  p.scalar_registers = 64;
+  p.decoy_control_words = 4;
+  add_clean_batch(p, "GREG", word_groups, {16, 12, 8});
+  for (std::size_t i = 0; i < word_groups / 8; ++i)
+    p.words.push_back(
+        ctrl_from_partial("GDOUT" + std::to_string(i), 16, 12));
+  for (std::size_t i = 0; i < word_groups / 8; ++i)
+    p.words.push_back(partial_both("GQREG" + std::to_string(i), 12, 3));
+  p.words.push_back(ctrl_from_nf("GPRELD", 14));
+  p.words.push_back(hetero("GFSM", 12));
+  p.target_flops = p.reference_bit_count() + p.scalar_registers;
+  return p;
+}
+
 }  // namespace
 
 std::vector<BenchmarkProfile> itc99s_profiles() {
@@ -297,8 +321,16 @@ std::vector<BenchmarkProfile> itc99s_profiles() {
           b12s(), b13s(), b14s(), b15s(), b17s(), b18s()};
 }
 
+std::vector<BenchmarkProfile> giant_profiles() {
+  return {giant("b19s", 0xB19, 262144, 96),
+          giant("b20s", 0xB20, 1048576, 256),
+          giant("b21s", 0xB21, 2097152, 384)};
+}
+
 BenchmarkProfile profile_by_name(const std::string& name) {
   for (BenchmarkProfile& profile : itc99s_profiles())
+    if (profile.name == name) return profile;
+  for (BenchmarkProfile& profile : giant_profiles())
     if (profile.name == name) return profile;
   throw std::invalid_argument("unknown benchmark: " + name);
 }

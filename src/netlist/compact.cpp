@@ -1,0 +1,201 @@
+#include "netlist/compact.h"
+
+#include <algorithm>
+
+namespace netrev::netlist {
+
+namespace {
+
+void charge(WorkBudget* budget) {
+  if (budget != nullptr) budget->charge();
+}
+
+}  // namespace
+
+CompactView CompactView::build(const Netlist& nl) {
+  CompactView view;
+  const std::uint32_t nets = static_cast<std::uint32_t>(nl.net_count());
+  const std::uint32_t gates = static_cast<std::uint32_t>(nl.gate_count());
+
+  // --- gates: types, outputs, CSR fanin -----------------------------------
+  view.gate_type_.resize(gates);
+  view.gate_output_.resize(gates);
+  view.fanin_offset_.resize(gates + 1, 0);
+  std::size_t fanin_total = 0;
+  for (std::uint32_t g = 0; g < gates; ++g) {
+    const Gate& gate = nl.gate(GateId(g));
+    view.gate_type_[g] = gate.type;
+    view.gate_output_[g] = gate.output.value();
+    view.fanin_offset_[g] = static_cast<std::uint32_t>(fanin_total);
+    fanin_total += gate.inputs.size();
+  }
+  view.fanin_offset_[gates] = static_cast<std::uint32_t>(fanin_total);
+  view.fanin_.reserve(fanin_total);
+  for (std::uint32_t g = 0; g < gates; ++g)
+    for (NetId in : nl.gate(GateId(g)).inputs)
+      view.fanin_.push_back(in.value());
+
+  // --- nets: driver, CSR fanout, flags, name arena -------------------------
+  view.net_driver_.resize(nets);
+  view.fanout_offset_.resize(nets + 1, 0);
+  view.net_flags_.resize(nets, 0);
+  view.name_offset_.resize(nets + 1, 0);
+  std::size_t fanout_total = 0;
+  std::size_t name_total = 0;
+  for (std::uint32_t n = 0; n < nets; ++n) {
+    const Net& net = nl.net(NetId(n));
+    view.net_driver_[n] = net.driver.is_valid() ? net.driver.value() : kNoGate;
+    view.fanout_offset_[n] = static_cast<std::uint32_t>(fanout_total);
+    fanout_total += net.fanouts.size();
+    view.name_offset_[n] = static_cast<std::uint32_t>(name_total);
+    name_total += net.name.size();
+    std::uint8_t flags = 0;
+    if (net.is_primary_input) flags |= kPrimaryInput;
+    if (net.is_primary_output) flags |= kPrimaryOutput;
+    view.net_flags_[n] = flags;
+  }
+  view.fanout_offset_[nets] = static_cast<std::uint32_t>(fanout_total);
+  view.name_offset_[nets] = static_cast<std::uint32_t>(name_total);
+  view.fanout_.reserve(fanout_total);
+  view.name_arena_.reserve(name_total);
+  for (std::uint32_t n = 0; n < nets; ++n) {
+    const Net& net = nl.net(NetId(n));
+    for (GateId reader : net.fanouts) view.fanout_.push_back(reader.value());
+    view.name_arena_ += net.name;
+  }
+
+  // Derived flags off the flattened arrays.
+  for (std::uint32_t g = 0; g < gates; ++g) {
+    if (view.gate_type_[g] != GateType::kDff) continue;
+    view.net_flags_[view.gate_output_[g]] |= kFlopOutput;
+    for (std::uint32_t in : view.fanin(g)) view.net_flags_[in] |= kFeedsFlop;
+  }
+  for (std::uint32_t n = 0; n < nets; ++n) {
+    if (view.is_primary_input(n)) view.primary_inputs_.push_back(n);
+    if (view.is_primary_output(n)) view.primary_outputs_.push_back(n);
+  }
+
+  // --- levelization: exact port of sim::levelize over the CSR arrays ------
+  // Kahn's algorithm; a gate depends on the combinational drivers of its
+  // inputs, flop drivers break the dependency (previous-cycle state).  The
+  // dependents list is built in the same append order and consumed with the
+  // same LIFO ready stack as sim::levelize, so the emitted order is
+  // bit-for-bit identical (the scalar simulator's flop order derives from
+  // it, which the bit-parallel stimulus order must match).
+  std::vector<std::uint32_t> pending(gates, 0);
+  std::vector<std::uint32_t> dep_offset(gates + 1, 0);
+  for (std::uint32_t g = 0; g < gates; ++g) {
+    for (std::uint32_t in : view.fanin(g)) {
+      const std::uint32_t drv = view.net_driver_[in];
+      if (drv == kNoGate || view.gate_type_[drv] == GateType::kDff) continue;
+      ++pending[g];
+      ++dep_offset[drv + 1];
+    }
+  }
+  for (std::uint32_t g = 0; g < gates; ++g) dep_offset[g + 1] += dep_offset[g];
+  std::vector<std::uint32_t> dependents(dep_offset[gates]);
+  {
+    std::vector<std::uint32_t> cursor(dep_offset.begin(),
+                                      dep_offset.end() - 1);
+    for (std::uint32_t g = 0; g < gates; ++g) {
+      for (std::uint32_t in : view.fanin(g)) {
+        const std::uint32_t drv = view.net_driver_[in];
+        if (drv == kNoGate || view.gate_type_[drv] == GateType::kDff) continue;
+        dependents[cursor[drv]++] = g;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t g = 0; g < gates; ++g)
+    if (pending[g] == 0) ready.push_back(g);
+  view.topo_order_.reserve(gates);
+  while (!ready.empty()) {
+    const std::uint32_t g = ready.back();
+    ready.pop_back();
+    view.topo_order_.push_back(g);
+    for (std::uint32_t d = dep_offset[g]; d < dep_offset[g + 1]; ++d)
+      if (--pending[dependents[d]] == 0) ready.push_back(dependents[d]);
+  }
+  if (view.topo_order_.size() != gates) {
+    view.acyclic_ = false;
+    view.topo_order_.clear();
+  } else {
+    view.comb_order_.reserve(gates);
+    for (std::uint32_t g : view.topo_order_) {
+      if (view.gate_type_[g] == GateType::kDff)
+        view.flop_gates_.push_back(g);
+      else
+        view.comb_order_.push_back(g);
+    }
+  }
+  return view;
+}
+
+std::size_t CompactView::memory_bytes() const {
+  const auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(gate_type_) + bytes(gate_output_) + bytes(fanin_offset_) +
+         bytes(fanin_) + bytes(net_driver_) + bytes(fanout_offset_) +
+         bytes(fanout_) + bytes(net_flags_) + name_arena_.capacity() +
+         bytes(name_offset_) + bytes(topo_order_) + bytes(comb_order_) +
+         bytes(flop_gates_) + bytes(primary_inputs_) + bytes(primary_outputs_);
+}
+
+std::vector<std::uint32_t> CompactView::fanin_cone_nets(
+    std::uint32_t root, std::size_t max_depth, ConeScratch& scratch,
+    WorkBudget* budget) const {
+  // BFS identical to netlist::fanin_cone_nets: the worklist stores
+  // (net, depth) pairs consumed front-to-back; depth fits the high half
+  // because cones never go deeper than the gate count.
+  std::vector<std::uint32_t> order;
+  scratch.begin(net_count());
+  std::vector<std::uint32_t>& queue = scratch.worklist();
+  queue.clear();
+  std::vector<std::uint32_t> depths;
+  queue.push_back(root);
+  depths.push_back(0);
+  scratch.mark(root);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t net = queue[head];
+    const std::size_t depth = depths[head];
+    charge(budget);
+    order.push_back(net);
+    if (depth >= max_depth || !expandable(net)) continue;
+    for (std::uint32_t in : fanin(net_driver_[net])) {
+      if (!scratch.mark(in)) continue;
+      queue.push_back(in);
+      depths.push_back(static_cast<std::uint32_t>(depth + 1));
+    }
+  }
+  return order;
+}
+
+bool CompactView::in_fanin_cone(std::uint32_t root, std::uint32_t candidate,
+                                ConeScratch& scratch,
+                                WorkBudget* budget) const {
+  if (root == candidate) return false;
+  // Targeted DFS with early exit, mirroring netlist::in_fanin_cone: the
+  // root's inputs seed the stack (root itself unmarked and uncharged), one
+  // budget unit per popped net.
+  scratch.begin(net_count());
+  std::vector<std::uint32_t>& stack = scratch.worklist();
+  stack.clear();
+  const auto push_inputs = [&](std::uint32_t net) {
+    if (!expandable(net)) return;
+    for (std::uint32_t in : fanin(net_driver_[net]))
+      if (scratch.mark(in)) stack.push_back(in);
+  };
+  push_inputs(root);
+  while (!stack.empty()) {
+    const std::uint32_t net = stack.back();
+    stack.pop_back();
+    charge(budget);
+    if (net == candidate) return true;
+    push_inputs(net);
+  }
+  return false;
+}
+
+}  // namespace netrev::netlist

@@ -245,6 +245,18 @@ Session::Parsed Session::parse_netlist(const std::string& spec,
   return result;
 }
 
+std::shared_ptr<const netlist::CompactView> Session::compact(
+    const LoadedDesign& design) {
+  // Derived purely from the netlist, which the design identity already
+  // keys; no options fingerprint.
+  pipeline::ArtifactKey key{"compact", design.identity, 0};
+  return cache_->get_or_compute<netlist::CompactView>(key, [&] {
+    perf::Stage stage("compact");
+    return std::make_shared<netlist::CompactView>(
+        netlist::CompactView::build(design.nl()));
+  });
+}
+
 std::shared_ptr<const analysis::DataflowFacts> Session::dataflow(
     const LoadedDesign& design) {
   // Only dataflow_max_iterations keys the stage: the checkpoint is
@@ -281,9 +293,18 @@ std::shared_ptr<const wordrec::IdentifyResult> Session::identify(
   if (options.trace != nullptr) {
     // Traced runs narrate the actual execution; never serve or store them,
     // and never degrade them (a trace documents the full technique's run —
-    // deadline trips propagate as errors instead).
+    // deadline trips propagate as errors instead).  The cache stays
+    // untouched, so identify_words builds its own CompactView.
     return std::make_shared<wordrec::IdentifyResult>(
         wordrec::identify_words(design.nl(), options));
+  }
+  // Resolve the compact core from the cached stage so repeated identifies
+  // share one flattening pass.  The shared_ptr keeps the view alive past
+  // the identify_words call; like the mask above, it never keys artifacts.
+  std::shared_ptr<const netlist::CompactView> view;
+  if (options.use_compact && options.compact == nullptr) {
+    view = compact(design);
+    options.compact = view.get();
   }
   // The degrade policy changes what a tripped run produces, so it is part of
   // the key; the deadline itself is not — an untripped deadline must share
@@ -312,6 +333,11 @@ std::shared_ptr<const wordrec::WordSet> Session::identify_baseline(
   // no ladder of its own: a trip here propagates to the caller.
   wordrec::Options options = config_.wordrec;
   options.checkpoint = stage_checkpoint();
+  std::shared_ptr<const netlist::CompactView> view;
+  if (options.use_compact && options.compact == nullptr) {
+    view = compact(design);
+    options.compact = view.get();
+  }
   pipeline::ArtifactKey key{"identify_base", design.identity,
                             config_.wordrec_fingerprint()};
   return cache_->get_or_compute<wordrec::WordSet>(key, [&] {

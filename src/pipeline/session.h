@@ -28,6 +28,7 @@
 #include "common/diagnostics.h"
 #include "eval/reference.h"
 #include "eval/runner.h"
+#include "netlist/compact.h"
 #include "netlist/netlist.h"
 #include "pipeline/artifact_cache.h"
 #include "pipeline/run_config.h"
@@ -114,6 +115,15 @@ class Session {
 
   // Golden reference words from flop output names (§3).
   std::shared_ptr<const eval::ReferenceExtraction> reference(
+      const LoadedDesign& design);
+
+  // Flat data-oriented image of the design (netlist::CompactView): SoA
+  // arrays, CSR adjacency, interned names, levelized orders.  Built once
+  // per design identity and cached; identify() and the functional screen
+  // iterate it when config().wordrec.use_compact is set (the default —
+  // --legacy-core clears it).  Performance-only: results are byte-identical
+  // with or without the view, so it never contributes to artifact keys.
+  std::shared_ptr<const netlist::CompactView> compact(
       const LoadedDesign& design);
 
   // Ternary dataflow facts (analysis::run_dataflow under

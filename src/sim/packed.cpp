@@ -1,0 +1,84 @@
+#include "sim/packed.h"
+
+#include "common/contracts.h"
+
+namespace netrev::sim {
+
+using netlist::CompactView;
+using netlist::GateType;
+
+PackedSimulator::PackedSimulator(const CompactView& view) : view_(&view) {
+  NETREV_REQUIRE(view.acyclic());
+  values_.assign(view.net_count(), 0);
+  next_state_.resize(view.flop_gates().size());
+}
+
+void PackedSimulator::set_input_word(std::uint32_t net, std::uint64_t lanes) {
+  NETREV_REQUIRE(view_->is_primary_input(net));
+  values_[net] = lanes;
+}
+
+void PackedSimulator::set_state_word(std::uint32_t q_net,
+                                     std::uint64_t lanes) {
+  NETREV_REQUIRE(view_->is_flop_output(q_net));
+  values_[q_net] = lanes;
+}
+
+void PackedSimulator::eval() {
+  const CompactView& view = *view_;
+  std::uint64_t* values = values_.data();
+  for (std::uint32_t g : view.comb_order()) {
+    const auto inputs = view.fanin(g);
+    std::uint64_t acc;
+    switch (view.gate_type(g)) {
+      case GateType::kBuf:
+        acc = values[inputs[0]];
+        break;
+      case GateType::kNot:
+        acc = ~values[inputs[0]];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+        acc = ~std::uint64_t{0};
+        for (std::uint32_t in : inputs) acc &= values[in];
+        if (view.gate_type(g) == GateType::kNand) acc = ~acc;
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        acc = 0;
+        for (std::uint32_t in : inputs) acc |= values[in];
+        if (view.gate_type(g) == GateType::kNor) acc = ~acc;
+        break;
+      case GateType::kXor:
+      case GateType::kXnor:
+        acc = 0;
+        for (std::uint32_t in : inputs) acc ^= values[in];
+        if (view.gate_type(g) == GateType::kXnor) acc = ~acc;
+        break;
+      case GateType::kConst0:
+        acc = 0;
+        break;
+      case GateType::kConst1:
+        acc = ~std::uint64_t{0};
+        break;
+      case GateType::kDff:
+      default:
+        continue;  // state nets are inputs to eval, never outputs
+    }
+    values[view.gate_output(g)] = acc;
+  }
+}
+
+void PackedSimulator::step() {
+  const auto flops = view_->flop_gates();
+  // Sample every D word before committing so flop-to-flop paths read
+  // pre-edge state on all lanes (same two-phase commit as the scalar
+  // simulator).
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    next_state_[i] = values_[view_->fanin(flops[i])[0]];
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    values_[view_->gate_output(flops[i])] = next_state_[i];
+  eval();
+}
+
+}  // namespace netrev::sim

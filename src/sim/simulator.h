@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "netlist/compact.h"
 #include "netlist/netlist.h"
 
 namespace netrev::sim {
@@ -59,17 +60,36 @@ class Simulator {
 inline constexpr std::size_t kRandomSimBlock = 32;
 
 // Batched random simulation: evaluates `vector_count` independent random
-// (input, state) points on `nl` and records the value of every net in
+// (input, state) points on the design and records the value of every net in
 // `probes`, vector-major (result[v * probes.size() + i] is probe i under
 // vector v).
 //
 // Vectors are partitioned into fixed blocks of kRandomSimBlock; block b
-// draws its stimulus from Rng::stream(seed, b) and blocks run concurrently
-// on the global thread pool, each with a private Simulator.  Because the
-// block decomposition and per-block streams are independent of the job
-// count, the returned samples are byte-identical at any --jobs value.
-// Charges the profiler counter "sim_vectors_run".
+// draws its stimulus from Rng::stream(seed, b).  Because the block
+// decomposition and per-block streams are independent of the job count, the
+// returned samples are byte-identical at any --jobs value.  Charges the
+// profiler counter "sim_vectors_run".
+//
+// This is the bit-parallel fast path: two RNG blocks fill the 64 lanes of
+// one PackedSimulator word (lanes 0..31 from stream 2p, 32..63 from stream
+// 2p+1, each lane drawing all primary inputs then all flops in the scalar
+// simulator's order), so one CSR schedule pass evaluates 64 vectors and the
+// output is still bit-for-bit what the scalar path produces — asserted
+// against sample_random_vectors_scalar in tests/sim/test_packed.cpp.
 std::vector<std::uint8_t> sample_random_vectors(
+    const netlist::Netlist& nl, std::span<const netlist::NetId> probes,
+    std::size_t vector_count, std::uint64_t seed);
+
+// Same contract, reusing a prebuilt CompactView (the Session's cached
+// artifact) so repeated sampling of one design skips the flattening pass.
+std::vector<std::uint8_t> sample_random_vectors(
+    const netlist::CompactView& view, std::span<const netlist::NetId> probes,
+    std::size_t vector_count, std::uint64_t seed);
+
+// The scalar reference path (one Simulator per block, one vector at a
+// time).  Kept as the semantics oracle for the packed engine and as the
+// --legacy-core sampling path; byte-identical to the overloads above.
+std::vector<std::uint8_t> sample_random_vectors_scalar(
     const netlist::Netlist& nl, std::span<const netlist::NetId> probes,
     std::size_t vector_count, std::uint64_t seed);
 

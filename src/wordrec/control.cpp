@@ -6,13 +6,100 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "netlist/compact.h"
 #include "netlist/cone.h"
 
 namespace netrev::wordrec {
 
+using netlist::CompactView;
+using netlist::ConeScratch;
 using netlist::GateType;
 using netlist::NetId;
 using netlist::Netlist;
+
+namespace {
+
+// Per-worker visited-stamp scratch for the CSR walks: control-signal search
+// runs both serially inside a group worker and fanned out over the pool (the
+// dominance filter), so thread-local storage gives every thread its own
+// stamps with no clearing between walks.
+ConeScratch& local_scratch() {
+  static thread_local ConeScratch scratch;
+  return scratch;
+}
+
+// CSR twin of the containment + dominance computation below.  Visit orders
+// and WorkBudget charges match the legacy walks one-for-one, and `common`
+// comes out sorted ascending exactly like the legacy sort, so the returned
+// signal list is byte-identical.
+std::vector<NetId> find_signals_compact(
+    const CompactView& view, std::span<const NetId> dissimilar_roots,
+    std::size_t subtree_depth, const Options& options) {
+  // Containment: concatenate the (deduplicated) cones, sort, and run-length
+  // count — a net common to all subtrees appears exactly roots.size() times.
+  std::vector<std::uint32_t> all;
+  for (NetId root : dissimilar_roots) {
+    const std::vector<std::uint32_t> cone = view.fanin_cone_nets(
+        root.value(), subtree_depth, local_scratch(), options.cone_budget);
+    all.insert(all.end(), cone.begin(), cone.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const std::vector<std::uint8_t>* constant_nets =
+      options.use_dataflow ? options.constant_nets : nullptr;
+  const auto is_pruned = [&](std::uint32_t net) {
+    return constant_nets != nullptr && net < constant_nets->size() &&
+           (*constant_nets)[net] != 0;
+  };
+  const auto is_root = [&](std::uint32_t net) {
+    return std::find(dissimilar_roots.begin(), dissimilar_roots.end(),
+                     NetId(net)) != dissimilar_roots.end();
+  };
+
+  std::vector<std::uint32_t> common;
+  for (std::size_t i = 0; i < all.size();) {
+    std::size_t j = i;
+    while (j < all.size() && all[j] == all[i]) ++j;
+    const std::uint32_t net = all[i];
+    const std::size_t count = j - i;
+    i = j;
+    if (count != dissimilar_roots.size()) continue;
+    if (is_root(net)) continue;
+    const std::uint32_t driver = view.driver(net);
+    if (driver != CompactView::kNoGate) {
+      const GateType type = view.gate_type(driver);
+      if (type == GateType::kConst0 || type == GateType::kConst1) continue;
+    }
+    common.push_back(net);
+  }
+
+  // Dominance filter over CSR adjacency; same parallel shape and early
+  // exits as the legacy loop.
+  std::vector<std::uint8_t> dominated(common.size(), 0);
+  parallel_for(0, common.size(), [&](std::size_t i) {
+    if (is_pruned(common[i])) {
+      dominated[i] = 1;
+      return;
+    }
+    for (std::size_t j = 0; j < common.size(); ++j) {
+      if (i == j) continue;
+      if (view.in_fanin_cone(common[j], common[i], local_scratch(),
+                             options.cone_budget)) {
+        dominated[i] = 1;
+        return;
+      }
+    }
+  });
+  std::vector<NetId> signals;
+  for (std::size_t i = 0; i < common.size(); ++i)
+    if (dominated[i] == 0) signals.push_back(NetId(common[i]));
+
+  if (signals.size() > options.max_control_signals_per_subgroup)
+    signals.resize(options.max_control_signals_per_subgroup);
+  return signals;
+}
+
+}  // namespace
 
 std::vector<NetId> find_relevant_control_signals(
     const Netlist& nl, std::span<const NetId> dissimilar_roots,
@@ -24,6 +111,10 @@ std::vector<NetId> find_relevant_control_signals(
   // their roots.
   const std::size_t subtree_depth =
       options.cone_depth > 0 ? options.cone_depth - 1 : 0;
+
+  if (options.use_compact && options.compact != nullptr)
+    return find_signals_compact(*options.compact, dissimilar_roots,
+                                subtree_depth, options);
 
   // Count, for every net, how many dissimilar subtrees contain it.  A net
   // can appear at most once per subtree (fanin_cone_nets deduplicates).

@@ -1,5 +1,7 @@
 #include "wordrec/funcheck.h"
 
+#include <optional>
+
 #include "common/thread_pool.h"
 #include "perf/profile.h"
 #include "sim/simulator.h"
@@ -11,15 +13,20 @@ using netlist::Netlist;
 
 FunctionalReport functional_sanity(const Netlist& nl, const Word& word,
                                    std::size_t vector_count,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   const netlist::CompactView* view) {
   FunctionalReport report;
   report.vectors = vector_count;
   if (word.bits.empty() || vector_count == 0) return report;
 
   // Batched random simulation (parallel over fixed vector blocks, identical
-  // samples at any job count — see sim::sample_random_vectors).
+  // samples at any job count — see sim::sample_random_vectors).  A caller-
+  // provided view skips the per-call flattening pass inside the Netlist
+  // overload.
   const std::vector<std::uint8_t> samples =
-      sim::sample_random_vectors(nl, word.bits, vector_count, seed);
+      view != nullptr && view->acyclic()
+          ? sim::sample_random_vectors(*view, word.bits, vector_count, seed)
+          : sim::sample_random_vectors(nl, word.bits, vector_count, seed);
 
   const std::size_t w = word.width();
   std::vector<std::uint8_t> first_value(w, 0);
@@ -59,15 +66,25 @@ FunctionalReport functional_sanity(const Netlist& nl, const Word& word,
 std::vector<std::size_t> suspicious_words(const Netlist& nl,
                                           const WordSet& words,
                                           std::size_t vector_count,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          const netlist::CompactView* view) {
   // Per-word screening is independent; run words concurrently and keep the
   // flagged list in word order.  Each word's samples depend only on (seed,
-  // block index), so the outcome is job-count invariant.
+  // block index), so the outcome is job-count invariant.  One view serves
+  // every word: it is immutable, so sharing it across workers is safe, and
+  // without a caller-provided one we build it here rather than once per
+  // word inside functional_sanity.
+  std::optional<netlist::CompactView> local_view;
+  if (view == nullptr && !words.words.empty()) {
+    local_view.emplace(netlist::CompactView::build(nl));
+    view = &*local_view;
+  }
   std::vector<std::uint8_t> dirty(words.words.size(), 0);
   parallel_for(0, words.words.size(), [&](std::size_t w) {
     perf::ScopedWork work("stage.funcheck_ns");
     if (words.words[w].width() < 2) return;
-    if (!functional_sanity(nl, words.words[w], vector_count, seed).clean())
+    if (!functional_sanity(nl, words.words[w], vector_count, seed, view)
+             .clean())
       dirty[w] = 1;
   });
   std::vector<std::size_t> flagged;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "netlist/compact.h"
 #include "netlist/netlist.h"
 #include "wordrec/word.h"
 
@@ -34,17 +35,20 @@ struct FunctionalReport {
 };
 
 // Simulates `vector_count` random (input, state) points and screens the
-// word.  Deterministic for a given seed.
+// word.  Deterministic for a given seed.  An optional prebuilt CompactView
+// (acyclic) lets repeated screenings of one design share a single
+// flattening pass; samples are byte-identical with or without it.
 FunctionalReport functional_sanity(const netlist::Netlist& nl,
                                    const Word& word,
                                    std::size_t vector_count = 64,
-                                   std::uint64_t seed = 0x5EED);
+                                   std::uint64_t seed = 0x5EED,
+                                   const netlist::CompactView* view = nullptr);
 
 // Screens every multi-bit word of a set; returns indices (into
 // words.words) of words whose report is not clean.
-std::vector<std::size_t> suspicious_words(const netlist::Netlist& nl,
-                                          const WordSet& words,
-                                          std::size_t vector_count = 64,
-                                          std::uint64_t seed = 0x5EED);
+std::vector<std::size_t> suspicious_words(
+    const netlist::Netlist& nl, const WordSet& words,
+    std::size_t vector_count = 64, std::uint64_t seed = 0x5EED,
+    const netlist::CompactView* view = nullptr);
 
 }  // namespace netrev::wordrec

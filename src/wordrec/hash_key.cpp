@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "netlist/compact.h"
 #include "perf/profile.h"
 #include "wordrec/collapse.h"
 
 namespace netrev::wordrec {
 
+using netlist::CompactView;
 using netlist::GateType;
 using netlist::NetId;
 using netlist::Netlist;
@@ -20,6 +22,122 @@ namespace {
 char leaf_primary_input(const Options& o) { return o.distinguish_leaf_kinds ? 'p' : '*'; }
 char leaf_flop_output(const Options& o) { return o.distinguish_leaf_kinds ? 'f' : '*'; }
 char leaf_depth_cut(const Options& o) { return o.distinguish_leaf_kinds ? '_' : '*'; }
+
+// CSR twin of ConeHasher::subtree_key: same recursion, same key bytes, but
+// the per-level driver/type/fanin lookups are flat array reads instead of
+// optional-returning map walks.
+HashKey compact_subtree_key(const CompactView& view, const Options& options,
+                            std::uint32_t net, std::size_t depth,
+                            const AssignmentMap* assignment) {
+  if (assignment != nullptr) {
+    if (const auto v = assignment->value(NetId(net)))
+      return std::string(1, *v ? '1' : '0');
+  }
+
+  const std::uint32_t driver = view.driver(net);
+  if (driver == CompactView::kNoGate)
+    return std::string(1, leaf_primary_input(options));
+
+  const GateType type = view.gate_type(driver);
+  if (type == GateType::kDff) return std::string(1, leaf_flop_output(options));
+  if (type == GateType::kConst0) return "0";
+  if (type == GateType::kConst1) return "1";
+  if (depth == 0) return std::string(1, leaf_depth_cut(options));
+
+  const std::span<const std::uint32_t> inputs = view.fanin(driver);
+  std::vector<std::uint32_t> live;
+  live.reserve(inputs.size());
+  bool dropped_parity = false;
+  if (assignment == nullptr) {
+    live.assign(inputs.begin(), inputs.end());
+  } else {
+    for (std::uint32_t in : inputs) {
+      const auto v = assignment->value(NetId(in));
+      if (!v) {
+        live.push_back(in);
+        continue;
+      }
+      if (const auto cv = controlling_value(type)) NETREV_ASSERT(*v != *cv);
+      dropped_parity = dropped_parity != *v;
+    }
+  }
+  NETREV_ASSERT(!live.empty() &&
+                "all-constant gate must have an assigned output");
+
+  const GateType effective =
+      (live.size() == inputs.size())
+          ? type
+          : collapsed_type(type, live.size(), dropped_parity);
+
+  std::vector<HashKey> child_keys;
+  child_keys.reserve(live.size());
+  for (std::uint32_t in : live)
+    child_keys.push_back(
+        compact_subtree_key(view, options, in, depth - 1, assignment));
+  std::sort(child_keys.begin(), child_keys.end());
+
+  HashKey key;
+  key.reserve(2 + child_keys.size() * 4);
+  key += '(';
+  for (const HashKey& child : child_keys) key += child;
+  key += ')';
+  key += gate_type_code(effective);
+  return key;
+}
+
+// CSR twin of ConeHasher::signature (sans the profiler counter, which the
+// dispatching method keeps).
+BitSignature compact_signature(const CompactView& view, const Options& options,
+                               std::uint32_t bit,
+                               const AssignmentMap* assignment) {
+  BitSignature sig;
+  if (assignment != nullptr && assignment->contains(NetId(bit))) return sig;
+
+  const std::uint32_t driver = view.driver(bit);
+  if (driver == CompactView::kNoGate) return sig;
+  const GateType type = view.gate_type(driver);
+  if (type == GateType::kDff) {
+    sig.root_type = GateType::kDff;
+    return sig;
+  }
+  if (type == GateType::kConst0 || type == GateType::kConst1) return sig;
+
+  const std::span<const std::uint32_t> inputs = view.fanin(driver);
+  std::vector<std::uint32_t> live;
+  bool dropped_parity = false;
+  if (assignment == nullptr) {
+    live.assign(inputs.begin(), inputs.end());
+  } else {
+    for (std::uint32_t in : inputs) {
+      const auto v = assignment->value(NetId(in));
+      if (!v) {
+        live.push_back(in);
+        continue;
+      }
+      if (const auto cv = controlling_value(type)) NETREV_ASSERT(*v != *cv);
+      dropped_parity = dropped_parity != *v;
+    }
+  }
+  if (live.empty()) return sig;  // would be constant; not a word bit
+
+  sig.root_type = (live.size() == inputs.size())
+                      ? type
+                      : collapsed_type(type, live.size(), dropped_parity);
+
+  NETREV_REQUIRE(options.cone_depth >= 1);
+  sig.subtrees.reserve(live.size());
+  for (std::uint32_t in : live)
+    sig.subtrees.push_back(SubtreeKey{
+        compact_subtree_key(view, options, in, options.cone_depth - 1,
+                            assignment),
+        NetId(in)});
+  std::sort(sig.subtrees.begin(), sig.subtrees.end(),
+            [](const SubtreeKey& a, const SubtreeKey& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.root < b.root;
+            });
+  return sig;
+}
 
 }  // namespace
 
@@ -37,6 +155,10 @@ ConeHasher::ConeHasher(const Netlist& nl, const Options& options)
 
 HashKey ConeHasher::subtree_key(NetId net, std::size_t depth,
                                 const AssignmentMap* assignment) const {
+  if (options_.use_compact && options_.compact != nullptr)
+    return compact_subtree_key(*options_.compact, options_, net.value(), depth,
+                               assignment);
+
   // A net assigned by the reduction is a constant leaf.  (Callers normally
   // drop assigned children before recursing; this branch covers direct
   // queries on assigned nets.)
@@ -107,6 +229,9 @@ BitSignature ConeHasher::signature(NetId bit,
     if (perf::Profiler::global().enabled())
       cones.fetch_add(1, std::memory_order_relaxed);
   }
+  if (options_.use_compact && options_.compact != nullptr)
+    return compact_signature(*options_.compact, options_, bit.value(),
+                             assignment);
   BitSignature sig;
   if (assignment != nullptr && assignment->contains(bit)) return sig;
 

@@ -8,6 +8,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/dataflow.h"
 #include "common/thread_pool.h"
+#include "netlist/compact.h"
 #include "netlist/cone.h"
 #include "perf/profile.h"
 #include "wordrec/assignment.h"
@@ -220,11 +221,21 @@ GroupOutcome process_group(const Netlist& nl, const ConeHasher& hasher,
       }
       if (!signals.empty()) {
         // The dissimilar region: nets of all recorded dissimilar subtrees.
-        for (const auto& per_bit : subgroup.dissimilar)
-          for (NetId root : per_bit)
-            for (NetId net : netlist::fanin_cone_nets(
-                     nl, root, subtree_depth, options.cone_budget))
-              region.insert(net);
+        if (options.use_compact && options.compact != nullptr) {
+          netlist::ConeScratch scratch;
+          for (const auto& per_bit : subgroup.dissimilar)
+            for (NetId root : per_bit)
+              for (std::uint32_t net : options.compact->fanin_cone_nets(
+                       root.value(), subtree_depth, scratch,
+                       options.cone_budget))
+                region.insert(NetId(net));
+        } else {
+          for (const auto& per_bit : subgroup.dissimilar)
+            for (NetId root : per_bit)
+              for (NetId net : netlist::fanin_cone_nets(
+                       nl, root, subtree_depth, options.cone_budget))
+                region.insert(net);
+        }
         values_per_signal.reserve(signals.size());
         for (NetId signal : signals)
           values_per_signal.push_back(
@@ -352,6 +363,17 @@ IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
     local_constant_mask = analysis::run_dataflow(nl, dataflow_options)
                               .constant_mask();
     options.constant_nets = &local_constant_mask;
+  }
+
+  // Data-oriented core: flatten the design once so every cone walk and
+  // hashing recursion of this run iterates CSR arrays.  Callers that pass a
+  // prebuilt view (the Session's cached artifact) skip the build; the view
+  // must be installed before the hasher is constructed (it copies options).
+  std::optional<netlist::CompactView> local_view;
+  if (options.use_compact && options.compact == nullptr) {
+    perf::Stage compact_stage("compact");
+    local_view.emplace(netlist::CompactView::build(nl));
+    options.compact = &*local_view;
   }
 
   const ConeHasher hasher(nl, options);

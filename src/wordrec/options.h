@@ -8,6 +8,10 @@
 #include "common/resource_guard.h"
 #include "exec/cancel.h"
 
+namespace netrev::netlist {
+class CompactView;
+}
+
 namespace netrev::wordrec {
 
 struct IdentifyTrace;
@@ -80,6 +84,19 @@ struct Options {
   // ternary engine proves constant, so with the knob off — or on a design
   // with no derived constants — output is byte-identical to the default.
   bool use_dataflow = false;
+
+  // Run cone walks, hashing recursion, and the containment/dominance filters
+  // over the CSR arrays of a netlist::CompactView instead of the pointer
+  // netlist (--legacy-core clears this).  Output is byte-identical either
+  // way — same visit orders, same WorkBudget charge sequences — so the knob
+  // is performance-only and excluded from the options fingerprint.
+  bool use_compact = true;
+
+  // Optional, non-owning prebuilt view (the Session passes its cached
+  // artifact).  identify_words() builds one itself when use_compact is set
+  // and this is null.  Derived purely from the netlist, so excluded from
+  // the fingerprint like constant_nets below.
+  const netlist::CompactView* compact = nullptr;
 
   // Optional, non-owning: per-net "provably constant at every cycle" mask,
   // indexed by NetId (analysis::DataflowFacts::constant_mask()).  Set by the
