@@ -23,9 +23,13 @@
 #      repeated entries must report artifact-cache hits under --profile
 #  10. resume-after-kill gate: a journaled batch SIGKILLed mid-run, then
 #      resumed, must emit byte-identical JSON to an uninterrupted run
-#  11. serve gate: start the daemon, check `client identify` output is
-#      byte-identical to the one-shot CLI, fire concurrent mixed requests,
-#      SIGTERM mid-load, and require a clean drain (exit 6, "drained")
+#  11. lift gate: `netrev lift` over every family benchmark must emit a
+#      schema-v1 document whose every operator verified equivalent, and be
+#      byte-identical at --jobs 1 vs 8 and with the cache disabled
+#  12. serve gate: start the daemon, check `client identify` and
+#      `client lift` output is byte-identical to the one-shot CLI, fire
+#      concurrent mixed requests, SIGTERM mid-load, and require a clean
+#      drain (exit 6, "drained")
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -93,7 +97,7 @@ cmake -B "$TSAN_DIR" -S . \
 cmake --build "$TSAN_DIR" -j"$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
   --output-on-failure \
-  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken|Serve|Protocol|Dataflow|Domain'
+  -R 'ThreadPool|Profiler|JobsDeterminism|Batch|Session|ArtifactCache|BatchResume|Journal|Degradation|Checkpoint|CancelToken|Serve|Protocol|Dataflow|Domain|Lift'
 
 # Jobs-determinism gate: the full CLI output (evaluation + analysis JSON)
 # must not depend on the worker count.
@@ -173,6 +177,33 @@ echo "resume-smoke: resume ($(wc -l < "$JOURNAL" 2> /dev/null || echo 0) journal
   > "$RESUME_DIR/resumed.json"
 diff "$RESUME_DIR/reference.json" "$RESUME_DIR/resumed.json"
 
+# Lift gate.  Every family benchmark must lift to a schema-v1 word-level
+# document in which every operator's bit-blasted model proved simulation-
+# equivalent to the original cones, and the bytes must not depend on the
+# worker count or the artifact cache.
+LIFT_DIR="$BUILD_DIR/lift-smoke"
+mkdir -p "$LIFT_DIR"
+for family in b03s b04s b08s b11s b13s; do
+  echo "lift-smoke: $family"
+  "$NETREV" lift "$family" > "$LIFT_DIR/$family.json"
+  grep -q '^{"schema_version":1,' "$LIFT_DIR/$family.json" || {
+    echo "lift-smoke: $family document is not schema-version stamped" >&2
+    exit 1
+  }
+  grep -q '"verdict":"equivalent"' "$LIFT_DIR/$family.json" || {
+    echo "lift-smoke: $family lift did not verify equivalent" >&2
+    exit 1
+  }
+  if grep -q '"verified":false' "$LIFT_DIR/$family.json"; then
+    echo "lift-smoke: $family has an unverified operator" >&2
+    exit 1
+  fi
+  "$NETREV" lift "$family" --jobs 8 > "$LIFT_DIR/$family.j8.json"
+  diff "$LIFT_DIR/$family.json" "$LIFT_DIR/$family.j8.json"
+  "$NETREV" lift "$family" --cache-entries 0 > "$LIFT_DIR/$family.nocache.json"
+  diff "$LIFT_DIR/$family.json" "$LIFT_DIR/$family.nocache.json"
+done
+
 # Serve gate.  Start the daemon on an ephemeral port, require `client
 # identify` output byte-identical to the one-shot CLI, then SIGTERM it with
 # concurrent requests in flight and require a clean drain: exit code 6 and
@@ -203,6 +234,10 @@ echo "serve-smoke: byte-equivalence with the one-shot CLI"
 "$NETREV" client identify b03s --connect "127.0.0.1:$PORT" \
   > "$SERVE_DIR/served.json"
 diff "$SERVE_DIR/oneshot.json" "$SERVE_DIR/served.json"
+"$NETREV" lift b03s > "$SERVE_DIR/oneshot-lift.json"
+"$NETREV" client lift b03s --connect "127.0.0.1:$PORT" \
+  > "$SERVE_DIR/served-lift.json"
+diff "$SERVE_DIR/oneshot-lift.json" "$SERVE_DIR/served-lift.json"
 
 echo "serve-smoke: mixed ops"
 "$NETREV" client ping --connect "127.0.0.1:$PORT" > /dev/null
@@ -234,4 +269,4 @@ grep -q "netrev serve drained" "$SERVE_DIR/serve.out" || {
   exit 1
 }
 
-echo "check.sh: tidy + doc-links + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + giant-smoke + batch-smoke + resume-smoke + serve-smoke all passed"
+echo "check.sh: tidy + doc-links + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + giant-smoke + batch-smoke + resume-smoke + lift-smoke + serve-smoke all passed"

@@ -223,6 +223,42 @@ std::optional<NetId> detect_mux_select(const Netlist& nl,
   return parts->select;
 }
 
+std::optional<MuxBranches> decompose_mux2(const Netlist& nl,
+                                          netlist::GateId gate) {
+  const auto parts =
+      mux_parts(nl, classify(nl, Literal{nl.gate(gate).output, false}));
+  if (!parts) return std::nullopt;
+  if (parts->lits0.size() != 2 || parts->lits1.size() != 2)
+    return std::nullopt;
+
+  // Splits a product into (select polarity, data net); the data literal must
+  // be a distinct, non-negated wire for the branch to be expressible.
+  const auto split =
+      [&](const std::vector<Literal>& lits)
+      -> std::optional<std::pair<bool, NetId>> {
+    const Literal* sel = nullptr;
+    const Literal* data = nullptr;
+    for (const Literal& lit : lits) {
+      if (lit.net == parts->select && sel == nullptr)
+        sel = &lit;
+      else
+        data = &lit;
+    }
+    if (sel == nullptr || data == nullptr) return std::nullopt;
+    if (data->negated || data->net == parts->select) return std::nullopt;
+    return std::make_pair(!sel->negated, data->net);
+  };
+
+  const auto p0 = split(parts->lits0);
+  const auto p1 = split(parts->lits1);
+  if (!p0 || !p1 || p0->first == p1->first) return std::nullopt;
+  MuxBranches out;
+  out.select = parts->select;
+  out.when_true = p0->first ? p0->second : p1->second;
+  out.when_false = p0->first ? p1->second : p0->second;
+  return out;
+}
+
 DomainAnalysis analyze_domains(const Netlist& nl,
                                const DomainOptions& options) {
   perf::ScopedWork work("stage.domains_ns");

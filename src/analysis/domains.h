@@ -109,4 +109,20 @@ DomainAnalysis analyze_domains(const netlist::Netlist& nl,
 std::optional<netlist::NetId> detect_mux_select(const netlist::Netlist& nl,
                                                 netlist::GateId gate);
 
+// A fully resolved 2-way mux: out = select ? when_true : when_false, with
+// `select` always viewed active-high.  Both data branches are the roots of
+// plain (non-inverted) wire chains.
+struct MuxBranches {
+  netlist::NetId select = netlist::NetId::invalid();
+  netlist::NetId when_true = netlist::NetId::invalid();
+  netlist::NetId when_false = netlist::NetId::invalid();
+};
+
+// Like detect_mux_select but demands the branch structure the word-level
+// lifter can express: each product is exactly (select literal, data wire)
+// with the data wire non-negated after DeMorgan normalization.  Used by the
+// lift subsystem to recover mux-word and load-enable-register operators.
+std::optional<MuxBranches> decompose_mux2(const netlist::Netlist& nl,
+                                          netlist::GateId gate);
+
 }  // namespace netrev::analysis

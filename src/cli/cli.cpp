@@ -62,6 +62,8 @@ RunConfig config_from(const ParsedFlags& flags) {
   config.wordrec.use_dataflow = flags.use_dataflow;
   config.wordrec.use_compact = !flags.legacy_core;
   config.analysis.enabled_rules = flags.rules;
+  if (flags.no_verify) config.lift.verify = false;
+  if (flags.vectors) config.lift.verify_vectors = *flags.vectors;
   config.use_baseline = flags.base;
   if (flags.timeout_ms)
     config.exec.timeout = std::chrono::milliseconds(*flags.timeout_ms);
@@ -260,6 +262,32 @@ int cmd_identify(const ParsedFlags& flags, std::ostream& out) {
   return rc;
 }
 
+// Lifts the identified words to the typed word-level model and prints the
+// schema-versioned JSON document (always JSON — the model IS the output).
+// The lift self-verifies by default: each op is bit-blasted back to gates
+// and simulated against the original cones, and the document's
+// "equivalence" object records the verdict.  Exit 1 when any op failed
+// verification, so scripts can gate on equivalence without parsing JSON.
+int lift_body(const ParsedFlags& flags, std::ostream& out) {
+  if (flags.positional.size() != 1)
+    throw std::invalid_argument("lift: expected one design");
+  Session& session = *flags.session;
+  const LoadedDesign design = load_design(flags.positional[0], flags);
+  out << session.lift_json(design) << '\n';
+  const auto result = session.lift(design);  // cache hit
+  const bool failed = result->verdict == "not_equivalent";
+  return exit_code(failed ? ExitCode::kError : ExitCode::kOk);
+}
+
+int cmd_lift(const ParsedFlags& flags, std::ostream& out) {
+  if (!flags.output) return lift_body(flags, out);
+  std::ostringstream rendered;
+  const int rc = lift_body(flags, rendered);
+  io::write_file_atomic(*flags.output, rendered.str());
+  out << "wrote " << *flags.output << '\n';
+  return rc;
+}
+
 int cmd_reduce(const ParsedFlags& flags, std::ostream& out) {
   if (flags.positional.size() != 1)
     throw std::invalid_argument("reduce: expected one design");
@@ -350,9 +378,10 @@ int cmd_evaluate(const ParsedFlags& flags, std::ostream& out) {
     return session.analyze(design);
   }();
   if (flags.json) {
-    out << "{\"evaluation\":"
-        << eval::evaluation_to_json(diagnosis.summary, reference->words)
-        << ",\"analysis\":" << eval::analysis_to_json(nl, *health) << "}\n";
+    out << eval::evaluate_doc_to_json(
+               eval::evaluation_to_json(diagnosis.summary, reference->words),
+               eval::analysis_to_json(nl, *health))
+        << "\n";
     return 0;
   }
   out << render_diagnosis(diagnosis);
@@ -599,12 +628,7 @@ int cmd_table(const ParsedFlags& flags, std::ostream& out) {
     rows.push_back(make_row(name, design.nl(), *reference, base, ours));
   }
   if (flags.json) {
-    out << "[";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      if (i > 0) out << ",";
-      out << eval::table_row_to_json(rows[i]);
-    }
-    out << "]\n";
+    out << eval::table_to_json(rows) << '\n';
   } else {
     out << eval::render_table1(rows);
   }
@@ -664,7 +688,7 @@ int cmd_client(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
   if (flags.positional.empty())
     throw std::invalid_argument(
         "client: expected <op> [design ...] (ping|stats|load|lint|identify|"
-        "evaluate|batch)");
+        "evaluate|batch|lift)");
   const auto op = pipeline::protocol::parse_op(flags.positional[0]);
   if (!op)
     throw std::invalid_argument("client: unknown op '" + flags.positional[0] +
@@ -792,6 +816,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "stats") return cmd_stats(flags, out);
       if (command == "reference") return cmd_reference(flags, out);
       if (command == "identify") return cmd_identify(flags, out);
+      if (command == "lift") return cmd_lift(flags, out);
       if (command == "reduce") return cmd_reduce(flags, out);
       if (command == "evaluate") return cmd_evaluate(flags, out);
       if (command == "lint") return cmd_lint(flags, out);

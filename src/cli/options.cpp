@@ -107,6 +107,14 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
     case FlagId::kKeepGoing:
       flags.keep_going = true;
       break;
+    case FlagId::kNoVerify:
+      flags.no_verify = true;
+      break;
+    case FlagId::kVectors:
+      flags.vectors = parse_count(spec, value);
+      if (*flags.vectors == 0)
+        throw std::invalid_argument("--vectors expects a positive sample count");
+      break;
     case FlagId::kResume:
       flags.resume = value;
       break;
@@ -218,6 +226,13 @@ const std::vector<FlagSpec>& flag_table() {
        false},
       {FlagId::kKeepGoing, "--keep-going", nullptr, false, nullptr,
        "run every batch entry despite failures", false},
+      {FlagId::kNoVerify, "--no-verify", nullptr, false, nullptr,
+       "skip the bit-blast simulation equivalence check (verdict "
+       "'unchecked')",
+       false},
+      {FlagId::kVectors, "--vectors", nullptr, true, "N",
+       "random vectors per lifted op for the equivalence check (default 64)",
+       false},
       {FlagId::kResume, "--resume", nullptr, true, "PATH",
        "append completed entries to the journal at PATH and skip entries "
        "already recorded there (crash-safe resume)",
@@ -294,6 +309,13 @@ const std::vector<CommandSpec>& command_table() {
        {FlagId::kBase, FlagId::kJson, FlagId::kTrace, FlagId::kDepth,
         FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow,
         FlagId::kOutput}},
+      {"lift", "<design>",
+       "lift identified words to a typed word-level model (schema-versioned "
+       "JSON); each op is bit-blasted back to gates and checked for "
+       "simulation equivalence unless --no-verify",
+       {FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
+        FlagId::kUseDataflow, FlagId::kNoVerify, FlagId::kVectors,
+        FlagId::kOutput}},
       {"reduce", "<design>", "apply control assignments and reduce",
        {FlagId::kAssign, FlagId::kOutput, FlagId::kDepth, FlagId::kMaxAssign}},
       {"evaluate", "<design>", "compare identified words vs reference",
@@ -306,8 +328,9 @@ const std::vector<CommandSpec>& command_table() {
       {"propagate", "<design>", "word propagation",
        {FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup}},
       {"batch", "<spec> ...",
-       "run parse/lint/identify/evaluate over many designs (specs: designs, "
-       "globs, or manifest files); artifacts are cached across entries",
+       "run parse/lint/identify/lift/evaluate over many designs (specs: "
+       "designs, globs, or manifest files); artifacts are cached across "
+       "entries",
        {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
         FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow,
         FlagId::kResume, FlagId::kRetries, FlagId::kOutput,
@@ -321,8 +344,8 @@ const std::vector<CommandSpec>& command_table() {
         FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
         FlagId::kUseDataflow}},
       {"client", "<op> [design ...]",
-       "send one request (ping|stats|load|lint|identify|evaluate|batch) to a "
-       "running netrev serve and print the JSON result",
+       "send one request (ping|stats|load|lint|identify|evaluate|batch|lift) "
+       "to a running netrev serve and print the JSON result",
        {FlagId::kConnect, FlagId::kSocket, FlagId::kRequestId, FlagId::kBase,
         FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
         FlagId::kUseDataflow}},

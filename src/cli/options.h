@@ -37,6 +37,8 @@ enum class FlagId {
   kFailOn,
   kListRules,
   kKeepGoing,
+  kNoVerify,
+  kVectors,
   kResume,
   kRetries,
   kCompactJournal,
@@ -98,12 +100,14 @@ struct ParsedFlags {
   bool profile = false;       // --profile: print the stage tree (text)
   bool profile_json = false;  // --profile=json: print it as JSON
   bool keep_going = false;    // batch --keep-going
+  bool no_verify = false;     // lift --no-verify: skip equivalence check
   bool version = false;       // --version: print version and exit
   bool legacy_core = false;   // --legacy-core: pointer netlist, scalar sim
   std::optional<std::size_t> jobs;
   std::optional<std::size_t> depth;
   std::optional<std::size_t> max_assign;
   std::optional<std::size_t> max_errors;
+  std::optional<std::size_t> vectors;  // lift --vectors: verification samples
   std::optional<std::string> output;
   std::optional<std::size_t> timeout_ms;        // --timeout (whole run)
   std::optional<std::size_t> stage_timeout_ms;  // --stage-timeout (per stage)

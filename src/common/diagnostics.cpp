@@ -1,32 +1,14 @@
 #include "common/diagnostics.h"
 
+#include "jsonout/jsonout.h"
+
 namespace netrev::diag {
 
 namespace {
 
-// Minimal JSON string escaping (diagnostics may quote arbitrary net names).
+// Diagnostics quote arbitrary net names; escaping is the shared policy's.
 std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xF];
-          out += hex[c & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return jsonout::escape(text);
 }
 
 }  // namespace
@@ -84,7 +66,7 @@ std::string Diagnostics::to_string() const {
 }
 
 std::string Diagnostics::to_json() const {
-  std::string out = "{\"diagnostics\":[";
+  std::string out = "{" + jsonout::version_field() + ",\"diagnostics\":[";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Diagnostic& entry = entries_[i];
     if (i > 0) out += ',';

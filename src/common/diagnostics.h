@@ -98,8 +98,8 @@ class Diagnostics {
 
   // One diagnostic per line, in report order.
   std::string to_string() const;
-  // {"diagnostics":[...],"notes":N,"warnings":N,"errors":N,"fatal":N,
-  //  "suppressed":N}
+  // {"schema_version":1,"diagnostics":[...],"notes":N,"warnings":N,
+  //  "errors":N,"fatal":N,"suppressed":N}
   std::string to_json() const;
 
  private:

@@ -1,9 +1,8 @@
 #include "eval/report.h"
 
-#include <cstdio>
-
 #include "common/text.h"
 #include "exec/degrade.h"
+#include "jsonout/jsonout.h"
 
 namespace netrev::eval {
 
@@ -17,26 +16,7 @@ std::string json_number(double value) {
 }  // namespace
 
 std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (unsigned char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
+  return jsonout::escape(text);
 }
 
 namespace {
@@ -73,12 +53,13 @@ std::string words_array(const netlist::Netlist& nl,
 std::string words_to_json(const netlist::Netlist& nl,
                           const wordrec::WordSet& words,
                           bool include_singletons) {
-  return "{\"words\":" + words_array(nl, words, include_singletons) + "}";
+  return jsonout::document("\"words\":" +
+                           words_array(nl, words, include_singletons));
 }
 
 std::string identify_result_to_json(const netlist::Netlist& nl,
                                     const wordrec::IdentifyResult& result) {
-  std::string out = "{";
+  std::string out = "{" + jsonout::version_field() + ",";
   out += "\"multibit_words\":" +
          std::to_string(result.words.count_multibit()) + ",";
 
@@ -133,7 +114,7 @@ std::string identify_result_to_json(const netlist::Netlist& nl,
 
 std::string evaluation_to_json(const EvaluationSummary& summary,
                                std::span<const ReferenceWord> reference) {
-  std::string out = "{";
+  std::string out = "{" + jsonout::version_field() + ",";
   out += "\"reference_words\":" + std::to_string(summary.reference_words) + ",";
   out += "\"fully_found\":" + std::to_string(summary.fully_found) + ",";
   out += "\"partially_found\":" + std::to_string(summary.partially_found) + ",";
@@ -161,9 +142,15 @@ std::string evaluation_to_json(const EvaluationSummary& summary,
   return out;
 }
 
+std::string evaluate_doc_to_json(const std::string& evaluation_json,
+                                 const std::string& analysis_json) {
+  return jsonout::document("\"evaluation\":" + evaluation_json +
+                           ",\"analysis\":" + analysis_json);
+}
+
 std::string analysis_to_json(const netlist::Netlist& nl,
                              const analysis::AnalysisResult& result) {
-  std::string out = "{\"findings\":[";
+  std::string out = "{" + jsonout::version_field() + ",\"findings\":[";
   for (std::size_t i = 0; i < result.findings.size(); ++i) {
     if (i > 0) out += ",";
     const analysis::Finding& finding = result.findings[i];
@@ -181,6 +168,16 @@ std::string analysis_to_json(const netlist::Netlist& nl,
   out += "\"rules_run\":" + std::to_string(result.rules_run);
   out += "}";
   return out;
+}
+
+std::string table_to_json(std::span<const Table1Row> rows) {
+  std::string members = "\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) members += ",";
+    members += table_row_to_json(rows[i]);
+  }
+  members += "]";
+  return jsonout::document(members);
 }
 
 std::string table_row_to_json(const Table1Row& row) {

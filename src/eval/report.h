@@ -1,9 +1,11 @@
 // Machine-readable (JSON) reports for downstream tooling: identified words,
-// pipeline stats, evaluation summaries, and Table 1 rows.  The emitter is
-// self-contained (no external JSON dependency) and escapes net names
-// correctly (escaped Verilog identifiers can carry arbitrary characters).
+// pipeline stats, evaluation summaries, and Table 1 rows.  All emission goes
+// through the shared netrev::jsonout policy module: every top-level document
+// carries `"schema_version"` as its first field, escaping is uniform across
+// surfaces, and output is byte-deterministic (see docs/FORMATS.md).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "analysis/analyzer.h"
@@ -15,10 +17,10 @@
 
 namespace netrev::eval {
 
-// Low-level helpers (exposed for tests).
+// Low-level helper (exposed for tests); delegates to jsonout::escape.
 std::string json_escape(const std::string& text);
 
-// Words as {"words": [{"width": N, "bits": ["net", ...]}, ...]} — only
+// Words as {"schema_version":1,"words":[{"width":N,"bits":[...]}]} — only
 // multi-bit words unless `include_singletons`.
 std::string words_to_json(const netlist::Netlist& nl,
                           const wordrec::WordSet& words,
@@ -33,12 +35,22 @@ std::string identify_result_to_json(const netlist::Netlist& nl,
 std::string evaluation_to_json(const EvaluationSummary& summary,
                                std::span<const ReferenceWord> reference);
 
-// One Table 1 row.
+// The combined `evaluate --json` document, shared verbatim by the CLI and
+// the serve protocol so daemon bytes equal one-shot bytes:
+// {"schema_version":1,"evaluation":<evaluation_json>,"analysis":<analysis_json>}
+std::string evaluate_doc_to_json(const std::string& evaluation_json,
+                                 const std::string& analysis_json);
+
+// One Table 1 row (unversioned: always embedded in table_to_json).
 std::string table_row_to_json(const Table1Row& row);
 
+// The `table --json` document: {"schema_version":1,"rows":[<row>,...]}.
+std::string table_to_json(std::span<const Table1Row> rows);
+
 // Static-analysis findings with per-severity counts:
-// {"findings":[{"rule":...,"severity":...,"message":...,"fix_hint":...,
-//  "nets":[...]}],"errors":N,"warnings":N,"notes":N,"rules_run":N}
+// {"schema_version":1,"findings":[{"rule":...,"severity":...,"message":...,
+//  "fix_hint":...,"nets":[...]}],"errors":N,"warnings":N,"notes":N,
+//  "rules_run":N}
 std::string analysis_to_json(const netlist::Netlist& nl,
                              const analysis::AnalysisResult& result);
 

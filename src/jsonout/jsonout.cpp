@@ -1,0 +1,47 @@
+#include "jsonout/jsonout.h"
+
+namespace netrev::jsonout {
+
+std::string version_field() {
+  return "\"schema_version\":" + std::to_string(kSchemaVersion);
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(std::string_view text) {
+  return '"' + escape(text) + '"';
+}
+
+std::string document(std::string_view members) {
+  std::string out = "{" + version_field();
+  if (!members.empty()) {
+    out += ',';
+    out += members;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace netrev::jsonout

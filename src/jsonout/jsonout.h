@@ -1,0 +1,46 @@
+// Shared JSON emission policy for every netrev output surface.
+//
+// All JSON the tool emits — identify/evaluate/lint reports, batch results,
+// serve responses, lifted word-level models — is hand-rendered (no external
+// JSON dependency) through this module so the escaping rules and the
+// interchange version stamp cannot drift between surfaces.
+//
+// The contract:
+//
+//   * Every top-level document begins with `"schema_version":<kSchemaVersion>`
+//     as its FIRST field, so consumers can dispatch on the version before
+//     parsing the rest.  Documents embedded inside other documents (an
+//     identify report inside a batch entry, diagnostics inside a serve
+//     response) keep their own stamp — each is independently consumable.
+//   * Emission is deterministic: fixed key order, no timestamps, no locale
+//     formatting.  Byte-identical output at any `--jobs` value, warm or cold
+//     cache, daemon or one-shot CLI is a tested invariant.
+//   * The version is bumped only for breaking shape changes; adding a new
+//     field is NOT a version bump (consumers must ignore unknown keys).  See
+//     docs/FORMATS.md ("Versioning policy").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace netrev::jsonout {
+
+// Version of the JSON interchange schema stamped on every document.
+inline constexpr int kSchemaVersion = 1;
+
+// `"schema_version":1` — the mandatory first field of a document.
+std::string version_field();
+
+// JSON string escaping: `"` `\` and control bytes; everything else verbatim
+// (net names are raw bytes, not guaranteed UTF-8).
+std::string escape(std::string_view text);
+
+// `escape` wrapped in double quotes.
+std::string quote(std::string_view text);
+
+// Wraps comma-joined member text into a versioned document:
+//   document("\"a\":1")  ==  {"schema_version":1,"a":1}
+//   document("")         ==  {"schema_version":1}
+std::string document(std::string_view members);
+
+}  // namespace netrev::jsonout

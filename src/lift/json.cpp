@@ -1,0 +1,139 @@
+#include "lift/json.h"
+
+#include "jsonout/jsonout.h"
+#include "netlist/gate_type.h"
+
+namespace netrev::lift {
+
+namespace {
+
+using netlist::Netlist;
+using netlist::NetId;
+
+std::string net_name(const Netlist& nl, NetId net) {
+  return jsonout::quote(nl.net(net).name);
+}
+
+std::string names_array(const Netlist& nl, std::span<const NetId> nets) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (i > 0) out += ',';
+    out += net_name(nl, nets[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string control_json(const Netlist& nl, const Control& control) {
+  return "{\"net\":" + net_name(nl, control.net) +
+         ",\"active_high\":" + (control.active_high ? "true" : "false") + "}";
+}
+
+std::string signal_json(const Netlist& nl, const Signal& signal,
+                        std::size_t id) {
+  std::string out = "{\"id\":" + std::to_string(id);
+  out += ",\"name\":" + jsonout::quote(signal.name);
+  out += ",\"kind\":";
+  out += signal.kind == SignalKind::kWord ? "\"word\"" : "\"operand\"";
+  out += ",\"width\":" + std::to_string(signal.width());
+  out += ",\"bits\":" + names_array(nl, signal.bits);
+  out += '}';
+  return out;
+}
+
+std::string op_json(const Netlist& nl, const WordOp& op) {
+  std::string out = "{\"op\":" + jsonout::quote(op.name);
+  out += ",\"output\":" + std::to_string(op.output);
+  switch (op.kind) {
+    case OpKind::kConst:
+      out += ",\"value\":";
+      out += op.const_value ? '1' : '0';
+      break;
+    case OpKind::kRegister:
+      out += ",\"data\":" + std::to_string(op.operands[0]);
+      break;
+    case OpKind::kLoadRegister:
+      out += ",\"data\":" + std::to_string(op.operands[0]);
+      out += ",\"enable\":" + control_json(nl, op.control);
+      break;
+    case OpKind::kMux2:
+      out += ",\"select\":" + control_json(nl, op.control);
+      out += ",\"when_true\":" + std::to_string(op.operands[0]);
+      out += ",\"when_false\":" + std::to_string(op.operands[1]);
+      break;
+    case OpKind::kBitwise: {
+      out += ",\"operands\":[";
+      for (std::size_t i = 0; i < op.operands.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(op.operands[i]);
+      }
+      out += ']';
+      break;
+    }
+    case OpKind::kOpaque: {
+      out += ",\"inputs\":" + names_array(nl, op.leaves);
+      out += ",\"gates\":[";
+      for (std::size_t i = 0; i < op.gates.size(); ++i) {
+        const OpaqueGate& gate = op.gates[i];
+        if (i > 0) out += ',';
+        out += "{\"type\":" +
+               jsonout::quote(netlist::gate_type_name(gate.type));
+        out += ",\"output\":" + net_name(nl, gate.output);
+        out += ",\"inputs\":" + names_array(nl, gate.inputs);
+        out += '}';
+      }
+      out += ']';
+      break;
+    }
+  }
+  out += ",\"gates_absorbed\":" + std::to_string(op.gates_absorbed);
+  out += ",\"verified\":";
+  if (!op.checked)
+    out += "null";
+  else
+    out += op.equivalent ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string lift_result_to_json(const Netlist& nl, const LiftResult& model) {
+  std::string members = "\"design\":{\"name\":" + jsonout::quote(nl.name());
+  members += ",\"nets\":" + std::to_string(nl.net_count());
+  members += ",\"gates\":" + std::to_string(nl.gate_count());
+  members += ",\"flops\":" + std::to_string(nl.flop_count());
+  members += '}';
+
+  members += ",\"signals\":[";
+  for (std::size_t i = 0; i < model.signals.size(); ++i) {
+    if (i > 0) members += ',';
+    members += signal_json(nl, model.signals[i], i);
+  }
+  members += ']';
+
+  members += ",\"ops\":[";
+  for (std::size_t i = 0; i < model.ops.size(); ++i) {
+    if (i > 0) members += ',';
+    members += op_json(nl, model.ops[i]);
+  }
+  members += ']';
+
+  members += ",\"coverage\":{\"words\":" + std::to_string(model.coverage.words);
+  members += ",\"typed_ops\":" + std::to_string(model.coverage.typed_ops);
+  members += ",\"opaque_ops\":" + std::to_string(model.coverage.opaque_ops);
+  members +=
+      ",\"gates_absorbed\":" + std::to_string(model.coverage.gates_absorbed);
+  members += ",\"total_gates\":" + std::to_string(model.coverage.total_gates);
+  members += '}';
+
+  members += ",\"equivalence\":{\"verdict\":" + jsonout::quote(model.verdict);
+  members += ",\"ops_checked\":" + std::to_string(model.ops_checked);
+  members += ",\"ops_equivalent\":" + std::to_string(model.ops_equivalent);
+  members += ",\"vectors\":" + std::to_string(model.vectors_per_op);
+  members += '}';
+
+  return jsonout::document(members);
+}
+
+}  // namespace netrev::lift

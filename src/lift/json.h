@@ -1,0 +1,17 @@
+// Serialization of a lifted word-level model to the versioned JSON
+// interchange schema (schema_version 1; field-by-field reference in
+// docs/FORMATS.md).  Deterministic: fixed key order, signals and operators
+// in model order, net names resolved against the source netlist.
+#pragma once
+
+#include <string>
+
+#include "lift/model.h"
+#include "netlist/netlist.h"
+
+namespace netrev::lift {
+
+std::string lift_result_to_json(const netlist::Netlist& nl,
+                                const LiftResult& model);
+
+}  // namespace netrev::lift

@@ -1,0 +1,111 @@
+// The word-level model produced by lifting: multi-bit signals plus typed
+// word-level operators over them, with a per-operator equivalence verdict.
+//
+// The model is a *view* over one netlist — signals and operator boundaries
+// reference original NetIds — and is serialized to the versioned JSON
+// interchange schema by lift/json.h (documented in docs/FORMATS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace netrev::lift {
+
+enum class SignalKind {
+  kWord,     // an identified word (output of some operator)
+  kOperand,  // a bit-vector discovered as an operator input
+};
+
+// A multi-bit signal: an ordered vector of original nets.  Bit order follows
+// the word's netlist file order (the §2.2 adjacency that defined it).
+struct Signal {
+  std::string name;  // "w3" for words, "w3_d" / "w3_t" / ... for operands
+  SignalKind kind = SignalKind::kWord;
+  std::vector<netlist::NetId> bits;
+
+  std::size_t width() const { return bits.size(); }
+};
+
+enum class OpKind {
+  kConst,         // every bit tied to the same constant
+  kRegister,      // plain D flip-flop word: q' = d
+  kLoadRegister,  // enable-gated register: q' = enable ? d : q
+  kMux2,          // out = select ? when_true : when_false
+  kBitwise,       // per-bit gate of one type/arity: out_i = op(a_i, b_i, ...)
+  kOpaque,        // per-bit fallback: the original cone, serialized verbatim
+};
+
+// A polarity-normalized single-bit control wire (mux select, load enable):
+// asserted when the net carries `active_high`.
+struct Control {
+  netlist::NetId net = netlist::NetId::invalid();
+  bool active_high = true;
+
+  bool valid() const { return net.is_valid(); }
+};
+
+// One original gate captured inside an opaque operator's cone.
+struct OpaqueGate {
+  netlist::GateType type = netlist::GateType::kBuf;
+  netlist::NetId output = netlist::NetId::invalid();
+  std::vector<netlist::NetId> inputs;
+};
+
+// A typed word-level operator.  `output` and `operands` index
+// LiftResult::signals; operand ORDER is semantic (mux2: when_true then
+// when_false; bitwise: gate input positions).
+struct WordOp {
+  OpKind kind = OpKind::kOpaque;
+  std::string name;                   // "const","register","load_register",
+                                      // "mux2","and","nand",...,"opaque"
+  std::size_t output = 0;             // signal index
+  std::vector<std::size_t> operands;  // signal indices
+  Control control;                    // mux2 select / load_register enable
+  bool const_value = false;           // kConst: the shared bit value
+  netlist::GateType bitwise_type = netlist::GateType::kBuf;  // kBitwise
+
+  // kRegister / kLoadRegister: the original D net of each bit's flop — the
+  // next-state function verified by bit-blasting.
+  std::vector<netlist::NetId> d_nets;
+
+  // kOpaque: the captured cone (gates in file order) and its input frontier
+  // (first-seen order).
+  std::vector<OpaqueGate> gates;
+  std::vector<netlist::NetId> leaves;
+
+  // Equivalence verdict from bit-blast + simulation (lift/verify).
+  bool checked = false;
+  bool equivalent = false;
+  std::size_t mismatches = 0;
+
+  // Original gates this operator explains (root gates; buffer chains and
+  // shared inverters are not charged).
+  std::size_t gates_absorbed = 0;
+};
+
+struct Coverage {
+  std::size_t words = 0;       // words lifted (multi-bit unless configured)
+  std::size_t typed_ops = 0;   // non-opaque operators
+  std::size_t opaque_ops = 0;
+  std::size_t gates_absorbed = 0;
+  std::size_t total_gates = 0;  // gate count of the source design
+};
+
+struct LiftResult {
+  std::vector<Signal> signals;
+  std::vector<WordOp> ops;  // one per lifted word, in word order
+  Coverage coverage;
+
+  // Document-level equivalence: "equivalent" when every checked operator
+  // matched its cone, "not_equivalent" when any mismatched, "unchecked"
+  // when verification was disabled.
+  std::string verdict = "unchecked";
+  std::size_t ops_checked = 0;
+  std::size_t ops_equivalent = 0;
+  std::size_t vectors_per_op = 0;
+};
+
+}  // namespace netrev::lift

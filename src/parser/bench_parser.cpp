@@ -1,8 +1,5 @@
 #include "parser/bench_parser.h"
 
-#include <fstream>
-#include <sstream>
-
 #include "common/atomic_file.h"
 #include "common/text.h"
 #include "parser/lexer.h"
@@ -197,25 +194,6 @@ Netlist parse_bench(std::string_view source, const ParseOptions& options,
 Netlist parse_bench(std::string_view source) {
   diag::Diagnostics diags;
   return parse_bench(source, ParseOptions{}, diags);
-}
-
-Netlist parse_bench_file(const std::string& path, const ParseOptions& options,
-                         diag::Diagnostics& diags) {
-  std::ifstream in(path);
-  if (!in) {
-    if (!options.permissive)
-      throw std::runtime_error("cannot open file: " + path);
-    diags.fatal("cannot open file: " + path, {path, 0, 0});
-    return Netlist("bench");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_bench(buffer.str(), options, diags);
-}
-
-Netlist parse_bench_file(const std::string& path) {
-  diag::Diagnostics diags;
-  return parse_bench_file(path, ParseOptions{}, diags);
 }
 
 std::string write_bench(const Netlist& nl) {

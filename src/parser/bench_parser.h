@@ -9,11 +9,10 @@
 //
 // Like the Verilog reader, line order is preserved as gate order.
 //
-// NOTE: calling a format-specific parse_*_file directly from application
-// code is the deprecated pattern — netrev::Session::load_netlist
-// (pipeline/session.h) dispatches on the spec, caches the parse, and layers
-// repair/validation on top.  These entry points remain for the parser layer
-// itself and its tests.
+// This layer parses SOURCE TEXT only (the writer still writes files).  File
+// reading lives in netrev::Session::load_netlist (pipeline/session.h), which
+// dispatches on the spec, caches the parse, and layers repair/validation on
+// top — the former parse_bench_file entry points have been retired.
 #pragma once
 
 #include <string>
@@ -28,7 +27,6 @@ namespace netrev::parser {
 // Strict parse: throws ParseError (with real line/column) on the first
 // malformed construct, ResourceLimitError on oversized input.
 netlist::Netlist parse_bench(std::string_view source);
-netlist::Netlist parse_bench_file(const std::string& path);
 
 // Configurable parse.  With options.permissive, malformed lines are skipped
 // with a diagnostic and parsing continues; the recovered netlist may contain
@@ -37,9 +35,6 @@ netlist::Netlist parse_bench_file(const std::string& path);
 netlist::Netlist parse_bench(std::string_view source,
                              const ParseOptions& options,
                              diag::Diagnostics& diags);
-netlist::Netlist parse_bench_file(const std::string& path,
-                                  const ParseOptions& options,
-                                  diag::Diagnostics& diags);
 
 std::string write_bench(const netlist::Netlist& nl);
 void write_bench_file(const netlist::Netlist& nl, const std::string& path);

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -409,26 +407,6 @@ netlist::Netlist parse_verilog(std::string_view source,
 netlist::Netlist parse_verilog(std::string_view source) {
   diag::Diagnostics diags;
   return parse_verilog(source, ParseOptions{}, diags);
-}
-
-netlist::Netlist parse_verilog_file(const std::string& path,
-                                    const ParseOptions& options,
-                                    diag::Diagnostics& diags) {
-  std::ifstream in(path);
-  if (!in) {
-    if (!options.permissive)
-      throw std::runtime_error("cannot open file: " + path);
-    diags.fatal("cannot open file: " + path, {path, 0, 0});
-    return Netlist("recovered");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_verilog(buffer.str(), options, diags);
-}
-
-netlist::Netlist parse_verilog_file(const std::string& path) {
-  diag::Diagnostics diags;
-  return parse_verilog_file(path, ParseOptions{}, diags);
 }
 
 }  // namespace netrev::parser

@@ -15,11 +15,10 @@
 // Gate order in the returned netlist equals statement order in the file,
 // which is what the §2.2 grouping pass keys on.
 //
-// NOTE: calling a format-specific parse_*_file directly from application
-// code is the deprecated pattern — netrev::Session::load_netlist
-// (pipeline/session.h) dispatches on the spec, caches the parse, and layers
-// repair/validation on top.  These entry points remain for the parser layer
-// itself and its tests.
+// This layer parses SOURCE TEXT only.  File access lives in
+// netrev::Session::load_netlist (pipeline/session.h), which dispatches on
+// the spec, caches the parse, and layers repair/validation on top — the
+// former parse_verilog_file entry points have been retired.
 #pragma once
 
 #include <string>
@@ -34,9 +33,6 @@ namespace netrev::parser {
 // Parses `source`; throws ParseError on malformed input.
 netlist::Netlist parse_verilog(std::string_view source);
 
-// Reads and parses a file; throws std::runtime_error if unreadable.
-netlist::Netlist parse_verilog_file(const std::string& path);
-
 // Configurable parse.  With options.permissive, a malformed statement is
 // reported into `diags` and the parser resynchronizes at the next ';',
 // keeping every statement it can; duplicate drivers are resolved keep-first
@@ -45,8 +41,5 @@ netlist::Netlist parse_verilog_file(const std::string& path);
 netlist::Netlist parse_verilog(std::string_view source,
                                const ParseOptions& options,
                                diag::Diagnostics& diags);
-netlist::Netlist parse_verilog_file(const std::string& path,
-                                    const ParseOptions& options,
-                                    diag::Diagnostics& diags);
 
 }  // namespace netrev::parser

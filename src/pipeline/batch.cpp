@@ -14,6 +14,7 @@
 #include "exec/cancel.h"
 #include "exec/degrade.h"
 #include "itc/family.h"
+#include "jsonout/jsonout.h"
 #include "pipeline/journal.h"
 #include "pipeline/session.h"
 #include "wordrec/degrade.h"
@@ -65,9 +66,11 @@ std::uint64_t batch_options_fingerprint(const BatchOptions& options) {
   fp = mix(fp, config.parse_fingerprint(options.max_errors));
   fp = mix(fp, config.wordrec_fingerprint());
   fp = mix(fp, config.analysis_fingerprint());
+  fp = mix(fp, config.lift_fingerprint());
   fp = mix(fp, config.exec_fingerprint());
   fp = mix(fp, config.use_baseline ? 1 : 0);
   fp = mix(fp, options.run_lint ? 1 : 0);
+  fp = mix(fp, options.run_lift ? 1 : 0);
   fp = mix(fp, options.run_evaluate ? 1 : 0);
   return fp;
 }
@@ -133,6 +136,12 @@ void run_entry(Session& session, const BatchOptions& options,
       }
     }
 
+    if (options.run_lift) {
+      stage = "lift";
+      check_cancel();
+      state.out.lift_json = session.lift_json(state.design);
+    }
+
     if (options.run_evaluate) {
       stage = "evaluate";
       check_cancel();
@@ -169,7 +178,8 @@ void run_entry(Session& session, const BatchOptions& options,
 // their whole pipeline independently.
 void apply_skip_rule(std::vector<EntryState>& states, bool keep_going) {
   if (keep_going) return;
-  static const char* kStages[] = {"load", "lint", "identify", "evaluate"};
+  static const char* kStages[] = {"load", "lint", "identify", "lift",
+                                  "evaluate"};
   std::vector<bool> active(states.size());
   for (std::size_t i = 0; i < states.size(); ++i)
     active[i] = states[i].out.status != EntryStatus::kCancelled;
@@ -294,7 +304,7 @@ BatchResult run_batch(const std::vector<std::string>& specs,
 }
 
 std::string BatchResult::to_json() const {
-  std::string out = "{\"version\":\"";
+  std::string out = "{" + jsonout::version_field() + ",\"version\":\"";
   out += json_escape(version());
   out += "\",\"entries\":[";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -306,6 +316,8 @@ std::string BatchResult::to_json() const {
     switch (entry.status) {
       case EntryStatus::kOk:
         out += ",\"identify\":" + entry.identify_json;
+        out += ",\"lift\":";
+        out += entry.lift_json.empty() ? "null" : entry.lift_json;
         out += ",\"analysis\":";
         out += entry.analysis_json.empty() ? "null" : entry.analysis_json;
         out += ",\"evaluation\":";

@@ -1,5 +1,5 @@
-// Batch pipeline engine: parse -> repair -> lint -> identify -> evaluate
-// over many netlists, one entry-pipeline per input scheduled on the shared
+// Batch pipeline engine: parse -> repair -> lint -> identify -> lift ->
+// evaluate over many netlists, one entry-pipeline per input scheduled on the shared
 // ThreadPool and routed through one Session so artifacts (parses,
 // identifications, references, analyses) are computed once per distinct
 // input.  Entries complete individually, which is what makes the journal
@@ -34,6 +34,7 @@ struct BatchOptions {
   bool keep_going = false;
 
   bool run_lint = true;
+  bool run_lift = true;
   bool run_evaluate = true;
 
   // Per-entry diagnostics error budget (CLI --max-errors).
@@ -63,12 +64,15 @@ struct BatchEntry {
   EntryStatus status = EntryStatus::kOk;
 
   // Failure record (status == kFailed).
-  std::string failed_stage;  // "load" | "lint" | "identify" | "evaluate"
+  std::string failed_stage;  // "load" | "lint" | "identify" | "lift" |
+                             // "evaluate"
   std::string error;
 
   // Stage outputs (status == kOk; empty when the stage did not run).
-  // identify_json is byte-identical to `netrev identify <spec> --json`.
+  // identify_json is byte-identical to `netrev identify <spec> --json`;
+  // lift_json to `netrev lift <spec>`.
   std::string identify_json;
+  std::string lift_json;
   std::string analysis_json;
   std::string evaluation_json;  // empty when the design has no reference words
   std::string diagnostics_json;  // empty when no diagnostics were collected
@@ -104,8 +108,8 @@ struct BatchResult {
   // holds every entry that finished, so --resume completes the rest.
   bool interrupted() const { return cancelled > 0; }
 
-  // {"version":...,"entries":[...],"summary":{...}} — stable bytes: no
-  // timing, no cache statistics, no resume markers.
+  // {"schema_version":1,"version":...,"entries":[...],"summary":{...}} —
+  // stable bytes: no timing, no cache statistics, no resume markers.
   std::string to_json() const;
   // Human-readable per-entry lines plus a summary with cache statistics.
   std::string render_text() const;

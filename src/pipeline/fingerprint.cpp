@@ -69,6 +69,16 @@ std::uint64_t fingerprint(const wordrec::Options& options) {
   return hash;
 }
 
+std::uint64_t fingerprint(const lift::Options& options) {
+  std::uint64_t hash = fnv1a64("lift-options");
+  hash = hash_bool(options.verify, hash);
+  hash = hash_u64(options.verify_vectors, hash);
+  hash = hash_u64(options.verify_seed, hash);
+  hash = hash_u64(options.opaque_depth, hash);
+  hash = hash_bool(options.include_singletons, hash);
+  return hash;
+}
+
 std::uint64_t fingerprint(const analysis::AnalysisOptions& options) {
   std::uint64_t hash = fnv1a64("analysis-options");
   hash = hash_u64(options.enabled_rules.size(), hash);

@@ -15,6 +15,7 @@
 
 #include "analysis/rule.h"
 #include "exec/degrade.h"
+#include "lift/options.h"
 #include "netlist/netlist.h"
 #include "parser/parse_options.h"
 #include "wordrec/options.h"
@@ -37,6 +38,7 @@ std::uint64_t fingerprint(const parser::ParseOptions& options,
                           std::size_t max_errors);
 std::uint64_t fingerprint(const wordrec::Options& options);
 std::uint64_t fingerprint(const analysis::AnalysisOptions& options);
+std::uint64_t fingerprint(const lift::Options& options);
 
 // Degradation policy fingerprint.  The policy changes what a trip *produces*
 // (which rung answers), so identify artifacts key on it; deadlines, cancel

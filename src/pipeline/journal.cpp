@@ -195,6 +195,7 @@ bool record_from(const FlatObject& object, JournalRecord& record) {
   copy("stage", record.entry.failed_stage);
   copy("error", record.entry.error);
   copy("identify", record.entry.identify_json);
+  copy("lift", record.entry.lift_json);
   copy("analysis", record.entry.analysis_json);
   copy("evaluation", record.entry.evaluation_json);
   copy("diagnostics", record.entry.diagnostics_json);
@@ -236,6 +237,7 @@ std::string render_journal_line(const std::string& key,
   line += ",\"stage\":" + quoted(entry.failed_stage);
   line += ",\"error\":" + quoted(entry.error);
   line += ",\"identify\":" + quoted(entry.identify_json);
+  line += ",\"lift\":" + quoted(entry.lift_json);
   line += ",\"analysis\":" + quoted(entry.analysis_json);
   line += ",\"evaluation\":" + quoted(entry.evaluation_json);
   line += ",\"diagnostics\":" + quoted(entry.diagnostics_json);

@@ -15,10 +15,10 @@
 // as escaped strings so the reader needs no recursive parser:
 //
 //   {"v":1,"key":"<16 hex>","spec":"...","status":"ok|failed",
-//    "stage":"...","error":"...","identify":"...","analysis":"...",
-//    "evaluation":"...","diagnostics":"...","degrade_level":"...",
-//    "degrade_stage":"...","words":N,"control_signals":N,
-//    "lint_errors":N,"lint_warnings":N,"lint_notes":N}
+//    "stage":"...","error":"...","identify":"...","lift":"...",
+//    "analysis":"...","evaluation":"...","diagnostics":"...",
+//    "degrade_level":"...","degrade_stage":"...","words":N,
+//    "control_signals":N,"lint_errors":N,"lint_warnings":N,"lint_notes":N}
 #pragma once
 
 #include <cstdint>

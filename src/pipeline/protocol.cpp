@@ -1,6 +1,7 @@
 #include "pipeline/protocol.h"
 
 #include <cctype>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "common/version.h"
 #include "eval/diagnose.h"
 #include "eval/report.h"
+#include "jsonout/jsonout.h"
 #include "netlist/stats.h"
 #include "perf/profile.h"
 #include "pipeline/batch.h"
@@ -382,13 +384,34 @@ const char* op_name(Op op) {
       return "evaluate";
     case Op::kBatch:
       return "batch";
+    case Op::kLift:
+      return "lift";
   }
   return "unknown";
 }
 
+namespace {
+
+constexpr Op kAllOps[] = {Op::kPing,     Op::kStats,    Op::kLoad,
+                          Op::kLint,     Op::kIdentify, Op::kEvaluate,
+                          Op::kBatch,    Op::kLift};
+
+// "ping, stats, ..., or lift" — the bad_request text enumerates every op so
+// a client learns the full surface (including newly added ops) from the
+// error itself.
+std::string op_list() {
+  std::string out;
+  for (std::size_t i = 0; i < std::size(kAllOps); ++i) {
+    if (i > 0) out += i + 1 == std::size(kAllOps) ? ", or " : ", ";
+    out += op_name(kAllOps[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::optional<Op> parse_op(const std::string& name) {
-  for (Op op : {Op::kPing, Op::kStats, Op::kLoad, Op::kLint, Op::kIdentify,
-                Op::kEvaluate, Op::kBatch})
+  for (Op op : kAllOps)
     if (name == op_name(op)) return op;
   return std::nullopt;
 }
@@ -437,7 +460,7 @@ ParsedRequest parse_request(const std::string& line) {
   }
   const auto op = parse_op(op_field);
   if (!op) {
-    out.error = "unknown op \"" + op_field + "\"";
+    out.error = "unknown op \"" + op_field + "\" (expected " + op_list() + ")";
     return out;
   }
   request.op = *op;
@@ -618,8 +641,8 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
   try {
     switch (request.op) {
       case Op::kPing:
-        response.result = "{\"protocol\":" +
-                          std::to_string(kProtocolVersion) +
+        response.result = "{" + jsonout::version_field() +
+                          ",\"protocol\":" + std::to_string(kProtocolVersion) +
                           ",\"version\":" + quoted(version()) + "}";
         break;
 
@@ -650,7 +673,8 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
       case Op::kLoad:
       case Op::kLint:
       case Op::kIdentify:
-      case Op::kEvaluate: {
+      case Op::kEvaluate:
+      case Op::kLift: {
         if (request.design.empty())
           throw std::invalid_argument(std::string(op_name(request.op)) +
                                       ": missing \"design\"");
@@ -661,7 +685,8 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
         if (request.op == Op::kLoad) {
           const auto stats = netlist::compute_stats(design.nl());
           response.result =
-              "{\"design\":" + quoted(request.design) + ",\"identity\":\"" +
+              "{" + jsonout::version_field() +
+              ",\"design\":" + quoted(request.design) + ",\"identity\":\"" +
               hex16(design.identity) +
               "\",\"gates\":" + std::to_string(stats.gates) +
               ",\"nets\":" + std::to_string(stats.nets) +
@@ -690,6 +715,19 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
           break;
         }
 
+        if (request.op == Op::kLift) {
+          // Byte-identical to `netrev lift <design>`.
+          response.result = session.lift_json(design);
+          if (!config.use_baseline) {
+            const auto result = session.identify(design);  // cache hit
+            if (result->degraded()) {
+              response.status = Status::kDegraded;
+              wordrec::report_degradation(*result, diags);
+            }
+          }
+          break;
+        }
+
         // evaluate — byte-identical to `netrev evaluate <design> --json`.
         const auto reference = session.reference(design);
         if (reference->words.empty())
@@ -708,11 +746,9 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
         const eval::Diagnosis diagnosis =
             eval::diagnose(design.nl(), words, *reference);
         const auto health = session.analyze(design);
-        response.result =
-            "{\"evaluation\":" +
-            eval::evaluation_to_json(diagnosis.summary, reference->words) +
-            ",\"analysis\":" + eval::analysis_to_json(design.nl(), *health) +
-            "}";
+        response.result = eval::evaluate_doc_to_json(
+            eval::evaluation_to_json(diagnosis.summary, reference->words),
+            eval::analysis_to_json(design.nl(), *health));
         break;
       }
     }
@@ -747,7 +783,8 @@ std::string Executor::stats_json() const {
     return std::to_string(by_status_[static_cast<std::size_t>(status)].load(
         std::memory_order_relaxed));
   };
-  std::string out = "{\"protocol\":" + std::to_string(kProtocolVersion) +
+  std::string out = "{" + jsonout::version_field() +
+                    ",\"protocol\":" + std::to_string(kProtocolVersion) +
                     ",\"version\":" + quoted(version());
   out += ",\"requests\":{\"total\":" + std::to_string(total);
   for (Status status :

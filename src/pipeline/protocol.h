@@ -13,9 +13,9 @@
 //               "permissive":false,"timeout_ms":1000,"degrade":"groups",
 //               "max_errors":64}}
 //
-// Ops: "ping", "stats", "load", "lint", "identify", "evaluate", "batch"
-// (batch takes "designs":[...] instead of "design").  Every field except
-// "op" is optional; an omitted "id" is assigned by the server.
+// Ops: "ping", "stats", "load", "lint", "identify", "evaluate", "batch",
+// "lift" (batch takes "designs":[...] instead of "design").  Every field
+// except "op" is optional; an omitted "id" is assigned by the server.
 //
 // Response line:
 //
@@ -28,9 +28,9 @@
 //   {"id":"?","status":"bad_request","error":"..."}     // unparseable line
 //
 // Determinism contract: for identical inputs and options, the "result" body
-// of identify/evaluate/lint/batch is byte-identical to the one-shot CLI's
-// JSON output at any --jobs (the Executor routes through the same Session
-// code paths and the same renderers).
+// of identify/evaluate/lint/batch/lift is byte-identical to the one-shot
+// CLI's JSON output at any --jobs (the Executor routes through the same
+// Session code paths and the same renderers).
 //
 // QoS: the client requests a degradation floor ("degrade") and a wall-clock
 // budget ("timeout_ms"); the server enforces a ceiling — client budgets are
@@ -54,7 +54,16 @@ namespace netrev::pipeline::protocol {
 
 inline constexpr int kProtocolVersion = 1;
 
-enum class Op { kPing, kStats, kLoad, kLint, kIdentify, kEvaluate, kBatch };
+enum class Op {
+  kPing,
+  kStats,
+  kLoad,
+  kLint,
+  kIdentify,
+  kEvaluate,
+  kBatch,
+  kLift,
+};
 
 const char* op_name(Op op);
 std::optional<Op> parse_op(const std::string& name);
@@ -153,7 +162,8 @@ class Executor {
   // bad-request answers) into the stats.
   void record(Status status);
 
-  // {"protocol":1,"version":"...","requests":{"total":N,"ok":N,...},
+  // {"schema_version":1,"protocol":1,"version":"...",
+  //  "requests":{"total":N,"ok":N,...},
   //  "cache":{"hits":N,"misses":N,"evictions":N,"entries":N}}
   std::string stats_json() const;
 

@@ -16,6 +16,10 @@ std::uint64_t RunConfig::analysis_fingerprint() const {
   return pipeline::fingerprint(analysis);
 }
 
+std::uint64_t RunConfig::lift_fingerprint() const {
+  return pipeline::fingerprint(lift);
+}
+
 std::uint64_t RunConfig::exec_fingerprint() const {
   return pipeline::fingerprint(exec.degrade);
 }

@@ -14,6 +14,7 @@
 #include "analysis/rule.h"
 #include "exec/cancel.h"
 #include "exec/degrade.h"
+#include "lift/options.h"
 #include "parser/parse_options.h"
 #include "wordrec/options.h"
 
@@ -51,6 +52,9 @@ struct RunConfig {
   // Static-analysis / lint knobs.
   analysis::AnalysisOptions analysis;
 
+  // Word-level lifting knobs (verification vectors, opaque cone depth).
+  lift::Options lift;
+
   // Identify with the shape-hashing baseline instead of the paper's
   // control-signal technique ("Base" vs "Ours" in Table 1).
   bool use_baseline = false;
@@ -69,6 +73,7 @@ struct RunConfig {
   std::uint64_t parse_fingerprint(std::size_t max_errors) const;
   std::uint64_t wordrec_fingerprint() const;
   std::uint64_t analysis_fingerprint() const;
+  std::uint64_t lift_fingerprint() const;
   // Fingerprint of the degrade policy only — timeouts and the cancel token
   // never key artifacts (an untripped deadline must share cache entries with
   // no deadline).  Mixed into identify keys by the Session.

@@ -10,6 +10,8 @@
 #include "analysis/dataflow.h"
 #include "eval/report.h"
 #include "itc/family.h"
+#include "lift/json.h"
+#include "lift/lift.h"
 #include "netlist/repair.h"
 #include "netlist/validate.h"
 #include "parser/bench_parser.h"
@@ -357,6 +359,59 @@ std::string Session::identify_json(const LoadedDesign& design) {
         config_.use_baseline
             ? eval::words_to_json(design.nl(), *identify_baseline(design))
             : eval::identify_result_to_json(design.nl(), *identify(design)));
+  });
+  return *json;
+}
+
+std::shared_ptr<const lift::LiftResult> Session::lift(
+    const LoadedDesign& design) {
+  // The word source (paper technique vs baseline) changes the lifted model,
+  // so baseline lifts key under their own stage name — mirroring the
+  // identify_json split.  The options fingerprint mixes the word-recovery
+  // knobs, the lift knobs, and the degrade policy (which changes what a
+  // tripped identify feeds the lifter).
+  const char* stage_name = config_.use_baseline ? "lift_base" : "lift";
+  pipeline::ArtifactKey key{
+      stage_name, design.identity,
+      pipeline::mix(
+          pipeline::mix(config_.wordrec_fingerprint(), config_.lift_fingerprint()),
+          config_.exec_fingerprint())};
+  // Keep the profile tree shape identical on hits and misses (the dataflow
+  // pattern): lift_words charges the "stage.lift_ns" counter itself, but the
+  // wall-tree stage is opened here, outside the cache lookup.
+  perf::Stage stage("lift");
+  return cache_->get_or_compute<lift::LiftResult>(key, [&] {
+    const wordrec::WordSet* words = nullptr;
+    std::shared_ptr<const wordrec::IdentifyResult> ours;
+    std::shared_ptr<const wordrec::WordSet> base;
+    if (config_.use_baseline) {
+      base = identify_baseline(design);
+      words = base.get();
+    } else {
+      ours = identify(design);
+      words = &ours->words;
+    }
+    // Cancellation-only poll (the lint rationale): lifting has no
+    // degradation ladder, so a deadline trip here — e.g. a budget already
+    // consumed by a degraded identify — would turn into a hard stage
+    // failure instead of the documented degrade-and-continue behavior.
+    // Deadlines stay with the stages that can degrade.
+    return std::make_shared<lift::LiftResult>(
+        lift::lift_words(design.nl(), *words, config_.lift,
+                         analysis_checkpoint()));
+  });
+}
+
+std::string Session::lift_json(const LoadedDesign& design) {
+  const char* stage = config_.use_baseline ? "lift_base_json" : "lift_json";
+  pipeline::ArtifactKey key{
+      stage, design.identity,
+      pipeline::mix(
+          pipeline::mix(config_.wordrec_fingerprint(), config_.lift_fingerprint()),
+          config_.exec_fingerprint())};
+  auto json = cache_->get_or_compute<std::string>(key, [&] {
+    return std::make_shared<std::string>(
+        lift::lift_result_to_json(design.nl(), *lift(design)));
   });
   return *json;
 }

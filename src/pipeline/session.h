@@ -28,6 +28,7 @@
 #include "common/diagnostics.h"
 #include "eval/reference.h"
 #include "eval/runner.h"
+#include "lift/model.h"
 #include "netlist/compact.h"
 #include "netlist/netlist.h"
 #include "pipeline/artifact_cache.h"
@@ -112,6 +113,20 @@ class Session {
   // Exactly the bytes `netrev identify <design> --json` prints (sans the
   // trailing newline); honors config().use_baseline.
   std::string identify_json(const LoadedDesign& design);
+
+  // Word-level lifting (config().lift) of the identified words — the
+  // paper's words plus their control/data cones as typed multi-bit
+  // operators, each self-verified by bit-blast + simulation equivalence
+  // (lift::lift_words).  Honors config().use_baseline for the word source.
+  // Cached per design identity × (wordrec, lift, degrade) fingerprints;
+  // profiled as stage "lift" (counter "stage.lift_ns").  Polls
+  // cancellation only (analysis_checkpoint rationale): lifting has no
+  // degradation ladder, so run deadlines stay with identify.
+  std::shared_ptr<const lift::LiftResult> lift(const LoadedDesign& design);
+
+  // Exactly the bytes `netrev lift <design>` prints (sans the trailing
+  // newline): the schema-versioned word-level JSON document.
+  std::string lift_json(const LoadedDesign& design);
 
   // Golden reference words from flop output names (§3).
   std::shared_ptr<const eval::ReferenceExtraction> reference(

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <thread>
 
@@ -155,6 +156,36 @@ TEST(Cli, ReduceRejectsMalformedAssign) {
   EXPECT_EQ(run({"reduce", "b03s", "--assign", "U201=2"}).exit_code, 2);
   EXPECT_EQ(run({"reduce", "b03s", "--assign", "NOPE=0"}).exit_code, 1);
   EXPECT_EQ(run({"reduce", "b03s"}).exit_code, 2);
+}
+
+TEST(Cli, LiftEmitsVerifiedSchemaV1Document) {
+  const CliRun r = run({"lift", "b03s"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out.rfind("{\"schema_version\":1,", 0), 0u)
+      << r.out.substr(0, 60);
+  EXPECT_NE(r.out.find("\"verdict\":\"equivalent\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"ops\":["), std::string::npos);
+}
+
+TEST(Cli, LiftNoVerifyReportsUnchecked) {
+  const CliRun r = run({"lift", "b03s", "--no-verify"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"verdict\":\"unchecked\""), std::string::npos);
+}
+
+TEST(Cli, LiftVectorsFlagRejectsZero) {
+  const CliRun r = run({"lift", "b03s", "--vectors", "0"});
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, LiftWritesOutputFile) {
+  const std::string path = temp_dir() + "/lifted.json";
+  const CliRun r = run({"lift", "b03s", "-o", path});
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"verdict\":\"equivalent\""), std::string::npos);
 }
 
 TEST(Cli, EvaluateShowsPerWordOutcomes) {
@@ -506,8 +537,10 @@ TEST(Cli, EvaluateTextIncludesAnalysisSummary) {
 TEST(Cli, EvaluateJsonWrapsEvaluationAndAnalysis) {
   const CliRun r = run({"evaluate", "b03s", "--json"});
   EXPECT_EQ(r.exit_code, 0);
-  EXPECT_EQ(r.out.rfind("{\"evaluation\":", 0), 0u) << r.out.substr(0, 80);
-  EXPECT_NE(r.out.find("\"analysis\":{\"findings\":[]"), std::string::npos)
+  EXPECT_EQ(r.out.rfind("{\"schema_version\":1,\"evaluation\":", 0), 0u)
+      << r.out.substr(0, 80);
+  EXPECT_NE(r.out.find("\"analysis\":{\"schema_version\":1,\"findings\":[]"),
+            std::string::npos)
       << r.out;
 }
 

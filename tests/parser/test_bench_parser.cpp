@@ -4,11 +4,13 @@
 
 #include "netlist/validate.h"
 #include "parser/lexer.h"
+#include "pipeline/session.h"
 
 namespace netrev::parser {
 namespace {
 
 using netlist::GateType;
+using netrev::Session;
 
 constexpr const char* kSample = R"(# tiny
 INPUT(a)
@@ -80,8 +82,12 @@ TEST(BenchWriter, RoundTripsSample) {
   }
 }
 
-TEST(BenchParser, MissingFileThrows) {
-  EXPECT_THROW(parse_bench_file("/nonexistent/x.bench"), std::runtime_error);
+TEST(BenchParser, MissingFileThrowsViaSession) {
+  // File access lives in Session::load_netlist now; the parser layer only
+  // ever sees source text.
+  Session session;
+  EXPECT_THROW(session.load_netlist("/nonexistent/x.bench"),
+               std::runtime_error);
 }
 
 TEST(BenchParser, ErrorCarriesRealColumn) {

@@ -4,11 +4,13 @@
 
 #include "netlist/validate.h"
 #include "parser/lexer.h"
+#include "pipeline/session.h"
 
 namespace netrev::parser {
 namespace {
 
 using netlist::GateType;
+using netrev::Session;
 
 constexpr const char* kSmall = R"(
 // a small flattened design
@@ -197,8 +199,12 @@ endmodule
                ParseError);
 }
 
-TEST(VerilogParser, MissingFileThrows) {
-  EXPECT_THROW(parse_verilog_file("/nonexistent/path.v"), std::runtime_error);
+TEST(VerilogParser, MissingFileThrowsViaSession) {
+  // File access lives in Session::load_netlist now; the parser layer only
+  // ever sees source text.
+  Session session;
+  EXPECT_THROW(session.load_netlist("/nonexistent/path.v"),
+               std::runtime_error);
 }
 
 TEST(VerilogParser, ErrorsCarryRealColumn) {

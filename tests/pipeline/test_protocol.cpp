@@ -70,6 +70,11 @@ TEST(Protocol, RejectsUnknownOp) {
   const ParsedRequest parsed = parse_request("{\"op\":\"frobnicate\"}");
   EXPECT_FALSE(parsed.request.has_value());
   EXPECT_NE(parsed.error.find("unknown op"), std::string::npos);
+  // The error enumerates every op the server speaks.
+  for (const char* op :
+       {"ping", "stats", "load", "lint", "identify", "evaluate", "batch",
+        "lift"})
+    EXPECT_NE(parsed.error.find(op), std::string::npos) << op;
 }
 
 TEST(Protocol, RejectsMistypedFields) {
@@ -187,7 +192,7 @@ TEST(Protocol, ParseResponseRejectsUnknownStatus) {
 
 TEST(Protocol, OpAndStatusNamesRoundTrip) {
   for (Op op : {Op::kPing, Op::kStats, Op::kLoad, Op::kLint, Op::kIdentify,
-                Op::kEvaluate, Op::kBatch})
+                Op::kEvaluate, Op::kBatch, Op::kLift})
     EXPECT_EQ(parse_op(op_name(op)), op);
   EXPECT_FALSE(parse_op("nonsense").has_value());
   EXPECT_STREQ(status_name(Status::kBadRequest), "bad_request");
@@ -261,6 +266,8 @@ TEST(Protocol, ExecutesPing) {
   const Response response = executor.execute(request, exec::CancelToken());
   EXPECT_EQ(response.status, Status::kOk);
   EXPECT_EQ(response.id, "p1");
+  EXPECT_EQ(response.result.rfind("{\"schema_version\":1,", 0), 0u)
+      << response.result;
   EXPECT_NE(response.result.find("\"protocol\":1"), std::string::npos);
   EXPECT_NE(response.result.find("\"version\":"), std::string::npos);
 }
@@ -290,6 +297,23 @@ TEST(Protocol, IdentifyResultIsByteIdenticalToSessionJson) {
   Session session({}, &reference_cache);
   const LoadedDesign design = session.load_netlist("b03s");
   EXPECT_EQ(response.result, session.identify_json(design));
+}
+
+TEST(Protocol, LiftResultIsByteIdenticalToSessionJson) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kLift;
+  request.design = "b03s";
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk) << response.error;
+
+  ArtifactCache reference_cache;
+  Session session({}, &reference_cache);
+  const LoadedDesign design = session.load_netlist("b03s");
+  EXPECT_EQ(response.result, session.lift_json(design));
+  EXPECT_NE(response.result.find("\"verdict\":\"equivalent\""),
+            std::string::npos);
 }
 
 TEST(Protocol, MissingDesignIsAnErrorResponseNotAThrow) {
