@@ -30,6 +30,14 @@
 #      `client lift` output is byte-identical to the one-shot CLI, fire
 #      concurrent mixed requests, SIGTERM mid-load, and require a clean
 #      drain (exit 6, "drained")
+#  13. chaos gate: process-level fault isolation under deliberate sabotage —
+#      a clean `batch --isolate` run must be byte-identical to the
+#      in-process run; NETREV_CHAOS crashing one of five entries must exit 9
+#      and quarantine exactly that entry while the other four stay
+#      byte-identical; SIGKILLing a live worker (then the batch) must leave
+#      a journal `--resume` converges from; and a `serve --isolate` daemon
+#      must answer a worker crash with a structured error, keep serving,
+#      and still drain cleanly
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -269,4 +277,103 @@ grep -q "netrev serve drained" "$SERVE_DIR/serve.out" || {
   exit 1
 }
 
-echo "check.sh: tidy + doc-links + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + giant-smoke + batch-smoke + resume-smoke + lift-smoke + serve-smoke all passed"
+# Chaos gate.  Process-level fault isolation under deliberate sabotage.
+# abort@ rather than segv@ because ASan intercepts raise(SIGSEGV) and turns
+# it into exit(1); no --worker-mem because RLIMIT_AS breaks the sanitizer's
+# shadow mappings.  SIGABRT reaches the supervisor unchanged.
+CHAOS_DIR="$BUILD_DIR/chaos-smoke"
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+
+echo "chaos-smoke: clean isolated batch matches the in-process run"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 > "$CHAOS_DIR/reference.json"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 --isolate \
+  > "$CHAOS_DIR/isolated.json"
+diff "$CHAOS_DIR/reference.json" "$CHAOS_DIR/isolated.json"
+
+echo "chaos-smoke: poisoned entry is quarantined, siblings untouched"
+CHAOS_RC=0
+NETREV_CHAOS="abort@identify:b08s" "$NETREV" batch "${FAMILIES[@]}" --json \
+  --jobs 1 --isolate > "$CHAOS_DIR/chaos.json" 2> "$CHAOS_DIR/chaos.err" \
+  || CHAOS_RC=$?
+[ "$CHAOS_RC" -eq 9 ] || {
+  echo "chaos-smoke: expected worker-crashed exit code 9, got $CHAOS_RC" >&2
+  cat "$CHAOS_DIR/chaos.err" >&2
+  exit 1
+}
+python3 - "$CHAOS_DIR/reference.json" "$CHAOS_DIR/chaos.json" b08s <<'PY'
+import json, sys
+ref = {e["design"]: e for e in json.load(open(sys.argv[1]))["entries"]}
+chaos_doc = json.load(open(sys.argv[2]))
+chaos = {e["design"]: e for e in chaos_doc["entries"]}
+victim = sys.argv[3]
+entry = chaos[victim]
+assert entry["status"] == "crashed", entry
+assert entry["crash"] == "signal 6 (SIGABRT)", entry
+assert entry["signal"] == 6, entry
+assert chaos_doc["summary"]["crashed"] == 1, chaos_doc["summary"]
+for design, reference in ref.items():
+    if design == victim:
+        continue
+    assert chaos[design] == reference, design + " diverged under chaos"
+PY
+
+echo "chaos-smoke: SIGKILL a live worker mid-batch, then resume"
+CHAOS_JOURNAL="$CHAOS_DIR/journal.jsonl"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 --isolate \
+  --resume "$CHAOS_JOURNAL" > "$CHAOS_DIR/killed.json" 2> /dev/null &
+BATCH_PID=$!
+sleep 0.3
+# The worker dies first (the supervisor must absorb it), then the batch
+# itself; a too-fast run that already finished simply passes the diff.
+pkill -KILL -P "$BATCH_PID" 2> /dev/null || true
+sleep 0.2
+kill -KILL "$BATCH_PID" 2> /dev/null || true
+wait "$BATCH_PID" 2> /dev/null || true
+echo "chaos-smoke: resume ($(wc -l < "$CHAOS_JOURNAL" 2> /dev/null || echo 0) journaled)"
+"$NETREV" batch "${FAMILIES[@]}" --json --jobs 1 --isolate \
+  --resume "$CHAOS_JOURNAL" > "$CHAOS_DIR/resumed.json"
+diff "$CHAOS_DIR/reference.json" "$CHAOS_DIR/resumed.json"
+
+echo "chaos-smoke: serve --isolate survives a worker crash"
+NETREV_CHAOS="abort@identify:b04s" "$NETREV" serve --listen 127.0.0.1:0 \
+  --isolate > "$CHAOS_DIR/serve.out" 2> "$CHAOS_DIR/serve.err" &
+CHAOS_SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^netrev serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$CHAOS_DIR/serve.out")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || {
+  echo "chaos-smoke: daemon never reported its port" >&2
+  cat "$CHAOS_DIR/serve.err" >&2
+  exit 1
+}
+CLIENT_RC=0
+"$NETREV" client identify b04s --connect "127.0.0.1:$PORT" \
+  > /dev/null 2> "$CHAOS_DIR/client.err" || CLIENT_RC=$?
+[ "$CLIENT_RC" -eq 9 ] || {
+  echo "chaos-smoke: expected client exit 9 for a crashed worker, got $CLIENT_RC" >&2
+  cat "$CHAOS_DIR/client.err" >&2
+  exit 1
+}
+grep -q "worker crashed: signal 6 (SIGABRT)" "$CHAOS_DIR/client.err"
+# The daemon is unharmed: the next request (an unpoisoned design) must be
+# byte-identical to the one-shot CLI, and health must show the casualty.
+"$NETREV" client identify b03s --connect "127.0.0.1:$PORT" \
+  > "$CHAOS_DIR/after-crash.json"
+diff "$SERVE_DIR/oneshot.json" "$CHAOS_DIR/after-crash.json"
+"$NETREV" client health --connect "127.0.0.1:$PORT" > "$CHAOS_DIR/health.json"
+grep -q '"quarantined":1' "$CHAOS_DIR/health.json"
+kill -TERM "$CHAOS_SERVE_PID"
+CHAOS_SERVE_RC=0
+wait "$CHAOS_SERVE_PID" || CHAOS_SERVE_RC=$?
+[ "$CHAOS_SERVE_RC" -eq 6 ] || {
+  echo "chaos-smoke: expected drain exit code 6, got $CHAOS_SERVE_RC" >&2
+  cat "$CHAOS_DIR/serve.err" >&2
+  exit 1
+}
+
+echo "check.sh: tidy + doc-links + -Werror + sanitizer suite + lint gate + lint-determinism + tsan + jobs-determinism + giant-smoke + batch-smoke + resume-smoke + lift-smoke + serve-smoke + chaos-smoke all passed"

@@ -5,6 +5,8 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,6 +38,7 @@
 #include "pipeline/manifest.h"
 #include "pipeline/serve.h"
 #include "pipeline/session.h"
+#include "pipeline/supervisor.h"
 #include "rtl/scan.h"
 #include "wordrec/degrade.h"
 #include "wordrec/funcheck.h"
@@ -140,6 +143,54 @@ class DrainSignalGuard {
   void (*previous_term_)(int) = nullptr;
   void (*previous_int_)(int) = nullptr;
 };
+
+// --- worker pool construction ----------------------------------------------
+
+// The argv tail worker children are spawned with: "worker" plus every flag
+// that changes what an entry/request produces, so a worker's pipeline
+// configuration matches its supervisor's exactly (the byte-identity
+// contract of --isolate rests on this).
+std::vector<std::string> worker_config_args(const ParsedFlags& flags) {
+  std::vector<std::string> args = {"worker"};
+  if (flags.base) args.emplace_back("--base");
+  if (flags.permissive) args.emplace_back("--permissive");
+  if (flags.cross_group) args.emplace_back("--cross-group");
+  if (flags.use_dataflow) args.emplace_back("--use-dataflow");
+  if (flags.legacy_core) args.emplace_back("--legacy-core");
+  if (flags.no_verify) args.emplace_back("--no-verify");
+  const auto add = [&args](const char* name, std::size_t value) {
+    args.emplace_back(name);
+    args.push_back(std::to_string(value));
+  };
+  if (flags.depth) add("--depth", *flags.depth);
+  if (flags.max_assign) add("--max-assign", *flags.max_assign);
+  if (flags.vectors) add("--vectors", *flags.vectors);
+  if (flags.max_errors) add("--max-errors", *flags.max_errors);
+  if (flags.timeout_ms) add("--timeout", *flags.timeout_ms);
+  if (flags.stage_timeout_ms) add("--stage-timeout", *flags.stage_timeout_ms);
+  if (flags.cache_entries) add("--cache-entries", *flags.cache_entries);
+  if (flags.retries) add("--retries", *flags.retries);
+  if (flags.jobs) add("--jobs", *flags.jobs);
+  if (flags.degrade) {
+    args.emplace_back("--degrade");
+    args.emplace_back(flags.degrade->enabled
+                          ? exec::degrade_level_name(flags.degrade->floor)
+                          : "off");
+  }
+  return args;
+}
+
+pipeline::supervisor::PoolOptions pool_options_from(const ParsedFlags& flags) {
+  pipeline::supervisor::PoolOptions options;
+  options.args = worker_config_args(flags);
+  if (flags.isolate_workers) options.workers = *flags.isolate_workers;
+  if (flags.worker_mem_mb)
+    options.limits.mem_bytes = *flags.worker_mem_mb << 20;
+  if (flags.worker_cpu_s) options.limits.cpu_seconds = *flags.worker_cpu_s;
+  if (flags.worker_wall_ms)
+    options.wall_timeout = std::chrono::milliseconds(*flags.worker_wall_ms);
+  return options;
+}
 
 // Loads a design through the session: family benchmark name, .bench file,
 // or Verilog file.  Strict by default; --permissive recovers and repairs
@@ -521,6 +572,17 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
   if (flags.retries) options.retries = *flags.retries;
   if (flags.resume) options.resume_path = *flags.resume;
 
+  // --isolate: entries run in supervised worker processes; a crash is
+  // quarantined as a "crashed" entry instead of taking the batch down.
+  std::unique_ptr<pipeline::supervisor::WorkerPool> pool;
+  if (flags.isolate) {
+    pipeline::supervisor::ignore_sigpipe();
+    pool = std::make_unique<pipeline::supervisor::WorkerPool>(
+        pool_options_from(flags));
+    options.pool = pool.get();
+    if (flags.crash_retries) options.crash_retries = *flags.crash_retries;
+  }
+
   // Ctrl-C cancels in-flight entries cooperatively; entries that already
   // finished are in the journal (with --resume), so a rerun picks up where
   // the interrupted run left off.
@@ -546,7 +608,51 @@ int cmd_batch(const ParsedFlags& flags, std::ostream& out) {
         << stats.dropped << " superseded\n";
   }
   if (result.interrupted()) return exit_code(ExitCode::kInterrupted);
+  // Quarantined crashes outrank plain failures: exit 9 tells scripts the
+  // run hit a fault the workers contained, not an ordinary bad input.
+  if (result.crashed > 0) return exit_code(ExitCode::kWorkerCrashed);
   return exit_code(result.all_ok() ? ExitCode::kOk : ExitCode::kError);
+}
+
+// Hidden mode: one supervised worker process (see pipeline/supervisor.h).
+// Reads NDJSON request lines on stdin and answers exactly one response line
+// on stdout per request; EOF on stdin is the shutdown signal.  SIGINT is
+// ignored — a Ctrl-C at an interactive terminal reaches the whole foreground
+// process group, and interruption is the supervisor's decision, not the
+// worker's (the supervisor kills and reaps its children explicitly).
+int cmd_worker(const ParsedFlags& flags, std::ostream& out) {
+  if (!flags.positional.empty())
+    throw std::invalid_argument("worker: takes no positional arguments");
+  pipeline::supervisor::ignore_sigpipe();
+  std::signal(SIGINT, SIG_IGN);
+
+  pipeline::protocol::ExecutorConfig config;
+  config.base = config_from(flags);
+  // Like serve: --timeout is a per-request ceiling, not a whole-run budget.
+  config.base.exec.timeout = std::chrono::milliseconds(0);
+  if (flags.timeout_ms)
+    config.max_timeout = std::chrono::milliseconds(*flags.timeout_ms);
+  if (flags.retries) config.entry_retries = *flags.retries;
+  pipeline::protocol::Executor executor(config);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const pipeline::protocol::ParsedRequest parsed =
+        pipeline::protocol::parse_request(line);
+    pipeline::protocol::Response response;
+    if (!parsed.request) {
+      response.status = pipeline::protocol::Status::kBadRequest;
+      response.error = parsed.error;
+      executor.record(response.status);
+    } else {
+      response = executor.execute(*parsed.request, exec::CancelToken{});
+    }
+    out << pipeline::protocol::render_response(response) << '\n';
+    out.flush();
+  }
+  return exit_code(ExitCode::kOk);
 }
 
 int cmd_generate(const ParsedFlags& flags, std::ostream& out) {
@@ -662,6 +768,9 @@ int cmd_serve(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
     options.idle_timeout = std::chrono::milliseconds(*flags.idle_timeout_ms);
   if (flags.drain_timeout_ms)
     options.drain_timeout = std::chrono::milliseconds(*flags.drain_timeout_ms);
+  if (flags.max_request_bytes)
+    options.max_request_bytes = *flags.max_request_bytes;
+  if (flags.isolate) options.pool = pool_options_from(flags);
 
   options.executor.base = config_from(flags);
   // --timeout is the server-enforced per-request ceiling, not a whole-run
@@ -687,8 +796,8 @@ int cmd_serve(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
 int cmd_client(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
   if (flags.positional.empty())
     throw std::invalid_argument(
-        "client: expected <op> [design ...] (ping|stats|load|lint|identify|"
-        "evaluate|batch|lift)");
+        "client: expected <op> [design ...] (ping|stats|health|load|lint|"
+        "identify|evaluate|batch|lift)");
   const auto op = pipeline::protocol::parse_op(flags.positional[0]);
   if (!op)
     throw std::invalid_argument("client: unknown op '" + flags.positional[0] +
@@ -758,6 +867,9 @@ int cmd_client(const ParsedFlags& flags, std::ostream& out, std::ostream& err) {
     case Status::kBadRequest:
       err << "error: " << response.error << '\n';
       return exit_code(ExitCode::kUsage);
+    case Status::kWorkerCrashed:
+      err << "error: " << response.error << '\n';
+      return exit_code(ExitCode::kWorkerCrashed);
     case Status::kError:
       break;
   }
@@ -828,6 +940,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       if (command == "table") return cmd_table(flags, out);
       if (command == "serve") return cmd_serve(flags, out, err);
       if (command == "client") return cmd_client(flags, out, err);
+      if (command == "worker") return cmd_worker(flags, out);
       throw std::logic_error("command in table but not dispatched: " +
                              command);
     }();

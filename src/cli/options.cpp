@@ -151,6 +151,32 @@ void apply_flag(ParsedFlags& flags, const FlagSpec& spec,
     case FlagId::kDrainTimeout:
       flags.drain_timeout_ms = parse_count(spec, value);
       break;
+    case FlagId::kMaxRequestBytes:
+      flags.max_request_bytes = parse_count(spec, value);
+      if (*flags.max_request_bytes == 0)
+        throw std::invalid_argument(
+            "--max-request-bytes expects a positive byte count");
+      break;
+    case FlagId::kIsolate:
+      // Bare --isolate; --isolate=N is special-cased in parse_flags (the
+      // only other optional-value flag besides --profile).
+      flags.isolate = true;
+      break;
+    case FlagId::kWorkerMem:
+      flags.worker_mem_mb = parse_count(spec, value);
+      break;
+    case FlagId::kWorkerCpu:
+      flags.worker_cpu_s = parse_count(spec, value);
+      break;
+    case FlagId::kWorkerWall:
+      flags.worker_wall_ms = parse_count(spec, value);
+      break;
+    case FlagId::kCrashRetries:
+      flags.crash_retries = parse_count(spec, value);
+      if (*flags.crash_retries == 0)
+        throw std::invalid_argument(
+            "--crash-retries expects a positive attempt count");
+      break;
     case FlagId::kTimeout:
       flags.timeout_ms = parse_count(spec, value);
       break;
@@ -267,6 +293,30 @@ const std::vector<FlagSpec>& flag_table() {
        "on SIGTERM/SIGINT, give in-flight requests this long before "
        "cancelling them (default 5000)",
        false},
+      {FlagId::kMaxRequestBytes, "--max-request-bytes", nullptr, true, "N",
+       "per-connection bound on one unframed request line; an over-limit "
+       "frame is answered 'bad_request' and the connection closed (default "
+       "8388608)",
+       false},
+      {FlagId::kIsolate, "--isolate", nullptr, false, nullptr,
+       "run entries/requests in supervised worker processes (--isolate=N "
+       "sets the pool size, default 2); a crashed worker quarantines its "
+       "entry instead of taking down the run",
+       false},
+      {FlagId::kWorkerMem, "--worker-mem", nullptr, true, "MB",
+       "per-worker address-space limit in MiB (RLIMIT_AS; 0 = inherit)",
+       false},
+      {FlagId::kWorkerCpu, "--worker-cpu", nullptr, true, "S",
+       "per-worker CPU-time limit in seconds (RLIMIT_CPU; 0 = inherit)",
+       false},
+      {FlagId::kWorkerWall, "--worker-wall", nullptr, true, "MS",
+       "per-round-trip wall-clock watchdog: a worker silent this long is "
+       "SIGKILLed and the entry/request reports a watchdog crash (0 = off)",
+       false},
+      {FlagId::kCrashRetries, "--crash-retries", nullptr, true, "N",
+       "attempts before a crashing entry is quarantined as 'crashed' "
+       "(default 2 = one retry on a fresh worker)",
+       false},
       {FlagId::kLegacyCore, "--legacy-core", nullptr, false, nullptr,
        "run identification on the pointer-chasing legacy core instead of "
        "the flat CSR core (byte-identical output; performance knob)",
@@ -334,15 +384,17 @@ const std::vector<CommandSpec>& command_table() {
        {FlagId::kJson, FlagId::kKeepGoing, FlagId::kBase, FlagId::kDepth,
         FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow,
         FlagId::kResume, FlagId::kRetries, FlagId::kOutput,
-        FlagId::kCompactJournal}},
+        FlagId::kCompactJournal, FlagId::kIsolate, FlagId::kWorkerMem,
+        FlagId::kWorkerCpu, FlagId::kWorkerWall, FlagId::kCrashRetries}},
       {"serve", "",
        "long-lived analysis daemon: newline-delimited JSON requests over TCP "
        "or a Unix socket, bounded admission queue, graceful drain on "
        "SIGTERM/SIGINT (exit 6 drained, 7 drain timeout)",
        {FlagId::kListen, FlagId::kSocket, FlagId::kMaxQueue,
         FlagId::kMaxInflight, FlagId::kIdleTimeout, FlagId::kDrainTimeout,
-        FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
-        FlagId::kUseDataflow}},
+        FlagId::kMaxRequestBytes, FlagId::kIsolate, FlagId::kWorkerMem,
+        FlagId::kWorkerCpu, FlagId::kWorkerWall, FlagId::kBase, FlagId::kDepth,
+        FlagId::kMaxAssign, FlagId::kCrossGroup, FlagId::kUseDataflow}},
       {"client", "<op> [design ...]",
        "send one request (ping|stats|load|lint|identify|evaluate|batch|lift) "
        "to a running netrev serve and print the JSON result",
@@ -356,6 +408,16 @@ const std::vector<CommandSpec>& command_table() {
       {"table", "[bXXs ...]", "Table 1 rows",
        {FlagId::kJson, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
         FlagId::kUseDataflow}},
+      // Internal: one supervised worker process (spawned by --isolate runs;
+      // speaks the NDJSON protocol on stdin/stdout).  Accepts the pipeline
+      // config flags its supervisor forwards.
+      {"worker", "",
+       "(internal) supervised worker for --isolate: NDJSON requests on "
+       "stdin, responses on stdout",
+       {FlagId::kBase, FlagId::kDepth, FlagId::kMaxAssign, FlagId::kCrossGroup,
+        FlagId::kUseDataflow, FlagId::kNoVerify, FlagId::kVectors,
+        FlagId::kRetries},
+       /*hidden=*/true},
   };
   return table;
 }
@@ -376,10 +438,27 @@ ParsedFlags parse_flags(const CommandSpec& command,
       flags.positional.push_back(arg);
       continue;
     }
-    // The one flag with an optional value.
+    // The two flags with an optional value.
     if (arg == "--profile=json") {
       flags.profile = true;
       flags.profile_json = true;
+      continue;
+    }
+    if (arg.rfind("--isolate=", 0) == 0) {
+      // The declared spec is valueless (bare --isolate); parse_count's
+      // diagnostics need a value name, so give this copy one.
+      FlagSpec spec = spec_for(FlagId::kIsolate);
+      spec.value_name = "N";
+      if (!command_accepts(command, FlagId::kIsolate))
+        throw std::invalid_argument(std::string(spec.name) +
+                                    " is not valid for '" +
+                                    std::string(command.name) + "'");
+      flags.isolate = true;
+      flags.isolate_workers =
+          parse_count(spec, arg.substr(std::string("--isolate=").size()));
+      if (*flags.isolate_workers == 0)
+        throw std::invalid_argument(
+            "--isolate expects a positive worker count");
       continue;
     }
     const auto eq = arg.find('=');
@@ -422,6 +501,7 @@ ParsedFlags parse_flags(const CommandSpec& command,
 std::string usage() {
   std::string out = "usage: netrev <command> [args]\n";
   for (const CommandSpec& command : command_table()) {
+    if (command.hidden) continue;
     std::string line = "  ";
     line += command.name;
     if (command.args[0] != '\0') {
@@ -474,7 +554,8 @@ std::string usage() {
        {ExitCode::kOk, ExitCode::kError, ExitCode::kUsage,
         ExitCode::kRecoveredWithWarnings, ExitCode::kUnusableInput,
         ExitCode::kDeadline, ExitCode::kDrained, ExitCode::kDrainTimeout,
-        ExitCode::kOverloaded, ExitCode::kInterrupted}) {
+        ExitCode::kOverloaded, ExitCode::kWorkerCrashed,
+        ExitCode::kInterrupted}) {
     out += first ? " " : (code == ExitCode::kDrained ? ",\n  " : ", ");
     out += std::to_string(exit_code(code));
     out += ' ';

@@ -51,6 +51,13 @@ enum class FlagId {
   kMaxInflight,
   kIdleTimeout,
   kDrainTimeout,
+  kMaxRequestBytes,
+  // Process isolation (batch / serve).
+  kIsolate,
+  kWorkerMem,
+  kWorkerCpu,
+  kWorkerWall,
+  kCrashRetries,
   // Global flags (valid for every command).
   kLegacyCore,
   kTimeout,
@@ -80,6 +87,9 @@ struct CommandSpec {
   const char* args;     // positional signature, e.g. "<design>"
   const char* summary;  // one-line description for usage()
   std::vector<FlagId> flags;  // applicable command-specific flags
+  // Internal commands (the supervisor's "worker" mode) parse normally but
+  // are omitted from usage().
+  bool hidden = false;
 };
 
 const std::vector<FlagSpec>& flag_table();
@@ -124,6 +134,13 @@ struct ParsedFlags {
   std::optional<std::size_t> max_inflight;      // serve --max-inflight
   std::optional<std::size_t> idle_timeout_ms;   // serve --idle-timeout
   std::optional<std::size_t> drain_timeout_ms;  // serve --drain-timeout
+  std::optional<std::size_t> max_request_bytes;  // serve --max-request-bytes
+  bool isolate = false;  // batch/serve --isolate[=N]: supervised workers
+  std::optional<std::size_t> isolate_workers;  // the =N (pool size)
+  std::optional<std::size_t> worker_mem_mb;    // --worker-mem (RLIMIT_AS MiB)
+  std::optional<std::size_t> worker_cpu_s;     // --worker-cpu (RLIMIT_CPU s)
+  std::optional<std::size_t> worker_wall_ms;   // --worker-wall watchdog
+  std::optional<std::size_t> crash_retries;    // batch --crash-retries
   std::vector<std::pair<std::string, bool>> assignments;
   std::vector<std::string> rules;         // lint --rules a,b,c
   std::optional<diag::Severity> fail_on;  // lint --fail-on=...

@@ -23,6 +23,10 @@ enum class ExitCode : int {
                            // cancelled (each still received a response)
   kOverloaded = 8,         // client: the server shed the request
                            // (admission queue full or draining) — retry later
+  kWorkerCrashed = 9,      // isolated execution: one or more entries (batch
+                           // --isolate) or the request (client, serve
+                           // --isolate) crashed their worker process and
+                           // were quarantined
   kInterrupted = 130,      // SIGINT, cooperatively cancelled (128 + SIGINT)
 };
 
@@ -49,6 +53,8 @@ inline const char* exit_code_name(ExitCode code) {
       return "drain-timeout";
     case ExitCode::kOverloaded:
       return "overloaded";
+    case ExitCode::kWorkerCrashed:
+      return "worker-crashed";
     case ExitCode::kInterrupted:
       return "interrupted";
   }

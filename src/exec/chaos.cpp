@@ -1,0 +1,101 @@
+#include "exec/chaos.h"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+namespace netrev::exec {
+
+namespace {
+
+thread_local std::string t_chaos_scope;
+
+[[noreturn]] void inject(ChaosSpec::Mode mode) {
+  switch (mode) {
+    case ChaosSpec::Mode::kAbort:
+      std::abort();
+    case ChaosSpec::Mode::kSegv:
+      // raise() instead of a null dereference: the crash is the point, UB is
+      // not, and sanitizers report a raised signal faithfully.
+      std::raise(SIGSEGV);
+      std::abort();  // SIGSEGV ignored/blocked: still die loudly
+    case ChaosSpec::Mode::kHang:
+      // Burn no CPU while hanging so RLIMIT_CPU never rescues a hung worker
+      // — only the supervisor's wall-clock watchdog can.
+      for (;;) pause();
+    case ChaosSpec::Mode::kOom: {
+      // Touch every page so the kernel actually commits the allocations;
+      // under RLIMIT_AS this ends in bad_alloc (-> std::terminate ->
+      // SIGABRT), without it the OOM killer's SIGKILL ends it.
+      std::vector<char*> blocks;
+      for (;;) {
+        char* block = new char[64 << 20];
+        std::memset(block, 0xa5, 64 << 20);
+        blocks.push_back(block);
+      }
+    }
+  }
+  std::abort();
+}
+
+}  // namespace
+
+std::optional<ChaosSpec> parse_chaos_spec(const std::string& text) {
+  const auto at = text.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 == text.size())
+    return std::nullopt;
+  ChaosSpec spec;
+  const std::string mode = text.substr(0, at);
+  if (mode == "abort") {
+    spec.mode = ChaosSpec::Mode::kAbort;
+  } else if (mode == "segv") {
+    spec.mode = ChaosSpec::Mode::kSegv;
+  } else if (mode == "hang") {
+    spec.mode = ChaosSpec::Mode::kHang;
+  } else if (mode == "oom") {
+    spec.mode = ChaosSpec::Mode::kOom;
+  } else {
+    return std::nullopt;
+  }
+  std::string rest = text.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    spec.match = rest.substr(colon + 1);
+    rest.resize(colon);
+  }
+  // A stage with a stray '@' can never name a checkpoint; reject it so the
+  // typo is loud (nullopt) rather than a silently-dead injection.
+  if (rest.empty() || rest.find('@') != std::string::npos) return std::nullopt;
+  spec.stage = std::move(rest);
+  return spec;
+}
+
+bool chaos_matches(const ChaosSpec& spec, const std::string& stage,
+                   const std::string& scope) {
+  if (spec.stage != stage) return false;
+  if (spec.match.empty()) return true;
+  return scope.find(spec.match) != std::string::npos;
+}
+
+ChaosScope::ChaosScope(const std::string& scope)
+    : previous_(std::move(t_chaos_scope)) {
+  t_chaos_scope = scope;
+}
+
+ChaosScope::~ChaosScope() { t_chaos_scope = std::move(previous_); }
+
+const std::string& chaos_scope() { return t_chaos_scope; }
+
+void chaos_point(const char* stage) {
+  const char* env = std::getenv("NETREV_CHAOS");
+  if (env == nullptr || *env == '\0') return;
+  const auto spec = parse_chaos_spec(env);
+  if (!spec) return;
+  if (chaos_matches(*spec, stage, t_chaos_scope)) inject(spec->mode);
+}
+
+}  // namespace netrev::exec

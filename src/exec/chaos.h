@@ -1,0 +1,70 @@
+// Chaos harness: compiled-in fault-injection checkpoints for proving the
+// process-isolation recovery paths with REAL crashes, not simulations.
+//
+// A chaos spec comes from the NETREV_CHAOS environment variable:
+//
+//   NETREV_CHAOS=<mode>@<stage>[:<match>]
+//
+//   mode:  abort  — std::abort() (SIGABRT; survives sanitizer handlers)
+//          segv   — raise(SIGSEGV) (note: ASan intercepts this into exit(1))
+//          hang   — pause forever (exercises the supervisor watchdog)
+//          oom    — allocate-and-touch until the allocator gives up
+//                   (exercises RLIMIT_AS; terminates via bad_alloc/SIGKILL)
+//   stage: a checkpoint name — "parse", "identify", or "lift"
+//   match: optional substring filter against the current chaos scope (the
+//          design spec being processed); empty = every hit fires
+//
+// chaos_point(stage) is called at the entry of each instrumented stage; it
+// re-reads the environment on every call (checkpoints sit at stage entry,
+// never in hot loops) so tests can setenv/unsetenv around individual runs.
+// The scope is thread-local and set via ChaosScope RAII by the batch engine
+// (per entry) and the protocol executor (per request), which is what lets a
+// single chaos spec poison exactly one entry of a multi-design batch.
+//
+// The harness is always compiled in: the cost is one getenv per stage entry,
+// and a fault path that only exists in special builds is a fault path that
+// rots.  With NETREV_CHAOS unset every checkpoint is a cheap no-op.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace netrev::exec {
+
+struct ChaosSpec {
+  enum class Mode { kAbort, kSegv, kHang, kOom };
+  Mode mode = Mode::kAbort;
+  std::string stage;
+  std::string match;  // substring of the scope; empty matches everything
+};
+
+// Parses "<mode>@<stage>[:<match>]"; nullopt on malformed specs (a typo'd
+// spec must never silently disable injection AND never crash the process —
+// callers treat nullopt as "no chaos").
+std::optional<ChaosSpec> parse_chaos_spec(const std::string& text);
+
+// True when `spec` should fire at checkpoint `stage` under `scope`.
+bool chaos_matches(const ChaosSpec& spec, const std::string& stage,
+                   const std::string& scope);
+
+// Names the thread's current work item (the design spec) for match filters.
+// Nests; restores the previous scope on destruction.
+class ChaosScope {
+ public:
+  explicit ChaosScope(const std::string& scope);
+  ~ChaosScope();
+  ChaosScope(const ChaosScope&) = delete;
+  ChaosScope& operator=(const ChaosScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+const std::string& chaos_scope();
+
+// The checkpoint: reads NETREV_CHAOS and, when the spec matches this stage
+// and the thread's scope, injects the configured fault.  abort/segv/oom do
+// not return; hang never returns (SIGKILL from the watchdog ends it).
+void chaos_point(const char* stage);
+
+}  // namespace netrev::exec

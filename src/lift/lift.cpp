@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "analysis/domains.h"
+#include "exec/chaos.h"
 #include "lift/verify.h"
 #include "netlist/gate_type.h"
 #include "perf/profile.h"
@@ -283,6 +284,7 @@ LiftResult lift_words(const Netlist& nl, const wordrec::WordSet& words,
                       const Options& options,
                       const exec::Checkpoint& checkpoint) {
   perf::ScopedWork work("stage.lift_ns");
+  exec::chaos_point("lift");
   LiftResult model;
   model.coverage.total_gates = nl.gate_count();
   SignalTable signals(model);

@@ -2,6 +2,7 @@
 
 #include "common/atomic_file.h"
 #include "common/text.h"
+#include "exec/chaos.h"
 #include "parser/lexer.h"
 
 namespace netrev::parser {
@@ -86,6 +87,7 @@ GateType function_to_type(const std::string& function, std::size_t line,
 
 Netlist parse_bench(std::string_view source, const ParseOptions& options,
                     diag::Diagnostics& diags) {
+  exec::chaos_point("parse");
   const auto here = [&](std::size_t line, std::size_t column) {
     return diag::SourceLocation{options.filename, line, column};
   };

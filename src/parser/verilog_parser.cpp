@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/chaos.h"
 #include "parser/lexer.h"
 
 namespace netrev::parser {
@@ -393,6 +394,7 @@ class VerilogParser {
 netlist::Netlist parse_verilog(std::string_view source,
                                const ParseOptions& options,
                                diag::Diagnostics& diags) {
+  exec::chaos_point("parse");
   if (source.size() > options.limits.max_file_bytes) {
     const std::string message =
         "input exceeds maximum file size (" + std::to_string(source.size()) +

@@ -12,11 +12,14 @@
 #include "eval/diagnose.h"
 #include "eval/report.h"
 #include "exec/cancel.h"
+#include "exec/chaos.h"
 #include "exec/degrade.h"
 #include "itc/family.h"
 #include "jsonout/jsonout.h"
 #include "pipeline/journal.h"
+#include "pipeline/protocol.h"
 #include "pipeline/session.h"
+#include "pipeline/supervisor.h"
 #include "wordrec/degrade.h"
 
 namespace netrev::pipeline {
@@ -60,6 +63,9 @@ std::uint64_t content_hash_for(const std::string& spec) {
 
 // Everything that changes what one entry produces.  keep_going is excluded:
 // it reshapes final statuses (the skip rule), never a recorded outcome.
+// Isolation (pool, crash_retries) is excluded for the same reason: a clean
+// entry's bytes are identical either way, so journals written isolated and
+// non-isolated stay interchangeable.
 std::uint64_t batch_options_fingerprint(const BatchOptions& options) {
   const RunConfig& config = options.config;
   std::uint64_t fp = fnv1a64("batch-options");
@@ -92,6 +98,9 @@ void await_readable(const std::string& spec, const BatchOptions& options) {
 
 void run_entry(Session& session, const BatchOptions& options,
                EntryState& state) {
+  // Scope chaos injection to this entry's spec so NETREV_CHAOS with a
+  // ":<match>" target fires on exactly one entry of the batch.
+  exec::ChaosScope chaos_scope(state.out.spec);
   // Poll between stages so an interrupted batch stops at the next stage
   // boundary even when stage checkpoints are unarmed.
   const auto check_cancel = [&] {
@@ -170,6 +179,77 @@ void run_entry(Session& session, const BatchOptions& options,
     state.out.diagnostics_json = state.diags.to_json();
 }
 
+// Dispatches one entry to a supervised worker process (batch --isolate) and
+// adopts the journal-line result, so a clean entry's recorded fields are
+// byte-identical to an in-process run by construction.  A crash burns one
+// attempt; the pool hands the retry a fresh worker.  When every attempt
+// crashes the entry is QUARANTINED: status kCrashed with the supervisor's
+// last classification, and the batch moves on.
+void run_entry_isolated(const BatchOptions& options, EntryState& state) {
+  if (options.config.exec.cancellable &&
+      options.config.exec.cancel.cancel_requested()) {
+    state.out.status = EntryStatus::kCancelled;
+    return;
+  }
+
+  protocol::Request request;
+  request.op = protocol::Op::kEntry;
+  request.design = state.out.spec;
+  // The worker reads config knobs from its own command line (they are
+  // per-pool constants); only the per-entry diagnostics budget travels in
+  // the request.
+  request.options.max_errors = options.max_errors;
+  const std::string line = protocol::render_request(request);
+
+  const std::size_t attempts =
+      options.crash_retries > 0 ? options.crash_retries : 1;
+  supervisor::WorkerPool::Outcome outcome;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    outcome = options.pool->run(line);
+    if (!outcome.crashed) break;
+  }
+
+  const auto quarantine = [&](const std::string& crash,
+                              std::size_t crash_signal) {
+    state.out.status = EntryStatus::kCrashed;
+    state.out.crash = crash;
+    state.out.crash_signal = crash_signal;
+  };
+  if (outcome.crashed) {
+    const supervisor::CrashInfo& info = outcome.crash;
+    quarantine(info.describe(),
+               info.kind == supervisor::CrashKind::kSignal
+                   ? static_cast<std::size_t>(info.signal)
+                   : 0);
+    return;
+  }
+
+  const protocol::ParsedResponse parsed =
+      protocol::parse_response(outcome.response);
+  if (!parsed.response) {
+    // The worker stayed alive but replied garbage — a poisoned worker is a
+    // crash for quarantine purposes, just one we classified ourselves.
+    quarantine("unusable worker reply: " + parsed.error, 0);
+    return;
+  }
+  const protocol::Response& response = *parsed.response;
+  if (response.status == protocol::Status::kCancelled) {
+    state.out.status = EntryStatus::kCancelled;
+    return;
+  }
+  JournalRecord record;
+  if (response.status != protocol::Status::kOk ||
+      !parse_journal_line(response.result, record) ||
+      record.entry.spec != state.out.spec) {
+    quarantine("unusable worker reply: status " +
+                   std::string(protocol::status_name(response.status)) +
+                   (response.error.empty() ? "" : " (" + response.error + ")"),
+               0);
+    return;
+  }
+  state.out = std::move(record.entry);
+}
+
 // Without --keep-going, reproduce the historical wave semantics over the
 // final per-entry outcomes: failures surface at stage barriers in input
 // order, and once the first failure (in input order) has surfaced, every
@@ -180,9 +260,13 @@ void apply_skip_rule(std::vector<EntryState>& states, bool keep_going) {
   if (keep_going) return;
   static const char* kStages[] = {"load", "lint", "identify", "lift",
                                   "evaluate"};
+  // Quarantined (crashed) entries never trigger the barrier: quarantine
+  // means "contain and continue", so their neighbors keep their fault-free
+  // outcomes even without --keep-going.
   std::vector<bool> active(states.size());
   for (std::size_t i = 0; i < states.size(); ++i)
-    active[i] = states[i].out.status != EntryStatus::kCancelled;
+    active[i] = states[i].out.status != EntryStatus::kCancelled &&
+                states[i].out.status != EntryStatus::kCrashed;
   std::size_t first_failed = std::numeric_limits<std::size_t>::max();
   for (const char* stage : kStages) {
     for (std::size_t i = 0; i < states.size(); ++i) {
@@ -217,6 +301,8 @@ const char* status_name(EntryStatus status) {
       return "skipped";
     case EntryStatus::kCancelled:
       return "cancelled";
+    case EntryStatus::kCrashed:
+      return "crashed";
   }
   return "unknown";
 }
@@ -272,9 +358,13 @@ BatchResult run_batch(const std::vector<std::string>& specs,
   parallel_for(0, states.size(), [&](std::size_t i) {
     EntryState& state = states[i];
     if (state.restored) return;
-    run_entry(session, options, state);
+    if (options.pool != nullptr)
+      run_entry_isolated(options, state);
+    else
+      run_entry(session, options, state);
     if (journal != nullptr && (state.out.status == EntryStatus::kOk ||
-                               state.out.status == EntryStatus::kFailed))
+                               state.out.status == EntryStatus::kFailed ||
+                               state.out.status == EntryStatus::kCrashed))
       journal->append(keys[i], state.out);
   });
 
@@ -294,6 +384,9 @@ BatchResult run_batch(const std::vector<std::string>& specs,
         break;
       case EntryStatus::kCancelled:
         ++result.cancelled;
+        break;
+      case EntryStatus::kCrashed:
+        ++result.crashed;
         break;
     }
     result.entries.push_back(std::move(state.out));
@@ -341,6 +434,10 @@ std::string BatchResult::to_json() const {
         out += ",\"diagnostics\":";
         out += entry.diagnostics_json.empty() ? "null" : entry.diagnostics_json;
         break;
+      case EntryStatus::kCrashed:
+        out += ",\"crash\":\"" + json_escape(entry.crash) + "\"";
+        out += ",\"signal\":" + std::to_string(entry.crash_signal);
+        break;
       case EntryStatus::kSkipped:
       case EntryStatus::kCancelled:
         break;
@@ -352,6 +449,7 @@ std::string BatchResult::to_json() const {
   out += ",\"failed\":" + std::to_string(failed);
   out += ",\"skipped\":" + std::to_string(skipped);
   out += ",\"cancelled\":" + std::to_string(cancelled);
+  out += ",\"crashed\":" + std::to_string(crashed);
   out += "}}";
   return out;
 }
@@ -381,6 +479,9 @@ std::string BatchResult::render_text() const {
       case EntryStatus::kCancelled:
         out += "cancelled";
         break;
+      case EntryStatus::kCrashed:
+        out += "CRASHED: " + entry.crash;
+        break;
     }
     out += "\n";
   }
@@ -388,6 +489,7 @@ std::string BatchResult::render_text() const {
          std::to_string(ok) + " ok, " + std::to_string(failed) + " failed, " +
          std::to_string(skipped) + " skipped";
   if (cancelled > 0) out += ", " + std::to_string(cancelled) + " cancelled";
+  if (crashed > 0) out += ", " + std::to_string(crashed) + " crashed";
   if (resumed > 0)
     out += "; resumed " + std::to_string(resumed) + " from journal";
   out += "; cache: " + std::to_string(cache_hits) + " hit(s), " +

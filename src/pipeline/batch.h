@@ -24,6 +24,10 @@
 
 namespace netrev::pipeline {
 
+namespace supervisor {
+class WorkerPool;
+}
+
 struct BatchOptions {
   RunConfig config;
 
@@ -55,9 +59,22 @@ struct BatchOptions {
 
   // Cache to route artifacts through; null = the process-global cache.
   ArtifactCache* cache = nullptr;
+
+  // Process isolation (CLI --isolate): dispatch each entry to a supervised
+  // worker process through this pool instead of running it in-process.  A
+  // clean entry's output is byte-identical either way (the worker runs the
+  // same run_batch code path and returns the same journal-line bytes); a
+  // hard crash (segfault, OOM kill, watchdog timeout) becomes a quarantined
+  // "crashed" entry instead of taking down the run.  Null = in-process.
+  supervisor::WorkerPool* pool = nullptr;
+
+  // How many crashed attempts quarantine an entry (CLI --crash-retries):
+  // 2 = one retry on a fresh worker after the first crash.  Only meaningful
+  // with `pool`; clamped to at least 1.
+  std::size_t crash_retries = 2;
 };
 
-enum class EntryStatus { kOk, kFailed, kSkipped, kCancelled };
+enum class EntryStatus { kOk, kFailed, kSkipped, kCancelled, kCrashed };
 
 struct BatchEntry {
   std::string spec;
@@ -67,6 +84,13 @@ struct BatchEntry {
   std::string failed_stage;  // "load" | "lint" | "identify" | "lift" |
                              // "evaluate"
   std::string error;
+
+  // Crash record (status == kCrashed, isolated runs only): the supervisor's
+  // classification of how the worker died, e.g. "signal 11 (SIGSEGV)" or
+  // "watchdog timeout (killed after 500ms)", and the terminating signal
+  // number (0 when the worker exited or timed out without a signal).
+  std::string crash;
+  std::size_t crash_signal = 0;
 
   // Stage outputs (status == kOk; empty when the stage did not run).
   // identify_json is byte-identical to `netrev identify <spec> --json`;
@@ -95,6 +119,7 @@ struct BatchResult {
   std::size_t failed = 0;
   std::size_t skipped = 0;
   std::size_t cancelled = 0;  // interrupted mid-run (SIGINT / cancel token)
+  std::size_t crashed = 0;    // quarantined after crashing their workers
   std::size_t resumed = 0;    // restored from the journal, not recomputed
 
   // Cache traffic attributable to this run (lookups during the run).
@@ -102,7 +127,7 @@ struct BatchResult {
   std::uint64_t cache_misses = 0;
 
   bool all_ok() const {
-    return failed == 0 && skipped == 0 && cancelled == 0;
+    return failed == 0 && skipped == 0 && cancelled == 0 && crashed == 0;
   }
   // True when the run was stopped by cancellation; the journal (if any)
   // holds every entry that finished, so --resume completes the rest.

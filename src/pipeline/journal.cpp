@@ -172,7 +172,8 @@ bool record_from(const FlatObject& object, JournalRecord& record) {
     return it == object.numbers.end() ? 0 : it->second;
   };
 
-  if (num("v") != 1) return false;
+  const std::uint64_t v = num("v");
+  if (v != 1 && v != 2) return false;
   const std::string* key = str("key");
   const std::string* spec = str("spec");
   const std::string* status = str("status");
@@ -185,6 +186,8 @@ bool record_from(const FlatObject& object, JournalRecord& record) {
     record.entry.status = EntryStatus::kOk;
   } else if (*status == "failed") {
     record.entry.status = EntryStatus::kFailed;
+  } else if (*status == "crashed" && v >= 2) {
+    record.entry.status = EntryStatus::kCrashed;
   } else {
     return false;  // journals never hold skipped/cancelled entries
   }
@@ -201,6 +204,8 @@ bool record_from(const FlatObject& object, JournalRecord& record) {
   copy("diagnostics", record.entry.diagnostics_json);
   copy("degrade_level", record.entry.degrade_level);
   copy("degrade_stage", record.entry.degrade_stage);
+  copy("crash", record.entry.crash);
+  record.entry.crash_signal = num("signal");
   record.entry.multibit_words = num("words");
   record.entry.control_signals = num("control_signals");
   record.entry.lint_errors = num("lint_errors");
@@ -230,10 +235,22 @@ void JournalWriter::append(const std::string& key, const BatchEntry& entry) {
 
 std::string render_journal_line(const std::string& key,
                                 const BatchEntry& entry) {
-  std::string line = "{\"v\":1,\"key\":" + quoted(key);
+  // v2 is written ONLY for crashed entries: ok/failed lines stay
+  // byte-identical to what pre-isolation builds wrote, so journals remain
+  // interchangeable between isolated and non-isolated runs.
+  const bool crashed = entry.status == EntryStatus::kCrashed;
+  std::string line =
+      std::string("{\"v\":") + (crashed ? "2" : "1") + ",\"key\":" +
+      quoted(key);
   line += ",\"spec\":" + quoted(entry.spec);
   line += ",\"status\":";
-  line += entry.status == EntryStatus::kOk ? "\"ok\"" : "\"failed\"";
+  line += crashed ? "\"crashed\""
+                  : (entry.status == EntryStatus::kOk ? "\"ok\""
+                                                      : "\"failed\"");
+  if (crashed) {
+    line += ",\"crash\":" + quoted(entry.crash);
+    line += ",\"signal\":" + std::to_string(entry.crash_signal);
+  }
   line += ",\"stage\":" + quoted(entry.failed_stage);
   line += ",\"error\":" + quoted(entry.error);
   line += ",\"identify\":" + quoted(entry.identify_json);
@@ -252,6 +269,16 @@ std::string render_journal_line(const std::string& key,
   return line;
 }
 
+bool parse_journal_line(const std::string& line, JournalRecord& record) {
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r'))
+    trimmed.pop_back();
+  FlatObject object;
+  if (!FlatParser(trimmed).parse(object)) return false;
+  return record_from(object, record);
+}
+
 std::vector<JournalRecord> read_journal(const std::string& path) {
   std::vector<JournalRecord> records;
   std::ifstream in(path);
@@ -259,10 +286,8 @@ std::vector<JournalRecord> read_journal(const std::string& path) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    FlatObject object;
-    if (!FlatParser(line).parse(object)) continue;  // torn/foreign line
     JournalRecord record;
-    if (!record_from(object, record)) continue;
+    if (!parse_journal_line(line, record)) continue;  // torn/foreign line
     records.push_back(std::move(record));
   }
   return records;

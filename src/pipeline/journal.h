@@ -2,7 +2,8 @@
 // entries, keyed by the same content/options fingerprints that address the
 // artifact cache.
 //
-// Each finished entry (ok or failed — never cancelled, never skipped) is
+// Each finished entry (ok, failed, or crashed — never cancelled, never
+// skipped) is
 // appended as ONE line and flushed, so a SIGKILL at any instant loses at
 // most the line being written.  read_journal() tolerates exactly that: a
 // torn final line (or any line that does not parse) is ignored.  `netrev
@@ -19,6 +20,15 @@
 //    "analysis":"...","evaluation":"...","diagnostics":"...",
 //    "degrade_level":"...","degrade_stage":"...","words":N,
 //    "control_signals":N,"lint_errors":N,"lint_warnings":N,"lint_notes":N}
+//
+// Version 2 extends v1 with quarantined crashes from isolated runs
+// (`batch --isolate`): status "crashed" plus the supervisor's
+// classification.  ok/failed entries keep writing v1 lines byte-identically
+// — v2 is emitted ONLY for crashed entries, so journals from non-isolated
+// runs are indistinguishable from pre-isolation builds, and the reader
+// accepts both versions:
+//
+//   {"v":2,...,"status":"crashed","crash":"signal 11 (SIGSEGV)","signal":11}
 #pragma once
 
 #include <cstdint>
@@ -70,6 +80,12 @@ std::vector<JournalRecord> read_journal(const std::string& path);
 // journal is indistinguishable from a freshly written one.
 std::string render_journal_line(const std::string& key,
                                 const BatchEntry& entry);
+
+// Parses one journal line (trailing newline optional) into a record; false
+// on torn, malformed, or foreign lines.  Exposed for the worker protocol:
+// an isolated batch entry travels the wire as exactly one journal line, so
+// supervisor and worker agree on the bytes by construction.
+bool parse_journal_line(const std::string& line, JournalRecord& record);
 
 // `batch --compact-journal`: rewrites the journal keeping only the winning
 // (last) record per key, in their original file order, through the atomic

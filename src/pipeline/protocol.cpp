@@ -9,10 +9,12 @@
 #include "common/version.h"
 #include "eval/diagnose.h"
 #include "eval/report.h"
+#include "exec/chaos.h"
 #include "jsonout/jsonout.h"
 #include "netlist/stats.h"
 #include "perf/profile.h"
 #include "pipeline/batch.h"
+#include "pipeline/journal.h"
 #include "pipeline/manifest.h"
 #include "pipeline/session.h"
 #include "wordrec/degrade.h"
@@ -32,6 +34,21 @@ std::string hex16(std::uint64_t value) {
     out[static_cast<std::size_t>(i)] = digits[value & 0xf];
     value >>= 4;
   }
+  return out;
+}
+
+// The serving-counters object shared by the "health" op and the "stats"
+// serve block, so the two surfaces can never drift apart.
+std::string serve_block(const HealthSnapshot& snap) {
+  std::string out = "{\"uptime_s\":" + std::to_string(snap.uptime_s);
+  out += ",\"inflight\":" + std::to_string(snap.inflight);
+  out += ",\"queued\":" + std::to_string(snap.queued);
+  out += ",\"workers\":{\"isolate\":";
+  out += snap.isolate ? "true" : "false";
+  out += ",\"alive\":" + std::to_string(snap.workers_alive);
+  out += ",\"restarted\":" + std::to_string(snap.workers_restarted);
+  out += ",\"quarantined\":" + std::to_string(snap.workers_quarantined);
+  out += "}}";
   return out;
 }
 
@@ -88,6 +105,8 @@ class JsonParser {
     return false;
   }
 
+  static constexpr int kMaxDepth = 256;
+
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
   bool consume(char c) {
     if (peek() != c) return false;
@@ -104,11 +123,18 @@ class JsonParser {
     out.begin = pos_;
     bool ok = false;
     switch (peek()) {
+      // The parser is recursive-descent, so nesting depth is stack depth:
+      // without a bound, a hostile frame of brackets — well within any
+      // byte limit — would overflow the stack and kill the process.
       case '{':
+        if (++depth_ > kMaxDepth) return fail("nesting too deep");
         ok = parse_object(out);
+        --depth_;
         break;
       case '[':
+        if (++depth_ > kMaxDepth) return fail("nesting too deep");
         ok = parse_array(out);
+        --depth_;
         break;
       case '"':
         out.kind = JsonValue::Kind::kString;
@@ -275,6 +301,7 @@ class JsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 
@@ -386,6 +413,10 @@ const char* op_name(Op op) {
       return "batch";
     case Op::kLift:
       return "lift";
+    case Op::kHealth:
+      return "health";
+    case Op::kEntry:
+      return "entry";
   }
   return "unknown";
 }
@@ -394,7 +425,8 @@ namespace {
 
 constexpr Op kAllOps[] = {Op::kPing,     Op::kStats,    Op::kLoad,
                           Op::kLint,     Op::kIdentify, Op::kEvaluate,
-                          Op::kBatch,    Op::kLift};
+                          Op::kBatch,    Op::kLift,     Op::kHealth,
+                          Op::kEntry};
 
 // "ping, stats, ..., or lift" — the bad_request text enumerates every op so
 // a client learns the full surface (including newly added ops) from the
@@ -432,6 +464,8 @@ const char* status_name(Status status) {
       return "error";
     case Status::kBadRequest:
       return "bad_request";
+    case Status::kWorkerCrashed:
+      return "worker_crashed";
   }
   return "unknown";
 }
@@ -561,7 +595,8 @@ ParsedResponse parse_response(const std::string& line) {
   bool known_status = false;
   for (Status status :
        {Status::kOk, Status::kDegraded, Status::kOverloaded, Status::kDeadline,
-        Status::kCancelled, Status::kError, Status::kBadRequest}) {
+        Status::kCancelled, Status::kError, Status::kBadRequest,
+        Status::kWorkerCrashed}) {
     if (status_field == status_name(status)) {
       response.status = status;
       known_status = true;
@@ -627,6 +662,10 @@ void Executor::record(Status status) {
 
 Response Executor::execute(const Request& request, exec::CancelToken cancel) {
   perf::Stage stage("serve.request");
+  // Scope chaos injection (NETREV_CHAOS=<mode>@<stage>:<match>) to this
+  // request's design, so a fault target wired for one design leaves every
+  // other request on this thread untouched.
+  exec::ChaosScope chaos_scope(request.design);
   Response response;
   response.id = request.id;
 
@@ -649,6 +688,39 @@ Response Executor::execute(const Request& request, exec::CancelToken cancel) {
       case Op::kStats:
         response.result = stats_json();
         break;
+
+      case Op::kHealth:
+        response.result = health_json();
+        break;
+
+      case Op::kEntry: {
+        if (request.design.empty())
+          throw std::invalid_argument("entry: missing \"design\"");
+        BatchOptions options;
+        options.config = config;
+        // A failed entry is a RESULT here (a journal line with status
+        // "failed"), not a request error — the supervisor quarantines only
+        // crashes, never clean failures.
+        options.keep_going = true;
+        options.max_errors = diags.max_errors();
+        options.retries = config_.entry_retries;
+        options.retry_backoff = config_.entry_retry_backoff;
+        options.cache = cache_;
+        const BatchResult result = run_batch({request.design}, options);
+        if (result.interrupted()) {
+          response.status = Status::kCancelled;
+          response.error = "entry cancelled";
+          break;
+        }
+        // The result IS one journal line (sans newline): supervisor and
+        // worker agree on the bytes by sharing the renderer.  The key slot
+        // is a placeholder — only the supervisor knows the real key.
+        std::string line =
+            render_journal_line("0000000000000000", result.entries.front());
+        if (!line.empty() && line.back() == '\n') line.pop_back();
+        response.result = std::move(line);
+        break;
+      }
 
       case Op::kBatch: {
         if (request.designs.empty())
@@ -789,7 +861,8 @@ std::string Executor::stats_json() const {
   out += ",\"requests\":{\"total\":" + std::to_string(total);
   for (Status status :
        {Status::kOk, Status::kDegraded, Status::kOverloaded, Status::kDeadline,
-        Status::kCancelled, Status::kError, Status::kBadRequest}) {
+        Status::kCancelled, Status::kError, Status::kBadRequest,
+        Status::kWorkerCrashed}) {
     out += ",\"";
     out += status_name(status);
     out += "\":" + count(status);
@@ -799,7 +872,23 @@ std::string Executor::stats_json() const {
   out += ",\"evictions\":" + std::to_string(cache_->evictions());
   out += ",\"entries\":" + std::to_string(cache_->size());
   out += ",\"max_entries\":" + std::to_string(cache_->max_entries());
-  out += "}}";
+  out += "}";
+  // One-shot executors and worker processes have no serve layer — the block
+  // appears only when a health source is attached, keeping their stats
+  // shape historical.
+  if (health_ != nullptr) out += ",\"serve\":" + serve_block(health_->health());
+  out += "}";
+  return out;
+}
+
+std::string Executor::health_json() const {
+  const HealthSnapshot snap =
+      health_ != nullptr ? health_->health() : HealthSnapshot{};
+  std::string out = "{" + jsonout::version_field() +
+                    ",\"protocol\":" + std::to_string(kProtocolVersion) +
+                    ",\"version\":" + quoted(version());
+  out += ",\"serve\":" + serve_block(snap);
+  out += ",\"cache\":{\"entries\":" + std::to_string(cache_->size()) + "}}";
   return out;
 }
 

@@ -14,8 +14,9 @@
 //               "max_errors":64}}
 //
 // Ops: "ping", "stats", "load", "lint", "identify", "evaluate", "batch",
-// "lift" (batch takes "designs":[...] instead of "design").  Every field
-// except "op" is optional; an omitted "id" is assigned by the server.
+// "lift", "health", "entry" (batch takes "designs":[...] instead of
+// "design").  Every field except "op" is optional; an omitted "id" is
+// assigned by the server.
 //
 // Response line:
 //
@@ -63,6 +64,14 @@ enum class Op {
   kEvaluate,
   kBatch,
   kLift,
+  // Readiness probe for load balancers: uptime, inflight/queued counts, and
+  // worker-pool health (alive/restarted/quarantined) when serving isolated.
+  kHealth,
+  // One batch entry end to end; the result is the flat journal-line object
+  // (pipeline/journal.h).  This is the supervisor<->worker op behind
+  // `batch --isolate` — reusing the journal rendering is what makes an
+  // isolated entry's bytes identical to an in-process one.
+  kEntry,
 };
 
 const char* op_name(Op op);
@@ -99,8 +108,10 @@ enum class Status {
   kOverloaded,  // shed by admission control or a draining server
   kDeadline,    // budget tripped and the degrade floor forbade falling
   kCancelled,   // drain window expired while the request was in flight
-  kError,       // the request itself failed (bad design, unusable input)
-  kBadRequest,  // the line was not a valid request
+  kError,          // the request itself failed (bad design, unusable input)
+  kBadRequest,     // the line was not a valid request
+  kWorkerCrashed,  // isolated execution: the worker process died on this
+                   // request; the daemon itself kept serving
 };
 
 const char* status_name(Status status);
@@ -134,6 +145,26 @@ ParsedResponse parse_response(const std::string& line);
 
 // --- execution --------------------------------------------------------------
 
+// Live serving counters for the "health" op, supplied by the serve layer
+// (the Executor itself has no notion of queues or worker processes).  All
+// fields are snapshots; absent pool -> the workers block reports zeros with
+// isolate=false.
+struct HealthSnapshot {
+  std::uint64_t uptime_s = 0;
+  std::size_t inflight = 0;
+  std::size_t queued = 0;
+  bool isolate = false;
+  std::size_t workers_alive = 0;
+  std::size_t workers_restarted = 0;
+  std::size_t workers_quarantined = 0;  // requests answered worker_crashed
+};
+
+class HealthSource {
+ public:
+  virtual ~HealthSource() = default;
+  virtual HealthSnapshot health() const = 0;
+};
+
 struct ExecutorConfig {
   // Server-wide defaults a request's options overlay.  Its exec.timeout is
   // ignored (per-request budgets come from max_timeout / the request).
@@ -143,6 +174,11 @@ struct ExecutorConfig {
   std::chrono::milliseconds max_timeout{0};
   // Shared artifact cache; null = the process-global cache.
   ArtifactCache* cache = nullptr;
+  // File-probe retry policy for the "entry" op only (mirrors
+  // BatchOptions::retries so an isolated batch entry probes files exactly
+  // like its in-process twin would).
+  std::size_t entry_retries = 0;
+  std::chrono::milliseconds entry_retry_backoff{20};
 };
 
 // Executes requests, one Session per request over the shared cache so
@@ -165,7 +201,22 @@ class Executor {
   // {"schema_version":1,"protocol":1,"version":"...",
   //  "requests":{"total":N,"ok":N,...},
   //  "cache":{"hits":N,"misses":N,"evictions":N,"entries":N}}
+  // With a health source attached, a "serve" block with the same counters
+  // as the health op is appended (absent otherwise, so stats from one-shot
+  // executors and worker processes keep their historical shape).
   std::string stats_json() const;
+
+  // {"schema_version":1,"protocol":1,"version":"...",
+  //  "serve":{"uptime_s":N,"inflight":N,"queued":N,
+  //           "workers":{"isolate":B,"alive":N,"restarted":N,
+  //                      "quarantined":N}},
+  //  "cache":{"entries":N}}
+  // Without a health source the counters are all zero (isolate false).
+  std::string health_json() const;
+
+  // Wires the serve layer's live counters into the health op; null
+  // disconnects.  The source must outlive the executor.
+  void set_health_source(const HealthSource* source) { health_ = source; }
 
   ArtifactCache& cache() { return *cache_; }
 
@@ -176,7 +227,8 @@ class Executor {
  private:
   ExecutorConfig config_;
   ArtifactCache* cache_;
-  std::atomic<std::uint64_t> by_status_[7] = {};
+  const HealthSource* health_ = nullptr;
+  std::atomic<std::uint64_t> by_status_[8] = {};
 };
 
 }  // namespace netrev::pipeline::protocol

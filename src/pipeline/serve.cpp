@@ -74,6 +74,14 @@ std::string Server::endpoint() const {
 }
 
 void Server::start() {
+  // Pipe writes to crashed workers must surface as EPIPE, and a client that
+  // disconnects mid-response must not kill the daemon (MSG_NOSIGNAL covers
+  // the socket sends, SIG_IGN covers everything else).
+  supervisor::ignore_sigpipe();
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.pool) pool_ = std::make_unique<supervisor::WorkerPool>(*options_.pool);
+  executor_.set_health_source(this);
+
   ScopedFd fd;
   if (!options_.unix_path.empty()) {
     fd.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -171,6 +179,39 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
   respond(connection, response);
 }
 
+protocol::Response Server::execute_work(const Work& work) {
+  // ping/stats/health answer in-process even when isolating, so the daemon
+  // stays observable while every worker is crashed or wedged.
+  const protocol::Op op = work.request.op;
+  const bool pooled = pool_ != nullptr && op != protocol::Op::kPing &&
+                      op != protocol::Op::kStats &&
+                      op != protocol::Op::kHealth;
+  if (!pooled) return executor_.execute(work.request, work.cancel);
+
+  const supervisor::WorkerPool::Outcome outcome =
+      pool_->run(protocol::render_request(work.request));
+  protocol::Response response;
+  response.id = work.request.id;
+  if (outcome.crashed) {
+    response.status = protocol::Status::kWorkerCrashed;
+    response.error = "worker crashed: " + outcome.crash.describe();
+  } else {
+    protocol::ParsedResponse parsed =
+        protocol::parse_response(outcome.response);
+    if (parsed.response) {
+      response = std::move(*parsed.response);
+      response.id = work.request.id;
+    } else {
+      response.status = protocol::Status::kWorkerCrashed;
+      response.error = "unusable worker reply: " + parsed.error;
+    }
+  }
+  // The worker counted the request in ITS stats; this daemon's stats must
+  // see it too (the same rule as responses synthesized by admission).
+  executor_.record(response.status);
+  return response;
+}
+
 void Server::worker_loop() {
   for (;;) {
     Work work;
@@ -186,8 +227,7 @@ void Server::worker_loop() {
       ++inflight_;
       active_.push_back(work.cancel);
     }
-    const protocol::Response response =
-        executor_.execute(work.request, work.cancel);
+    const protocol::Response response = execute_work(work);
     respond(work.connection, response);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -236,7 +276,41 @@ void Server::reader_loop(std::shared_ptr<Connection> connection) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (!line.empty()) handle_line(connection, line);
     }
+    // Unframed-buffer bound: a frame still lacking its newline past the
+    // limit can only grow, so answer once and disconnect rather than
+    // buffering a client's endless line.
+    if (buffer.size() > options_.max_request_bytes) {
+      protocol::Response response;
+      response.status = protocol::Status::kBadRequest;
+      response.error = "request exceeds max-request-bytes (" +
+                       std::to_string(options_.max_request_bytes) +
+                       "); closing connection";
+      executor_.record(response.status);
+      respond(connection, response);
+      break;
+    }
   }
+}
+
+protocol::HealthSnapshot Server::health() const {
+  protocol::HealthSnapshot snap;
+  snap.uptime_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.inflight = inflight_;
+    snap.queued = queue_.size();
+  }
+  if (pool_ != nullptr) {
+    const supervisor::PoolStats stats = pool_->stats();
+    snap.isolate = true;
+    snap.workers_alive = stats.alive;
+    snap.workers_restarted = stats.restarts;
+    snap.workers_quarantined = stats.crashes;
+  }
+  return snap;
 }
 
 ExitCode Server::run() {
@@ -285,6 +359,10 @@ ExitCode Server::run() {
       // response.
       logline("drain window expired; cancelling in-flight requests");
       for (exec::CancelToken& token : active_) token.request_cancel();
+      // Pooled round trips cannot observe cancel tokens — poison the pool
+      // so their workers die and the round trips return (as crash
+      // outcomes, answered "worker_crashed") within the drain window.
+      if (pool_ != nullptr) pool_->poison();
       std::deque<Work> unstarted;
       unstarted.swap(queue_);
       lock.unlock();

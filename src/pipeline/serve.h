@@ -18,6 +18,13 @@
 //     with status "cancelled" — every admitted request gets exactly one
 //     response either way.  run() returns ExitCode::kDrained on a clean
 //     drain, ExitCode::kDrainTimeout otherwise.
+//   * isolation (--isolate): with a worker pool configured, analysis ops are
+//     executed in supervised child processes; a request that crashes its
+//     worker (segfault, OOM kill, watchdog) is answered with status
+//     "worker_crashed" while the daemon keeps serving.  ping/stats/health
+//     stay in-process so the daemon remains observable even when every
+//     worker is wedged.  The drain window poisons the pool on expiry, so no
+//     round trip outlives the drain.
 #pragma once
 
 #include <atomic>
@@ -28,6 +35,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -36,6 +44,7 @@
 #include "common/exit_code.h"
 #include "exec/cancel.h"
 #include "pipeline/protocol.h"
+#include "pipeline/supervisor.h"
 
 namespace netrev::pipeline::serve {
 
@@ -51,10 +60,20 @@ struct ServeOptions {
   std::chrono::milliseconds idle_timeout{30000};  // per-connection read idle
   std::chrono::milliseconds drain_timeout{5000};  // budget for in-flight work
 
+  // Bound on one connection's unframed read buffer (--max-request-bytes): a
+  // frame still lacking its newline past this size is answered with
+  // "bad_request" and the connection is closed, so a client streaming an
+  // endless line cannot balloon daemon memory.
+  std::size_t max_request_bytes = 8u << 20;
+
+  // Process isolation (--isolate): run analysis ops in supervised worker
+  // processes from a pool with these options.  Absent = in-process.
+  std::optional<supervisor::PoolOptions> pool;
+
   protocol::ExecutorConfig executor;
 };
 
-class Server {
+class Server : public protocol::HealthSource {
  public:
   // `log` receives one line per response and lifecycle event (pass nullptr
   // to silence); it must outlive the server.
@@ -87,6 +106,9 @@ class Server {
 
   protocol::Executor& executor() { return executor_; }
 
+  // Live counters for the "health" op and the "stats" serve block.
+  protocol::HealthSnapshot health() const override;
+
  private:
   struct Connection;
 
@@ -99,6 +121,9 @@ class Server {
 
   void reader_loop(std::shared_ptr<Connection> connection);
   void worker_loop();
+  // Executes one admitted request: in-process, or — when isolating and the
+  // op is an analysis op — one round trip through the worker pool.
+  protocol::Response execute_work(const Work& work);
   void handle_line(const std::shared_ptr<Connection>& connection,
                    const std::string& line);
   void respond(const std::shared_ptr<Connection>& connection,
@@ -108,13 +133,15 @@ class Server {
   ServeOptions options_;
   std::ostream* log_;
   protocol::Executor executor_;
+  std::unique_ptr<supervisor::WorkerPool> pool_;  // null = in-process
+  std::chrono::steady_clock::time_point start_time_{};
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> drain_requested_{false};
   std::atomic<std::uint64_t> next_request_id_{1};
 
-  std::mutex mutex_;                  // guards the five fields below
+  mutable std::mutex mutex_;          // guards the five fields below
   std::deque<Work> queue_;
   std::size_t inflight_ = 0;
   bool draining_ = false;             // admission rejects new requests

@@ -8,6 +8,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/dataflow.h"
 #include "common/thread_pool.h"
+#include "exec/chaos.h"
 #include "netlist/compact.h"
 #include "netlist/cone.h"
 #include "perf/profile.h"
@@ -329,6 +330,7 @@ GroupOutcome process_group(const Netlist& nl, const ConeHasher& hasher,
 
 IdentifyResult identify_words(const Netlist& nl, const Options& options_in) {
   perf::Stage stage("identify");
+  exec::chaos_point("identify");
 
   // Mandatory structural pre-pass (one cheap SCC sweep): a combinational
   // cycle would poison cone hashing and constant propagation downstream, so

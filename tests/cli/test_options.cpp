@@ -212,13 +212,71 @@ TEST(CliOptions, BatchCompactJournalFlagParses) {
   EXPECT_EQ(flags.resume, "j.jsonl");
 }
 
+TEST(CliOptions, IsolationFlagsParse) {
+  const ParsedFlags batch = parse_flags(
+      cmd("batch"),
+      {"batch", "b03s", "--isolate=4", "--worker-mem", "512", "--worker-cpu",
+       "10", "--worker-wall", "500", "--crash-retries", "3"},
+      1);
+  EXPECT_TRUE(batch.isolate);
+  EXPECT_EQ(batch.isolate_workers, 4u);
+  EXPECT_EQ(batch.worker_mem_mb, 512u);
+  EXPECT_EQ(batch.worker_cpu_s, 10u);
+  EXPECT_EQ(batch.worker_wall_ms, 500u);
+  EXPECT_EQ(batch.crash_retries, 3u);
+
+  // Bare --isolate: pool with the default worker count.
+  const ParsedFlags bare = parse_flags(cmd("batch"), {"batch", "b03s",
+                                                      "--isolate"}, 1);
+  EXPECT_TRUE(bare.isolate);
+  EXPECT_FALSE(bare.isolate_workers.has_value());
+
+  const ParsedFlags serve = parse_flags(
+      cmd("serve"), {"serve", "--isolate", "--max-request-bytes", "1024"}, 1);
+  EXPECT_TRUE(serve.isolate);
+  EXPECT_EQ(serve.max_request_bytes, 1024u);
+}
+
+TEST(CliOptions, IsolationFlagsRejectUselessValues) {
+  EXPECT_THROW(
+      (void)parse_flags(cmd("batch"), {"batch", "b03s", "--isolate=0"}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_flags(cmd("batch"), {"batch", "b03s", "--isolate=two"}, 1),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse_flags(
+                   cmd("batch"), {"batch", "b03s", "--crash-retries", "0"}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_flags(cmd("serve"), {"serve", "--max-request-bytes", "0"},
+                        1),
+      std::invalid_argument);
+  // --crash-retries is batch-only (serve quarantines per request, there is
+  // no retry loop to configure).
+  EXPECT_THROW(
+      (void)parse_flags(cmd("serve"), {"serve", "--crash-retries", "2"}, 1),
+      std::invalid_argument);
+}
+
+TEST(CliOptions, WorkerCommandParsesButIsHiddenFromUsage) {
+  const CommandSpec* worker = find_command("worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_TRUE(worker->hidden);
+  const ParsedFlags flags =
+      parse_flags(*worker, {"worker", "--depth", "4", "--retries", "2"}, 1);
+  EXPECT_EQ(flags.depth, 4u);
+  EXPECT_EQ(flags.retries, 2u);
+  // The usage text never advertises the internal mode.
+  EXPECT_EQ(usage().find("(internal)"), std::string::npos);
+}
+
 TEST(CliOptions, UsageListsEveryExitCode) {
   const std::string text = usage();
   // The exit-code lines are generated from the ExitCode enum, so each code's
   // name and value must appear.
   for (const char* needle :
        {"0 ok", "2 usage", "5 deadline", "6 drained", "7 drain-timeout",
-        "8 overloaded", "130 interrupted"})
+        "8 overloaded", "9 worker-crashed", "130 interrupted"})
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
 }
 

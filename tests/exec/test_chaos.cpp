@@ -1,0 +1,94 @@
+// Chaos-spec parsing and matching.  The injection modes themselves are
+// exercised end-to-end by the isolation tests (tests/pipeline/
+// test_isolation.cpp) and the check.sh chaos gate — a unit test cannot
+// survive its own std::abort().
+#include "exec/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace netrev::exec {
+namespace {
+
+TEST(Chaos, ParsesModeStageAndOptionalMatch) {
+  const auto plain = parse_chaos_spec("abort@identify");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->mode, ChaosSpec::Mode::kAbort);
+  EXPECT_EQ(plain->stage, "identify");
+  EXPECT_EQ(plain->match, "");
+
+  const auto matched = parse_chaos_spec("segv@lift:b04s");
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(matched->mode, ChaosSpec::Mode::kSegv);
+  EXPECT_EQ(matched->stage, "lift");
+  EXPECT_EQ(matched->match, "b04s");
+
+  EXPECT_EQ(parse_chaos_spec("hang@parse")->mode, ChaosSpec::Mode::kHang);
+  EXPECT_EQ(parse_chaos_spec("oom@identify")->mode, ChaosSpec::Mode::kOom);
+}
+
+TEST(Chaos, MatchMayContainColons) {
+  // Only the first ':' separates stage from match; a path-ish match with
+  // its own colon must survive.
+  const auto spec = parse_chaos_spec("abort@parse:dir:file.bench");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->match, "dir:file.bench");
+}
+
+TEST(Chaos, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse_chaos_spec("").has_value());
+  EXPECT_FALSE(parse_chaos_spec("abort").has_value());      // no stage
+  EXPECT_FALSE(parse_chaos_spec("abort@").has_value());     // empty stage
+  EXPECT_FALSE(parse_chaos_spec("@identify").has_value());  // empty mode
+  EXPECT_FALSE(parse_chaos_spec("explode@identify").has_value());
+  EXPECT_FALSE(parse_chaos_spec("abort@identify@lift").has_value());
+}
+
+TEST(Chaos, MatchesOnStageAndScopeSubstring) {
+  const ChaosSpec spec = *parse_chaos_spec("abort@identify:b04");
+  EXPECT_TRUE(chaos_matches(spec, "identify", "b04s"));
+  EXPECT_TRUE(chaos_matches(spec, "identify", "path/to/b04s.bench"));
+  EXPECT_FALSE(chaos_matches(spec, "identify", "b03s"));  // scope mismatch
+  EXPECT_FALSE(chaos_matches(spec, "lift", "b04s"));      // stage mismatch
+}
+
+TEST(Chaos, EmptyMatchFiresForEveryScope) {
+  const ChaosSpec spec = *parse_chaos_spec("abort@lift");
+  EXPECT_TRUE(chaos_matches(spec, "lift", ""));
+  EXPECT_TRUE(chaos_matches(spec, "lift", "anything"));
+}
+
+TEST(Chaos, ScopeNestsAndRestores) {
+  EXPECT_EQ(chaos_scope(), "");
+  {
+    ChaosScope outer("b03s");
+    EXPECT_EQ(chaos_scope(), "b03s");
+    {
+      ChaosScope inner("b04s");
+      EXPECT_EQ(chaos_scope(), "b04s");
+    }
+    EXPECT_EQ(chaos_scope(), "b03s");
+  }
+  EXPECT_EQ(chaos_scope(), "");
+}
+
+TEST(Chaos, CheckpointIsANoOpWithoutTheEnvVar) {
+  ::unsetenv("NETREV_CHAOS");
+  chaos_point("identify");  // must simply return
+}
+
+TEST(Chaos, CheckpointIgnoresNonMatchingAndMalformedSpecs) {
+  ::setenv("NETREV_CHAOS", "abort@identify:no-such-design", 1);
+  ChaosScope scope("b03s");
+  chaos_point("identify");  // scope does not match -> no-op
+
+  ::setenv("NETREV_CHAOS", "not a spec at all", 1);
+  chaos_point("identify");  // malformed -> no-op, never a crash
+
+  ::unsetenv("NETREV_CHAOS");
+}
+
+}  // namespace
+}  // namespace netrev::exec

@@ -154,8 +154,8 @@ TEST_F(JournalTest, MalformedAndForeignLinesAreSkipped) {
   }
   std::ofstream out(path_, std::ios::app);
   out << "not json at all\n";
-  out << "{\"v\":2,\"key\":\"00000000000000cc\",\"spec\":\"x\","
-         "\"status\":\"ok\"}\n";  // wrong version
+  out << "{\"v\":3,\"key\":\"00000000000000cc\",\"spec\":\"x\","
+         "\"status\":\"ok\"}\n";  // future version (v1 and v2 are ours)
   out << "{\"v\":1,\"key\":\"short\",\"spec\":\"x\",\"status\":\"ok\"}\n";
   out << "{\"v\":1,\"key\":\"00000000000000dd\",\"spec\":\"x\","
          "\"status\":\"skipped\"}\n";  // only ok|failed may be journaled
@@ -290,6 +290,70 @@ TEST_F(JournalTest, CompactionIsIdempotent) {
   EXPECT_EQ(again.kept, 1u);
   EXPECT_EQ(again.dropped, 0u);
   EXPECT_EQ(read_all(), once);
+}
+
+// --- v2 (crashed) records ----------------------------------------------------
+
+BatchEntry crashed_entry() {
+  BatchEntry entry;
+  entry.spec = "b04s";
+  entry.status = EntryStatus::kCrashed;
+  entry.crash = "signal 11 (SIGSEGV)";
+  entry.crash_signal = 11;
+  return entry;
+}
+
+TEST_F(JournalTest, CrashedEntriesRoundTripAsV2Records) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000cc", crashed_entry());
+  }
+  const std::vector<JournalRecord> records = read_journal(path_);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].entry.status, EntryStatus::kCrashed);
+  EXPECT_EQ(records[0].entry.crash, "signal 11 (SIGSEGV)");
+  EXPECT_EQ(records[0].entry.crash_signal, 11u);
+}
+
+TEST_F(JournalTest, OnlyCrashedRecordsAreVersionTwo) {
+  // ok/failed lines must keep their v1 bytes: a journal written by this
+  // build and read by the previous release (no isolation) must restore
+  // every non-crashed entry.
+  EXPECT_EQ(render_journal_line("00000000000000aa", ok_entry())
+                .rfind("{\"v\":1,", 0),
+            0u);
+  EXPECT_EQ(render_journal_line("00000000000000bb", failed_entry())
+                .rfind("{\"v\":1,", 0),
+            0u);
+  const std::string crashed =
+      render_journal_line("00000000000000cc", crashed_entry());
+  EXPECT_EQ(crashed.rfind("{\"v\":2,", 0), 0u);
+  EXPECT_NE(crashed.find("\"status\":\"crashed\""), std::string::npos);
+  EXPECT_NE(crashed.find("\"crash\":\"signal 11 (SIGSEGV)\""),
+            std::string::npos);
+  EXPECT_NE(crashed.find("\"signal\":11"), std::string::npos);
+}
+
+TEST_F(JournalTest, CrashedStatusRequiresVersionTwo) {
+  // A v1 line claiming "crashed" is foreign (v1 predates the status) and
+  // must be skipped, not half-parsed.
+  std::string line = render_journal_line("00000000000000cc", crashed_entry());
+  const std::string::size_type v = line.find("{\"v\":2,");
+  ASSERT_EQ(v, 0u);
+  line.replace(0, 7, "{\"v\":1,");
+  JournalRecord record;
+  EXPECT_FALSE(parse_journal_line(line, record));
+}
+
+TEST_F(JournalTest, CompactionPreservesCrashedRecords) {
+  {
+    JournalWriter writer(path_);
+    writer.append("00000000000000cc", crashed_entry());
+  }
+  const CompactionStats stats = compact_journal(path_);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(read_all(),
+            render_journal_line("00000000000000cc", crashed_entry()));
 }
 
 }  // namespace

@@ -382,5 +382,112 @@ TEST(Protocol, StatsCountEveryResponseIncludingRecordedSheds) {
   EXPECT_NE(stats.find("\"cache\":{"), std::string::npos) << stats;
 }
 
+// --- health ------------------------------------------------------------------
+
+TEST(Protocol, HealthWithoutASourceReportsZeros) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kHealth;
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk);
+  EXPECT_NE(response.result.find("\"serve\":{\"uptime_s\":0"),
+            std::string::npos)
+      << response.result;
+  EXPECT_NE(response.result.find("\"isolate\":false"), std::string::npos);
+  EXPECT_NE(response.result.find("\"cache\":{\"entries\":0}"),
+            std::string::npos);
+}
+
+TEST(Protocol, HealthReflectsTheInstalledSource) {
+  struct FixedSource : HealthSource {
+    HealthSnapshot health() const override {
+      HealthSnapshot snap;
+      snap.uptime_s = 42;
+      snap.inflight = 1;
+      snap.queued = 3;
+      snap.isolate = true;
+      snap.workers_alive = 2;
+      snap.workers_restarted = 5;
+      snap.workers_quarantined = 4;
+      return snap;
+    }
+  };
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  FixedSource source;
+  executor.set_health_source(&source);
+
+  Request request;
+  request.op = Op::kHealth;
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk);
+  EXPECT_NE(response.result.find(
+                "\"serve\":{\"uptime_s\":42,\"inflight\":1,\"queued\":3,"
+                "\"workers\":{\"isolate\":true,\"alive\":2,\"restarted\":5,"
+                "\"quarantined\":4}}"),
+            std::string::npos)
+      << response.result;
+
+  // The same block rides along in stats once a source is installed.
+  EXPECT_NE(executor.stats_json().find("\"workers\":{\"isolate\":true"),
+            std::string::npos);
+}
+
+// --- entry (the worker op) ---------------------------------------------------
+
+TEST(Protocol, EntryReturnsOneJournalLineForTheDesign) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kEntry;
+  request.design = "b03s";
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk) << response.error;
+  // The result is exactly one rendered journal record (sans newline) under
+  // the placeholder key — the supervisor re-parses it on the other side.
+  EXPECT_EQ(response.result.rfind("{\"v\":1,\"key\":\"0000000000000000\"", 0),
+            0u)
+      << response.result;
+  EXPECT_NE(response.result.find("\"spec\":\"b03s\""), std::string::npos);
+  EXPECT_NE(response.result.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(response.result.find('\n'), std::string::npos);
+}
+
+TEST(Protocol, EntryFailuresAreRecordedInTheJournalLineNotTheStatus) {
+  // A bad design is a *successful* entry round trip whose journal line says
+  // "failed" — only transport/crash problems surface as non-ok statuses.
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kEntry;
+  request.design = "no-such-design.bench";
+  const Response response = executor.execute(request, exec::CancelToken());
+  ASSERT_EQ(response.status, Status::kOk) << response.error;
+  EXPECT_NE(response.result.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(response.result.find("\"stage\":\"load\""), std::string::npos);
+}
+
+TEST(Protocol, EntryWithoutADesignIsAnError) {
+  ArtifactCache cache;
+  Executor executor(with_cache(cache));
+  Request request;
+  request.op = Op::kEntry;
+  const Response response = executor.execute(request, exec::CancelToken());
+  EXPECT_NE(response.status, Status::kOk);
+  EXPECT_FALSE(response.error.empty());
+}
+
+TEST(Protocol, WorkerCrashedStatusRoundTripsOnTheWire) {
+  Response response;
+  response.id = "r1";
+  response.status = Status::kWorkerCrashed;
+  response.error = "worker crashed: signal 11 (SIGSEGV)";
+  const ParsedResponse parsed = parse_response(render_response(response));
+  ASSERT_TRUE(parsed.response.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.response->status, Status::kWorkerCrashed);
+  EXPECT_EQ(parsed.response->error, response.error);
+}
+
 }  // namespace
 }  // namespace netrev::pipeline::protocol

@@ -1,0 +1,20 @@
+// Custom gtest main that doubles as a netrev worker.
+//
+// The WorkerPool's default executable is /proc/self/exe — inside a test
+// process that is THIS binary.  Re-executed with "worker" as its first
+// argument it routes straight into the real CLI worker mode, so the
+// isolation tests exercise the production fork/exec/pipe path without
+// depending on the location of the installed netrev binary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "worker") == 0)
+    return netrev::cli::run_cli(argc, argv, std::cout, std::cerr);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
